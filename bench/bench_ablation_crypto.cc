@@ -1,0 +1,150 @@
+// Ablations for the design choices behind §5:
+//  (a) exponent-range E vs scaling count — why the re-ordered accumulation
+//      exists at all (E = 1 would need no scalings but leaks value ranges,
+//      footnote 2 of the paper);
+//  (b) packing slot width vs capacity and per-slot decrypt cost — why
+//      M = 64 / 32 slots is the paper's sweet spot at S = 2048;
+//  (c) blaster batch count vs pipelined root makespan (simulated).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "crypto/accumulator.h"
+#include "crypto/packing.h"
+#include "crypto/paillier.h"
+#include "sim/protocol_sim.h"
+
+namespace vf2boost {
+namespace {
+
+using bench::Fmt;
+using bench::PrintRow;
+using bench::PrintRule;
+
+void ExponentAblation() {
+  std::printf("== Ablation (a): exponent range E vs scaling cost ==\n");
+  Rng krng(11);
+  auto kp = PaillierKeyPair::Generate(512, &krng);
+  VF2_CHECK(kp.ok());
+
+  const std::vector<int> widths = {4, 14, 14, 14, 14};
+  PrintRow({"E", "naive scal.", "reord scal.", "naive time", "reord time"},
+           widths);
+  PrintRule(widths);
+  for (int e : {1, 2, 4, 8}) {
+    FixedPointCodec codec(16, 8, e);
+    PaillierBackend backend(kp->pub, codec);
+    backend.SetPrivateKey(kp->priv);
+    Rng rng(3);
+    std::vector<Cipher> stream;
+    for (int i = 0; i < 256; ++i) {
+      stream.push_back(backend.Encrypt(rng.NextGaussian(), &rng));
+    }
+    AccumulatorStats ns, rs;
+    Stopwatch t1;
+    SumCiphers(stream, backend, /*reordered=*/false, &ns);
+    const double naive_time = t1.ElapsedSeconds();
+    Stopwatch t2;
+    SumCiphers(stream, backend, /*reordered=*/true, &rs);
+    const double reord_time = t2.ElapsedSeconds();
+    PrintRow({std::to_string(e), std::to_string(ns.scalings),
+              std::to_string(rs.scalings), Fmt("%.1fms", naive_time * 1e3),
+              Fmt("%.1fms", reord_time * 1e3)},
+             widths);
+  }
+  std::printf("(re-ordered scalings stay <= E-1 while naive grows with N)\n\n");
+}
+
+void PackingAblation() {
+  std::printf("== Ablation (b): slot width vs packing capacity/throughput "
+              "(1024-bit key) ==\n");
+  Rng krng(13);
+  auto kp = PaillierKeyPair::Generate(1024, &krng);
+  VF2_CHECK(kp.ok());
+  FixedPointCodec codec(16, 8, 4);
+  PaillierBackend backend(kp->pub, codec);
+  backend.SetPrivateKey(kp->priv);
+  Rng rng(5);
+
+  const std::vector<int> widths = {10, 9, 16, 16, 9};
+  PrintRow({"slot bits", "slots", "pack+dec/slot", "raw dec/slot",
+            "wire cut"},
+           widths);
+  PrintRule(widths);
+  for (size_t slot_bits : {32, 64, 128, 256}) {
+    const size_t capacity =
+        MaxSlotsPerCipher(slot_bits, kp->pub.n().BitLength());
+    std::vector<Cipher> slots;
+    for (size_t i = 0; i < capacity; ++i) {
+      slots.push_back(backend.EncryptAt(1.0 + static_cast<double>(i), 8,
+                                        &rng));
+    }
+    Stopwatch t1;
+    int reps = 0;
+    do {
+      auto packed = PackCiphers(slots, slot_bits, backend);
+      VF2_CHECK(packed.ok());
+      auto out = DecryptPacked(packed.value(), backend);
+      VF2_CHECK(out.ok());
+      ++reps;
+    } while (t1.ElapsedSeconds() < 0.2);
+    const double packed_per_slot =
+        t1.ElapsedSeconds() / (reps * static_cast<double>(capacity));
+
+    Stopwatch t2;
+    reps = 0;
+    do {
+      for (const Cipher& c : slots) backend.Decrypt(c);
+      ++reps;
+    } while (t2.ElapsedSeconds() < 0.2);
+    const double raw_per_slot =
+        t2.ElapsedSeconds() / (reps * static_cast<double>(capacity));
+
+    PrintRow({std::to_string(slot_bits), std::to_string(capacity),
+              Fmt("%.0fus", packed_per_slot * 1e6),
+              Fmt("%.0fus", raw_per_slot * 1e6),
+              Fmt("%.1fx", static_cast<double>(capacity))},
+             widths);
+  }
+  std::printf("(small slots maximize the wire/decrypt amortization; the "
+              "slot must still hold 2*N*Bound*B^e)\n\n");
+}
+
+void BlasterBatchAblation() {
+  std::printf("== Ablation (c): blaster batch count vs simulated root "
+              "makespan (paper scale) ==\n");
+  SimWorkload w;
+  w.instances = 2.5e6;
+  w.features_a = 25000;
+  w.features_b = 25000;
+  w.density = 0.002;
+  const CostModel cost = CostModel::PaperScale();
+
+  const std::vector<int> widths = {8, 10, 10};
+  PrintRow({"batches", "total", "speedup"}, widths);
+  PrintRule(widths);
+  double base = 0;
+  for (size_t batches : {1, 2, 4, 8, 16, 32, 64}) {
+    SimFlags flags;
+    flags.blaster = batches > 1;
+    flags.blaster_batches = batches;
+    const double t = SimulateRootNode(w, flags, cost).total_seconds;
+    if (batches == 1) base = t;
+    PrintRow({std::to_string(batches), Fmt("%.0fs", t),
+              Fmt("%.2fx", base / t)},
+             widths);
+  }
+  std::printf("(returns diminish once per-batch latency dominates)\n\n");
+}
+
+}  // namespace
+}  // namespace vf2boost
+
+int main() {
+  vf2boost::ExponentAblation();
+  vf2boost::PackingAblation();
+  vf2boost::BlasterBatchAblation();
+  return 0;
+}

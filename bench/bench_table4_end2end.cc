@@ -1,0 +1,172 @@
+// Tables 3 & 4: end-to-end evaluation. For each (scaled) dataset of the
+// paper's Table 3 we report the average per-tree training time of
+//   XGB (plain GBDT on co-located data), VF-MOCK (federated protocol,
+//   plaintext arithmetic), VF-GBDT (unoptimized federated), VF2Boost
+// plus validation AUC of the federated model vs the co-located and
+// Party-B-only plain models.
+//
+// Substitution note: datasets are synthetic stand-ins with Table 3's shape
+// scaled down (this box is one core; the paper used two 8-node clusters).
+// The ordering XGB << VF-MOCK << VF2Boost < VF-GBDT and the AUC pattern
+// (federated ~ co-located > B-only) are the reproduced results.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "fed/fed_trainer.h"
+#include "gbdt/trainer.h"
+#include "metrics/metrics.h"
+
+namespace vf2boost {
+namespace {
+
+using bench::Fmt;
+using bench::PrintRow;
+using bench::PrintRule;
+
+constexpr size_t kTrees = 3;
+
+struct DatasetChoice {
+  const char* name;
+  double scale;
+};
+
+void PrintTable3(const std::vector<DatasetChoice>& datasets) {
+  std::printf("== Table 3: dataset inventory (scaled synthetic stand-ins) ==\n");
+  const std::vector<int> widths = {10, 11, 10, 9};
+  PrintRow({"Dataset", "#Instances", "#Features", "Density"}, widths);
+  PrintRule(widths);
+  for (const DatasetChoice& d : datasets) {
+    auto spec = PaperDatasetSpec(d.name, d.scale);
+    if (!spec.ok()) continue;
+    PrintRow({d.name, std::to_string(spec->rows), std::to_string(spec->cols),
+              Fmt("%.2f%%", 100 * spec->density)},
+             widths);
+  }
+  std::printf("\n");
+}
+
+void RunTable4(const std::vector<DatasetChoice>& datasets) {
+  std::printf("== Table 4: average per-tree time and AUC ==\n");
+  const std::vector<int> widths = {10, 9, 10, 10, 10, 8, 9, 9};
+  PrintRow({"Dataset", "XGB", "VF-MOCK", "VF-GBDT", "VF2Boost", "FedAUC",
+            "JointAUC", "BonlyAUC"},
+           widths);
+  PrintRule(widths);
+
+  for (const DatasetChoice& d : datasets) {
+    auto spec = PaperDatasetSpec(d.name, d.scale);
+    if (!spec.ok()) continue;
+    // Keep the scaled stand-in learnable: at a few thousand rows, tens of
+    // thousands of columns would starve every column of samples. Cap the
+    // dimensionality and keep >= 6 expected nonzeros per row.
+    spec->cols = std::min(spec->cols, spec->rows / 16);
+    spec->density =
+        std::max(spec->density, 6.0 / static_cast<double>(spec->cols));
+    bench::BenchFixture f = bench::MakeBenchFixture(*spec, {0.5, 0.5}, 202);
+
+    GbdtParams params;
+    params.num_trees = kTrees;
+    params.num_layers = 5;
+    params.max_bins = 20;
+
+    // AUC is measured with a longer ensemble (model quality needs the full
+    // boosting run; timing does not) — crypto-independent, so mock suffices.
+    GbdtParams auc_params = params;
+    auc_params.num_trees = 12;
+
+    // Plain co-located (XGB stand-in): time at kTrees, AUC at 12 trees.
+    Stopwatch clock;
+    GbdtTrainer plain(params);
+    auto timing_model = plain.Train(f.train);
+    const double xgb_time =
+        timing_model.ok() ? clock.ElapsedSeconds() / kTrees : 0;
+    GbdtTrainer plain_auc(auc_params);
+    auto joint_model = plain_auc.Train(f.train);
+    const double joint_auc =
+        joint_model.ok()
+            ? Auc(joint_model->PredictRaw(f.valid.features), f.valid.labels)
+            : 0;
+
+    // Party-B-only plain.
+    Dataset b_train = f.shards.back();
+    auto b_model = plain_auc.Train(b_train);
+    Dataset b_valid;
+    b_valid.features =
+        f.valid.features.SelectColumns(f.spec.party_columns[1]);
+    const double b_auc =
+        b_model.ok() ? Auc(b_model->PredictRaw(b_valid.features),
+                           f.valid.labels)
+                     : 0;
+
+    // Federated AUC from a 12-tree mock run.
+    double fed_auc = 0;
+    {
+      FedConfig config = FedConfig::Vf2Boost();
+      config.mock_crypto = true;
+      config.gbdt = auc_params;
+      auto result = FedTrainer(config).Train(f.shards);
+      if (result.ok()) {
+        auto joint = result->ToJointModel(f.spec);
+        if (joint.ok()) {
+          fed_auc = Auc(joint->PredictRaw(f.valid.features), f.valid.labels);
+        }
+      }
+    }
+
+    auto fed_time = [&](FedConfig config) {
+      config.gbdt = params;
+      config.paillier_bits = 256;
+      // At 256-bit demo keys a packed cipher holds only ~3 slots, which
+      // does not amortize the packing squarings; let A fall back to raw
+      // (the simulated tables cover the 2048-bit regime where it pays).
+      config.min_pack_slots = 8;
+      Stopwatch c;
+      auto result = FedTrainer(config).Train(f.shards);
+      if (!result.ok()) {
+        std::fprintf(stderr, "fed run failed: %s\n",
+                     result.status().ToString().c_str());
+        return std::pair<double, double>{0, 0};
+      }
+      double auc = 0;
+      auto joint = result->ToJointModel(f.spec);
+      if (joint.ok()) {
+        auc = Auc(joint->PredictRaw(f.valid.features), f.valid.labels);
+      }
+      return std::pair<double, double>{c.ElapsedSeconds() / kTrees, auc};
+    };
+
+    const auto [mock_time, mock_auc] = fed_time(FedConfig::VfMock());
+    const auto [vfgbdt_time, vfgbdt_auc] = fed_time(FedConfig::VfGbdt());
+    const auto [vf2_time, vf2_auc] = fed_time(FedConfig::Vf2Boost());
+    (void)mock_auc;
+    (void)vfgbdt_auc;
+    (void)vf2_auc;
+
+    PrintRow({d.name, Fmt("%.3fs", xgb_time), Fmt("%.3fs", mock_time),
+              Fmt("%.3fs", vfgbdt_time), Fmt("%.3fs", vf2_time),
+              Fmt("%.3f", fed_auc), Fmt("%.3f", joint_auc),
+              Fmt("%.3f", b_auc)},
+             widths);
+  }
+  std::printf(
+      "\n(expected shape: XGB << VF-MOCK << VF2Boost <= VF-GBDT; FedAUC ~ "
+      "JointAUC > BonlyAUC.\n NOTE: this host has ONE core, so the "
+      "protocol-overlap part of VF2Boost's speedup cannot materialize in "
+      "wall-clock here —\n see the simulated Tables 1/2 for the "
+      "paper-scale overlap gains; the visible real gain is the re-ordered "
+      "accumulation.)\n\n");
+}
+
+}  // namespace
+}  // namespace vf2boost
+
+int main() {
+  const std::vector<vf2boost::DatasetChoice> datasets = {
+      {"susy", 0.001},     {"epsilon", 0.005}, {"rcv1", 0.006},
+      {"synthesis", 0.0004}, {"industry", 0.0001}};
+  vf2boost::PrintTable3(datasets);
+  vf2boost::RunTable4(datasets);
+  return 0;
+}

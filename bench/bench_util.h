@@ -1,0 +1,69 @@
+#ifndef VF2BOOST_BENCH_BENCH_UTIL_H_
+#define VF2BOOST_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace vf2boost {
+namespace bench {
+
+/// Prints a Markdown-ish table row.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  std::string line = "|";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), " %-*s |", widths[i], cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline void PrintRule(const std::vector<int>& widths) {
+  std::string line = "|";
+  for (int w : widths) line += std::string(static_cast<size_t>(w) + 2, '-') + "|";
+  std::printf("%s\n", line.c_str());
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// A train/valid split plus a vertical partition, the common fixture of the
+/// end-to-end benches.
+struct BenchFixture {
+  Dataset train;
+  Dataset valid;
+  VerticalSplitSpec spec;
+  std::vector<Dataset> shards;
+};
+
+inline BenchFixture MakeBenchFixture(const SyntheticSpec& sspec,
+                                     const std::vector<double>& fractions,
+                                     uint64_t seed) {
+  Dataset all = GenerateSynthetic(sspec);
+  BenchFixture f;
+  Rng rng(seed);
+  TrainValidSplit(all, 0.8, &rng, &f.train, &f.valid);
+  f.spec = SplitColumnsRandomly(sspec.cols, fractions, &rng);
+  auto shards =
+      PartitionVertically(f.train, f.spec, fractions.size() - 1);
+  if (!shards.ok()) {
+    std::fprintf(stderr, "partition failed: %s\n",
+                 shards.status().ToString().c_str());
+    std::abort();
+  }
+  f.shards = std::move(shards).value();
+  return f;
+}
+
+}  // namespace bench
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,207 @@
+#include "bigint/modarith.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+}  // namespace
+
+BigInt Mod(const BigInt& a, const BigInt& m) {
+  BigInt r = a % m;
+  if (r.IsNegative()) r += m;
+  return r;
+}
+
+BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt r = a + b;
+  if (r.Compare(m) >= 0) r -= m;
+  return r;
+}
+
+BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt r = a - b;
+  if (r.IsNegative()) r += m;
+  return r;
+}
+
+BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(a * b, m);
+}
+
+BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  VF2_CHECK(!exp.IsNegative()) << "negative exponent";
+  if (m.IsOne()) return BigInt();
+  if (m.IsOdd()) {
+    MontgomeryContext ctx(m);
+    return ctx.Pow(base, exp);
+  }
+  // Generic square-and-multiply for even moduli (not used by Paillier).
+  BigInt result(1);
+  BigInt b = Mod(base, m);
+  const size_t bits = exp.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exp.TestBit(i)) result = ModMul(result, b, m);
+    b = ModMul(b, b, m);
+  }
+  return result;
+}
+
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m) {
+  // Iterative extended Euclid on (a mod m, m).
+  BigInt r0 = Mod(a, m), r1 = m;
+  BigInt s0(1), s1(0);
+  while (!r1.IsZero()) {
+    BigInt q, r;
+    BigInt::DivMod(r0, r1, &q, &r);
+    BigInt s = s0 - q * s1;
+    r0 = r1;
+    r1 = r;
+    s0 = s1;
+    s1 = s;
+  }
+  if (!r0.IsOne()) {
+    return Status::InvalidArgument("not invertible: gcd != 1");
+  }
+  return Mod(s0, m);
+}
+
+BigInt Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.IsNegative() ? -a : a;
+  BigInt y = b.IsNegative() ? -b : b;
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  return (a * b) / Gcd(a, b);
+}
+
+MontgomeryContext::MontgomeryContext(const BigInt& m) : m_(m) {
+  VF2_CHECK(m.IsOdd() && m.BitLength() > 1)
+      << "Montgomery modulus must be odd and > 1";
+  k_ = m.limbs().size();
+  // inv64_ = -m^{-1} mod 2^64 via Newton iteration (5 steps double precision
+  // each time: 2 -> 4 -> 8 -> 16 -> 32 -> 64 bits).
+  const uint64_t m0 = m.limbs()[0];
+  uint64_t x = m0;  // correct mod 2^3 already since m0 odd: x*m0 ≡ 1 mod 8
+  for (int i = 0; i < 5; ++i) x *= 2 - m0 * x;
+  inv64_ = ~x + 1;  // -m^{-1}
+
+  // R^2 mod m where R = 2^(64k).
+  r2_ = Mod(BigInt(1) << (128 * k_), m_);
+  one_mont_ = Mod(BigInt(1) << (64 * k_), m_);
+}
+
+void MontgomeryContext::MulReduce(const uint64_t* a, const uint64_t* b,
+                                  uint64_t* out) const {
+  // CIOS: t has k_+2 limbs.
+  std::vector<uint64_t> t(k_ + 2, 0);
+  const std::vector<uint64_t>& n = m_.limbs();
+  for (size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    const u128 ai = a[i];
+    for (size_t j = 0; j < k_; ++j) {
+      u128 cur = ai * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<uint64_t>(cur);
+    t[k_ + 1] = static_cast<uint64_t>(cur >> 64);
+
+    // m = t[0] * n' mod 2^64; t = (t + m*n) / 2^64
+    const u128 mi = static_cast<uint64_t>(t[0] * inv64_);
+    cur = mi * n[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);
+    for (size_t j = 1; j < k_; ++j) {
+      cur = mi * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    cur = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<uint64_t>(cur);
+    t[k_] = t[k_ + 1] + static_cast<uint64_t>(cur >> 64);
+    t[k_ + 1] = 0;
+  }
+  // Conditional subtraction: if t >= m, t -= m.
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = k_; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < k_; ++i) {
+      u128 cur = static_cast<u128>(t[i]) - n[i] - borrow;
+      out[i] = static_cast<uint64_t>(cur);
+      borrow = (cur >> 64) ? 1 : 0;
+    }
+  } else {
+    std::copy(t.begin(), t.begin() + k_, out);
+  }
+}
+
+BigInt MontgomeryContext::ToMont(const BigInt& a) const {
+  return MontMul(Mod(a, m_), r2_);
+}
+
+BigInt MontgomeryContext::FromMont(const BigInt& a) const {
+  return MontMul(a, BigInt(1));
+}
+
+BigInt MontgomeryContext::MontMul(const BigInt& a, const BigInt& b) const {
+  VF2_DCHECK(!a.IsNegative() && !b.IsNegative());
+  std::vector<uint64_t> av(k_, 0), bv(k_, 0), outv(k_, 0);
+  std::copy(a.limbs().begin(), a.limbs().end(), av.begin());
+  std::copy(b.limbs().begin(), b.limbs().end(), bv.begin());
+  MulReduce(av.data(), bv.data(), outv.data());
+  return BigInt::FromLimbs(std::move(outv));
+}
+
+BigInt MontgomeryContext::Pow(const BigInt& base, const BigInt& exp) const {
+  VF2_CHECK(!exp.IsNegative()) << "negative exponent";
+  if (exp.IsZero()) return Mod(BigInt(1), m_);
+
+  // Fixed 4-bit window: precompute base^0..base^15 in Montgomery form.
+  constexpr size_t kWindow = 4;
+  BigInt b_mont = ToMont(base);
+  BigInt table[1 << kWindow];
+  table[0] = one_mont_;
+  table[1] = b_mont;
+  for (size_t i = 2; i < (1 << kWindow); ++i) {
+    table[i] = MontMul(table[i - 1], b_mont);
+  }
+
+  const size_t bits = exp.BitLength();
+  const size_t windows = (bits + kWindow - 1) / kWindow;
+  BigInt acc = one_mont_;
+  for (size_t w = windows; w-- > 0;) {
+    for (size_t s = 0; s < kWindow; ++s) acc = MontMul(acc, acc);
+    size_t idx = 0;
+    for (size_t s = 0; s < kWindow; ++s) {
+      const size_t bit = w * kWindow + (kWindow - 1 - s);
+      idx = (idx << 1) | (exp.TestBit(bit) ? 1 : 0);
+    }
+    if (idx) acc = MontMul(acc, table[idx]);
+  }
+  return FromMont(acc);
+}
+
+}  // namespace vf2boost

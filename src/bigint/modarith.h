@@ -1,0 +1,70 @@
+#ifndef VF2BOOST_BIGINT_MODARITH_H_
+#define VF2BOOST_BIGINT_MODARITH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/result.h"
+
+namespace vf2boost {
+
+/// Canonical residue of a mod m, in [0, m). m must be positive.
+BigInt Mod(const BigInt& a, const BigInt& m);
+
+/// (a + b) mod m with both inputs already reduced.
+BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m);
+/// (a - b) mod m with both inputs already reduced.
+BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m);
+/// (a * b) mod m.
+BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// base^exp mod m, exp >= 0. Uses Montgomery arithmetic when m is odd
+/// (the Paillier case), generic square-and-multiply otherwise.
+BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+/// Multiplicative inverse of a modulo m, or InvalidArgument when
+/// gcd(a, m) != 1.
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+BigInt Gcd(const BigInt& a, const BigInt& b);
+BigInt Lcm(const BigInt& a, const BigInt& b);
+
+/// \brief Precomputed Montgomery domain for a fixed odd modulus.
+///
+/// Paillier encryption/decryption performs thousands of exponentiations
+/// against the same modulus (n or n^2), so the per-modulus setup (R^2 mod m,
+/// -m^{-1} mod 2^64) is hoisted here. MulReduce implements the CIOS variant
+/// of Montgomery multiplication on raw 64-bit limbs.
+class MontgomeryContext {
+ public:
+  /// m must be odd and > 1.
+  explicit MontgomeryContext(const BigInt& m);
+
+  const BigInt& modulus() const { return m_; }
+
+  /// Converts into the Montgomery domain: a*R mod m.
+  BigInt ToMont(const BigInt& a) const;
+  /// Converts out of the Montgomery domain: a*R^{-1} mod m.
+  BigInt FromMont(const BigInt& a) const;
+  /// Montgomery product: a*b*R^{-1} mod m (both operands in-domain).
+  BigInt MontMul(const BigInt& a, const BigInt& b) const;
+
+  /// base^exp mod m (inputs/outputs in the ordinary domain).
+  /// Uses a fixed 4-bit window.
+  BigInt Pow(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  // Raw k-limb CIOS kernel: out = a * b * R^{-1} mod m.
+  void MulReduce(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
+
+  BigInt m_;
+  size_t k_ = 0;        // limb count of m_
+  uint64_t inv64_ = 0;  // -m^{-1} mod 2^64
+  BigInt r2_;           // R^2 mod m
+  BigInt one_mont_;     // R mod m (Montgomery form of 1)
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_BIGINT_MODARITH_H_

@@ -1,0 +1,78 @@
+#include "bigint/prime.h"
+
+#include <array>
+
+#include "bigint/modarith.h"
+#include "common/logging.h"
+
+namespace vf2boost {
+
+namespace {
+
+// Primes below 256 for fast trial division.
+constexpr std::array<uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// n mod d for small d without building a BigInt divisor.
+uint64_t ModSmall(const BigInt& n, uint64_t d) {
+  unsigned __int128 rem = 0;
+  const auto& limbs = n.limbs();
+  for (size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs[i]) % d;
+  }
+  return static_cast<uint64_t>(rem);
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng* rng, int rounds) {
+  if (n.IsNegative() || n.IsZero() || n.IsOne()) return false;
+  for (uint64_t p : kSmallPrimes) {
+    if (n == BigInt(p)) return true;
+    if (ModSmall(n, p) == 0) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  size_t r = 0;
+  while (!n_minus_1.TestBit(r)) ++r;
+  const BigInt d = n_minus_1 >> r;
+
+  const MontgomeryContext ctx(n);
+  const BigInt two(2);
+  const BigInt n_minus_3 = n - BigInt(3);
+  for (int round = 0; round < rounds; ++round) {
+    // Witness a uniform in [2, n-2].
+    const BigInt a = BigInt::RandomBelow(n_minus_3, rng) + two;
+    BigInt x = ctx.Pow(a, d);
+    if (x.IsOne() || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 0; i + 1 < r; ++i) {
+      x = Mod(x * x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(size_t bits, Rng* rng, int rounds) {
+  VF2_CHECK(bits >= 8) << "prime size too small: " << bits;
+  for (;;) {
+    BigInt candidate = BigInt::Random(bits, rng);
+    // Force oddness and exact bit length.
+    if (candidate.IsEven()) candidate += BigInt(1);
+    if (!candidate.TestBit(bits - 1)) {
+      candidate += (BigInt(1) << (bits - 1));
+    }
+    if (IsProbablePrime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,21 @@
+#ifndef VF2BOOST_BIGINT_PRIME_H_
+#define VF2BOOST_BIGINT_PRIME_H_
+
+#include <cstddef>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+
+namespace vf2boost {
+
+/// Probabilistic primality test: trial division by small primes followed by
+/// `rounds` Miller-Rabin witnesses. Error probability <= 4^-rounds.
+bool IsProbablePrime(const BigInt& n, Rng* rng, int rounds = 24);
+
+/// Generates a random probable prime with exactly `bits` bits (top bit set).
+/// Used by Paillier key generation; `bits` must be >= 8.
+BigInt GeneratePrime(size_t bits, Rng* rng, int rounds = 24);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_BIGINT_PRIME_H_

@@ -1,0 +1,66 @@
+#ifndef VF2BOOST_COMMON_BITMAP_H_
+#define VF2BOOST_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+/// \brief Compact bit vector used to encode instance placement after a node
+/// split (paper §3.2: "we follow [2, 28] to encode the instance placement
+/// into a bitmap so that the communication overhead can be lowered greatly").
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i) {
+    VF2_DCHECK(i < num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Clear(size_t i) {
+    VF2_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Get(size_t i) const {
+    VF2_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Serialized size in bytes (the wire footprint: N/8 bytes, vs N*4 for an
+  /// index list — the saving the paper relies on).
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+  /// Rebuilds from raw words (e.g. after deserialization).
+  static Bitmap FromWords(size_t num_bits, std::vector<uint64_t> words) {
+    Bitmap b;
+    b.num_bits_ = num_bits;
+    b.words_ = std::move(words);
+    b.words_.resize((num_bits + 63) / 64, 0);
+    return b;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_BITMAP_H_

@@ -1,0 +1,58 @@
+#ifndef VF2BOOST_COMMON_LOGGING_H_
+#define VF2BOOST_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vf2boost {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes the accumulated message on destruction.
+/// kFatal messages abort the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define VF2_LOG(level)                                                 \
+  ::vf2boost::internal::LogMessage(::vf2boost::LogLevel::k##level,     \
+                                   __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds. On failure, logs the
+/// condition and aborts — used for programmer errors, not input validation
+/// (input validation returns Status).
+#define VF2_CHECK(cond)                                               \
+  if (!(cond))                                                        \
+  VF2_LOG(Fatal) << "Check failed: " #cond " "
+
+#define VF2_DCHECK(cond) assert(cond)
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_LOGGING_H_

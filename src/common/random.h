@@ -1,0 +1,73 @@
+#ifndef VF2BOOST_COMMON_RANDOM_H_
+#define VF2BOOST_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace vf2boost {
+
+/// \brief Deterministic, seedable PRNG (xoshiro256**).
+///
+/// Used everywhere randomness is needed — synthetic data, Paillier nonce
+/// candidates, exponent jitter — so that every experiment is reproducible
+/// from its seed. Not a CSPRNG; the security analysis of this repo concerns
+/// protocol structure, not entropy sourcing (a production deployment would
+/// seed Paillier obfuscation from the OS CSPRNG).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to fill the state from one word.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_RANDOM_H_

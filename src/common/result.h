@@ -1,0 +1,59 @@
+#ifndef VF2BOOST_COMMON_RESULT_H_
+#define VF2BOOST_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vf2boost {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Usage:
+/// \code
+///   Result<PaillierKeyPair> kp = PaillierKeyPair::Generate(1024, &rng);
+///   if (!kp.ok()) return kp.status();
+///   Use(kp.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_RESULT_H_

@@ -1,0 +1,100 @@
+#ifndef VF2BOOST_COMMON_STATUS_H_
+#define VF2BOOST_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace vf2boost {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention: functions that can fail return Status (or Result<T>) instead
+/// of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kCorruption,
+  kIOError,
+  kCryptoError,
+  kProtocolError,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Outcome of an operation: a code plus a human-readable message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "InvalidArgument: key size must be even".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define VF2_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::vf2boost::Status _st = (expr);         \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a Result<T> expression and either assigns its value to `lhs`
+/// or propagates the error to the caller.
+#define VF2_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto VF2_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!VF2_CONCAT_(_res_, __LINE__).ok())      \
+    return VF2_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(VF2_CONCAT_(_res_, __LINE__)).value()
+
+#define VF2_CONCAT_INNER_(a, b) a##b
+#define VF2_CONCAT_(a, b) VF2_CONCAT_INNER_(a, b)
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#ifndef VF2BOOST_COMMON_THREADPOOL_H_
+#define VF2BOOST_COMMON_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vf2boost {
+
+/// \brief Fixed-size worker pool used for intra-party data parallelism.
+///
+/// Models the paper's scheduler-worker layout inside one party: the caller
+/// (scheduler) submits shard-level tasks and waits on them. Tasks must not
+/// throw.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is split into contiguous ranges, one per worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_THREADPOOL_H_

@@ -1,0 +1,31 @@
+#ifndef VF2BOOST_COMMON_TIMER_H_
+#define VF2BOOST_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace vf2boost {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses and
+/// the cost-model calibration.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_TIMER_H_

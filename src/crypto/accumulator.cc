@@ -1,0 +1,75 @@
+#include "crypto/accumulator.h"
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+void NaiveCipherAccumulator::Add(const Cipher& c) {
+  if (!sum_.has_value()) {
+    sum_ = c;
+    return;
+  }
+  sum_ = backend_->HAdd(*sum_, c, &stats_.scalings);
+  ++stats_.hadds;
+}
+
+Cipher NaiveCipherAccumulator::Finalize() {
+  if (sum_.has_value()) return *sum_;
+  return backend_->EncryptPublicAt(0.0, backend_->codec().min_exponent());
+}
+
+ReorderedCipherAccumulator::ReorderedCipherAccumulator(
+    const CipherBackend* backend)
+    : CipherAccumulator(backend),
+      workspaces_(backend->codec().num_exponents()),
+      min_exponent_(backend->codec().min_exponent()) {}
+
+void ReorderedCipherAccumulator::Add(const Cipher& c) {
+  const int slot = c.exponent - min_exponent_;
+  VF2_CHECK(slot >= 0 && slot < static_cast<int>(workspaces_.size()))
+      << "cipher exponent " << c.exponent << " outside codec range";
+  auto& ws = workspaces_[slot];
+  if (!ws.has_value()) {
+    ws = c;
+    return;
+  }
+  // Same exponent by construction — never needs a scaling.
+  ws->data = backend_->HAddRaw(ws->data, c.data);
+  ++stats_.hadds;
+}
+
+Cipher ReorderedCipherAccumulator::Finalize() {
+  std::optional<Cipher> sum;
+  // Merge from highest exponent down so each workspace is scaled at most
+  // once, directly to the final exponent.
+  for (size_t i = workspaces_.size(); i-- > 0;) {
+    if (!workspaces_[i].has_value()) continue;
+    if (!sum.has_value()) {
+      sum = std::move(workspaces_[i]);
+      continue;
+    }
+    Cipher scaled = backend_->ScaleTo(*workspaces_[i], sum->exponent);
+    ++stats_.scalings;
+    sum->data = backend_->HAddRaw(sum->data, scaled.data);
+    ++stats_.hadds;
+  }
+  if (sum.has_value()) return *sum;
+  return backend_->EncryptPublicAt(0.0, backend_->codec().min_exponent());
+}
+
+Cipher SumCiphers(const std::vector<Cipher>& ciphers,
+                  const CipherBackend& backend, bool reordered,
+                  AccumulatorStats* stats) {
+  std::unique_ptr<CipherAccumulator> acc;
+  if (reordered) {
+    acc = std::make_unique<ReorderedCipherAccumulator>(&backend);
+  } else {
+    acc = std::make_unique<NaiveCipherAccumulator>(&backend);
+  }
+  for (const Cipher& c : ciphers) acc->Add(c);
+  Cipher out = acc->Finalize();
+  if (stats != nullptr) *stats = acc->stats();
+  return out;
+}
+
+}  // namespace vf2boost

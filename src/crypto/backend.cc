@@ -1,0 +1,95 @@
+#include "crypto/backend.h"
+
+#include "bigint/modarith.h"
+#include "common/logging.h"
+
+namespace vf2boost {
+
+Cipher CipherBackend::Encrypt(double v, Rng* rng) const {
+  return EncryptAt(v, codec_.SampleExponent(rng), rng);
+}
+
+Cipher CipherBackend::EncryptAt(double v, int exponent, Rng* rng) const {
+  Cipher c;
+  c.exponent = exponent;
+  c.data = EncryptRaw(codec_.Encode(v, exponent, plain_modulus()), rng);
+  return c;
+}
+
+Cipher CipherBackend::EncryptPublicAt(double v, int exponent) const {
+  Cipher c;
+  c.exponent = exponent;
+  c.data = EncryptPublicRaw(codec_.Encode(v, exponent, plain_modulus()));
+  return c;
+}
+
+double CipherBackend::Decrypt(const Cipher& c) const {
+  VF2_CHECK(can_decrypt()) << "backend has no private key";
+  return codec_.Decode(DecryptRaw(c.data), c.exponent, plain_modulus());
+}
+
+Cipher CipherBackend::ScaleTo(const Cipher& c, int target_exponent) const {
+  VF2_CHECK(target_exponent >= c.exponent)
+      << "cannot rescale cipher downward";
+  if (target_exponent == c.exponent) return c;
+  Cipher out;
+  out.exponent = target_exponent;
+  out.data = SMulRaw(codec_.ScaleFactor(target_exponent - c.exponent), c.data);
+  return out;
+}
+
+BigInt CipherBackend::NegRaw(const BigInt& data) const {
+  return SMulRaw(plain_modulus() - BigInt(1), data);
+}
+
+Cipher CipherBackend::HSub(const Cipher& a, const Cipher& b,
+                           size_t* scalings) const {
+  Cipher neg_b = b;
+  neg_b.data = NegRaw(b.data);
+  return HAdd(a, neg_b, scalings);
+}
+
+Cipher CipherBackend::HAdd(const Cipher& a, const Cipher& b,
+                           size_t* scalings) const {
+  const Cipher* lo = &a;
+  const Cipher* hi = &b;
+  if (lo->exponent > hi->exponent) std::swap(lo, hi);
+  Cipher aligned;
+  if (lo->exponent != hi->exponent) {
+    aligned = ScaleTo(*lo, hi->exponent);
+    lo = &aligned;
+    if (scalings != nullptr) ++*scalings;
+  }
+  Cipher out;
+  out.exponent = hi->exponent;
+  out.data = HAddRaw(lo->data, hi->data);
+  return out;
+}
+
+void CipherBackend::SerializeCipher(const Cipher& c, ByteWriter* w) const {
+  w->PutI32(c.exponent);
+  w->PutU64Vector(c.data.limbs());
+}
+
+Status CipherBackend::DeserializeCipher(ByteReader* r, Cipher* c) const {
+  VF2_RETURN_IF_ERROR(r->GetI32(&c->exponent));
+  std::vector<uint64_t> limbs;
+  VF2_RETURN_IF_ERROR(r->GetU64Vector(&limbs));
+  c->data = BigInt::FromLimbs(std::move(limbs));
+  return Status::OK();
+}
+
+BigInt PaillierBackend::DecryptRaw(const BigInt& data) const {
+  VF2_CHECK(priv_.has_value()) << "PaillierBackend has no private key";
+  return priv_->Decrypt(data);
+}
+
+BigInt MockBackend::HAddRaw(const BigInt& a, const BigInt& b) const {
+  return Mod(a + b, n_);
+}
+
+BigInt MockBackend::SMulRaw(const BigInt& k, const BigInt& data) const {
+  return Mod(k * data, n_);
+}
+
+}  // namespace vf2boost

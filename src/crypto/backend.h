@@ -1,0 +1,154 @@
+#ifndef VF2BOOST_CRYPTO_BACKEND_H_
+#define VF2BOOST_CRYPTO_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "crypto/encoding.h"
+#include "crypto/paillier.h"
+
+namespace vf2boost {
+
+/// \brief An encrypted fixed-point number: ciphertext plus its encoding
+/// exponent ⟨e, ⟦V⟧⟩ (paper §2.2).
+struct Cipher {
+  BigInt data;
+  int32_t exponent = 0;
+};
+
+/// \brief Abstract homomorphic-arithmetic backend.
+///
+/// Two implementations: PaillierBackend (real cryptography) and MockBackend
+/// (identical encoding and protocol flow, plaintext arithmetic) — the latter
+/// is the paper's VF-MOCK competitor and isolates protocol overhead from
+/// cryptography overhead in the end-to-end evaluation (Table 4).
+class CipherBackend {
+ public:
+  explicit CipherBackend(FixedPointCodec codec) : codec_(codec) {}
+  virtual ~CipherBackend() = default;
+
+  const FixedPointCodec& codec() const { return codec_; }
+  /// The plaintext modulus n (a surrogate modulus for the mock backend).
+  virtual const BigInt& plain_modulus() const = 0;
+  virtual bool is_mock() const = 0;
+  /// True when this backend holds the private key (Party B only).
+  virtual bool can_decrypt() const = 0;
+  /// Nominal wire size of one ciphertext in bytes.
+  virtual size_t CipherBytes() const = 0;
+
+  // --- raw ring operations (plaintext-space semantics mod n) ---------------
+  virtual BigInt EncryptRaw(const BigInt& m, Rng* rng) const = 0;
+  virtual BigInt DecryptRaw(const BigInt& data) const = 0;
+  virtual BigInt HAddRaw(const BigInt& a, const BigInt& b) const = 0;
+  virtual BigInt SMulRaw(const BigInt& k, const BigInt& data) const = 0;
+  /// Deterministic encryption of a public constant (no obfuscation).
+  virtual BigInt EncryptPublicRaw(const BigInt& m) const = 0;
+  /// Homomorphic negation: Dec(NegRaw(c)) = -m mod n (one SMul by n-1).
+  virtual BigInt NegRaw(const BigInt& data) const;
+  /// Homomorphic subtraction: Dec(HSubRaw(a,b)) = m_a - m_b mod n.
+  BigInt HSubRaw(const BigInt& a, const BigInt& b) const {
+    return HAddRaw(a, NegRaw(b));
+  }
+
+  // --- exponent-aware fixed-point layer -------------------------------------
+  /// Encrypts v with a randomly sampled exponent (footnote 2 of the paper).
+  Cipher Encrypt(double v, Rng* rng) const;
+  /// Encrypts v at a fixed exponent.
+  Cipher EncryptAt(double v, int exponent, Rng* rng) const;
+  /// Deterministic encryption of a public constant at a fixed exponent.
+  Cipher EncryptPublicAt(double v, int exponent) const;
+  /// Decrypts and decodes (requires can_decrypt()).
+  double Decrypt(const Cipher& c) const;
+
+  /// Rescales c to a higher exponent via one SMul with B^(diff).
+  /// This is the "cipher scaling" operation whose count the re-ordered
+  /// accumulation technique minimizes.
+  Cipher ScaleTo(const Cipher& c, int target_exponent) const;
+
+  /// Exponent-aligning homomorphic addition. If `scalings` is non-null it is
+  /// incremented when an alignment scaling was needed.
+  Cipher HAdd(const Cipher& a, const Cipher& b, size_t* scalings) const;
+
+  /// Exponent-aligning homomorphic subtraction (a - b).
+  Cipher HSub(const Cipher& a, const Cipher& b, size_t* scalings) const;
+
+  // --- wire format -----------------------------------------------------------
+  void SerializeCipher(const Cipher& c, ByteWriter* w) const;
+  Status DeserializeCipher(ByteReader* r, Cipher* c) const;
+
+ protected:
+  FixedPointCodec codec_;
+};
+
+/// \brief Real Paillier backend. Party A constructs it from the public key
+/// only; Party B also installs the private key.
+class PaillierBackend : public CipherBackend {
+ public:
+  PaillierBackend(PaillierPublicKey pub, FixedPointCodec codec)
+      : CipherBackend(codec), pub_(std::move(pub)) {}
+
+  void SetPrivateKey(PaillierPrivateKey priv) { priv_ = std::move(priv); }
+
+  const PaillierPublicKey& public_key() const { return pub_; }
+  const BigInt& plain_modulus() const override { return pub_.n(); }
+  bool is_mock() const override { return false; }
+  bool can_decrypt() const override { return priv_.has_value(); }
+  size_t CipherBytes() const override { return pub_.CipherBytes(); }
+
+  BigInt EncryptRaw(const BigInt& m, Rng* rng) const override {
+    return pub_.Encrypt(m, rng);
+  }
+  BigInt DecryptRaw(const BigInt& data) const override;
+  BigInt HAddRaw(const BigInt& a, const BigInt& b) const override {
+    return pub_.HAdd(a, b);
+  }
+  BigInt SMulRaw(const BigInt& k, const BigInt& data) const override {
+    return pub_.SMul(k, data);
+  }
+  BigInt EncryptPublicRaw(const BigInt& m) const override {
+    return pub_.EncryptUnobfuscated(m);
+  }
+
+ private:
+  PaillierPublicKey pub_;
+  std::optional<PaillierPrivateKey> priv_;
+};
+
+/// \brief Plaintext backend with identical encoding semantics (VF-MOCK).
+///
+/// "Ciphertexts" are the encoded residues themselves, reduced modulo a
+/// surrogate modulus, so HAdd/SMul behave ring-identically to Paillier
+/// plaintext space — only ~10^2-10^3x faster.
+class MockBackend : public CipherBackend {
+ public:
+  explicit MockBackend(FixedPointCodec codec = FixedPointCodec())
+      : CipherBackend(codec), n_(BigInt(1) << kMockModulusBits) {}
+
+  const BigInt& plain_modulus() const override { return n_; }
+  bool is_mock() const override { return true; }
+  bool can_decrypt() const override { return true; }
+  /// Wire size of a plaintext residue (16 bytes covers the value range the
+  /// GBDT workload produces).
+  size_t CipherBytes() const override { return 16; }
+
+  BigInt EncryptRaw(const BigInt& m, Rng* /*rng*/) const override { return m; }
+  BigInt DecryptRaw(const BigInt& data) const override { return data; }
+  BigInt HAddRaw(const BigInt& a, const BigInt& b) const override;
+  BigInt SMulRaw(const BigInt& k, const BigInt& data) const override;
+  BigInt EncryptPublicRaw(const BigInt& m) const override { return m; }
+
+ private:
+  // Sized like a small real key so packing capacity and value ranges behave
+  // identically to the Paillier backend.
+  static constexpr size_t kMockModulusBits = 512;
+  BigInt n_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_CRYPTO_BACKEND_H_

@@ -1,0 +1,65 @@
+#include "crypto/encoding.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+namespace {
+
+// Converts a nonnegative finite long double to the nearest BigInt. Values
+// like `shift * B^e` in histogram packing exceed 2^63, so a plain int64
+// mantissa is not enough.
+BigInt BigIntFromLongDouble(long double x) {
+  BigInt out;
+  long double cur = floorl(x + 0.5L);
+  size_t shift = 0;
+  const long double kChunk = 4294967296.0L;  // 2^32
+  while (cur >= 1.0L) {
+    const uint64_t chunk = static_cast<uint64_t>(fmodl(cur, kChunk));
+    out += BigInt(chunk) << shift;
+    cur = floorl(cur / kChunk);
+    shift += 32;
+  }
+  return out;
+}
+
+}  // namespace
+
+BigInt FixedPointCodec::Encode(double v, int exponent, const BigInt& n) const {
+  const long double scaled =
+      static_cast<long double>(v) *
+      powl(static_cast<long double>(base_), exponent);
+  VF2_CHECK(std::isfinite(static_cast<double>(scaled / 1e30)) &&
+            fabsl(scaled) < 1e37)
+      << "value " << v << " at exponent " << exponent
+      << " overflows the encoding range";
+  if (scaled >= 0) {
+    BigInt enc = BigIntFromLongDouble(scaled);
+    VF2_CHECK(enc < (n >> 1)) << "encoded value collides with negative range";
+    return enc;
+  }
+  BigInt enc = BigIntFromLongDouble(-scaled);
+  VF2_CHECK(enc < (n >> 1)) << "encoded value collides with negative range";
+  return enc.IsZero() ? BigInt(0) : n - enc;
+}
+
+double FixedPointCodec::Decode(const BigInt& value, int exponent,
+                               const BigInt& n) const {
+  const double scale = std::pow(static_cast<double>(base_), exponent);
+  const BigInt half = n >> 1;
+  if (value.Compare(half) > 0) {
+    return -(n - value).ToDouble() / scale;
+  }
+  return value.ToDouble() / scale;
+}
+
+BigInt FixedPointCodec::ScaleFactor(int k) const {
+  VF2_CHECK(k >= 0) << "cannot rescale a cipher downward (k=" << k << ")";
+  BigInt f(1);
+  for (int i = 0; i < k; ++i) f *= BigInt(static_cast<uint64_t>(base_));
+  return f;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,65 @@
+#ifndef VF2BOOST_CRYPTO_ENCODING_H_
+#define VF2BOOST_CRYPTO_ENCODING_H_
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+
+namespace vf2boost {
+
+/// \brief Fixed-point codec mapping doubles into the Paillier plaintext
+/// space (paper §2.2).
+///
+/// A floating-point value v is encoded as a pair ⟨e, V⟩ with
+/// `V = round(v * B^e) + 1(v<0) * n`, i.e. negative values live in the top
+/// half of the modulus range. The exponent e can be sampled from a small
+/// range ("non-deterministic in order to obfuscate the range of v",
+/// footnote 2) — which is precisely what makes naive cipher accumulation pay
+/// for scaling operations and the paper's re-ordered accumulation worthwhile.
+class FixedPointCodec {
+ public:
+  /// \param base        encoding base B (paper uses 16).
+  /// \param min_exponent lowest exponent ever produced.
+  /// \param num_exponents size of the exponent range E; SampleExponent draws
+  ///        uniformly from [min_exponent, min_exponent + num_exponents).
+  ///        The paper observes E in [4, 8] in practice.
+  FixedPointCodec(uint32_t base, int min_exponent, int num_exponents)
+      : base_(base),
+        min_exponent_(min_exponent),
+        num_exponents_(num_exponents) {}
+
+  /// Defaults matching the paper: B = 16, e in [8, 12).
+  FixedPointCodec() : FixedPointCodec(16, 8, 4) {}
+
+  uint32_t base() const { return base_; }
+  int min_exponent() const { return min_exponent_; }
+  int num_exponents() const { return num_exponents_; }
+  int max_exponent() const { return min_exponent_ + num_exponents_ - 1; }
+
+  /// Draws a random exponent from the configured range.
+  int SampleExponent(Rng* rng) const {
+    return min_exponent_ +
+           static_cast<int>(rng->NextBounded(
+               static_cast<uint64_t>(num_exponents_)));
+  }
+
+  /// Encodes v at exponent e into [0, n). n is the plaintext modulus.
+  BigInt Encode(double v, int exponent, const BigInt& n) const;
+
+  /// Decodes V (in [0, n)) at exponent e; values above n/2 are negative.
+  double Decode(const BigInt& value, int exponent, const BigInt& n) const;
+
+  /// B^k for k >= 0 — the plaintext multiplier used to rescale a cipher
+  /// from exponent e to exponent e + k.
+  BigInt ScaleFactor(int k) const;
+
+ private:
+  uint32_t base_;
+  int min_exponent_;
+  int num_exponents_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_CRYPTO_ENCODING_H_

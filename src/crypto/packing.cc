@@ -1,0 +1,78 @@
+#include "crypto/packing.h"
+
+#include <cmath>
+
+namespace vf2boost {
+
+size_t MaxSlotsPerCipher(size_t slot_bits, size_t plain_modulus_bits) {
+  if (slot_bits == 0 || plain_modulus_bits <= 2 * slot_bits) return 1;
+  // Reserve one slot of headroom below the modulus.
+  return (plain_modulus_bits - slot_bits) / slot_bits;
+}
+
+Result<PackedCipher> PackCiphers(const std::vector<Cipher>& slots,
+                                 size_t slot_bits,
+                                 const CipherBackend& backend) {
+  if (slots.empty()) {
+    return Status::InvalidArgument("cannot pack zero ciphers");
+  }
+  const size_t capacity =
+      MaxSlotsPerCipher(slot_bits, backend.plain_modulus().BitLength());
+  if (slots.size() > capacity) {
+    return Status::InvalidArgument(
+        "packing " + std::to_string(slots.size()) + " slots exceeds capacity " +
+        std::to_string(capacity));
+  }
+  const int exponent = slots.front().exponent;
+  for (const Cipher& c : slots) {
+    if (c.exponent != exponent) {
+      return Status::InvalidArgument(
+          "packed slots must share one exponent; align them first");
+    }
+  }
+
+  // Horner evaluation from the last slot inward.
+  const BigInt shift = BigInt(1) << slot_bits;
+  BigInt acc = slots.back().data;
+  for (size_t i = slots.size() - 1; i-- > 0;) {
+    acc = backend.HAddRaw(slots[i].data, backend.SMulRaw(shift, acc));
+  }
+
+  PackedCipher out;
+  out.data = std::move(acc);
+  out.exponent = exponent;
+  out.slot_bits = static_cast<uint32_t>(slot_bits);
+  out.num_slots = static_cast<uint32_t>(slots.size());
+  return out;
+}
+
+std::vector<BigInt> UnpackPlaintext(const BigInt& plain, size_t slot_bits,
+                                    size_t num_slots) {
+  std::vector<BigInt> out;
+  out.reserve(num_slots);
+  BigInt rest = plain;
+  const BigInt modulus = BigInt(1) << slot_bits;
+  for (size_t i = 0; i < num_slots; ++i) {
+    out.push_back(rest % modulus);
+    rest = rest >> slot_bits;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecryptPacked(const PackedCipher& packed,
+                                          const CipherBackend& backend) {
+  if (!backend.can_decrypt()) {
+    return Status::CryptoError("backend has no private key");
+  }
+  const BigInt plain = backend.DecryptRaw(packed.data);
+  const std::vector<BigInt> raw =
+      UnpackPlaintext(plain, packed.slot_bits, packed.num_slots);
+  const double scale =
+      std::pow(static_cast<double>(backend.codec().base()), packed.exponent);
+  std::vector<double> out;
+  out.reserve(raw.size());
+  for (const BigInt& v : raw) out.push_back(v.ToDouble() / scale);
+  return out;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,121 @@
+#include "crypto/paillier.h"
+
+#include <utility>
+
+#include "bigint/prime.h"
+#include "common/logging.h"
+
+namespace vf2boost {
+
+PaillierPublicKey::PaillierPublicKey(BigInt n)
+    : n_(std::move(n)),
+      n2_(n_ * n_),
+      mont_n2_(std::make_shared<MontgomeryContext>(n2_)) {}
+
+BigInt PaillierPublicKey::Encrypt(const BigInt& m, Rng* rng) const {
+  VF2_DCHECK(!m.IsNegative() && m.Compare(n_) < 0);
+  // c = (1 + m*n) * r^n mod n^2, with g = n+1.
+  BigInt r = BigInt::RandomBelow(n_ - BigInt(1), rng) + BigInt(1);
+  const BigInt rn = mont_n2_->Pow(r, n_);
+  const BigInt gm = Mod(BigInt(1) + m * n_, n2_);
+  return Mod(gm * rn, n2_);
+}
+
+BigInt PaillierPublicKey::EncryptUnobfuscated(const BigInt& m) const {
+  VF2_DCHECK(!m.IsNegative() && m.Compare(n_) < 0);
+  return Mod(BigInt(1) + m * n_, n2_);
+}
+
+BigInt PaillierPublicKey::HAdd(const BigInt& c1, const BigInt& c2) const {
+  return Mod(c1 * c2, n2_);
+}
+
+BigInt PaillierPublicKey::SMul(const BigInt& k, const BigInt& c) const {
+  return mont_n2_->Pow(c, k);
+}
+
+BigInt PaillierPublicKey::Rerandomize(const BigInt& c, Rng* rng) const {
+  BigInt r = BigInt::RandomBelow(n_ - BigInt(1), rng) + BigInt(1);
+  return Mod(c * mont_n2_->Pow(r, n_), n2_);
+}
+
+void PaillierPublicKey::Serialize(ByteWriter* w) const {
+  w->PutU64Vector(n_.limbs());
+}
+
+Result<PaillierPublicKey> PaillierPublicKey::Deserialize(ByteReader* r) {
+  std::vector<uint64_t> limbs;
+  VF2_RETURN_IF_ERROR(r->GetU64Vector(&limbs));
+  BigInt n = BigInt::FromLimbs(std::move(limbs));
+  if (n.BitLength() < 16) {
+    return Status::Corruption("Paillier modulus too small");
+  }
+  return PaillierPublicKey(std::move(n));
+}
+
+namespace {
+
+// L(x) = (x - 1) / d, defined when x ≡ 1 (mod d).
+BigInt LFunction(const BigInt& x, const BigInt& d) {
+  return (x - BigInt(1)) / d;
+}
+
+}  // namespace
+
+PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pub, BigInt p,
+                                       BigInt q)
+    : p_(std::move(p)),
+      q_(std::move(q)),
+      p2_(p_ * p_),
+      q2_(q_ * q_),
+      n_(pub.n()),
+      mont_p2_(std::make_shared<MontgomeryContext>(p2_)),
+      mont_q2_(std::make_shared<MontgomeryContext>(q2_)) {
+  // g = n + 1.  hp = L_p(g^{p-1} mod p^2)^{-1} mod p.
+  const BigInt g = n_ + BigInt(1);
+  const BigInt gp = mont_p2_->Pow(Mod(g, p2_), p_ - BigInt(1));
+  const BigInt gq = mont_q2_->Pow(Mod(g, q2_), q_ - BigInt(1));
+  auto hp = ModInverse(LFunction(gp, p_), p_);
+  auto hq = ModInverse(LFunction(gq, q_), q_);
+  VF2_CHECK(hp.ok() && hq.ok()) << "degenerate Paillier key";
+  hp_ = hp.value();
+  hq_ = hq.value();
+  auto pinv = ModInverse(p_, q_);
+  VF2_CHECK(pinv.ok()) << "p not invertible mod q";
+  p_inv_mod_q_ = pinv.value();
+}
+
+BigInt PaillierPrivateKey::Decrypt(const BigInt& c) const {
+  // mp = L_p(c^{p-1} mod p^2) * hp mod p; likewise mq.
+  const BigInt cp = mont_p2_->Pow(Mod(c, p2_), p_ - BigInt(1));
+  const BigInt cq = mont_q2_->Pow(Mod(c, q2_), q_ - BigInt(1));
+  const BigInt mp = Mod(LFunction(cp, p_) * hp_, p_);
+  const BigInt mq = Mod(LFunction(cq, q_) * hq_, q_);
+  // CRT: m = mp + p * ((mq - mp) * p^{-1} mod q).
+  const BigInt diff = Mod(mq - mp, q_);
+  return mp + p_ * Mod(diff * p_inv_mod_q_, q_);
+}
+
+Result<PaillierKeyPair> PaillierKeyPair::Generate(size_t key_bits, Rng* rng) {
+  if (key_bits < 64 || key_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "Paillier key size must be even and >= 64, got " +
+        std::to_string(key_bits));
+  }
+  for (;;) {
+    const BigInt p = GeneratePrime(key_bits / 2, rng);
+    const BigInt q = GeneratePrime(key_bits / 2, rng);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    // With equal-size primes gcd(n, (p-1)(q-1)) == 1 unless p | q-1 or
+    // q | p-1, which cannot happen at equal bit lengths — but n can lose a
+    // bit; retry to keep key_bits exact.
+    if (n.BitLength() != key_bits) continue;
+    PaillierKeyPair kp;
+    kp.pub = PaillierPublicKey(n);
+    kp.priv = PaillierPrivateKey(kp.pub, p, q);
+    return kp;
+  }
+}
+
+}  // namespace vf2boost

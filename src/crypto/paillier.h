@@ -1,0 +1,96 @@
+#ifndef VF2BOOST_CRYPTO_PAILLIER_H_
+#define VF2BOOST_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/modarith.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace vf2boost {
+
+/// \brief Public half of a Paillier key (paper §2.2, [Paillier '99]).
+///
+/// Uses the standard g = n + 1 simplification, so encryption is
+/// `c = (1 + m*n) * r^n mod n^2` — one modular exponentiation with an S-bit
+/// exponent over the 2S-bit modulus n^2. Montgomery contexts for n^2 are
+/// precomputed once per key and shared.
+class PaillierPublicKey {
+ public:
+  PaillierPublicKey() = default;
+  explicit PaillierPublicKey(BigInt n);
+
+  const BigInt& n() const { return n_; }
+  const BigInt& n_squared() const { return n2_; }
+  size_t key_bits() const { return n_.BitLength(); }
+  /// Nominal serialized cipher size in bytes (2S bits).
+  size_t CipherBytes() const { return (2 * key_bits() + 7) / 8; }
+
+  /// Encrypts plaintext m in [0, n). Obfuscates with a random nonce r.
+  BigInt Encrypt(const BigInt& m, Rng* rng) const;
+
+  /// Encrypts without obfuscation (r = 1). Only safe for values that are
+  /// public anyway — e.g. the histogram-packing shift constant.
+  BigInt EncryptUnobfuscated(const BigInt& m) const;
+
+  /// Homomorphic addition: Dec(HAdd(c1,c2)) = m1 + m2 mod n.
+  BigInt HAdd(const BigInt& c1, const BigInt& c2) const;
+
+  /// Scalar multiplication: Dec(SMul(k, c)) = k * m mod n.
+  BigInt SMul(const BigInt& k, const BigInt& c) const;
+
+  /// Re-randomization: a fresh, unlinkable encryption of the same plaintext
+  /// (c * r^n mod n^2). Used to obfuscate derived ciphers (e.g. histogram
+  /// bins built from deterministic zero encryptions) before transmission.
+  BigInt Rerandomize(const BigInt& c, Rng* rng) const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<PaillierPublicKey> Deserialize(ByteReader* r);
+
+ private:
+  BigInt n_;
+  BigInt n2_;
+  std::shared_ptr<const MontgomeryContext> mont_n2_;
+};
+
+/// \brief Private half: CRT-accelerated decryption.
+///
+/// Decryption evaluates `L(c^{p-1} mod p^2) * hp mod p` and the q-analogue,
+/// then CRT-combines — roughly 4x faster than the textbook
+/// `L(c^lambda mod n^2) / L(g^lambda mod n^2)` because both exponent and
+/// modulus halve.
+class PaillierPrivateKey {
+ public:
+  PaillierPrivateKey() = default;
+  PaillierPrivateKey(const PaillierPublicKey& pub, BigInt p, BigInt q);
+
+  /// Decrypts a cipher to the plaintext residue in [0, n).
+  BigInt Decrypt(const BigInt& c) const;
+
+ private:
+  BigInt p_, q_;
+  BigInt p2_, q2_;
+  BigInt hp_, hq_;      // L_p(g^{p-1} mod p^2)^{-1} mod p, q-analogue
+  BigInt p_inv_mod_q_;  // CRT recombination factor
+  BigInt n_;
+  std::shared_ptr<const MontgomeryContext> mont_p2_, mont_q2_;
+};
+
+/// \brief A freshly generated Paillier key pair.
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+
+  /// Generates a key with an S-bit modulus n = p*q (p, q primes of S/2
+  /// bits). key_bits must be even and >= 64. The paper uses S = 2048; the
+  /// test suite uses 256-512 for speed — every measured ratio is also
+  /// spot-checked at larger sizes in the benches.
+  static Result<PaillierKeyPair> Generate(size_t key_bits, Rng* rng);
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_CRYPTO_PAILLIER_H_

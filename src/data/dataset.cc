@@ -1,0 +1,39 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+void TrainValidSplit(const Dataset& data, double train_fraction, Rng* rng,
+                     Dataset* train, Dataset* valid) {
+  VF2_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<size_t> order(data.rows());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates.
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng->NextBounded(i)]);
+  }
+  const size_t n_train =
+      static_cast<size_t>(train_fraction * static_cast<double>(order.size()));
+  std::vector<size_t> train_rows(order.begin(), order.begin() + n_train);
+  std::vector<size_t> valid_rows(order.begin() + n_train, order.end());
+
+  train->features = data.features.SelectRows(train_rows);
+  valid->features = data.features.SelectRows(valid_rows);
+  train->labels.clear();
+  valid->labels.clear();
+  train->weights.clear();
+  valid->weights.clear();
+  if (data.has_labels()) {
+    for (size_t r : train_rows) train->labels.push_back(data.labels[r]);
+    for (size_t r : valid_rows) valid->labels.push_back(data.labels[r]);
+  }
+  if (data.has_weights()) {
+    for (size_t r : train_rows) train->weights.push_back(data.weights[r]);
+    for (size_t r : valid_rows) valid->weights.push_back(data.weights[r]);
+  }
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,34 @@
+#ifndef VF2BOOST_DATA_DATASET_H_
+#define VF2BOOST_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/matrix.h"
+
+namespace vf2boost {
+
+/// \brief Feature matrix plus (optionally) labels.
+///
+/// In the vertical FL setting Party B's shard carries labels; Party A shards
+/// have an empty label vector.
+struct Dataset {
+  CsrMatrix features;
+  std::vector<float> labels;   // empty, or one per row
+  std::vector<float> weights;  // empty (uniform), or one per row
+
+  size_t rows() const { return features.rows(); }
+  size_t columns() const { return features.columns(); }
+  bool has_labels() const { return !labels.empty(); }
+  bool has_weights() const { return !weights.empty(); }
+};
+
+/// Randomly shuffles row indices and splits into train (first
+/// `train_fraction`) and validation parts. The paper uses 80/20.
+void TrainValidSplit(const Dataset& data, double train_fraction, Rng* rng,
+                     Dataset* train, Dataset* valid);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_DATA_DATASET_H_

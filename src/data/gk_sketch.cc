@@ -1,0 +1,97 @@
+#include "data/gk_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+GkSketch::GkSketch(double epsilon) : epsilon_(epsilon) {
+  VF2_CHECK(epsilon > 0 && epsilon < 0.5) << "epsilon out of range";
+}
+
+void GkSketch::Add(float v) {
+  ++count_;
+  // Locate the first tuple with value >= v.
+  const auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), v,
+      [](const Tuple& t, float value) { return t.value < value; });
+
+  Tuple fresh;
+  fresh.value = v;
+  fresh.g = 1;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New minimum or maximum is exact.
+    fresh.delta = 0;
+  } else {
+    const size_t band =
+        static_cast<size_t>(std::floor(2.0 * epsilon_ * count_));
+    fresh.delta = band >= 1 ? band - 1 : 0;
+  }
+  tuples_.insert(it, fresh);
+
+  if (++inserts_since_compress_ >=
+      static_cast<size_t>(1.0 / (2.0 * epsilon_))) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const size_t threshold =
+      static_cast<size_t>(std::floor(2.0 * epsilon_ * count_));
+  // Right-to-left pass: absorb a tuple into its successor whenever the
+  // merged uncertainty g + g' + delta' stays within 2*epsilon*n — the
+  // invariant rank queries rely on. The exact minimum and maximum tuples
+  // are never merged away.
+  std::vector<Tuple> reversed;
+  reversed.reserve(tuples_.size());
+  Tuple successor = tuples_.back();
+  for (size_t i = tuples_.size() - 1; i-- > 1;) {
+    const Tuple& cur = tuples_[i];
+    if (cur.g + successor.g + successor.delta <= threshold) {
+      successor.g += cur.g;  // absorb
+    } else {
+      reversed.push_back(successor);
+      successor = cur;
+    }
+  }
+  reversed.push_back(successor);
+  reversed.push_back(tuples_.front());
+  tuples_.assign(reversed.rbegin(), reversed.rend());
+}
+
+float GkSketch::Quantile(double q) const {
+  if (tuples_.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  const double allowed = epsilon_ * static_cast<double>(count_);
+  size_t r_min = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    r_min += tuples_[i].g;
+    const double r_max = static_cast<double>(r_min + tuples_[i].delta);
+    if (r_max >= rank - allowed &&
+        static_cast<double>(r_min) <= rank + allowed) {
+      return tuples_[i].value;
+    }
+    if (static_cast<double>(r_min) > rank + allowed) {
+      return tuples_[i].value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+std::vector<float> GkSketch::GetCuts(size_t bins) const {
+  std::vector<float> cuts;
+  if (bins <= 1 || tuples_.empty()) return cuts;
+  cuts.reserve(bins - 1);
+  for (size_t k = 1; k < bins; ++k) {
+    const float cut = Quantile(static_cast<double>(k) / bins);
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  return cuts;
+}
+
+}  // namespace vf2boost

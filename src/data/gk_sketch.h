@@ -1,0 +1,52 @@
+#ifndef VF2BOOST_DATA_GK_SKETCH_H_
+#define VF2BOOST_DATA_GK_SKETCH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vf2boost {
+
+/// \brief Greenwald-Khanna streaming quantile summary (SIGMOD'01), the
+/// deterministic alternative to the sampling-based QuantileSketch.
+///
+/// Guarantees every rank query is within epsilon*n of exact using
+/// O((1/epsilon) * log(epsilon*n)) space. This is the sketch family the
+/// GBDT literature the paper builds on uses for split proposal ([33] in the
+/// paper's references is exactly this algorithm).
+class GkSketch {
+ public:
+  /// epsilon is the worst-case rank error fraction (default 0.5% — far
+  /// below one histogram bin at the paper's s = 20).
+  explicit GkSketch(double epsilon = 0.005);
+
+  void Add(float v);
+
+  size_t count() const { return count_; }
+  /// Current summary size (tuples retained).
+  size_t SummarySize() const { return tuples_.size(); }
+
+  /// Value whose rank is within epsilon*n of q*n. q in [0, 1].
+  /// Undefined on an empty sketch (returns 0).
+  float Quantile(double q) const;
+
+  /// Ascending, deduplicated cut points at quantiles k/bins, k=1..bins-1.
+  std::vector<float> GetCuts(size_t bins) const;
+
+ private:
+  struct Tuple {
+    float value;
+    size_t g;      ///< r_min(i) - r_min(i-1)
+    size_t delta;  ///< r_max(i) - r_min(i)
+  };
+
+  void Compress();
+
+  double epsilon_;
+  size_t count_ = 0;
+  size_t inserts_since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // ascending by value
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_DATA_GK_SKETCH_H_

@@ -1,0 +1,34 @@
+#ifndef VF2BOOST_DATA_IO_H_
+#define VF2BOOST_DATA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vf2boost {
+
+/// Reads a LIBSVM-format file (`label idx:val idx:val ...`, 0- or 1-based
+/// indices auto-detected as 0-based; blank lines and '#' comments skipped).
+/// num_columns of the result is max index + 1.
+Result<Dataset> LoadLibsvm(const std::string& path);
+
+/// Parses LIBSVM-format text directly (used by tests).
+Result<Dataset> ParseLibsvm(const std::string& text);
+
+/// Writes a dataset in LIBSVM format.
+Status SaveLibsvm(const Dataset& data, const std::string& path);
+
+/// Reads a dense CSV with a header row. `label_column` names the label
+/// column; all other columns must be numeric features. Zero cells are kept
+/// sparse.
+Result<Dataset> LoadCsv(const std::string& path,
+                        const std::string& label_column);
+
+/// Parses CSV text directly (used by tests).
+Result<Dataset> ParseCsv(const std::string& text,
+                         const std::string& label_column);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_DATA_IO_H_

@@ -1,0 +1,83 @@
+#include "data/matrix.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vf2boost {
+
+Result<CsrMatrix> CsrMatrix::FromRows(
+    const std::vector<std::vector<Entry>>& rows, size_t num_columns) {
+  CsrMatrix m;
+  m.num_columns_ = num_columns;
+  m.row_ptr_.reserve(rows.size() + 1);
+  for (const auto& row : rows) {
+    std::vector<Entry> sorted = row;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry& a, const Entry& b) { return a.column < b.column; });
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i].column >= num_columns) {
+        return Status::InvalidArgument(
+            "column " + std::to_string(sorted[i].column) + " out of range");
+      }
+      if (i > 0 && sorted[i].column == sorted[i - 1].column) {
+        return Status::InvalidArgument(
+            "duplicate column " + std::to_string(sorted[i].column) +
+            " in row " + std::to_string(m.row_ptr_.size() - 1));
+      }
+      m.col_idx_.push_back(sorted[i].column);
+      m.values_.push_back(sorted[i].value);
+    }
+    m.row_ptr_.push_back(m.col_idx_.size());
+  }
+  return m;
+}
+
+float CsrMatrix::At(size_t row, uint32_t col) const {
+  const auto cols = RowColumns(row);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), col);
+  if (it == cols.end() || *it != col) return 0.0f;
+  return RowValues(row)[static_cast<size_t>(it - cols.begin())];
+}
+
+CsrMatrix CsrMatrix::SelectColumns(const std::vector<uint32_t>& columns) const {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  remap.reserve(columns.size());
+  for (uint32_t i = 0; i < columns.size(); ++i) remap[columns[i]] = i;
+
+  CsrMatrix out;
+  out.num_columns_ = columns.size();
+  out.row_ptr_.reserve(rows() + 1);
+  for (size_t r = 0; r < rows(); ++r) {
+    const auto cols = RowColumns(r);
+    const auto vals = RowValues(r);
+    std::vector<Entry> entries;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const auto it = remap.find(cols[k]);
+      if (it != remap.end()) entries.push_back({it->second, vals[k]});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.column < b.column; });
+    for (const Entry& e : entries) {
+      out.col_idx_.push_back(e.column);
+      out.values_.push_back(e.value);
+    }
+    out.row_ptr_.push_back(out.col_idx_.size());
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::SelectRows(const std::vector<size_t>& rows_subset) const {
+  CsrMatrix out;
+  out.num_columns_ = num_columns_;
+  out.row_ptr_.reserve(rows_subset.size() + 1);
+  for (size_t r : rows_subset) {
+    const auto cols = RowColumns(r);
+    const auto vals = RowValues(r);
+    out.col_idx_.insert(out.col_idx_.end(), cols.begin(), cols.end());
+    out.values_.insert(out.values_.end(), vals.begin(), vals.end());
+    out.row_ptr_.push_back(out.col_idx_.size());
+  }
+  return out;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,76 @@
+#include "data/partition.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+VerticalSplitSpec SplitColumnsRandomly(size_t total_columns,
+                                       const std::vector<double>& fractions,
+                                       Rng* rng) {
+  VF2_CHECK(!fractions.empty());
+  const size_t parties = fractions.size();
+  double total = 0;
+  for (double f : fractions) {
+    VF2_CHECK(f > 0) << "party fraction must be positive";
+    total += f;
+  }
+
+  // Shuffle columns, then carve contiguous chunks of the shuffle.
+  std::vector<uint32_t> order(total_columns);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng->NextBounded(i)]);
+  }
+
+  VerticalSplitSpec spec;
+  spec.party_columns.resize(parties);
+  size_t begin = 0;
+  double cumulative = 0;
+  for (size_t p = 0; p < parties; ++p) {
+    cumulative += fractions[p];
+    size_t end = p + 1 == parties
+                     ? total_columns
+                     : static_cast<size_t>(cumulative / total *
+                                           static_cast<double>(total_columns));
+    // Guarantee non-empty parties where possible.
+    if (end <= begin && begin < total_columns) end = begin + 1;
+    end = std::min(end, total_columns);
+    spec.party_columns[p].assign(order.begin() + begin, order.begin() + end);
+    begin = end;
+  }
+  return spec;
+}
+
+Result<std::vector<Dataset>> PartitionVertically(
+    const Dataset& data, const VerticalSplitSpec& spec, size_t label_party) {
+  if (label_party >= spec.num_parties()) {
+    return Status::InvalidArgument("label_party out of range");
+  }
+  std::vector<bool> seen(data.columns(), false);
+  for (const auto& cols : spec.party_columns) {
+    for (uint32_t c : cols) {
+      if (c >= data.columns()) {
+        return Status::InvalidArgument("column " + std::to_string(c) +
+                                       " out of range");
+      }
+      if (seen[c]) {
+        return Status::InvalidArgument("column " + std::to_string(c) +
+                                       " assigned to multiple parties");
+      }
+      seen[c] = true;
+    }
+  }
+  std::vector<Dataset> shards;
+  shards.reserve(spec.num_parties());
+  for (size_t p = 0; p < spec.num_parties(); ++p) {
+    Dataset shard;
+    shard.features = data.features.SelectColumns(spec.party_columns[p]);
+    if (p == label_party) shard.labels = data.labels;
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace vf2boost

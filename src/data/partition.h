@@ -1,0 +1,39 @@
+#ifndef VF2BOOST_DATA_PARTITION_H_
+#define VF2BOOST_DATA_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vf2boost {
+
+/// \brief Assignment of global feature columns to parties.
+///
+/// party_columns[p] lists the global column ids owned by party p, in the
+/// order they appear as party-local columns. In the two-party experiments
+/// party 0 is Party A and the last party is Party B (the label owner).
+struct VerticalSplitSpec {
+  std::vector<std::vector<uint32_t>> party_columns;
+
+  size_t num_parties() const { return party_columns.size(); }
+};
+
+/// Randomly assigns `total_columns` columns to parties in proportion to
+/// `fractions` (need not sum to 1; they are normalized). Every party gets at
+/// least one column when total_columns >= parties.
+VerticalSplitSpec SplitColumnsRandomly(size_t total_columns,
+                                       const std::vector<double>& fractions,
+                                       Rng* rng);
+
+/// One shard per party: the party's feature columns, plus labels only for
+/// `label_party`. Returns InvalidArgument on malformed specs (duplicate or
+/// out-of-range columns).
+Result<std::vector<Dataset>> PartitionVertically(
+    const Dataset& data, const VerticalSplitSpec& spec, size_t label_party);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_DATA_PARTITION_H_

@@ -1,0 +1,50 @@
+#include "data/psi.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vf2boost {
+
+namespace {
+
+// SplitMix64-style salted mixer standing in for the blinded digest.
+uint64_t SaltedDigest(uint64_t id, uint64_t salt) {
+  uint64_t z = id + salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+PsiResult SimulatedPsi(const std::vector<uint64_t>& ids_a,
+                       const std::vector<uint64_t>& ids_b, uint64_t salt) {
+  std::unordered_map<uint64_t, size_t> digests_a;
+  digests_a.reserve(ids_a.size());
+  for (size_t i = 0; i < ids_a.size(); ++i) {
+    digests_a.emplace(SaltedDigest(ids_a[i], salt), i);
+  }
+
+  // Canonical order: sort matches by digest so both parties derive the same
+  // alignment independently.
+  std::vector<std::pair<uint64_t, std::pair<size_t, size_t>>> matches;
+  for (size_t j = 0; j < ids_b.size(); ++j) {
+    const uint64_t d = SaltedDigest(ids_b[j], salt);
+    const auto it = digests_a.find(d);
+    if (it != digests_a.end()) {
+      matches.push_back({d, {it->second, j}});
+    }
+  }
+  std::sort(matches.begin(), matches.end());
+
+  PsiResult out;
+  out.indices_a.reserve(matches.size());
+  out.indices_b.reserve(matches.size());
+  for (const auto& m : matches) {
+    out.indices_a.push_back(m.second.first);
+    out.indices_b.push_back(m.second.second);
+  }
+  return out;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,33 @@
+#ifndef VF2BOOST_DATA_PSI_H_
+#define VF2BOOST_DATA_PSI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vf2boost {
+
+/// Row alignment produced by set intersection: indices_a[k] and indices_b[k]
+/// refer to the same logical instance in the two parties' local row order.
+struct PsiResult {
+  std::vector<size_t> indices_a;
+  std::vector<size_t> indices_b;
+
+  size_t size() const { return indices_a.size(); }
+};
+
+/// \brief Simulated private set intersection over instance ids.
+///
+/// The paper preprocesses its datasets with a real PSI protocol ([13, 18,
+/// 24, 51]) before training; cryptographic PSI is out of scope here (the
+/// training system never depends on *how* the intersection was computed), so
+/// this stand-in reproduces the observable behaviour: both parties learn the
+/// intersection — and only the intersection — in a canonical order. The
+/// salted 64-bit mixing mimics the blinded-digest exchange of hash-based
+/// PSI protocols.
+PsiResult SimulatedPsi(const std::vector<uint64_t>& ids_a,
+                       const std::vector<uint64_t>& ids_b, uint64_t salt);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_DATA_PSI_H_

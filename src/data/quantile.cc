@@ -1,0 +1,37 @@
+#include "data/quantile.h"
+
+#include <algorithm>
+
+namespace vf2boost {
+
+QuantileSketch::QuantileSketch(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  reservoir_.reserve(capacity);
+}
+
+void QuantileSketch::Add(float v) {
+  ++count_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(v);
+    return;
+  }
+  // Vitter's algorithm R.
+  const uint64_t j = rng_.NextBounded(count_);
+  if (j < capacity_) reservoir_[j] = v;
+}
+
+std::vector<float> QuantileSketch::GetCuts(size_t bins) const {
+  std::vector<float> cuts;
+  if (bins <= 1 || reservoir_.empty()) return cuts;
+  std::vector<float> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  cuts.reserve(bins - 1);
+  for (size_t k = 1; k < bins; ++k) {
+    const size_t idx = k * sorted.size() / bins;
+    const float cut = sorted[std::min(idx, sorted.size() - 1)];
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  return cuts;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,89 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  VF2_CHECK(spec.density > 0.0 && spec.density <= 1.0);
+  Rng rng(spec.seed);
+
+  // Hidden teacher weights, one per feature.
+  std::vector<double> teacher(spec.cols);
+  for (double& w : teacher) w = rng.NextGaussian();
+
+  const size_t nnz_per_row = std::max<size_t>(
+      1, static_cast<size_t>(spec.density * static_cast<double>(spec.cols)));
+
+  std::vector<std::vector<Entry>> rows(spec.rows);
+  std::vector<float> labels(spec.rows);
+  std::unordered_set<uint32_t> seen;
+  for (size_t r = 0; r < spec.rows; ++r) {
+    auto& row = rows[r];
+    row.reserve(nnz_per_row);
+    double score = 0;
+    if (nnz_per_row == spec.cols) {
+      for (uint32_t c = 0; c < spec.cols; ++c) {
+        const float v = static_cast<float>(rng.NextGaussian());
+        row.push_back({c, v});
+        score += teacher[c] * v;
+      }
+    } else {
+      seen.clear();
+      while (seen.size() < nnz_per_row) {
+        const uint32_t c =
+            static_cast<uint32_t>(rng.NextBounded(spec.cols));
+        if (!seen.insert(c).second) continue;
+        const float v = static_cast<float>(rng.NextGaussian());
+        row.push_back({c, v});
+        score += teacher[c] * v;
+      }
+    }
+    score *= spec.signal_strength / std::sqrt(static_cast<double>(nnz_per_row));
+    const double p = 1.0 / (1.0 + std::exp(-score));
+    labels[r] = rng.NextDouble() < p ? 1.0f : 0.0f;
+  }
+
+  Dataset out;
+  auto m = CsrMatrix::FromRows(rows, spec.cols);
+  VF2_CHECK(m.ok()) << m.status().ToString();
+  out.features = std::move(m).value();
+  out.labels = std::move(labels);
+  return out;
+}
+
+Result<SyntheticSpec> PaperDatasetSpec(const std::string& name, double scale) {
+  // (rows, cols, density) straight from Table 3; cols are D_A + D_B.
+  struct Shape {
+    const char* name;
+    size_t rows;
+    size_t cols;
+    double density;
+  };
+  static constexpr Shape kShapes[] = {
+      {"census", 22000, 148, 0.0878},   {"a9a", 32000, 123, 0.1128},
+      {"susy", 5000000, 18, 1.0},       {"epsilon", 400000, 2000, 1.0},
+      {"rcv1", 697000, 46000, 0.0015},  {"synthesis", 10000000, 50000, 0.002},
+      {"industry", 55000000, 100000, 0.0003}};
+  for (const Shape& s : kShapes) {
+    if (name != s.name) continue;
+    SyntheticSpec spec;
+    spec.name = name;
+    spec.rows = std::max<size_t>(200, static_cast<size_t>(s.rows * scale));
+    spec.cols = std::max<size_t>(
+        8, static_cast<size_t>(static_cast<double>(s.cols) *
+                               std::sqrt(std::min(1.0, scale))));
+    // Keep at least one expected nonzero per row.
+    spec.density =
+        std::max(s.density, 1.0 / static_cast<double>(spec.cols));
+    spec.seed = 7 + static_cast<uint64_t>(name[0]);
+    return spec;
+  }
+  return Status::NotFound("unknown paper dataset: " + name);
+}
+
+}  // namespace vf2boost

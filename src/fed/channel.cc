@@ -1,0 +1,97 @@
+#include "fed/channel.h"
+
+#include <algorithm>
+
+namespace vf2boost {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+struct ChannelEndpoint::Queue {
+  std::deque<std::pair<Clock::time_point, Message>> items;
+  Clock::time_point next_free = Clock::now();  // bandwidth serialization point
+  ChannelStats sent;
+};
+
+struct ChannelEndpoint::Shared {
+  NetworkConfig config;
+  std::mutex mu;
+  std::condition_variable cv;
+  Queue a_to_b;
+  Queue b_to_a;
+};
+
+std::pair<std::unique_ptr<ChannelEndpoint>, std::unique_ptr<ChannelEndpoint>>
+ChannelEndpoint::CreatePair(const NetworkConfig& config) {
+  auto shared = std::make_shared<Shared>();
+  shared->config = config;
+  auto a = std::unique_ptr<ChannelEndpoint>(
+      new ChannelEndpoint(shared, &shared->b_to_a, &shared->a_to_b));
+  auto b = std::unique_ptr<ChannelEndpoint>(
+      new ChannelEndpoint(shared, &shared->a_to_b, &shared->b_to_a));
+  return {std::move(a), std::move(b)};
+}
+
+ChannelEndpoint::ChannelEndpoint(std::shared_ptr<Shared> shared, Queue* in,
+                                 Queue* out)
+    : shared_(std::move(shared)), in_(in), out_(out) {}
+
+void ChannelEndpoint::Send(Message msg) {
+  const size_t bytes = msg.WireBytes();
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  const auto now = Clock::now();
+  auto deliver = now;
+  const auto& cfg = shared_->config;
+  if (cfg.bandwidth_bytes_per_sec > 0) {
+    // Messages serialize through the gateway link.
+    const auto start = std::max(now, out_->next_free);
+    const auto transfer = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(bytes) /
+                                      cfg.bandwidth_bytes_per_sec));
+    out_->next_free = start + transfer;
+    deliver = out_->next_free;
+  }
+  if (cfg.latency_seconds > 0) {
+    deliver += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(cfg.latency_seconds));
+  }
+  out_->items.emplace_back(deliver, std::move(msg));
+  out_->sent.messages += 1;
+  out_->sent.bytes += bytes;
+  shared_->cv.notify_all();
+}
+
+Message ChannelEndpoint::Receive() {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  for (;;) {
+    if (!in_->items.empty()) {
+      const auto deliver = in_->items.front().first;
+      if (Clock::now() >= deliver) {
+        Message msg = std::move(in_->items.front().second);
+        in_->items.pop_front();
+        return msg;
+      }
+      shared_->cv.wait_until(lock, deliver);
+    } else {
+      shared_->cv.wait(lock);
+    }
+  }
+}
+
+bool ChannelEndpoint::TryReceive(Message* out) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (in_->items.empty() || Clock::now() < in_->items.front().first) {
+    return false;
+  }
+  *out = std::move(in_->items.front().second);
+  in_->items.pop_front();
+  return true;
+}
+
+ChannelStats ChannelEndpoint::sent_stats() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return out_->sent;
+}
+
+}  // namespace vf2boost

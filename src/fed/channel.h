@@ -1,0 +1,72 @@
+#ifndef VF2BOOST_FED_CHANNEL_H_
+#define VF2BOOST_FED_CHANNEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "fed/message.h"
+
+namespace vf2boost {
+
+/// \brief Model of the restricted WAN between the parties' data centers.
+///
+/// The paper's deployment routes all cross-party traffic through gateway
+/// message queues over a 300 Mbps public link. A zero-initialized config
+/// models an ideal network (tests); benches set the paper's numbers.
+struct NetworkConfig {
+  /// 0 = unlimited. Paper: 300 Mbps = 37.5e6 bytes/s.
+  double bandwidth_bytes_per_sec = 0;
+  /// One-way propagation delay per message. 0 = none.
+  double latency_seconds = 0;
+};
+
+/// Traffic counters for one direction.
+struct ChannelStats {
+  size_t messages = 0;
+  size_t bytes = 0;
+};
+
+/// \brief One endpoint of a duplex, ordered, reliable message channel —
+/// the in-process stand-in for a Pulsar topic pair between gateways.
+///
+/// Send never drops or reorders ("effectively-once" semantics); Receive
+/// blocks until a message is available *and* its simulated network delivery
+/// time has passed. Thread-safe: one party thread per endpoint.
+class ChannelEndpoint {
+ public:
+  /// Creates a connected pair. first is conventionally Party A's endpoint.
+  static std::pair<std::unique_ptr<ChannelEndpoint>,
+                   std::unique_ptr<ChannelEndpoint>>
+  CreatePair(const NetworkConfig& config = {});
+
+  /// Enqueues a message; returns immediately (the sender's cost is modeled
+  /// by the delivery timestamp on the receiver side).
+  void Send(Message msg);
+
+  /// Blocks until the next message is deliverable and returns it.
+  Message Receive();
+
+  /// Non-blocking variant: returns false when nothing is deliverable yet.
+  /// Used by Party A to poll for aborts while it crunches histograms.
+  bool TryReceive(Message* out);
+
+  /// Bytes/messages sent from this endpoint.
+  ChannelStats sent_stats() const;
+
+ private:
+  struct Shared;
+  struct Queue;
+
+  ChannelEndpoint(std::shared_ptr<Shared> shared, Queue* in, Queue* out);
+
+  std::shared_ptr<Shared> shared_;
+  Queue* in_;
+  Queue* out_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_CHANNEL_H_

@@ -1,0 +1,233 @@
+#include "fed/enc_histogram.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+EncryptedHistogram BuildEncryptedHistogram(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& g,
+    const std::vector<Cipher>& h, const CipherBackend& backend, bool reordered,
+    AccumulatorStats* stats) {
+  const size_t total = layout.total_bins();
+  std::vector<std::unique_ptr<CipherAccumulator>> g_acc(total), h_acc(total);
+  for (size_t i = 0; i < total; ++i) {
+    if (reordered) {
+      g_acc[i] = std::make_unique<ReorderedCipherAccumulator>(&backend);
+      h_acc[i] = std::make_unique<ReorderedCipherAccumulator>(&backend);
+    } else {
+      g_acc[i] = std::make_unique<NaiveCipherAccumulator>(&backend);
+      h_acc[i] = std::make_unique<NaiveCipherAccumulator>(&backend);
+    }
+  }
+  for (uint32_t i : instances) {
+    const auto cols = x.RowColumns(i);
+    const auto bins = x.RowBins(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const size_t flat = layout.Flat(cols[k], bins[k]);
+      g_acc[flat]->Add(g[i]);
+      h_acc[flat]->Add(h[i]);
+    }
+  }
+  EncryptedHistogram out;
+  out.g_bins.reserve(total);
+  out.h_bins.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    out.g_bins.push_back(g_acc[i]->Finalize());
+    out.h_bins.push_back(h_acc[i]->Finalize());
+    if (stats != nullptr) {
+      stats->hadds += g_acc[i]->stats().hadds + h_acc[i]->stats().hadds;
+      stats->scalings +=
+          g_acc[i]->stats().scalings + h_acc[i]->stats().scalings;
+    }
+  }
+  return out;
+}
+
+EncryptedHistogram BuildEncryptedHistogramParallel(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& g,
+    const std::vector<Cipher>& h, const CipherBackend& backend, bool reordered,
+    AccumulatorStats* stats, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() < 2 || instances.size() < 64) {
+    return BuildEncryptedHistogram(x, layout, instances, g, h, backend,
+                                   reordered, stats);
+  }
+  const size_t shards = pool->num_threads();
+  const size_t chunk = (instances.size() + shards - 1) / shards;
+  std::vector<EncryptedHistogram> partial(shards);
+  std::vector<AccumulatorStats> partial_stats(shards);
+  pool->ParallelFor(shards, [&](size_t s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(instances.size(), begin + chunk);
+    if (begin >= end) return;
+    const std::vector<uint32_t> shard(instances.begin() + begin,
+                                      instances.begin() + end);
+    partial[s] = BuildEncryptedHistogram(x, layout, shard, g, h, backend,
+                                         reordered, &partial_stats[s]);
+  });
+
+  // Aggregate worker-local histograms into the global one (one HAdd per bin
+  // per extra shard; exponents are aligned on demand).
+  EncryptedHistogram out = std::move(partial[0]);
+  size_t merge_scalings = 0;
+  size_t merge_hadds = 0;
+  for (size_t s = 1; s < shards; ++s) {
+    if (partial[s].g_bins.empty()) continue;
+    for (size_t i = 0; i < out.g_bins.size(); ++i) {
+      out.g_bins[i] =
+          backend.HAdd(out.g_bins[i], partial[s].g_bins[i], &merge_scalings);
+      out.h_bins[i] =
+          backend.HAdd(out.h_bins[i], partial[s].h_bins[i], &merge_scalings);
+      merge_hadds += 2;
+    }
+  }
+  if (stats != nullptr) {
+    for (const AccumulatorStats& ps : partial_stats) {
+      stats->hadds += ps.hadds;
+      stats->scalings += ps.scalings;
+    }
+    stats->hadds += merge_hadds;
+    stats->scalings += merge_scalings;
+  }
+  return out;
+}
+
+Result<PackedHistogram> PackHistogram(const EncryptedHistogram& hist,
+                                      const FeatureLayout& layout,
+                                      size_t num_instances, double grad_bound,
+                                      const CipherBackend& backend,
+                                      AccumulatorStats* stats,
+                                      size_t min_slots) {
+  const FixedPointCodec& codec = backend.codec();
+  const int exponent = codec.max_exponent();
+
+  PackedHistogram out;
+  out.shift_g = static_cast<double>(num_instances) * grad_bound;
+  out.shift_h = 0;
+
+  // Widest slot value: a g prefix shifted into [0, 2*N*bound], encoded at
+  // the max exponent. One guard bit on top.
+  const double max_slot_value =
+      2.0 * out.shift_g *
+          std::pow(static_cast<double>(codec.base()), exponent) +
+      1.0;
+  const size_t slot_bits =
+      static_cast<size_t>(std::ceil(std::log2(max_slot_value))) + 1;
+  const size_t capacity =
+      MaxSlotsPerCipher(slot_bits, backend.plain_modulus().BitLength());
+  if (capacity < std::max<size_t>(2, min_slots)) {
+    return Status::InvalidArgument(
+        "key too small for packing: slot needs " + std::to_string(slot_bits) +
+        " bits, modulus has " +
+        std::to_string(backend.plain_modulus().BitLength()) + ", capacity " +
+        std::to_string(capacity) + " < " + std::to_string(min_slots));
+  }
+  out.slot_bits = static_cast<uint32_t>(slot_bits);
+
+  // Per-feature prefix sums, exponent-aligned, g shifted nonnegative.
+  const Cipher shift_cipher = backend.EncryptPublicAt(out.shift_g, exponent);
+  std::vector<Cipher> g_prefix, h_prefix;
+  g_prefix.reserve(layout.total_bins());
+  h_prefix.reserve(layout.total_bins());
+  size_t scalings = 0;
+  for (uint32_t f = 0; f < layout.num_features(); ++f) {
+    Cipher g_run, h_run;
+    for (size_t b = 0; b < layout.NumBins(f); ++b) {
+      const size_t flat = layout.Flat(f, static_cast<uint32_t>(b));
+      Cipher g_bin = backend.ScaleTo(hist.g_bins[flat], exponent);
+      if (g_bin.exponent != hist.g_bins[flat].exponent) ++scalings;
+      Cipher h_bin = backend.ScaleTo(hist.h_bins[flat], exponent);
+      if (h_bin.exponent != hist.h_bins[flat].exponent) ++scalings;
+      if (b == 0) {
+        // Shift once; every prefix then carries it (Fig. 9 step 1).
+        g_run.exponent = exponent;
+        g_run.data = backend.HAddRaw(g_bin.data, shift_cipher.data);
+        h_run = h_bin;
+      } else {
+        g_run.data = backend.HAddRaw(g_run.data, g_bin.data);
+        h_run.data = backend.HAddRaw(h_run.data, h_bin.data);
+      }
+      if (stats != nullptr) stats->hadds += 2;
+      g_prefix.push_back(g_run);
+      h_prefix.push_back(h_run);
+    }
+  }
+  if (stats != nullptr) stats->scalings += scalings;
+
+  auto pack_all = [&](const std::vector<Cipher>& prefix,
+                      std::vector<PackedCipher>* packs) -> Status {
+    for (size_t begin = 0; begin < prefix.size(); begin += capacity) {
+      const size_t end = std::min(prefix.size(), begin + capacity);
+      std::vector<Cipher> group(prefix.begin() + begin, prefix.begin() + end);
+      auto packed = PackCiphers(group, slot_bits, backend);
+      VF2_RETURN_IF_ERROR(packed.status());
+      packs->push_back(std::move(packed).value());
+    }
+    return Status::OK();
+  };
+  VF2_RETURN_IF_ERROR(pack_all(g_prefix, &out.g_packs));
+  VF2_RETURN_IF_ERROR(pack_all(h_prefix, &out.h_packs));
+  return out;
+}
+
+Result<Histogram> DecryptRawHistogram(const std::vector<Cipher>& g_bins,
+                                      const std::vector<Cipher>& h_bins,
+                                      const FeatureLayout& layout,
+                                      const CipherBackend& backend,
+                                      size_t* decryptions) {
+  if (g_bins.size() != layout.total_bins() || h_bins.size() != g_bins.size()) {
+    return Status::ProtocolError("histogram size does not match layout");
+  }
+  Histogram hist(layout.total_bins());
+  for (size_t i = 0; i < g_bins.size(); ++i) {
+    hist.bin(i).g = backend.Decrypt(g_bins[i]);
+    hist.bin(i).h = backend.Decrypt(h_bins[i]);
+  }
+  if (decryptions != nullptr) *decryptions += 2 * g_bins.size();
+  return hist;
+}
+
+Result<Histogram> DecryptPackedHistogram(const PackedHistogram& packed,
+                                         const FeatureLayout& layout,
+                                         const CipherBackend& backend,
+                                         size_t* decryptions) {
+  auto unpack_all =
+      [&](const std::vector<PackedCipher>& packs,
+          std::vector<double>* values) -> Status {
+    for (const PackedCipher& pc : packs) {
+      auto slots = DecryptPacked(pc, backend);
+      VF2_RETURN_IF_ERROR(slots.status());
+      values->insert(values->end(), slots->begin(), slots->end());
+      if (decryptions != nullptr) *decryptions += 1;
+    }
+    return Status::OK();
+  };
+  std::vector<double> g_prefix, h_prefix;
+  VF2_RETURN_IF_ERROR(unpack_all(packed.g_packs, &g_prefix));
+  VF2_RETURN_IF_ERROR(unpack_all(packed.h_packs, &h_prefix));
+  if (g_prefix.size() < layout.total_bins() ||
+      h_prefix.size() < layout.total_bins()) {
+    return Status::ProtocolError("packed histogram too small for layout");
+  }
+
+  Histogram hist(layout.total_bins());
+  for (uint32_t f = 0; f < layout.num_features(); ++f) {
+    double prev_g = 0, prev_h = 0;
+    for (size_t b = 0; b < layout.NumBins(f); ++b) {
+      const size_t flat = layout.Flat(f, static_cast<uint32_t>(b));
+      const double g = g_prefix[flat] - packed.shift_g;
+      const double h = h_prefix[flat] - packed.shift_h;
+      hist.bin(flat).g = g - prev_g;
+      hist.bin(flat).h = h - prev_h;
+      prev_g = g;
+      prev_h = h;
+    }
+  }
+  return hist;
+}
+
+}  // namespace vf2boost

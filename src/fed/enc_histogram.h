@@ -1,0 +1,85 @@
+#ifndef VF2BOOST_FED_ENC_HISTOGRAM_H_
+#define VF2BOOST_FED_ENC_HISTOGRAM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/accumulator.h"
+#include "crypto/backend.h"
+#include "crypto/packing.h"
+#include "data/binning.h"
+#include "common/threadpool.h"
+#include "gbdt/histogram.h"
+
+namespace vf2boost {
+
+/// \brief Party A's core data structure: one gradient/hessian cipher per
+/// (feature, bin), flattened by A's FeatureLayout.
+struct EncryptedHistogram {
+  std::vector<Cipher> g_bins;
+  std::vector<Cipher> h_bins;
+};
+
+/// Builds the encrypted histogram of one tree node by scanning the node's
+/// instances and homomorphically accumulating their gradient ciphers
+/// (BuildHistA). `reordered` selects the §5.1 per-exponent-workspace
+/// accumulation; stats (HAdds/scalings) accumulate into *stats when given.
+EncryptedHistogram BuildEncryptedHistogram(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& g,
+    const std::vector<Cipher>& h, const CipherBackend& backend, bool reordered,
+    AccumulatorStats* stats);
+
+/// Worker-parallel variant (paper §3: "the local histograms built by workers
+/// are further aggregated into global ones"): instance shards build partial
+/// histograms on the pool, which are then homomorphically merged. `pool`
+/// may be null (falls back to the serial builder).
+EncryptedHistogram BuildEncryptedHistogramParallel(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& g,
+    const std::vector<Cipher>& h, const CipherBackend& backend, bool reordered,
+    AccumulatorStats* stats, ThreadPool* pool);
+
+/// Packed form of a node histogram: per-feature *prefix sums*, shifted
+/// nonnegative, packed t-per-cipher (§5.2, Fig. 9). Prefix sums are packed —
+/// not raw bins — because split finding consumes prefix sums anyway and the
+/// shift then costs only one HAdd per feature.
+struct PackedHistogram {
+  double shift_g = 0;  ///< added to every g prefix before packing
+  double shift_h = 0;  ///< ditto for h (0: hessians are already nonnegative)
+  uint32_t slot_bits = 0;
+  std::vector<PackedCipher> g_packs;
+  std::vector<PackedCipher> h_packs;
+};
+
+/// Packs `hist` (A side). `num_instances` bounds the prefix magnitude, and
+/// `grad_bound` is the loss's |g| bound (paper: logistic g in [-1, 1]).
+/// Fails with InvalidArgument when fewer than `min_slots` slots of the
+/// required width fit one cipher — callers then fall back to the raw form.
+/// (Packing one slot costs ~M modular squarings, so it only pays off when a
+/// cipher amortizes several decryptions; at the paper's S=2048/M=64 a cipher
+/// holds 31 slots and the trade is decisively positive.)
+Result<PackedHistogram> PackHistogram(const EncryptedHistogram& hist,
+                                      const FeatureLayout& layout,
+                                      size_t num_instances, double grad_bound,
+                                      const CipherBackend& backend,
+                                      AccumulatorStats* stats,
+                                      size_t min_slots = 2);
+
+/// B side: decrypts a raw (unpacked) histogram into plaintext GradPairs.
+Result<Histogram> DecryptRawHistogram(const std::vector<Cipher>& g_bins,
+                                      const std::vector<Cipher>& h_bins,
+                                      const FeatureLayout& layout,
+                                      const CipherBackend& backend,
+                                      size_t* decryptions);
+
+/// B side: decrypts a packed histogram — one decryption per pack — and
+/// reconstructs per-bin GradPairs from the prefix sums.
+Result<Histogram> DecryptPackedHistogram(const PackedHistogram& packed,
+                                         const FeatureLayout& layout,
+                                         const CipherBackend& backend,
+                                         size_t* decryptions);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_ENC_HISTOGRAM_H_

@@ -1,0 +1,117 @@
+#include "fed/fed_trainer.h"
+
+#include <thread>
+
+#include "common/logging.h"
+#include "fed/party_a.h"
+#include "fed/party_b.h"
+
+namespace vf2boost {
+
+Result<GbdtModel> FedTrainResult::ToJointModel(
+    const VerticalSplitSpec& spec) const {
+  if (spec.num_parties() != party_a_cuts.size() + 1) {
+    return Status::InvalidArgument("spec party count mismatch");
+  }
+  GbdtModel joint = model;
+  for (Tree& tree : joint.trees) {
+    for (size_t i = 0; i < tree.size(); ++i) {
+      TreeNode& n = tree.node(static_cast<int32_t>(i));
+      if (n.is_leaf() || n.owner_party < 0) continue;
+      const size_t p = static_cast<size_t>(n.owner_party);
+      if (p >= spec.num_parties()) {
+        return Status::Corruption("node owner out of range");
+      }
+      const auto& columns = spec.party_columns[p];
+      if (n.feature >= columns.size()) {
+        return Status::Corruption("node feature out of party range");
+      }
+      if (p < party_a_cuts.size()) {
+        // A-owned: recover the real threshold from the owner's cuts.
+        n.split_value = party_a_cuts[p].SplitValue(n.feature, n.split_bin);
+      }
+      n.feature = columns[n.feature];
+      n.owner_party = -1;
+    }
+  }
+  return joint;
+}
+
+Result<FedTrainResult> FedTrainer::Train(
+    const std::vector<Dataset>& parties) const {
+  VF2_RETURN_IF_ERROR(config_.Validate());
+  if (parties.size() < 2) {
+    return Status::InvalidArgument("need at least two parties");
+  }
+  const Dataset& party_b = parties.back();
+  if (!party_b.has_labels()) {
+    return Status::InvalidArgument("last party (B) must own the labels");
+  }
+  const size_t num_a = parties.size() - 1;
+  for (size_t p = 0; p < num_a; ++p) {
+    if (parties[p].rows() != party_b.rows()) {
+      return Status::InvalidArgument(
+          "party " + std::to_string(p) +
+          " row count differs from party B (instances not aligned?)");
+    }
+    if (parties[p].has_labels()) {
+      return Status::InvalidArgument(
+          "party " + std::to_string(p) +
+          " carries labels; only party B may (privacy violation)");
+    }
+  }
+
+  // One duplex channel per A party.
+  std::vector<std::unique_ptr<ChannelEndpoint>> a_ends, b_ends;
+  for (size_t p = 0; p < num_a; ++p) {
+    auto [a, b] = ChannelEndpoint::CreatePair(config_.network);
+    a_ends.push_back(std::move(a));
+    b_ends.push_back(std::move(b));
+  }
+
+  std::vector<std::unique_ptr<PartyAEngine>> engines;
+  std::vector<Status> a_status(num_a);
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < num_a; ++p) {
+    engines.push_back(std::make_unique<PartyAEngine>(
+        config_, parties[p], a_ends[p].get(), static_cast<uint32_t>(p)));
+    threads.emplace_back([&a_status, &engines, p] {
+      a_status[p] = engines[p]->Run();
+      if (!a_status[p].ok()) {
+        VF2_LOG(Error) << "party A" << p
+                       << " failed: " << a_status[p].ToString();
+      }
+    });
+  }
+
+  std::vector<ChannelEndpoint*> b_channel_ptrs;
+  for (auto& e : b_ends) b_channel_ptrs.push_back(e.get());
+  PartyBEngine party_b_engine(config_, party_b, std::move(b_channel_ptrs));
+  Result<PartyBResult> b_result = party_b_engine.Run();
+
+  if (!b_result.ok()) {
+    // Release any A thread still blocked on its inbox before joining.
+    for (auto& e : b_ends) e->Send(Message{MessageType::kTrainDone, {}});
+  }
+  for (auto& t : threads) t.join();
+  if (!b_result.ok()) return b_result.status();
+  for (const Status& s : a_status) VF2_RETURN_IF_ERROR(s);
+
+  FedTrainResult out;
+  out.model = std::move(b_result->model);
+  out.log = std::move(b_result->log);
+  out.stats = b_result->stats;
+  for (size_t p = 0; p < num_a; ++p) {
+    const FedStats& a = engines[p]->stats();
+    out.stats.hadds += a.hadds;
+    out.stats.scalings += a.scalings;
+    out.stats.packs += a.packs;
+    out.stats.redone_hist_builds += a.redone_hist_builds;
+    out.stats.party_a += a.party_a;
+    out.stats.bytes_a_to_b += a_ends[p]->sent_stats().bytes;
+    out.party_a_cuts.push_back(engines[p]->cuts());
+  }
+  return out;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,54 @@
+#ifndef VF2BOOST_FED_FED_TRAINER_H_
+#define VF2BOOST_FED_FED_TRAINER_H_
+
+#include <vector>
+
+#include "data/binning.h"
+#include "data/partition.h"
+#include "fed/protocol.h"
+#include "gbdt/trainer.h"
+#include "gbdt/tree.h"
+
+namespace vf2boost {
+
+/// Output of a federated training run.
+struct FedTrainResult {
+  /// Federated model: nodes carry (owner_party, party-local feature,
+  /// split bin). B-owned nodes also carry the real split value.
+  GbdtModel model;
+  /// Party B's per-tree telemetry (train loss, elapsed seconds).
+  std::vector<EvalRecord> log;
+  /// Merged counters from all parties plus channel byte counts.
+  FedStats stats;
+  /// Split-candidate values of each A party, indexed by party. Only the
+  /// evaluation harness uses these — in a deployment they stay private.
+  std::vector<BinCuts> party_a_cuts;
+
+  /// Rewrites the model with global column ids and real split values so the
+  /// harness can evaluate it on the joined dataset. `spec` must be the
+  /// partition used for training (A parties first, B last).
+  Result<GbdtModel> ToJointModel(const VerticalSplitSpec& spec) const;
+};
+
+/// \brief Drives a full vertical federated training run in-process.
+///
+/// Spawns one thread per A party (each running a PartyAEngine against its
+/// own channel endpoint) and runs the PartyBEngine on the calling thread —
+/// the in-process equivalent of the paper's two-data-center deployment, with
+/// the channel modeling the WAN.
+class FedTrainer {
+ public:
+  explicit FedTrainer(const FedConfig& config) : config_(config) {}
+
+  /// `parties` holds one shard per party; the LAST shard is Party B and must
+  /// carry labels. All shards must have the same row count and alignment
+  /// (use PartitionVertically / SimulatedPsi upstream).
+  Result<FedTrainResult> Train(const std::vector<Dataset>& parties) const;
+
+ private:
+  FedConfig config_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_FED_TRAINER_H_

@@ -1,0 +1,58 @@
+#ifndef VF2BOOST_FED_INBOX_H_
+#define VF2BOOST_FED_INBOX_H_
+
+#include <deque>
+
+#include "fed/channel.h"
+
+namespace vf2boost {
+
+/// \brief Type-selective receiver over one channel endpoint.
+///
+/// Under the optimistic protocol Party A pipelines ahead, so Party B can
+/// have next-layer histograms in flight while it is still waiting for this
+/// layer's placement replies. Inbox lets the engine pull "the next message
+/// of type T", buffering everything else in arrival order.
+class Inbox {
+ public:
+  explicit Inbox(ChannelEndpoint* endpoint) : endpoint_(endpoint) {}
+
+  ChannelEndpoint* endpoint() { return endpoint_; }
+
+  /// Next message of any type (buffered first).
+  Message Receive() {
+    if (!buffer_.empty()) {
+      Message m = std::move(buffer_.front());
+      buffer_.pop_front();
+      return m;
+    }
+    return endpoint_->Receive();
+  }
+
+  /// Blocks until a message of `type` arrives; other messages are buffered
+  /// and later returned by Receive()/ReceiveType in arrival order.
+  Message ReceiveType(MessageType type) {
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (it->type == type) {
+        Message m = std::move(*it);
+        buffer_.erase(it);
+        return m;
+      }
+    }
+    for (;;) {
+      Message m = endpoint_->Receive();
+      if (m.type == type) return m;
+      buffer_.push_back(std::move(m));
+    }
+  }
+
+  void Send(Message msg) { endpoint_->Send(std::move(msg)); }
+
+ private:
+  ChannelEndpoint* endpoint_;
+  std::deque<Message> buffer_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_INBOX_H_

@@ -1,0 +1,47 @@
+#include "fed/message.h"
+
+namespace vf2boost {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPublicKey:
+      return "PublicKey";
+    case MessageType::kLayout:
+      return "Layout";
+    case MessageType::kGradBatch:
+      return "GradBatch";
+    case MessageType::kNodeHistogram:
+      return "NodeHistogram";
+    case MessageType::kDecisions:
+      return "Decisions";
+    case MessageType::kOptPlacements:
+      return "OptPlacements";
+    case MessageType::kVerdicts:
+      return "Verdicts";
+    case MessageType::kPlacement:
+      return "Placement";
+    case MessageType::kTreeDone:
+      return "TreeDone";
+    case MessageType::kTrainDone:
+      return "TrainDone";
+    case MessageType::kSplitQueries:
+      return "SplitQueries";
+    case MessageType::kServeQuery:
+      return "ServeQuery";
+    case MessageType::kServeReply:
+      return "ServeReply";
+    case MessageType::kServeDone:
+      return "ServeDone";
+    case MessageType::kLrPartial:
+      return "LrPartial";
+    case MessageType::kLrGradRequest:
+      return "LrGradRequest";
+    case MessageType::kLrGradReply:
+      return "LrGradReply";
+    case MessageType::kLrDone:
+      return "LrDone";
+  }
+  return "Unknown";
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,49 @@
+#ifndef VF2BOOST_FED_MESSAGE_H_
+#define VF2BOOST_FED_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vf2boost {
+
+/// Cross-party message kinds. The wire protocol is strictly FIFO per
+/// direction (the paper's Pulsar queues are ordered per channel), and the
+/// engines rely on that ordering.
+enum class MessageType : uint8_t {
+  kPublicKey = 1,       ///< B -> A: Paillier public key
+  kLayout = 2,          ///< A -> B: histogram layout (bins per feature)
+  kGradBatch = 3,       ///< B -> A: encrypted gradient/hessian batch
+  kNodeHistogram = 4,   ///< A -> B: encrypted histogram of one node
+  kDecisions = 5,       ///< B -> A: split decisions for one layer (sequential)
+  kOptPlacements = 6,   ///< B -> A: optimistic split placements (optimistic)
+  kVerdicts = 7,        ///< B -> A: validation verdicts for one layer
+  kPlacement = 8,       ///< A -> B: instance placement for an A-owned split
+  kTreeDone = 9,        ///< B -> A: tree finished
+  kTrainDone = 10,      ///< B -> A: training finished
+  kSplitQueries = 11,   ///< B -> A: "you own these splits; send placements"
+  kServeQuery = 12,     ///< B -> A: inference branch-direction query
+  kServeReply = 13,     ///< A -> B: direction bitmap for a serve query
+  kServeDone = 14,      ///< B -> A: serving session shutdown
+  // Vertical federated logistic regression (paper §5 Discussions).
+  kLrPartial = 20,      ///< encrypted per-instance partial score terms
+  kLrGradRequest = 21,  ///< encrypted masked gradient accumulations
+  kLrGradReply = 22,    ///< plaintext masked gradients (decrypted by peer)
+  kLrDone = 23,         ///< LR training finished
+};
+
+/// Human-readable type name (logging / stats).
+const char* MessageTypeName(MessageType type);
+
+/// \brief One message: a kind plus an opaque serialized payload. The payload
+/// size is the real wire footprint the channel throttles and accounts.
+struct Message {
+  MessageType type;
+  std::vector<uint8_t> payload;
+
+  size_t WireBytes() const { return payload.size() + 1; }
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_MESSAGE_H_

@@ -1,0 +1,303 @@
+#include "fed/party_a.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "fed/placement.h"
+#include "gbdt/loss.h"
+
+namespace vf2boost {
+
+PartyAEngine::PartyAEngine(const FedConfig& config, const Dataset& data,
+                           ChannelEndpoint* channel, uint32_t party_index)
+    : config_(config),
+      data_(data),
+      inbox_(channel),
+      party_index_(party_index),
+      rng_(config.seed * 7919 + party_index + 1) {
+  if (config_.workers_per_party > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
+  }
+}
+
+Status PartyAEngine::Setup() {
+  cuts_ = ComputeBinCuts(data_.features, config_.gbdt.max_bins);
+  binned_ = BinnedMatrix::FromCsr(data_.features, cuts_);
+  layout_ = FeatureLayout::FromCuts(cuts_);
+
+  Stopwatch wait;
+  Message msg = inbox_.ReceiveType(MessageType::kPublicKey);
+  stats_.party_a.comm_wait += wait.ElapsedSeconds();
+  if (config_.mock_crypto) {
+    backend_ = std::make_unique<MockBackend>(config_.MakeCodec());
+  } else {
+    ByteReader r(msg.payload);
+    auto pub = PaillierPublicKey::Deserialize(&r);
+    VF2_RETURN_IF_ERROR(pub.status());
+    backend_ = std::make_unique<PaillierBackend>(std::move(pub).value(),
+                                                 config_.MakeCodec());
+  }
+
+  LayoutPayload layout_msg;
+  for (uint32_t f = 0; f < layout_.num_features(); ++f) {
+    layout_msg.bins_per_feature.push_back(layout_.NumBins(f));
+  }
+  inbox_.Send(EncodeLayout(layout_msg));
+  return Status::OK();
+}
+
+Status PartyAEngine::Run() {
+  VF2_RETURN_IF_ERROR(Setup());
+  for (;;) {
+    Stopwatch wait;
+    Message msg = inbox_.Receive();
+    stats_.party_a.comm_wait += wait.ElapsedSeconds();
+    if (msg.type == MessageType::kTrainDone) return Status::OK();
+    if (msg.type != MessageType::kGradBatch) {
+      return Status::ProtocolError(std::string("party A expected GradBatch, got ") +
+                                   MessageTypeName(msg.type));
+    }
+    VF2_RETURN_IF_ERROR(RunTree(std::move(msg)));
+  }
+}
+
+Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
+  const size_t n = data_.rows();
+  g_ciphers_.assign(n, Cipher{});
+  h_ciphers_.assign(n, Cipher{});
+  size_t received = 0;
+  Message msg = std::move(first);
+  for (;;) {
+    GradBatchPayload batch;
+    VF2_RETURN_IF_ERROR(DecodeGradBatch(msg, *backend_, &batch));
+    *tree_id = batch.tree;
+    if (batch.start + batch.g.size() > n) {
+      return Status::ProtocolError("grad batch out of range");
+    }
+    for (size_t k = 0; k < batch.g.size(); ++k) {
+      g_ciphers_[batch.start + k] = std::move(batch.g[k]);
+      h_ciphers_[batch.start + k] = std::move(batch.h[k]);
+    }
+    received += batch.g.size();
+    if (received >= n) break;
+    Stopwatch wait;
+    msg = inbox_.ReceiveType(MessageType::kGradBatch);
+    stats_.party_a.comm_wait += wait.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
+                                      int32_t node) {
+  const auto it = node_instances_.find(node);
+  VF2_CHECK(it != node_instances_.end()) << "no instances for node " << node;
+
+  Stopwatch timer;
+  AccumulatorStats acc_stats;
+  EncryptedHistogram hist = BuildEncryptedHistogramParallel(
+      binned_, layout_, it->second, g_ciphers_, h_ciphers_, *backend_,
+      config_.reordered, &acc_stats, pool_.get());
+  stats_.hadds += acc_stats.hadds;
+  stats_.scalings += acc_stats.scalings;
+  stats_.party_a.build_hist += timer.ElapsedSeconds();
+
+  NodeHistogramPayload payload;
+  payload.tree = tree;
+  payload.layer = layer;
+  payload.node = node;
+  payload.epoch = hist_epoch_[node];
+
+  if (config_.packing) {
+    Stopwatch pack_timer;
+    AccumulatorStats pack_stats;
+    auto loss = MakeLoss(config_.gbdt.objective);
+    VF2_RETURN_IF_ERROR(loss.status());
+    auto packed = PackHistogram(hist, layout_, data_.rows(),
+                                loss.value()->GradientBound(), *backend_,
+                                &pack_stats, config_.min_pack_slots);
+    if (packed.ok()) {
+      payload.packed = true;
+      payload.shift_g = packed->shift_g;
+      payload.shift_h = packed->shift_h;
+      payload.g_packs = std::move(packed->g_packs);
+      payload.h_packs = std::move(packed->h_packs);
+      stats_.packs += payload.g_packs.size() + payload.h_packs.size();
+      stats_.hadds += pack_stats.hadds;
+      stats_.scalings += pack_stats.scalings;
+    } else {
+      // Key too small for the required slot width: fall back to raw.
+      payload.packed = false;
+      payload.g_bins = std::move(hist.g_bins);
+      payload.h_bins = std::move(hist.h_bins);
+    }
+    stats_.party_a.pack += pack_timer.ElapsedSeconds();
+  } else {
+    payload.g_bins = std::move(hist.g_bins);
+    payload.h_bins = std::move(hist.h_bins);
+  }
+  inbox_.Send(EncodeNodeHistogram(payload, *backend_));
+  return Status::OK();
+}
+
+Status PartyAEngine::HandleSplitQueries(const Message& msg) {
+  DecisionsPayload queries;
+  VF2_RETURN_IF_ERROR(DecodeDecisions(msg, &queries));
+  for (const NodeDecision& q : queries.decisions) {
+    if (q.action != NodeAction::kSplitQuery) {
+      return Status::ProtocolError("non-query decision in SplitQueries");
+    }
+    const auto it = node_instances_.find(q.node);
+    if (it == node_instances_.end()) {
+      return Status::ProtocolError("split query for unknown node");
+    }
+    if (q.feature >= layout_.num_features() ||
+        q.bin + 1 >= layout_.NumBins(q.feature)) {
+      return Status::ProtocolError("split query feature/bin out of range");
+    }
+    PlacementPayload reply;
+    reply.tree = queries.tree;
+    reply.layer = queries.layer;
+    reply.node = q.node;
+    reply.placement = ComputePlacement(binned_, it->second, q.feature, q.bin,
+                                       q.default_left);
+    inbox_.Send(EncodePlacement(reply));
+  }
+  return Status::OK();
+}
+
+Status PartyAEngine::HandleResolvedDecisions(const Message& msg) {
+  DecisionsPayload decisions;
+  VF2_RETURN_IF_ERROR(DecodeDecisions(msg, &decisions));
+  std::vector<std::pair<int32_t, bool>> new_children;  // (id, is_redo)
+  for (const NodeDecision& d : decisions.decisions) {
+    if (d.action == NodeAction::kLeaf) continue;
+    if (d.action != NodeAction::kSplitResolved) {
+      return Status::ProtocolError("unresolved decision in Decisions");
+    }
+    const auto it = node_instances_.find(d.node);
+    if (it == node_instances_.end()) {
+      return Status::ProtocolError("decision for unknown node");
+    }
+    // A correction replaces previously created optimistic children.
+    const bool redo = node_instances_.count(d.left) > 0;
+    if (redo) {
+      ++hist_epoch_[d.left];
+      ++hist_epoch_[d.right];
+      stats_.redone_hist_builds += 2;
+    }
+    std::vector<uint32_t> left, right;
+    ApplyPlacement(it->second, d.placement, &left, &right);
+    node_instances_[d.left] = std::move(left);
+    node_instances_[d.right] = std::move(right);
+    new_children.push_back({d.left, redo});
+    new_children.push_back({d.right, redo});
+  }
+  if (ChildrenNeedHists(decisions.layer)) {
+    for (const auto& [child, redo] : new_children) {
+      // In sequential mode every child hist is a first build; in optimistic
+      // mode only corrected children reach this path (fresh children of a
+      // corrected optimistic-leaf included).
+      VF2_RETURN_IF_ERROR(
+          BuildAndSendHist(decisions.tree, decisions.layer + 1, child));
+    }
+  }
+  return Status::OK();
+}
+
+Status PartyAEngine::HandleOptPlacements(const Message& msg) {
+  DecisionsPayload placements;
+  VF2_RETURN_IF_ERROR(DecodeDecisions(msg, &placements));
+  std::vector<int32_t> new_children;
+  for (const NodeDecision& d : placements.decisions) {
+    if (d.action == NodeAction::kLeaf) continue;
+    if (d.action != NodeAction::kSplitResolved) {
+      return Status::ProtocolError("query decision in OptPlacements");
+    }
+    const auto it = node_instances_.find(d.node);
+    if (it == node_instances_.end()) {
+      return Status::ProtocolError("optimistic placement for unknown node");
+    }
+    std::vector<uint32_t> left, right;
+    ApplyPlacement(it->second, d.placement, &left, &right);
+    node_instances_[d.left] = std::move(left);
+    node_instances_[d.right] = std::move(right);
+    new_children.push_back(d.left);
+    new_children.push_back(d.right);
+  }
+  if (ChildrenNeedHists(placements.layer)) {
+    for (int32_t child : new_children) {
+      VF2_RETURN_IF_ERROR(
+          BuildAndSendHist(placements.tree, placements.layer + 1, child));
+    }
+  }
+  return Status::OK();
+}
+
+Status PartyAEngine::HandleVerdicts(const Message& msg) {
+  VerdictsPayload verdicts;
+  VF2_RETURN_IF_ERROR(DecodeVerdicts(msg, &verdicts));
+  for (const NodeVerdict& v : verdicts.verdicts) {
+    if (!v.use_a || v.owner != party_index_) continue;
+    const auto it = node_instances_.find(v.node);
+    if (it == node_instances_.end()) {
+      return Status::ProtocolError("verdict for unknown node");
+    }
+    if (v.feature >= layout_.num_features() ||
+        v.bin + 1 >= layout_.NumBins(v.feature)) {
+      return Status::ProtocolError("verdict feature/bin out of range");
+    }
+    PlacementPayload reply;
+    reply.tree = verdicts.tree;
+    reply.layer = verdicts.layer;
+    reply.node = v.node;
+    reply.placement = ComputePlacement(binned_, it->second, v.feature, v.bin,
+                                       v.default_left);
+    inbox_.Send(EncodePlacement(reply));
+  }
+  return Status::OK();
+}
+
+Status PartyAEngine::RunTree(Message first_grad_msg) {
+  uint32_t tree_id = 0;
+  VF2_RETURN_IF_ERROR(ReceiveGradients(std::move(first_grad_msg), &tree_id));
+  current_tree_ = tree_id;
+
+  node_instances_.clear();
+  hist_epoch_.clear();
+  std::vector<uint32_t> all(data_.rows());
+  std::iota(all.begin(), all.end(), 0);
+  node_instances_[0] = std::move(all);
+
+  if (config_.gbdt.num_layers >= 2) {
+    VF2_RETURN_IF_ERROR(BuildAndSendHist(tree_id, /*layer=*/0, /*node=*/0));
+  }
+
+  for (;;) {
+    Stopwatch wait;
+    Message msg = inbox_.Receive();
+    stats_.party_a.comm_wait += wait.ElapsedSeconds();
+    switch (msg.type) {
+      case MessageType::kTreeDone:
+        return Status::OK();
+      case MessageType::kSplitQueries:
+        VF2_RETURN_IF_ERROR(HandleSplitQueries(msg));
+        break;
+      case MessageType::kDecisions:
+        VF2_RETURN_IF_ERROR(HandleResolvedDecisions(msg));
+        break;
+      case MessageType::kOptPlacements:
+        VF2_RETURN_IF_ERROR(HandleOptPlacements(msg));
+        break;
+      case MessageType::kVerdicts:
+        VF2_RETURN_IF_ERROR(HandleVerdicts(msg));
+        break;
+      default:
+        return Status::ProtocolError(
+            std::string("party A unexpected message: ") +
+            MessageTypeName(msg.type));
+    }
+  }
+}
+
+}  // namespace vf2boost

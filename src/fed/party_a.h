@@ -1,0 +1,78 @@
+#ifndef VF2BOOST_FED_PARTY_A_H_
+#define VF2BOOST_FED_PARTY_A_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fed/enc_histogram.h"
+#include "fed/inbox.h"
+#include "fed/protocol.h"
+
+namespace vf2boost {
+
+/// \brief Party A: the passive (feature-only) party.
+///
+/// Consumes encrypted gradients, builds encrypted histograms (BuildHistA),
+/// answers split queries with placement bitmaps, and — under the optimistic
+/// protocol — pipelines one layer ahead of validation, rebuilding the
+/// histograms of children invalidated by dirty-node corrections.
+///
+/// Run() executes the whole training conversation and returns when Party B
+/// signals kTrainDone. Thread-compatible: one engine per thread.
+class PartyAEngine {
+ public:
+  /// `party_index` is this party's id (0-based among A parties).
+  PartyAEngine(const FedConfig& config, const Dataset& data,
+               ChannelEndpoint* channel, uint32_t party_index);
+
+  Status Run();
+
+  /// A-side operation counters and phase timings (valid after Run).
+  const FedStats& stats() const { return stats_; }
+  /// This party's split candidate values — needed to turn bin-granular
+  /// federated model nodes back into thresholds (harness only).
+  const BinCuts& cuts() const { return cuts_; }
+
+ private:
+  Status Setup();
+  Status RunTree(Message first_grad_msg);
+  Status ReceiveGradients(Message first, uint32_t* tree_id);
+  Status BuildAndSendHist(uint32_t tree, uint32_t layer, int32_t node);
+  Status HandleSplitQueries(const Message& msg);
+  Status HandleResolvedDecisions(const Message& msg);
+  Status HandleOptPlacements(const Message& msg);
+  Status HandleVerdicts(const Message& msg);
+
+  bool ChildrenNeedHists(uint32_t layer) const {
+    // Children of layer `layer` live on layer+1; they get histograms only if
+    // they can still be split (layer+1 <= L-2).
+    return layer + 2 < static_cast<uint32_t>(config_.gbdt.num_layers);
+  }
+
+  FedConfig config_;
+  const Dataset& data_;
+  Inbox inbox_;
+  uint32_t party_index_;
+
+  BinCuts cuts_;
+  BinnedMatrix binned_;
+  FeatureLayout layout_;
+  std::unique_ptr<CipherBackend> backend_;
+  std::unique_ptr<ThreadPool> pool_;  // intra-party workers (config > 1)
+  Rng rng_;
+
+  // Per-tree state.
+  std::vector<Cipher> g_ciphers_;
+  std::vector<Cipher> h_ciphers_;
+  std::unordered_map<int32_t, std::vector<uint32_t>> node_instances_;
+  std::unordered_map<int32_t, uint32_t> hist_epoch_;
+  uint32_t current_tree_ = 0;
+
+  FedStats stats_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_PARTY_A_H_

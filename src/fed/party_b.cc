@@ -1,0 +1,570 @@
+#include "fed/party_b.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "fed/enc_histogram.h"
+#include "fed/placement.h"
+#include "gbdt/split.h"
+
+namespace vf2boost {
+
+PartyBEngine::PartyBEngine(const FedConfig& config, const Dataset& data,
+                           std::vector<ChannelEndpoint*> channels)
+    : config_(config),
+      data_(data),
+      party_b_index_(static_cast<uint32_t>(channels.size())),
+      rng_(config.seed) {
+  for (ChannelEndpoint* c : channels) inboxes_.emplace_back(c);
+  if (config_.workers_per_party > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
+  }
+}
+
+Status PartyBEngine::Setup() {
+  if (!data_.has_labels()) {
+    return Status::InvalidArgument("party B data has no labels");
+  }
+  auto loss = MakeLoss(config_.gbdt.objective);
+  VF2_RETURN_IF_ERROR(loss.status());
+  loss_ = std::move(loss).value();
+
+  cuts_ = ComputeBinCuts(data_.features, config_.gbdt.max_bins);
+  binned_ = BinnedMatrix::FromCsr(data_.features, cuts_);
+  layout_ = FeatureLayout::FromCuts(cuts_);
+
+  // Key generation and handshake.
+  Message key_msg{MessageType::kPublicKey, {}};
+  if (config_.mock_crypto) {
+    backend_ = std::make_unique<MockBackend>(config_.MakeCodec());
+  } else {
+    auto kp = PaillierKeyPair::Generate(config_.paillier_bits, &rng_);
+    VF2_RETURN_IF_ERROR(kp.status());
+    auto pb =
+        std::make_unique<PaillierBackend>(kp->pub, config_.MakeCodec());
+    pb->SetPrivateKey(kp->priv);
+    ByteWriter w;
+    kp->pub.Serialize(&w);
+    key_msg.payload = w.Release();
+    backend_ = std::move(pb);
+  }
+  for (Inbox& inbox : inboxes_) {
+    Message copy = key_msg;
+    inbox.Send(std::move(copy));
+  }
+  for (Inbox& inbox : inboxes_) {
+    Message msg = inbox.ReceiveType(MessageType::kLayout);
+    LayoutPayload layout;
+    VF2_RETURN_IF_ERROR(DecodeLayout(msg, &layout));
+    FeatureLayout fl;
+    fl.offsets.push_back(0);
+    for (uint64_t bins : layout.bins_per_feature) {
+      if (bins == 0 || bins > 65536) {
+        return Status::ProtocolError("bad bin count in layout");
+      }
+      fl.offsets.push_back(fl.offsets.back() + static_cast<uint32_t>(bins));
+    }
+    a_layouts_.push_back(std::move(fl));
+  }
+  return Status::OK();
+}
+
+GradPair PartyBEngine::SumGrads(const std::vector<uint32_t>& instances) const {
+  GradPair total;
+  for (uint32_t i : instances) total += grads_[i];
+  return total;
+}
+
+void PartyBEngine::EncryptAndSendGradients(uint32_t tree_id) {
+  const size_t n = data_.rows();
+  const size_t batch =
+      config_.blaster ? std::max<size_t>(1, config_.blaster_batch) : n;
+  Stopwatch timer;
+  for (size_t start = 0; start < n; start += batch) {
+    const size_t end = std::min(n, start + batch);
+    GradBatchPayload payload;
+    payload.tree = tree_id;
+    payload.start = start;
+    payload.g.resize(end - start);
+    payload.h.resize(end - start);
+    if (pool_ != nullptr) {
+      // Workers encrypt instance shards concurrently, each with its own
+      // deterministic nonce stream.
+      const uint64_t batch_seed = rng_.NextU64();
+      const size_t shards = pool_->num_threads();
+      const size_t chunk = (end - start + shards - 1) / shards;
+      pool_->ParallelFor(shards, [&](size_t s) {
+        Rng worker_rng(batch_seed ^ (0x9e37u + s));
+        const size_t lo = start + s * chunk;
+        const size_t hi = std::min(end, lo + chunk);
+        for (size_t i = lo; i < hi; ++i) {
+          payload.g[i - start] = backend_->Encrypt(grads_[i].g, &worker_rng);
+          payload.h[i - start] = backend_->Encrypt(grads_[i].h, &worker_rng);
+        }
+      });
+    } else {
+      for (size_t i = start; i < end; ++i) {
+        payload.g[i - start] = backend_->Encrypt(grads_[i].g, &rng_);
+        payload.h[i - start] = backend_->Encrypt(grads_[i].h, &rng_);
+      }
+    }
+    stats_.encryptions += 2 * (end - start);
+    // The same ciphers go to every A party.
+    for (Inbox& inbox : inboxes_) {
+      inbox.Send(EncodeGradBatch(payload, *backend_));
+    }
+  }
+  stats_.party_b.encrypt += timer.ElapsedSeconds();
+}
+
+Status PartyBEngine::CollectHistograms(
+    uint32_t layer, const std::vector<NodeState*>& nodes,
+    std::vector<std::map<int32_t, Histogram>>* hists) {
+  hists->assign(inboxes_.size(), {});
+  for (size_t p = 0; p < inboxes_.size(); ++p) {
+    auto& per_party = (*hists)[p];
+    while (per_party.size() < nodes.size()) {
+      Stopwatch wait;
+      Message msg = inboxes_[p].ReceiveType(MessageType::kNodeHistogram);
+      stats_.party_b.comm_wait += wait.ElapsedSeconds();
+      NodeHistogramPayload payload;
+      VF2_RETURN_IF_ERROR(DecodeNodeHistogram(msg, *backend_, &payload));
+      if (payload.layer != layer) {
+        return Status::ProtocolError("histogram for wrong layer");
+      }
+      const uint32_t expected = hist_epoch_[payload.node];
+      if (payload.epoch < expected) continue;  // stale optimistic build
+      if (payload.epoch > expected) {
+        return Status::ProtocolError("histogram from the future");
+      }
+      bool known = false;
+      for (const NodeState* ns : nodes) known |= ns->id == payload.node;
+      if (!known) return Status::ProtocolError("histogram for unknown node");
+
+      Stopwatch dec_timer;
+      Result<Histogram> hist = payload.packed
+          ? [&]() {
+              PackedHistogram packed;
+              packed.shift_g = payload.shift_g;
+              packed.shift_h = payload.shift_h;
+              packed.g_packs = std::move(payload.g_packs);
+              packed.h_packs = std::move(payload.h_packs);
+              return DecryptPackedHistogram(packed, a_layouts_[p], *backend_,
+                                            &stats_.decryptions);
+            }()
+          : DecryptRawHistogram(payload.g_bins, payload.h_bins, a_layouts_[p],
+                                *backend_, &stats_.decryptions);
+      VF2_RETURN_IF_ERROR(hist.status());
+      stats_.party_b.decrypt += dec_timer.ElapsedSeconds();
+      per_party[payload.node] = std::move(hist).value();
+    }
+  }
+  return Status::OK();
+}
+
+void PartyBEngine::FinalizeLeaf(const NodeState& node, Tree* tree) {
+  const double w = LeafWeight(node.total, config_.gbdt);
+  tree->node(node.id).weight = w;
+  for (uint32_t i : node.instances) {
+    scores_[i] += config_.gbdt.learning_rate * w;
+  }
+  ++stats_.leaves;
+}
+
+Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
+  const GbdtParams& params = config_.gbdt;
+  loss_->Compute(scores_, data_.labels, &grads_);
+  EncryptAndSendGradients(tree_id);
+
+  hist_epoch_.clear();
+  std::vector<NodeState> active(1);
+  active[0].id = 0;
+  active[0].layer = 0;
+  active[0].instances.resize(data_.rows());
+  std::iota(active[0].instances.begin(), active[0].instances.end(), 0);
+  active[0].total = SumGrads(active[0].instances);
+
+  for (uint32_t layer = 0; layer + 1 < params.num_layers && !active.empty();
+       ++layer) {
+    // --- FindSplitB: own histograms + best own splits -----------------------
+    {
+      Stopwatch timer;
+      for (NodeState& node : active) {
+        if (!node.has_hist) {  // only the root reaches this; children are
+                               // derived at split time (sibling subtraction)
+          node.own_hist =
+              Histogram::Build(binned_, layout_, node.instances, grads_);
+          node.has_hist = true;
+        }
+        node.best_b = FindBestSplit(node.own_hist, layout_, node.total,
+                                    params);
+      }
+      stats_.party_b.find_split += timer.ElapsedSeconds();
+    }
+
+    std::vector<NodeState> children;
+    auto split_node = [&](NodeState& node, int32_t left_id, int32_t right_id,
+                          const Bitmap& placement) {
+      NodeState l, r;
+      l.id = left_id;
+      r.id = right_id;
+      l.layer = r.layer = layer + 1;
+      ApplyPlacement(node.instances, placement, &l.instances, &r.instances);
+      l.total = SumGrads(l.instances);
+      r.total = SumGrads(r.instances);
+      // Sibling subtraction: build the smaller child, derive the other from
+      // the parent histogram (only worthwhile below the leaf layer).
+      if (layer + 2 < params.num_layers) {
+        Stopwatch timer;
+        NodeState* small = &l;
+        NodeState* big = &r;
+        if (small->instances.size() > big->instances.size()) {
+          std::swap(small, big);
+        }
+        small->own_hist =
+            Histogram::Build(binned_, layout_, small->instances, grads_);
+        big->own_hist = small->own_hist;
+        big->own_hist.SubtractFrom(node.own_hist);
+        l.has_hist = r.has_hist = true;
+        stats_.party_b.find_split += timer.ElapsedSeconds();
+      }
+      children.push_back(std::move(l));
+      children.push_back(std::move(r));
+    };
+    auto erase_children_of = [&](int32_t left_id, int32_t right_id) {
+      children.erase(std::remove_if(children.begin(), children.end(),
+                                    [&](const NodeState& c) {
+                                      return c.id == left_id ||
+                                             c.id == right_id;
+                                    }),
+                     children.end());
+    };
+
+    if (config_.optimistic) {
+      // --- optimistic pre-split by B's own best (§4.2) ----------------------
+      DecisionsPayload opt;
+      opt.tree = tree_id;
+      opt.layer = layer;
+      for (NodeState& node : active) {
+        NodeDecision d;
+        d.node = node.id;
+        if (node.best_b.valid()) {
+          const int32_t left_id = tree->AddNode();
+          const int32_t right_id = tree->AddNode();
+          Bitmap placement =
+              ComputePlacement(binned_, node.instances, node.best_b.feature,
+                               node.best_b.bin, node.best_b.default_left);
+          TreeNode& tn = tree->node(node.id);
+          tn.feature = node.best_b.feature;
+          tn.split_value = cuts_.SplitValue(node.best_b.feature,
+                                            node.best_b.bin);
+          tn.split_bin = node.best_b.bin;
+          tn.default_left = node.best_b.default_left;
+          tn.gain = node.best_b.gain;
+          tn.owner_party = static_cast<int32_t>(party_b_index_);
+          tn.left = left_id;
+          tn.right = right_id;
+          d.action = NodeAction::kSplitResolved;
+          d.left = left_id;
+          d.right = right_id;
+          d.placement = placement;
+          node.opt_split = true;
+          split_node(node, left_id, right_id, placement);
+          ++stats_.optimistic_splits;
+        } else {
+          d.action = NodeAction::kLeaf;
+          node.opt_split = false;
+        }
+        opt.decisions.push_back(std::move(d));
+      }
+      const bool children_need_hists = layer + 2 < params.num_layers;
+      if (children_need_hists) {
+        for (Inbox& inbox : inboxes_) {
+          inbox.Send(EncodeDecisions(opt, MessageType::kOptPlacements));
+        }
+      }
+
+      // --- receive + validate (FindSplitA) ----------------------------------
+      std::vector<NodeState*> node_ptrs;
+      for (NodeState& n : active) node_ptrs.push_back(&n);
+      std::vector<std::map<int32_t, Histogram>> hists;
+      VF2_RETURN_IF_ERROR(CollectHistograms(layer, node_ptrs, &hists));
+
+      VerdictsPayload verdicts;
+      verdicts.tree = tree_id;
+      verdicts.layer = layer;
+      struct Dirty {
+        NodeState* node;
+        uint32_t owner;
+        int32_t left, right;
+      };
+      std::vector<Dirty> dirty;
+      {
+        Stopwatch timer;
+        for (NodeState& node : active) {
+          SplitCandidate best_a;
+          uint32_t owner = 0;
+          for (size_t p = 0; p < inboxes_.size(); ++p) {
+            SplitCandidate cand = FindBestSplit(
+                hists[p][node.id], a_layouts_[p], node.total, params);
+            if (cand.gain > best_a.gain) {
+              best_a = cand;
+              owner = static_cast<uint32_t>(p);
+            }
+          }
+          NodeVerdict v;
+          v.node = node.id;
+          if (best_a.valid() && best_a.gain > node.best_b.gain) {
+            // Dirty: A's split wins. Roll back the optimistic action.
+            v.use_a = true;
+            v.owner = owner;
+            v.feature = best_a.feature;
+            v.bin = best_a.bin;
+            v.default_left = best_a.default_left;
+            if (node.opt_split) {
+              // Reuse the children ids; their contents are redone.
+              v.left = tree->node(node.id).left;
+              v.right = tree->node(node.id).right;
+              erase_children_of(v.left, v.right);
+              ++hist_epoch_[v.left];
+              ++hist_epoch_[v.right];
+            } else {
+              v.left = tree->AddNode();
+              v.right = tree->AddNode();
+            }
+            TreeNode& tn = tree->node(node.id);
+            tn.feature = best_a.feature;
+            tn.split_value = 0;  // only the owner party knows it
+            tn.split_bin = best_a.bin;
+            tn.default_left = best_a.default_left;
+            tn.gain = best_a.gain;
+            tn.owner_party = static_cast<int32_t>(owner);
+            tn.left = v.left;
+            tn.right = v.right;
+            dirty.push_back({&node, owner, v.left, v.right});
+            ++stats_.dirty_nodes;
+          }
+          verdicts.verdicts.push_back(v);
+        }
+        stats_.party_b.find_split += timer.ElapsedSeconds();
+      }
+      for (Inbox& inbox : inboxes_) {
+        inbox.Send(EncodeVerdicts(verdicts));
+      }
+
+      // --- placements for dirty nodes, then broadcast corrections -----------
+      if (!dirty.empty()) {
+        DecisionsPayload corrections;
+        corrections.tree = tree_id;
+        corrections.layer = layer;
+        for (const Dirty& d : dirty) {
+          Stopwatch wait;
+          Message msg =
+              inboxes_[d.owner].ReceiveType(MessageType::kPlacement);
+          stats_.party_b.comm_wait += wait.ElapsedSeconds();
+          PlacementPayload placement;
+          VF2_RETURN_IF_ERROR(DecodePlacement(msg, &placement));
+          if (placement.node != d.node->id) {
+            return Status::ProtocolError("placement for wrong node");
+          }
+          if (placement.placement.size() != d.node->instances.size()) {
+            return Status::ProtocolError("placement size mismatch");
+          }
+          split_node(*d.node, d.left, d.right, placement.placement);
+          NodeDecision correction;
+          correction.node = d.node->id;
+          correction.action = NodeAction::kSplitResolved;
+          correction.left = d.left;
+          correction.right = d.right;
+          correction.placement = std::move(placement.placement);
+          corrections.decisions.push_back(std::move(correction));
+          ++stats_.splits_a;
+        }
+        for (Inbox& inbox : inboxes_) {
+          DecisionsPayload copy = corrections;
+          inbox.Send(EncodeDecisions(copy, MessageType::kDecisions));
+        }
+      }
+
+      // --- finalize confirmed nodes ----------------------------------------
+      for (NodeState& node : active) {
+        bool is_dirty = false;
+        for (const Dirty& d : dirty) is_dirty |= d.node == &node;
+        if (is_dirty) continue;
+        if (node.opt_split) {
+          ++stats_.splits_b;
+        } else {
+          FinalizeLeaf(node, tree);
+        }
+      }
+    } else {
+      // --- sequential SecureBoost-style layer (VF-GBDT) ---------------------
+      std::vector<NodeState*> node_ptrs;
+      for (NodeState& n : active) node_ptrs.push_back(&n);
+      std::vector<std::map<int32_t, Histogram>> hists;
+      VF2_RETURN_IF_ERROR(CollectHistograms(layer, node_ptrs, &hists));
+
+      DecisionsPayload resolved;
+      resolved.tree = tree_id;
+      resolved.layer = layer;
+      std::vector<DecisionsPayload> queries(inboxes_.size());
+      struct PendingA {
+        NodeState* node;
+        uint32_t owner;
+        int32_t left, right;
+        size_t resolved_index;
+      };
+      std::vector<PendingA> pending;
+
+      Stopwatch timer;
+      for (NodeState& node : active) {
+        SplitCandidate best_a;
+        uint32_t owner = 0;
+        for (size_t p = 0; p < inboxes_.size(); ++p) {
+          SplitCandidate cand = FindBestSplit(hists[p][node.id],
+                                              a_layouts_[p], node.total,
+                                              params);
+          if (cand.gain > best_a.gain) {
+            best_a = cand;
+            owner = static_cast<uint32_t>(p);
+          }
+        }
+        NodeDecision d;
+        d.node = node.id;
+        const bool b_wins =
+            node.best_b.valid() && node.best_b.gain >= best_a.gain;
+        if (b_wins) {
+          const int32_t left_id = tree->AddNode();
+          const int32_t right_id = tree->AddNode();
+          Bitmap placement =
+              ComputePlacement(binned_, node.instances, node.best_b.feature,
+                               node.best_b.bin, node.best_b.default_left);
+          TreeNode& tn = tree->node(node.id);
+          tn.feature = node.best_b.feature;
+          tn.split_value =
+              cuts_.SplitValue(node.best_b.feature, node.best_b.bin);
+          tn.split_bin = node.best_b.bin;
+          tn.default_left = node.best_b.default_left;
+          tn.gain = node.best_b.gain;
+          tn.owner_party = static_cast<int32_t>(party_b_index_);
+          tn.left = left_id;
+          tn.right = right_id;
+          d.action = NodeAction::kSplitResolved;
+          d.left = left_id;
+          d.right = right_id;
+          d.placement = placement;
+          split_node(node, left_id, right_id, placement);
+          ++stats_.splits_b;
+        } else if (best_a.valid()) {
+          const int32_t left_id = tree->AddNode();
+          const int32_t right_id = tree->AddNode();
+          TreeNode& tn = tree->node(node.id);
+          tn.feature = best_a.feature;
+          tn.split_value = 0;
+          tn.split_bin = best_a.bin;
+          tn.default_left = best_a.default_left;
+          tn.gain = best_a.gain;
+          tn.owner_party = static_cast<int32_t>(owner);
+          tn.left = left_id;
+          tn.right = right_id;
+          NodeDecision q;
+          q.node = node.id;
+          q.action = NodeAction::kSplitQuery;
+          q.left = left_id;
+          q.right = right_id;
+          q.feature = best_a.feature;
+          q.bin = best_a.bin;
+          q.default_left = best_a.default_left;
+          queries[owner].decisions.push_back(q);
+          pending.push_back(
+              {&node, owner, left_id, right_id, resolved.decisions.size()});
+          d.action = NodeAction::kSplitResolved;  // placement filled later
+          d.left = left_id;
+          d.right = right_id;
+          ++stats_.splits_a;
+        } else {
+          d.action = NodeAction::kLeaf;
+          FinalizeLeaf(node, tree);
+        }
+        resolved.decisions.push_back(std::move(d));
+      }
+      stats_.party_b.find_split += timer.ElapsedSeconds();
+
+      // Query owners for placements of A-won splits.
+      for (size_t p = 0; p < inboxes_.size(); ++p) {
+        if (queries[p].decisions.empty()) continue;
+        queries[p].tree = tree_id;
+        queries[p].layer = layer;
+        inboxes_[p].Send(
+            EncodeDecisions(queries[p], MessageType::kSplitQueries));
+      }
+      for (const PendingA& pa : pending) {
+        Stopwatch wait;
+        Message msg = inboxes_[pa.owner].ReceiveType(MessageType::kPlacement);
+        stats_.party_b.comm_wait += wait.ElapsedSeconds();
+        PlacementPayload placement;
+        VF2_RETURN_IF_ERROR(DecodePlacement(msg, &placement));
+        if (placement.node != pa.node->id ||
+            placement.placement.size() != pa.node->instances.size()) {
+          return Status::ProtocolError("bad placement reply");
+        }
+        split_node(*pa.node, pa.left, pa.right, placement.placement);
+        resolved.decisions[pa.resolved_index].placement =
+            std::move(placement.placement);
+      }
+      for (Inbox& inbox : inboxes_) {
+        DecisionsPayload copy = resolved;
+        inbox.Send(EncodeDecisions(copy, MessageType::kDecisions));
+      }
+    }
+    active = std::move(children);
+  }
+
+  // Remaining nodes at the last layer become leaves.
+  for (NodeState& node : active) FinalizeLeaf(node, tree);
+
+  for (Inbox& inbox : inboxes_) {
+    inbox.Send(Message{MessageType::kTreeDone, {}});
+  }
+  return Status::OK();
+}
+
+Result<PartyBResult> PartyBEngine::Run() {
+  VF2_RETURN_IF_ERROR(Setup());
+
+  PartyBResult result;
+  result.model.params = config_.gbdt;
+  result.model.base_score = 0;
+  scores_.assign(data_.rows(), result.model.base_score);
+
+  Stopwatch clock;
+  for (size_t t = 0; t < config_.gbdt.num_trees; ++t) {
+    Tree tree;
+    VF2_RETURN_IF_ERROR(TrainOneTree(static_cast<uint32_t>(t), &tree));
+    result.model.trees.push_back(std::move(tree));
+
+    EvalRecord rec;
+    rec.tree_index = t;
+    rec.elapsed_seconds = clock.ElapsedSeconds();
+    double total = 0;
+    for (size_t i = 0; i < scores_.size(); ++i) {
+      total += loss_->Value(scores_[i], data_.labels[i]);
+    }
+    rec.train_loss = total / static_cast<double>(scores_.size());
+    result.log.push_back(rec);
+  }
+  for (Inbox& inbox : inboxes_) {
+    inbox.Send(Message{MessageType::kTrainDone, {}});
+  }
+
+  for (Inbox& inbox : inboxes_) {
+    const ChannelStats sent = inbox.endpoint()->sent_stats();
+    stats_.bytes_b_to_a += sent.bytes;
+  }
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,91 @@
+#ifndef VF2BOOST_FED_PARTY_B_H_
+#define VF2BOOST_FED_PARTY_B_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "data/dataset.h"
+#include "fed/inbox.h"
+#include "fed/protocol.h"
+#include "gbdt/loss.h"
+#include "gbdt/split.h"
+#include "gbdt/trainer.h"
+#include "gbdt/tree.h"
+
+namespace vf2boost {
+
+/// Output of a Party-B training run.
+struct PartyBResult {
+  /// Federated model: B-owned nodes carry real split values; A-owned nodes
+  /// carry (owner_party, local feature, split bin) only.
+  GbdtModel model;
+  std::vector<EvalRecord> log;
+  FedStats stats;
+};
+
+/// \brief Party B: the active (label-owning) party.
+///
+/// Owns the Paillier private key, drives tree growth, encrypts gradient
+/// statistics, decrypts Party A histograms, performs global split finding,
+/// and — under the optimistic protocol — splits ahead of validation and
+/// rolls back dirty nodes (§4.2).
+class PartyBEngine {
+ public:
+  /// One inbox per A party, in party-index order. B's own party index is
+  /// channels.size() (it comes last).
+  PartyBEngine(const FedConfig& config, const Dataset& data,
+               std::vector<ChannelEndpoint*> channels);
+
+  Result<PartyBResult> Run();
+
+ private:
+  struct NodeState {
+    int32_t id = 0;
+    uint32_t layer = 0;
+    std::vector<uint32_t> instances;
+    GradPair total;
+    SplitCandidate best_b;
+    bool opt_split = false;  ///< B optimistically split this node
+    /// B's own-feature histogram: built for the root, derived for one
+    /// sibling of every split via subtraction (paper §7).
+    Histogram own_hist;
+    bool has_hist = false;
+  };
+
+  Status Setup();
+  Status TrainOneTree(uint32_t tree_id, Tree* tree);
+  void EncryptAndSendGradients(uint32_t tree_id);
+  /// Collects the expected-epoch histogram of every node in `nodes` from
+  /// every A party; hists[party][node] = decrypted plaintext histogram.
+  Status CollectHistograms(
+      uint32_t layer, const std::vector<NodeState*>& nodes,
+      std::vector<std::map<int32_t, Histogram>>* hists);
+  void FinalizeLeaf(const NodeState& node, Tree* tree);
+  GradPair SumGrads(const std::vector<uint32_t>& instances) const;
+
+  FedConfig config_;
+  const Dataset& data_;
+  std::vector<Inbox> inboxes_;
+  uint32_t party_b_index_;
+
+  BinCuts cuts_;
+  BinnedMatrix binned_;
+  FeatureLayout layout_;
+  std::vector<FeatureLayout> a_layouts_;
+  std::unique_ptr<CipherBackend> backend_;
+  std::unique_ptr<Loss> loss_;
+  std::unique_ptr<ThreadPool> pool_;  // intra-party workers (config > 1)
+  Rng rng_;
+
+  std::vector<double> scores_;
+  std::vector<GradPair> grads_;
+  std::map<int32_t, uint32_t> hist_epoch_;
+
+  FedStats stats_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_PARTY_B_H_

@@ -1,0 +1,308 @@
+#include "fed/protocol.h"
+
+#include "common/bytes.h"
+#include "fed/placement.h"
+
+namespace vf2boost {
+
+Status FedConfig::Validate() const {
+  if (!mock_crypto && (paillier_bits < 64 || paillier_bits % 2 != 0)) {
+    return Status::InvalidArgument(
+        "paillier_bits must be even and >= 64, got " +
+        std::to_string(paillier_bits));
+  }
+  if (codec_base < 2) {
+    return Status::InvalidArgument("codec base must be >= 2");
+  }
+  if (codec_num_exponents < 1) {
+    return Status::InvalidArgument("codec needs at least one exponent");
+  }
+  if (codec_min_exponent < 0 || codec_min_exponent + codec_num_exponents > 16) {
+    return Status::InvalidArgument(
+        "codec exponent range must lie in [0, 16) to keep encodings in the "
+        "64-bit mantissa");
+  }
+  if (gbdt.num_trees == 0) {
+    return Status::InvalidArgument("num_trees must be >= 1");
+  }
+  if (gbdt.num_layers == 0) {
+    return Status::InvalidArgument("num_layers must be >= 1");
+  }
+  if (gbdt.max_bins < 2 || gbdt.max_bins > 65535) {
+    return Status::InvalidArgument("max_bins must be in [2, 65535]");
+  }
+  if (gbdt.learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (blaster && blaster_batch == 0) {
+    return Status::InvalidArgument("blaster_batch must be >= 1");
+  }
+  if (workers_per_party == 0 || workers_per_party > 256) {
+    return Status::InvalidArgument("workers_per_party must be in [1, 256]");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void PutPackedCipher(const PackedCipher& pc, ByteWriter* w) {
+  w->PutI32(pc.exponent);
+  w->PutU32(pc.slot_bits);
+  w->PutU32(pc.num_slots);
+  w->PutU64Vector(pc.data.limbs());
+}
+
+Status GetPackedCipher(ByteReader* r, PackedCipher* pc) {
+  VF2_RETURN_IF_ERROR(r->GetI32(&pc->exponent));
+  VF2_RETURN_IF_ERROR(r->GetU32(&pc->slot_bits));
+  VF2_RETURN_IF_ERROR(r->GetU32(&pc->num_slots));
+  std::vector<uint64_t> limbs;
+  VF2_RETURN_IF_ERROR(r->GetU64Vector(&limbs));
+  pc->data = BigInt::FromLimbs(std::move(limbs));
+  return Status::OK();
+}
+
+}  // namespace
+
+void PutCipherVector(const std::vector<Cipher>& v, const CipherBackend& b,
+                     ByteWriter* w) {
+  w->PutU64(v.size());
+  for (const Cipher& c : v) b.SerializeCipher(c, w);
+}
+
+Status GetCipherVector(ByteReader* r, const CipherBackend& b,
+                       std::vector<Cipher>* v) {
+  uint64_t n = 0;
+  VF2_RETURN_IF_ERROR(r->GetU64(&n));
+  // Each serialized cipher needs at least an exponent + limb count
+  // (12 bytes); a hostile count must never drive the allocation.
+  if (n > r->remaining() / 12) {
+    return Status::Corruption("cipher vector count exceeds payload");
+  }
+  v->clear();
+  v->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Cipher c;
+    VF2_RETURN_IF_ERROR(b.DeserializeCipher(r, &c));
+    v->push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+Message EncodeGradBatch(const GradBatchPayload& p, const CipherBackend& b) {
+  ByteWriter w;
+  w.PutU32(p.tree);
+  w.PutU64(p.start);
+  PutCipherVector(p.g, b, &w);
+  PutCipherVector(p.h, b, &w);
+  return {MessageType::kGradBatch, w.Release()};
+}
+
+Status DecodeGradBatch(const Message& m, const CipherBackend& b,
+                       GradBatchPayload* p) {
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->tree));
+  VF2_RETURN_IF_ERROR(r.GetU64(&p->start));
+  VF2_RETURN_IF_ERROR(GetCipherVector(&r, b, &p->g));
+  VF2_RETURN_IF_ERROR(GetCipherVector(&r, b, &p->h));
+  if (p->g.size() != p->h.size()) {
+    return Status::Corruption("grad batch g/h size mismatch");
+  }
+  return Status::OK();
+}
+
+Message EncodeNodeHistogram(const NodeHistogramPayload& p,
+                            const CipherBackend& b) {
+  ByteWriter w;
+  w.PutU32(p.tree);
+  w.PutU32(p.layer);
+  w.PutI32(p.node);
+  w.PutU32(p.epoch);
+  w.PutU8(p.packed ? 1 : 0);
+  if (p.packed) {
+    w.PutDouble(p.shift_g);
+    w.PutDouble(p.shift_h);
+    w.PutU64(p.g_packs.size());
+    for (const PackedCipher& pc : p.g_packs) PutPackedCipher(pc, &w);
+    w.PutU64(p.h_packs.size());
+    for (const PackedCipher& pc : p.h_packs) PutPackedCipher(pc, &w);
+  } else {
+    PutCipherVector(p.g_bins, b, &w);
+    PutCipherVector(p.h_bins, b, &w);
+  }
+  return {MessageType::kNodeHistogram, w.Release()};
+}
+
+Status DecodeNodeHistogram(const Message& m, const CipherBackend& b,
+                           NodeHistogramPayload* p) {
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->tree));
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->layer));
+  VF2_RETURN_IF_ERROR(r.GetI32(&p->node));
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->epoch));
+  uint8_t packed = 0;
+  VF2_RETURN_IF_ERROR(r.GetU8(&packed));
+  p->packed = packed != 0;
+  if (p->packed) {
+    VF2_RETURN_IF_ERROR(r.GetDouble(&p->shift_g));
+    VF2_RETURN_IF_ERROR(r.GetDouble(&p->shift_h));
+    for (std::vector<PackedCipher>* packs : {&p->g_packs, &p->h_packs}) {
+      uint64_t n = 0;
+      VF2_RETURN_IF_ERROR(r.GetU64(&n));
+      if (n > r.remaining() / 20) {  // min serialized PackedCipher size
+        return Status::Corruption("pack count exceeds payload");
+      }
+      packs->clear();
+      packs->reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        PackedCipher pc;
+        VF2_RETURN_IF_ERROR(GetPackedCipher(&r, &pc));
+        packs->push_back(std::move(pc));
+      }
+    }
+  } else {
+    VF2_RETURN_IF_ERROR(GetCipherVector(&r, b, &p->g_bins));
+    VF2_RETURN_IF_ERROR(GetCipherVector(&r, b, &p->h_bins));
+    if (p->g_bins.size() != p->h_bins.size()) {
+      return Status::Corruption("histogram g/h size mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Message EncodeDecisions(const DecisionsPayload& p, MessageType type) {
+  ByteWriter w;
+  w.PutU32(p.tree);
+  w.PutU32(p.layer);
+  w.PutU64(p.decisions.size());
+  for (const NodeDecision& d : p.decisions) {
+    w.PutI32(d.node);
+    w.PutU8(static_cast<uint8_t>(d.action));
+    w.PutI32(d.left);
+    w.PutI32(d.right);
+    if (d.action == NodeAction::kSplitResolved) {
+      SerializeBitmap(d.placement, &w);
+    } else if (d.action == NodeAction::kSplitQuery) {
+      w.PutU32(d.feature);
+      w.PutU32(d.bin);
+      w.PutU8(d.default_left ? 1 : 0);
+    }
+  }
+  return {type, w.Release()};
+}
+
+Status DecodeDecisions(const Message& m, DecisionsPayload* p) {
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->tree));
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->layer));
+  uint64_t n = 0;
+  VF2_RETURN_IF_ERROR(r.GetU64(&n));
+  if (n > r.remaining() / 13) {  // min serialized NodeDecision size
+    return Status::Corruption("decision count exceeds payload");
+  }
+  p->decisions.clear();
+  p->decisions.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    NodeDecision d;
+    VF2_RETURN_IF_ERROR(r.GetI32(&d.node));
+    uint8_t action = 0;
+    VF2_RETURN_IF_ERROR(r.GetU8(&action));
+    if (action > 2) return Status::Corruption("bad node action");
+    d.action = static_cast<NodeAction>(action);
+    VF2_RETURN_IF_ERROR(r.GetI32(&d.left));
+    VF2_RETURN_IF_ERROR(r.GetI32(&d.right));
+    if (d.action == NodeAction::kSplitResolved) {
+      VF2_RETURN_IF_ERROR(DeserializeBitmap(&r, &d.placement));
+    } else if (d.action == NodeAction::kSplitQuery) {
+      VF2_RETURN_IF_ERROR(r.GetU32(&d.feature));
+      VF2_RETURN_IF_ERROR(r.GetU32(&d.bin));
+      uint8_t dl = 0;
+      VF2_RETURN_IF_ERROR(r.GetU8(&dl));
+      d.default_left = dl != 0;
+    }
+    p->decisions.push_back(std::move(d));
+  }
+  return Status::OK();
+}
+
+Message EncodeVerdicts(const VerdictsPayload& p) {
+  ByteWriter w;
+  w.PutU32(p.tree);
+  w.PutU32(p.layer);
+  w.PutU64(p.verdicts.size());
+  for (const NodeVerdict& v : p.verdicts) {
+    w.PutI32(v.node);
+    w.PutU8(v.use_a ? 1 : 0);
+    if (v.use_a) {
+      w.PutU32(v.owner);
+      w.PutU32(v.feature);
+      w.PutU32(v.bin);
+      w.PutU8(v.default_left ? 1 : 0);
+      w.PutI32(v.left);
+      w.PutI32(v.right);
+    }
+  }
+  return {MessageType::kVerdicts, w.Release()};
+}
+
+Status DecodeVerdicts(const Message& m, VerdictsPayload* p) {
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->tree));
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->layer));
+  uint64_t n = 0;
+  VF2_RETURN_IF_ERROR(r.GetU64(&n));
+  if (n > r.remaining() / 5) {  // min serialized NodeVerdict size
+    return Status::Corruption("verdict count exceeds payload");
+  }
+  p->verdicts.clear();
+  p->verdicts.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    NodeVerdict v;
+    VF2_RETURN_IF_ERROR(r.GetI32(&v.node));
+    uint8_t use_a = 0;
+    VF2_RETURN_IF_ERROR(r.GetU8(&use_a));
+    v.use_a = use_a != 0;
+    if (v.use_a) {
+      VF2_RETURN_IF_ERROR(r.GetU32(&v.owner));
+      VF2_RETURN_IF_ERROR(r.GetU32(&v.feature));
+      VF2_RETURN_IF_ERROR(r.GetU32(&v.bin));
+      uint8_t dl = 0;
+      VF2_RETURN_IF_ERROR(r.GetU8(&dl));
+      v.default_left = dl != 0;
+      VF2_RETURN_IF_ERROR(r.GetI32(&v.left));
+      VF2_RETURN_IF_ERROR(r.GetI32(&v.right));
+    }
+    p->verdicts.push_back(v);
+  }
+  return Status::OK();
+}
+
+Message EncodePlacement(const PlacementPayload& p) {
+  ByteWriter w;
+  w.PutU32(p.tree);
+  w.PutU32(p.layer);
+  w.PutI32(p.node);
+  SerializeBitmap(p.placement, &w);
+  return {MessageType::kPlacement, w.Release()};
+}
+
+Status DecodePlacement(const Message& m, PlacementPayload* p) {
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->tree));
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->layer));
+  VF2_RETURN_IF_ERROR(r.GetI32(&p->node));
+  return DeserializeBitmap(&r, &p->placement);
+}
+
+Message EncodeLayout(const LayoutPayload& p) {
+  ByteWriter w;
+  w.PutU64Vector(p.bins_per_feature);
+  return {MessageType::kLayout, w.Release()};
+}
+
+Status DecodeLayout(const Message& m, LayoutPayload* p) {
+  ByteReader r(m.payload);
+  return r.GetU64Vector(&p->bins_per_feature);
+}
+
+}  // namespace vf2boost

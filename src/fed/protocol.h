@@ -1,0 +1,238 @@
+#ifndef VF2BOOST_FED_PROTOCOL_H_
+#define VF2BOOST_FED_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/bytes.h"
+#include "crypto/backend.h"
+#include "crypto/packing.h"
+#include "fed/channel.h"
+#include "fed/message.h"
+#include "gbdt/types.h"
+
+namespace vf2boost {
+
+/// \brief Everything that selects a protocol level and its knobs.
+///
+/// The four optimization flags correspond 1:1 to the paper's techniques;
+/// with all four off this is the baseline SecureBoost-style protocol the
+/// paper calls VF-GBDT (§6.3).
+struct FedConfig {
+  GbdtParams gbdt;
+
+  /// Paillier modulus bits (paper: 2048; tests: 256-512).
+  size_t paillier_bits = 512;
+  uint32_t codec_base = 16;
+  int codec_min_exponent = 8;
+  /// Number of distinct random exponents E (paper observes 4-8).
+  int codec_num_exponents = 4;
+
+  /// VF-MOCK: run the identical protocol on plaintext arithmetic.
+  bool mock_crypto = false;
+  /// §4.1 blaster-style encryption: stream gradients in batches.
+  bool blaster = false;
+  size_t blaster_batch = 2048;
+  /// §5.1 re-ordered histogram accumulation.
+  bool reordered = false;
+  /// §4.2 optimistic node-splitting with dirty-node rollback.
+  bool optimistic = false;
+  /// §5.2 polynomial-based histogram packing.
+  bool packing = false;
+  /// Packing is skipped (raw histograms sent) when fewer than this many
+  /// slots fit one cipher — packing a slot costs ~M squarings, so small keys
+  /// can make it a net loss. The paper's S=2048/M=64 yields 31 slots.
+  size_t min_pack_slots = 2;
+
+  /// Intra-party data parallelism: each party runs this many workers over
+  /// instance shards (paper §3.1 scheduler-worker layout). Histograms built
+  /// by workers are merged into global ones (§3.2).
+  size_t workers_per_party = 1;
+
+  NetworkConfig network;
+  uint64_t seed = 42;
+
+  FixedPointCodec MakeCodec() const {
+    return FixedPointCodec(codec_base, codec_min_exponent,
+                           codec_num_exponents);
+  }
+
+  /// Rejects configurations that would fail mid-protocol: too-small keys,
+  /// empty codec ranges, degenerate GBDT parameters.
+  Status Validate() const;
+
+  /// Baseline protocol, every optimization off (the paper's VF-GBDT).
+  static FedConfig VfGbdt() { return FedConfig{}; }
+  /// All four optimizations on (the paper's VF²Boost).
+  static FedConfig Vf2Boost() {
+    FedConfig c;
+    c.blaster = true;
+    c.reordered = true;
+    c.optimistic = true;
+    c.packing = true;
+    return c;
+  }
+  /// VF-MOCK: VF-GBDT flow with plaintext arithmetic.
+  static FedConfig VfMock() {
+    FedConfig c;
+    c.mock_crypto = true;
+    return c;
+  }
+};
+
+/// Wall-clock seconds per protocol phase, per party.
+struct PhaseTimes {
+  double encrypt = 0;
+  double build_hist = 0;
+  double pack = 0;
+  double decrypt = 0;
+  double find_split = 0;
+  double comm_wait = 0;
+
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    encrypt += o.encrypt;
+    build_hist += o.build_hist;
+    pack += o.pack;
+    decrypt += o.decrypt;
+    find_split += o.find_split;
+    comm_wait += o.comm_wait;
+    return *this;
+  }
+};
+
+/// Counters published by a training run (ablation tables & tests).
+struct FedStats {
+  size_t encryptions = 0;
+  size_t decryptions = 0;
+  size_t hadds = 0;
+  size_t scalings = 0;
+  size_t packs = 0;
+  size_t splits_a = 0;  ///< tree splits owned by A parties
+  size_t splits_b = 0;  ///< tree splits owned by B
+  size_t leaves = 0;
+  size_t optimistic_splits = 0;
+  size_t dirty_nodes = 0;          ///< optimistic splits rolled back
+  size_t redone_hist_builds = 0;   ///< A-side node hists rebuilt after dirt
+  size_t bytes_a_to_b = 0;
+  size_t bytes_b_to_a = 0;
+  PhaseTimes party_a;
+  PhaseTimes party_b;
+};
+
+// --- payload codecs ---------------------------------------------------------
+//
+// Every cross-party payload has an Encode function producing a Message and a
+// Decode function returning Status on corrupt input. Cipher fields need the
+// backend for (de)serialization.
+
+/// Length-prefixed cipher vector wire helpers (shared by the GBDT payloads
+/// and the federated-LR extension).
+void PutCipherVector(const std::vector<Cipher>& v, const CipherBackend& b,
+                     ByteWriter* w);
+Status GetCipherVector(ByteReader* r, const CipherBackend& b,
+                       std::vector<Cipher>* v);
+
+struct GradBatchPayload {
+  uint32_t tree = 0;
+  uint64_t start = 0;  ///< first instance index of the batch
+  std::vector<Cipher> g;
+  std::vector<Cipher> h;
+};
+Message EncodeGradBatch(const GradBatchPayload& p, const CipherBackend& b);
+Status DecodeGradBatch(const Message& m, const CipherBackend& b,
+                       GradBatchPayload* p);
+
+struct NodeHistogramPayload {
+  uint32_t tree = 0;
+  uint32_t layer = 0;
+  int32_t node = 0;
+  uint32_t epoch = 0;
+  bool packed = false;
+  // Raw form: one cipher per (feature, bin), flattened by the sender's
+  // layout.
+  std::vector<Cipher> g_bins;
+  std::vector<Cipher> h_bins;
+  // Packed form: per-feature prefix sums, shifted nonnegative, packed.
+  double shift_g = 0;
+  double shift_h = 0;
+  std::vector<PackedCipher> g_packs;
+  std::vector<PackedCipher> h_packs;
+};
+Message EncodeNodeHistogram(const NodeHistogramPayload& p,
+                            const CipherBackend& b);
+Status DecodeNodeHistogram(const Message& m, const CipherBackend& b,
+                           NodeHistogramPayload* p);
+
+/// Final, resolved action for one node of a layer (sequential decisions and
+/// optimistic corrections both use this shape).
+enum class NodeAction : uint8_t {
+  kLeaf = 0,
+  /// Split with the attached placement bitmap (owner irrelevant to the
+  /// receiver: B resolves every split into a bitmap before broadcast).
+  kSplitResolved = 1,
+  /// Query: the receiving party owns this split; compute and return the
+  /// placement (feature/bin are receiver-local).
+  kSplitQuery = 2,
+};
+
+struct NodeDecision {
+  int32_t node = 0;
+  NodeAction action = NodeAction::kLeaf;
+  int32_t left = -1;
+  int32_t right = -1;
+  Bitmap placement;  // kSplitResolved
+  uint32_t feature = 0;
+  uint32_t bin = 0;
+  bool default_left = true;  // kSplitQuery
+};
+
+struct DecisionsPayload {
+  uint32_t tree = 0;
+  uint32_t layer = 0;
+  std::vector<NodeDecision> decisions;
+};
+Message EncodeDecisions(const DecisionsPayload& p, MessageType type);
+Status DecodeDecisions(const Message& m, DecisionsPayload* p);
+
+/// Optimistic-validation verdict for one node (§4.2).
+struct NodeVerdict {
+  int32_t node = 0;
+  /// false: the optimistic action (B's split or leaf) stands.
+  /// true: Party `owner`'s split won — the node is dirty.
+  bool use_a = false;
+  uint32_t owner = 0;  ///< A-party index owning the winning split
+  uint32_t feature = 0;
+  uint32_t bin = 0;
+  bool default_left = true;
+  int32_t left = -1;  ///< children ids (pre-existing or freshly allocated)
+  int32_t right = -1;
+};
+
+struct VerdictsPayload {
+  uint32_t tree = 0;
+  uint32_t layer = 0;
+  std::vector<NodeVerdict> verdicts;
+};
+Message EncodeVerdicts(const VerdictsPayload& p);
+Status DecodeVerdicts(const Message& m, VerdictsPayload* p);
+
+struct PlacementPayload {
+  uint32_t tree = 0;
+  uint32_t layer = 0;
+  int32_t node = 0;
+  Bitmap placement;
+};
+Message EncodePlacement(const PlacementPayload& p);
+Status DecodePlacement(const Message& m, PlacementPayload* p);
+
+struct LayoutPayload {
+  std::vector<uint64_t> bins_per_feature;
+};
+Message EncodeLayout(const LayoutPayload& p);
+Status DecodeLayout(const Message& m, LayoutPayload* p);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_PROTOCOL_H_

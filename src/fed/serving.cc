@@ -1,0 +1,237 @@
+#include "fed/serving.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace vf2boost {
+
+namespace {
+
+// Wire format of a serve query / reply.
+struct ServeQuery {
+  uint32_t tree = 0;
+  int32_t node = 0;
+  std::vector<uint32_t> rows;
+};
+
+Message EncodeServeQuery(const ServeQuery& q) {
+  ByteWriter w;
+  w.PutU32(q.tree);
+  w.PutI32(q.node);
+  w.PutU64(q.rows.size());
+  for (uint32_t r : q.rows) w.PutU32(r);
+  return {MessageType::kServeQuery, w.Release()};
+}
+
+Status DecodeServeQuery(const Message& m, ServeQuery* q) {
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&q->tree));
+  VF2_RETURN_IF_ERROR(r.GetI32(&q->node));
+  uint64_t n = 0;
+  VF2_RETURN_IF_ERROR(r.GetU64(&n));
+  if (n > (1ULL << 32)) return Status::Corruption("serve query too large");
+  q->rows.resize(static_cast<size_t>(n));
+  for (uint32_t& row : q->rows) {
+    VF2_RETURN_IF_ERROR(r.GetU32(&row));
+  }
+  return Status::OK();
+}
+
+struct ServeReply {
+  uint32_t tree = 0;
+  int32_t node = 0;
+  Bitmap go_left;  // bit k: rows[k] goes left
+};
+
+Message EncodeServeReply(const ServeReply& reply) {
+  ByteWriter w;
+  w.PutU32(reply.tree);
+  w.PutI32(reply.node);
+  w.PutU64(reply.go_left.size());
+  w.PutU64Vector(reply.go_left.words());
+  return {MessageType::kServeReply, w.Release()};
+}
+
+Status DecodeServeReply(const Message& m, ServeReply* reply) {
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&reply->tree));
+  VF2_RETURN_IF_ERROR(r.GetI32(&reply->node));
+  uint64_t bits = 0;
+  VF2_RETURN_IF_ERROR(r.GetU64(&bits));
+  std::vector<uint64_t> words;
+  VF2_RETURN_IF_ERROR(r.GetU64Vector(&words));
+  if (words.size() != (bits + 63) / 64) {
+    return Status::Corruption("serve reply bitmap mismatch");
+  }
+  reply->go_left = Bitmap::FromWords(bits, std::move(words));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SplitModel> SplitModelShards(const FedTrainResult& result) {
+  SplitModel out;
+  out.skeleton = result.model;
+  out.shards.resize(result.party_a_cuts.size());
+  for (size_t p = 0; p < out.shards.size(); ++p) {
+    out.shards[p].party = static_cast<uint32_t>(p);
+  }
+  for (size_t t = 0; t < out.skeleton.trees.size(); ++t) {
+    Tree& tree = out.skeleton.trees[t];
+    for (size_t i = 0; i < tree.size(); ++i) {
+      TreeNode& n = tree.node(static_cast<int32_t>(i));
+      if (n.is_leaf() || n.owner_party < 0) continue;
+      const size_t p = static_cast<size_t>(n.owner_party);
+      if (p >= out.shards.size()) continue;  // B-owned: stays in skeleton
+      const auto& cuts = result.party_a_cuts[p];
+      if (n.feature >= cuts.num_features() ||
+          n.split_bin >= cuts.cuts[n.feature].size()) {
+        return Status::Corruption("federated node references unknown cut");
+      }
+      PartyModelShard::OwnedSplit split;
+      split.feature = n.feature;
+      split.split_value = cuts.SplitValue(n.feature, n.split_bin);
+      split.default_left = n.default_left;
+      out.shards[p].splits[{static_cast<uint32_t>(t),
+                            static_cast<int32_t>(i)}] = split;
+      // Scrub the skeleton: B must not learn A's feature semantics.
+      n.feature = 0;
+      n.split_value = 0;
+      n.split_bin = 0;
+    }
+  }
+  return out;
+}
+
+ServingPartyA::ServingPartyA(PartyModelShard shard, const Dataset& features,
+                             ChannelEndpoint* channel)
+    : shard_(std::move(shard)), features_(features), inbox_(channel) {}
+
+Status ServingPartyA::Run() {
+  for (;;) {
+    Message msg = inbox_.Receive();
+    if (msg.type == MessageType::kServeDone) return Status::OK();
+    if (msg.type != MessageType::kServeQuery) {
+      return Status::ProtocolError(
+          std::string("serving party A got unexpected ") +
+          MessageTypeName(msg.type));
+    }
+    ServeQuery query;
+    VF2_RETURN_IF_ERROR(DecodeServeQuery(msg, &query));
+    const auto it = shard_.splits.find({query.tree, query.node});
+    if (it == shard_.splits.end()) {
+      return Status::ProtocolError("serve query for a node this party "
+                                   "does not own");
+    }
+    const PartyModelShard::OwnedSplit& split = it->second;
+    ServeReply reply;
+    reply.tree = query.tree;
+    reply.node = query.node;
+    reply.go_left = Bitmap(query.rows.size());
+    for (size_t k = 0; k < query.rows.size(); ++k) {
+      if (query.rows[k] >= features_.rows()) {
+        return Status::ProtocolError("serve query row out of range");
+      }
+      const float v = features_.features.At(query.rows[k], split.feature);
+      const bool left =
+          v == 0.0f ? split.default_left : v < split.split_value;
+      if (left) reply.go_left.Set(k);
+    }
+    inbox_.Send(EncodeServeReply(reply));
+  }
+}
+
+ServingPartyB::ServingPartyB(GbdtModel skeleton, const Dataset& features,
+                             std::vector<ChannelEndpoint*> channels)
+    : skeleton_(std::move(skeleton)), features_(features) {
+  for (ChannelEndpoint* c : channels) inboxes_.emplace_back(c);
+}
+
+Result<std::vector<double>> ServingPartyB::Predict() {
+  const size_t n = features_.rows();
+  std::vector<double> scores(n, skeleton_.base_score);
+  const uint32_t b_party = static_cast<uint32_t>(inboxes_.size());
+
+  for (size_t t = 0; t < skeleton_.trees.size(); ++t) {
+    const Tree& tree = skeleton_.trees[t];
+    // Frontier traversal: rows grouped by their current node.
+    std::map<int32_t, std::vector<uint32_t>> frontier;
+    auto& root_rows = frontier[0];
+    root_rows.resize(n);
+    for (size_t i = 0; i < n; ++i) root_rows[i] = static_cast<uint32_t>(i);
+
+    while (!frontier.empty()) {
+      std::map<int32_t, std::vector<uint32_t>> next;
+      // Phase 1: dispatch queries for every A-owned node in the frontier.
+      std::vector<std::pair<int32_t, uint32_t>> pending;  // (node, owner)
+      for (const auto& [node_id, rows] : frontier) {
+        const TreeNode& node = tree.node(node_id);
+        if (node.is_leaf() || node.owner_party < 0 ||
+            static_cast<uint32_t>(node.owner_party) == b_party) {
+          continue;
+        }
+        const uint32_t owner = static_cast<uint32_t>(node.owner_party);
+        if (owner >= inboxes_.size()) {
+          return Status::Corruption("node owner out of range");
+        }
+        ServeQuery query;
+        query.tree = static_cast<uint32_t>(t);
+        query.node = node_id;
+        query.rows = rows;
+        inboxes_[owner].Send(EncodeServeQuery(query));
+        pending.push_back({node_id, owner});
+      }
+      // Phase 2: local nodes.
+      for (auto& [node_id, rows] : frontier) {
+        const TreeNode& node = tree.node(node_id);
+        if (node.is_leaf()) {
+          for (uint32_t r : rows) {
+            scores[r] += skeleton_.params.learning_rate * node.weight;
+          }
+          continue;
+        }
+        if (node.owner_party >= 0 &&
+            static_cast<uint32_t>(node.owner_party) != b_party) {
+          continue;  // handled by the pending reply
+        }
+        for (uint32_t r : rows) {
+          const float v = features_.features.At(r, node.feature);
+          const bool left =
+              v == 0.0f ? node.default_left : v < node.split_value;
+          next[left ? node.left : node.right].push_back(r);
+        }
+      }
+      // Phase 3: collect replies.
+      for (const auto& [node_id, owner] : pending) {
+        Message msg = inboxes_[owner].ReceiveType(MessageType::kServeReply);
+        ServeReply reply;
+        VF2_RETURN_IF_ERROR(DecodeServeReply(msg, &reply));
+        if (reply.node != node_id ||
+            reply.tree != static_cast<uint32_t>(t)) {
+          return Status::ProtocolError("serve reply out of order");
+        }
+        const auto& rows = frontier[node_id];
+        if (reply.go_left.size() != rows.size()) {
+          return Status::ProtocolError("serve reply size mismatch");
+        }
+        const TreeNode& node = tree.node(node_id);
+        for (size_t k = 0; k < rows.size(); ++k) {
+          next[reply.go_left.Get(k) ? node.left : node.right].push_back(
+              rows[k]);
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+  return scores;
+}
+
+void ServingPartyB::Shutdown() {
+  for (Inbox& inbox : inboxes_) {
+    inbox.Send(Message{MessageType::kServeDone, {}});
+  }
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,79 @@
+#ifndef VF2BOOST_FED_SERVING_H_
+#define VF2BOOST_FED_SERVING_H_
+
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fed/fed_trainer.h"
+#include "fed/inbox.h"
+
+namespace vf2boost {
+
+/// \brief One party's private share of a federated model: the split
+/// parameters of the nodes that party owns, keyed by (tree, node).
+///
+/// This is the deployment counterpart of the training-time guarantee that
+/// "only one party knows the actual split information" (paper §3.2): the
+/// skeleton model Party B serves from contains structure, leaf weights, and
+/// B's own splits, but A-owned nodes carry nothing beyond the owner id.
+struct PartyModelShard {
+  uint32_t party = 0;
+  struct OwnedSplit {
+    uint32_t feature = 0;  ///< party-local column
+    float split_value = 0;
+    bool default_left = true;
+  };
+  /// (tree index, node index) -> split.
+  std::map<std::pair<uint32_t, int32_t>, OwnedSplit> splits;
+};
+
+/// Splits a federated training result into per-A-party shards plus the
+/// skeleton model Party B keeps (its own thresholds intact, A-owned node
+/// thresholds zeroed). shards[p] belongs to A party p.
+struct SplitModel {
+  GbdtModel skeleton;
+  std::vector<PartyModelShard> shards;
+};
+Result<SplitModel> SplitModelShards(const FedTrainResult& result);
+
+/// \brief A-side inference responder: owns a model shard and the party's
+/// feature columns, and answers branch-direction queries until kServeDone.
+class ServingPartyA {
+ public:
+  ServingPartyA(PartyModelShard shard, const Dataset& features,
+                ChannelEndpoint* channel);
+
+  /// Serves until Party B sends kServeDone. Run on the A party's thread.
+  Status Run();
+
+ private:
+  PartyModelShard shard_;
+  const Dataset& features_;
+  Inbox inbox_;
+};
+
+/// \brief B-side inference coordinator: traverses the skeleton, evaluating
+/// B-owned splits locally and batching queries to owner parties for A-owned
+/// nodes — one round trip per tree level touched.
+class ServingPartyB {
+ public:
+  ServingPartyB(GbdtModel skeleton, const Dataset& features,
+                std::vector<ChannelEndpoint*> channels);
+
+  /// Raw scores for every row of the B-side feature shard (the same rows
+  /// must be loaded, PSI-aligned, at every A party).
+  Result<std::vector<double>> Predict();
+
+  /// Releases the A-side responders.
+  void Shutdown();
+
+ private:
+  GbdtModel skeleton_;
+  const Dataset& features_;
+  std::vector<Inbox> inboxes_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_SERVING_H_

@@ -1,0 +1,99 @@
+#include "fedlr/lr_model.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace vf2boost {
+
+std::vector<double> LrModel::PredictRaw(const CsrMatrix& x) const {
+  std::vector<double> scores(x.rows(), bias);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const auto cols = x.RowColumns(r);
+    const auto vals = x.RowValues(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] < weights.size()) scores[r] += weights[cols[k]] * vals[k];
+    }
+  }
+  return scores;
+}
+
+std::vector<double> LrModel::PredictProba(const CsrMatrix& x) const {
+  std::vector<double> scores = PredictRaw(x);
+  for (double& s : scores) s = 1.0 / (1.0 + std::exp(-s));
+  return scores;
+}
+
+size_t LrBatchesPerEpoch(size_t n, const LrParams& params) {
+  const size_t b = std::max<size_t>(1, params.batch_size);
+  return (n + b - 1) / b;
+}
+
+std::vector<uint32_t> LrBatchIndices(size_t n, const LrParams& params,
+                                     size_t epoch, size_t batch) {
+  // A per-epoch Fisher-Yates shuffle seeded by (seed, epoch): both parties
+  // replay it identically.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(params.seed * 1000003 + epoch);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  const size_t b = std::max<size_t>(1, params.batch_size);
+  const size_t begin = batch * b;
+  const size_t end = std::min(n, begin + b);
+  VF2_CHECK(begin < n) << "batch index out of range";
+  return std::vector<uint32_t>(order.begin() + begin, order.begin() + end);
+}
+
+Result<LrModel> PlainLrTrainer::Train(const Dataset& train) const {
+  if (!train.has_labels()) {
+    return Status::InvalidArgument("training data has no labels");
+  }
+  if (train.rows() == 0) {
+    return Status::InvalidArgument("empty training data");
+  }
+  const size_t n = train.rows();
+  LrModel model;
+  model.weights.assign(train.columns(), 0.0);
+
+  for (size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    const size_t batches = LrBatchesPerEpoch(n, params_);
+    for (size_t b = 0; b < batches; ++b) {
+      const std::vector<uint32_t> batch =
+          LrBatchIndices(n, params_, epoch, b);
+      std::vector<double> grad(train.columns(), 0.0);
+      double grad_bias = 0;
+      for (uint32_t i : batch) {
+        double u = model.bias;
+        const auto cols = train.features.RowColumns(i);
+        const auto vals = train.features.RowValues(i);
+        for (size_t k = 0; k < cols.size(); ++k) {
+          u += model.weights[cols[k]] * vals[k];
+        }
+        double z;
+        if (params_.taylor) {
+          const double yhat = train.labels[i] > 0.5f ? 1.0 : -1.0;
+          z = 0.25 * u - 0.5 * yhat;
+        } else {
+          z = 1.0 / (1.0 + std::exp(-u)) - train.labels[i];
+        }
+        for (size_t k = 0; k < cols.size(); ++k) {
+          grad[cols[k]] += z * vals[k];
+        }
+        grad_bias += z;
+      }
+      const double m = static_cast<double>(batch.size());
+      for (size_t j = 0; j < model.weights.size(); ++j) {
+        model.weights[j] -= params_.learning_rate *
+                            (grad[j] / m + params_.l2_reg * model.weights[j]);
+      }
+      model.bias -= params_.learning_rate * grad_bias / m;
+    }
+  }
+  return model;
+}
+
+}  // namespace vf2boost

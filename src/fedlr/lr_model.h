@@ -1,0 +1,59 @@
+#ifndef VF2BOOST_FEDLR_LR_MODEL_H_
+#define VF2BOOST_FEDLR_LR_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vf2boost {
+
+/// \brief Linear model: raw score = w . x + b.
+struct LrModel {
+  std::vector<double> weights;
+  double bias = 0;
+
+  std::vector<double> PredictRaw(const CsrMatrix& x) const;
+  std::vector<double> PredictProba(const CsrMatrix& x) const;
+};
+
+/// Hyper-parameters shared by the plain and federated LR trainers.
+struct LrParams {
+  size_t epochs = 10;
+  size_t batch_size = 256;
+  double learning_rate = 0.1;
+  double l2_reg = 0.0;
+  /// Use the order-2 Taylor surrogate gradient z_i = 0.25*u_i - 0.5*yhat_i
+  /// (yhat in {-1,+1}) instead of the exact logistic gradient. This is the
+  /// standard trick (Hardy et al. '17) that makes the gradient a LINEAR
+  /// function of the score — and therefore computable under additive HE.
+  /// The federated trainer always uses it; enable it here to compare
+  /// apples to apples.
+  bool taylor = false;
+  uint64_t seed = 1;
+};
+
+/// \brief Centralized mini-batch logistic regression — the reference the
+/// federated protocol is checked against (with `taylor = true` and the same
+/// seed/batching, the two produce near-identical weights).
+class PlainLrTrainer {
+ public:
+  explicit PlainLrTrainer(const LrParams& params) : params_(params) {}
+
+  Result<LrModel> Train(const Dataset& train) const;
+
+ private:
+  LrParams params_;
+};
+
+/// The shared deterministic batch schedule: both federated parties (and the
+/// reference trainer) derive identical batches from the seed without
+/// communicating. Returns instance indices of batch `b` in epoch `e`.
+std::vector<uint32_t> LrBatchIndices(size_t n, const LrParams& params,
+                                     size_t epoch, size_t batch);
+/// Number of batches per epoch.
+size_t LrBatchesPerEpoch(size_t n, const LrParams& params);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FEDLR_LR_MODEL_H_

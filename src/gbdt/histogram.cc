@@ -1,0 +1,51 @@
+#include "gbdt/histogram.h"
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+FeatureLayout FeatureLayout::FromCuts(const BinCuts& cuts) {
+  FeatureLayout layout;
+  layout.offsets.reserve(cuts.num_features() + 1);
+  uint32_t off = 0;
+  layout.offsets.push_back(0);
+  for (size_t f = 0; f < cuts.num_features(); ++f) {
+    off += static_cast<uint32_t>(cuts.NumBins(static_cast<uint32_t>(f)));
+    layout.offsets.push_back(off);
+  }
+  return layout;
+}
+
+Histogram Histogram::Build(const BinnedMatrix& x, const FeatureLayout& layout,
+                           const std::vector<uint32_t>& instances,
+                           const std::vector<GradPair>& grads) {
+  Histogram hist(layout.total_bins());
+  for (uint32_t i : instances) {
+    const GradPair& gp = grads[i];
+    const auto cols = x.RowColumns(i);
+    const auto bins = x.RowBins(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      hist.bins_[layout.Flat(cols[k], bins[k])] += gp;
+    }
+  }
+  return hist;
+}
+
+void Histogram::SubtractFrom(const Histogram& parent) {
+  VF2_CHECK(bins_.size() == parent.bins_.size());
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    GradPair v = parent.bins_[i];
+    v -= bins_[i];
+    bins_[i] = v;
+  }
+}
+
+GradPair Histogram::FeatureSum(const FeatureLayout& layout, uint32_t f) const {
+  GradPair sum;
+  for (size_t i = layout.offsets[f]; i < layout.offsets[f + 1]; ++i) {
+    sum += bins_[i];
+  }
+  return sum;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,39 @@
+#include "gbdt/importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+std::vector<double> FeatureImportance(const GbdtModel& model,
+                                      size_t num_features,
+                                      ImportanceType type) {
+  std::vector<double> importance(num_features, 0.0);
+  for (const Tree& tree : model.trees) {
+    for (size_t i = 0; i < tree.size(); ++i) {
+      const TreeNode& n = tree.node(static_cast<int32_t>(i));
+      if (n.is_leaf()) continue;
+      VF2_CHECK(n.owner_party < 0)
+          << "FeatureImportance needs a joint model (see ToJointModel)";
+      if (n.feature >= num_features) continue;
+      importance[n.feature] +=
+          type == ImportanceType::kGain ? std::max(0.0, n.gain) : 1.0;
+    }
+  }
+  return importance;
+}
+
+std::vector<size_t> TopFeatures(const std::vector<double>& importance,
+                                size_t k) {
+  std::vector<size_t> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return importance[a] > importance[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,28 @@
+#ifndef VF2BOOST_GBDT_IMPORTANCE_H_
+#define VF2BOOST_GBDT_IMPORTANCE_H_
+
+#include <vector>
+
+#include "gbdt/tree.h"
+
+namespace vf2boost {
+
+enum class ImportanceType {
+  kGain,       ///< total loss reduction contributed by each feature
+  kFrequency,  ///< number of splits using each feature
+};
+
+/// Per-feature importance over all trees. `num_features` sizes the result
+/// (features never split score 0). Requires a joint model (global feature
+/// ids, i.e. owner_party < 0 on every split node).
+std::vector<double> FeatureImportance(const GbdtModel& model,
+                                      size_t num_features,
+                                      ImportanceType type);
+
+/// Indices of the top-k most important features, descending.
+std::vector<size_t> TopFeatures(const std::vector<double>& importance,
+                                size_t k);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_GBDT_IMPORTANCE_H_

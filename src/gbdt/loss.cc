@@ -1,0 +1,57 @@
+#include "gbdt/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+void Loss::Compute(const std::vector<double>& scores,
+                   const std::vector<float>& labels,
+                   std::vector<GradPair>* out,
+                   const std::vector<float>* weights) const {
+  VF2_CHECK(scores.size() == labels.size());
+  const bool weighted = weights != nullptr && !weights->empty();
+  if (weighted) VF2_CHECK(weights->size() == scores.size());
+  out->resize(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    GradPair gp = GradHess(scores[i], labels[i]);
+    if (weighted) {
+      gp.g *= (*weights)[i];
+      gp.h *= (*weights)[i];
+    }
+    (*out)[i] = gp;
+  }
+}
+
+GradPair LogisticLoss::GradHess(double score, float label) const {
+  const double p = 1.0 / (1.0 + std::exp(-score));
+  return {p - label, std::max(p * (1.0 - p), 1e-16)};
+}
+
+double LogisticLoss::Value(double score, float label) const {
+  // Stable -[y log p + (1-y) log(1-p)].
+  return std::log1p(std::exp(-std::fabs(score))) +
+         (score > 0 ? (1 - label) * score : -label * score);
+}
+
+GradPair SquaredLoss::GradHess(double score, float label) const {
+  return {score - label, 1.0};
+}
+
+double SquaredLoss::Value(double score, float label) const {
+  const double d = score - label;
+  return 0.5 * d * d;
+}
+
+Result<std::unique_ptr<Loss>> MakeLoss(const std::string& objective) {
+  if (objective == "logistic") {
+    return std::unique_ptr<Loss>(std::make_unique<LogisticLoss>());
+  }
+  if (objective == "squared") {
+    return std::unique_ptr<Loss>(std::make_unique<SquaredLoss>());
+  }
+  return Status::InvalidArgument("unknown objective: " + objective);
+}
+
+}  // namespace vf2boost

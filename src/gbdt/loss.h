@@ -1,0 +1,66 @@
+#ifndef VF2BOOST_GBDT_LOSS_H_
+#define VF2BOOST_GBDT_LOSS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gbdt/types.h"
+
+namespace vf2boost {
+
+/// \brief Twice-differentiable loss over (raw score, label).
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// First and second derivative of the loss at the current raw score.
+  virtual GradPair GradHess(double score, float label) const = 0;
+  /// Loss value (for logging).
+  virtual double Value(double score, float label) const = 0;
+  /// Upper bound on |g| — the paper's `Bound` used by histogram packing to
+  /// shift bins nonnegative (§5.2).
+  virtual double GradientBound() const = 0;
+  /// Upper bound on h.
+  virtual double HessianBound() const = 0;
+
+  /// Fills `out` with GradHess for every instance. When `weights` is
+  /// non-null and non-empty, each instance's gradient AND hessian are
+  /// scaled by its weight (the standard weighted-loss formulation).
+  void Compute(const std::vector<double>& scores,
+               const std::vector<float>& labels,
+               std::vector<GradPair>* out,
+               const std::vector<float>* weights = nullptr) const;
+};
+
+/// Logistic loss for binary classification: g = sigmoid(s) - y, h = p(1-p).
+class LogisticLoss : public Loss {
+ public:
+  GradPair GradHess(double score, float label) const override;
+  double Value(double score, float label) const override;
+  double GradientBound() const override { return 1.0; }
+  double HessianBound() const override { return 0.25; }
+};
+
+/// Squared error: g = s - y, h = 1. The gradient bound assumes labels and
+/// scores within [-bound/2, bound/2]; configurable.
+class SquaredLoss : public Loss {
+ public:
+  explicit SquaredLoss(double grad_bound = 1024.0) : grad_bound_(grad_bound) {}
+
+  GradPair GradHess(double score, float label) const override;
+  double Value(double score, float label) const override;
+  double GradientBound() const override { return grad_bound_; }
+  double HessianBound() const override { return 1.0; }
+
+ private:
+  double grad_bound_;
+};
+
+/// Factory by objective name ("logistic", "squared").
+Result<std::unique_ptr<Loss>> MakeLoss(const std::string& objective);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_GBDT_LOSS_H_

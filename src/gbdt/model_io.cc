@@ -1,0 +1,106 @@
+#include "gbdt/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vf2boost {
+
+namespace {
+constexpr char kMagic[] = "vf2boost-model-v1";
+}  // namespace
+
+std::string ModelToString(const GbdtModel& model) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << '\n';
+  out << "objective " << model.params.objective << '\n';
+  out << "learning_rate " << model.params.learning_rate << '\n';
+  out << "base_score " << model.base_score << '\n';
+  out << "num_trees " << model.trees.size() << '\n';
+  for (const Tree& tree : model.trees) {
+    out << "tree " << tree.size() << '\n';
+    for (size_t i = 0; i < tree.size(); ++i) {
+      const TreeNode& n = tree.node(static_cast<int32_t>(i));
+      out << n.left << ' ' << n.right << ' ' << n.feature << ' '
+          << n.split_value << ' ' << n.split_bin << ' '
+          << (n.default_left ? 1 : 0) << ' ' << n.owner_party << ' '
+          << n.weight << ' ' << n.gain << '\n';
+    }
+  }
+  return out.str();
+}
+
+Result<GbdtModel> ModelFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  if (!std::getline(in, token) || token != kMagic) {
+    return Status::Corruption("bad model header");
+  }
+  GbdtModel model;
+  size_t num_trees = 0;
+  if (!(in >> token >> model.params.objective) || token != "objective") {
+    return Status::Corruption("missing objective");
+  }
+  if (!(in >> token >> model.params.learning_rate) ||
+      token != "learning_rate") {
+    return Status::Corruption("missing learning_rate");
+  }
+  if (!(in >> token >> model.base_score) || token != "base_score") {
+    return Status::Corruption("missing base_score");
+  }
+  if (!(in >> token >> num_trees) || token != "num_trees") {
+    return Status::Corruption("missing num_trees");
+  }
+  model.trees.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    size_t num_nodes = 0;
+    if (!(in >> token >> num_nodes) || token != "tree" || num_nodes == 0) {
+      return Status::Corruption("bad tree header at tree " +
+                                std::to_string(t));
+    }
+    Tree tree;
+    while (tree.size() < num_nodes) tree.AddNode();
+    for (size_t i = 0; i < num_nodes; ++i) {
+      TreeNode& n = tree.node(static_cast<int32_t>(i));
+      int default_left = 0;
+      if (!(in >> n.left >> n.right >> n.feature >> n.split_value >>
+            n.split_bin >> default_left >> n.owner_party >> n.weight >>
+            n.gain)) {
+        return Status::Corruption("truncated node at tree " +
+                                  std::to_string(t));
+      }
+      // Structural safety: a node is either a leaf (both children -1) or an
+      // internal node whose children come strictly after it (our trainers
+      // append children, which also rules out cycles).
+      const bool leaf = n.left < 0 && n.right < 0;
+      const bool internal = n.left > static_cast<int32_t>(i) &&
+                            n.right > static_cast<int32_t>(i) &&
+                            n.left < static_cast<int32_t>(num_nodes) &&
+                            n.right < static_cast<int32_t>(num_nodes);
+      if (!leaf && !internal) {
+        return Status::Corruption("malformed node links at tree " +
+                                  std::to_string(t));
+      }
+      n.default_left = default_left != 0;
+    }
+    model.trees.push_back(std::move(tree));
+  }
+  return model;
+}
+
+Status SaveModel(const GbdtModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ModelToString(model);
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<GbdtModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ModelFromString(ss.str());
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,24 @@
+#ifndef VF2BOOST_GBDT_MODEL_IO_H_
+#define VF2BOOST_GBDT_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "gbdt/tree.h"
+
+namespace vf2boost {
+
+/// Serializes a model to a line-oriented text format (stable across
+/// versions; documented in the string itself via a header line).
+std::string ModelToString(const GbdtModel& model);
+
+/// Parses a model produced by ModelToString.
+Result<GbdtModel> ModelFromString(const std::string& text);
+
+/// File variants.
+Status SaveModel(const GbdtModel& model, const std::string& path);
+Result<GbdtModel> LoadModel(const std::string& path);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_GBDT_MODEL_IO_H_

@@ -1,0 +1,71 @@
+#include "gbdt/split.h"
+
+namespace vf2boost {
+
+namespace {
+
+// XGBoost-style soft threshold: the effective gradient after L1.
+double ThresholdedGrad(double g, double alpha) {
+  if (g > alpha) return g - alpha;
+  if (g < -alpha) return g + alpha;
+  return 0.0;
+}
+
+}  // namespace
+
+double LeafWeight(const GradPair& sum, const GbdtParams& params) {
+  return -ThresholdedGrad(sum.g, params.l1_reg) / (sum.h + params.l2_reg);
+}
+
+double SplitGain(const GradPair& left, const GradPair& right,
+                 const GradPair& total, const GbdtParams& params) {
+  auto score = [&params](const GradPair& gp) {
+    const double g = ThresholdedGrad(gp.g, params.l1_reg);
+    return g * g / (gp.h + params.l2_reg);
+  };
+  return 0.5 * (score(left) + score(right) - score(total)) -
+         params.min_split_gain;
+}
+
+SplitCandidate FindBestSplit(const Histogram& hist,
+                             const FeatureLayout& layout,
+                             const GradPair& total, const GbdtParams& params,
+                             const std::vector<uint8_t>* allowed_features) {
+  SplitCandidate best;
+  for (uint32_t f = 0; f < layout.num_features(); ++f) {
+    if (allowed_features != nullptr && !(*allowed_features)[f]) continue;
+    const size_t nbins = layout.NumBins(f);
+    if (nbins < 2) continue;
+    // Missing statistics: instances on this node whose feature f is zero.
+    const GradPair feature_sum = hist.FeatureSum(layout, f);
+    const GradPair missing = total - feature_sum;
+
+    GradPair prefix;
+    // Split after bin k: nonzero-left = bins [0..k]. The last bin is not a
+    // split (empty right side).
+    for (uint32_t k = 0; k + 1 < nbins; ++k) {
+      prefix += hist.bin(layout.Flat(f, k));
+      for (const bool default_left : {true, false}) {
+        GradPair left = prefix;
+        if (default_left) left += missing;
+        const GradPair right = total - left;
+        if (left.h < params.min_child_weight ||
+            right.h < params.min_child_weight) {
+          continue;
+        }
+        const double gain = SplitGain(left, right, total, params);
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.bin = k;
+          best.default_left = default_left;
+          best.left_sum = left;
+          best.right_sum = right;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace vf2boost

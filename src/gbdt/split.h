@@ -1,0 +1,46 @@
+#ifndef VF2BOOST_GBDT_SPLIT_H_
+#define VF2BOOST_GBDT_SPLIT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gbdt/histogram.h"
+#include "gbdt/types.h"
+
+namespace vf2boost {
+
+/// \brief One candidate split of a tree node.
+struct SplitCandidate {
+  double gain = -std::numeric_limits<double>::infinity();
+  uint32_t feature = 0;  ///< party-local (fed) or global (plain) feature id
+  uint32_t bin = 0;      ///< nonzero values with BinOf(v) <= bin go left
+  bool default_left = true;  ///< where missing/zero values go
+  GradPair left_sum;
+  GradPair right_sum;
+
+  bool valid() const { return gain > 0; }
+};
+
+/// Optimal leaf weight -G / (H + lambda) (Equation 1).
+double LeafWeight(const GradPair& sum, const GbdtParams& params);
+
+/// SplitGain of a (left, right) partition of `total` (paper §2.1).
+double SplitGain(const GradPair& left, const GradPair& right,
+                 const GradPair& total, const GbdtParams& params);
+
+/// Scans every (feature, bin, default-direction) candidate of `hist` and
+/// returns the best. `total` is the node's full gradient sum — per-feature
+/// missing statistics are derived as total - FeatureSum(f), which is how
+/// sparse zeros participate without ever being materialized.
+/// `allowed_features`, when non-null, restricts the scan (column
+/// subsampling); it must have one entry per feature.
+SplitCandidate FindBestSplit(const Histogram& hist,
+                             const FeatureLayout& layout,
+                             const GradPair& total, const GbdtParams& params,
+                             const std::vector<uint8_t>* allowed_features =
+                                 nullptr);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_GBDT_SPLIT_H_

@@ -1,0 +1,53 @@
+#ifndef VF2BOOST_GBDT_TRAINER_H_
+#define VF2BOOST_GBDT_TRAINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/binning.h"
+#include "data/dataset.h"
+#include "gbdt/tree.h"
+#include "gbdt/types.h"
+
+namespace vf2boost {
+
+/// Per-tree training telemetry (drives the convergence plots of Fig. 10).
+struct EvalRecord {
+  size_t tree_index = 0;
+  double train_loss = 0;
+  double valid_loss = 0;
+  double valid_auc = 0;
+  /// Wall-clock seconds from training start to the end of this tree.
+  double elapsed_seconds = 0;
+};
+
+/// Routes `instances` of a node into left/right children according to a
+/// split. Shared by the plain trainer and both federated party engines —
+/// the parties must agree bit-for-bit on placement semantics.
+void PartitionInstances(const BinnedMatrix& x,
+                        const std::vector<uint32_t>& instances,
+                        uint32_t feature, uint32_t bin, bool default_left,
+                        std::vector<uint32_t>* left,
+                        std::vector<uint32_t>* right);
+
+/// \brief Plain (non-federated) histogram-based GBDT trainer.
+///
+/// Layer-wise growth with sibling histogram subtraction. This is the
+/// XGBoost stand-in baseline of the end-to-end evaluation, and the reference
+/// the federated engines are checked against for model equivalence.
+class GbdtTrainer {
+ public:
+  explicit GbdtTrainer(const GbdtParams& params) : params_(params) {}
+
+  /// Trains on `train`; if `valid`/`log` are given, records per-tree
+  /// train/validation metrics.
+  Result<GbdtModel> Train(const Dataset& train, const Dataset* valid = nullptr,
+                          std::vector<EvalRecord>* log = nullptr) const;
+
+ private:
+  GbdtParams params_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_GBDT_TRAINER_H_

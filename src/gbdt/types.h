@@ -1,0 +1,64 @@
+#ifndef VF2BOOST_GBDT_TYPES_H_
+#define VF2BOOST_GBDT_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vf2boost {
+
+/// Gradient/hessian pair (the paper's g_i, h_i).
+struct GradPair {
+  double g = 0;
+  double h = 0;
+
+  GradPair& operator+=(const GradPair& o) {
+    g += o.g;
+    h += o.h;
+    return *this;
+  }
+  GradPair& operator-=(const GradPair& o) {
+    g -= o.g;
+    h -= o.h;
+    return *this;
+  }
+  friend GradPair operator+(GradPair a, const GradPair& b) { return a += b; }
+  friend GradPair operator-(GradPair a, const GradPair& b) { return a -= b; }
+};
+
+/// Hyper-parameters shared by the plain and federated trainers. Defaults
+/// match the paper's protocol (§6.1): T = 20 trees, eta = 0.1, L = 7 tree
+/// layers, s = 20 histogram bins.
+struct GbdtParams {
+  size_t num_trees = 20;
+  double learning_rate = 0.1;
+  /// Number of tree layers L; splits happen on layers 0..L-2, leaves live no
+  /// deeper than layer L-1.
+  size_t num_layers = 7;
+  /// Histogram bins per feature (s).
+  size_t max_bins = 20;
+  /// L2 regularization on leaf weights (lambda).
+  double l2_reg = 1.0;
+  /// L1 regularization (alpha): soft-thresholds leaf gradients. The paper
+  /// (§5.2) notes L1 can bound gradients for histogram packing.
+  double l1_reg = 0.0;
+  /// Minimum loss reduction to split (gamma).
+  double min_split_gain = 0.0;
+  /// Minimum hessian sum on each child.
+  double min_child_weight = 1e-3;
+  /// "logistic" (binary classification) or "squared" (regression).
+  std::string objective = "logistic";
+  /// Fraction of instances sampled (without replacement) per tree.
+  double row_subsample = 1.0;
+  /// Fraction of features considered per tree.
+  double col_subsample = 1.0;
+  /// Stop when validation loss has not improved for this many trees
+  /// (0 = off; requires a validation set).
+  size_t early_stopping_rounds = 0;
+  /// Seed for subsampling.
+  uint64_t seed = 17;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_GBDT_TYPES_H_

@@ -1,0 +1,79 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<float>& labels) {
+  VF2_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Rank-sum (Mann-Whitney) with average ranks for ties.
+  double rank_sum_pos = 0;
+  size_t num_pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        rank_sum_pos += avg_rank;
+        ++num_pos;
+      }
+    }
+    i = j;
+  }
+  const size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  const double u = rank_sum_pos - static_cast<double>(num_pos) *
+                                      static_cast<double>(num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+double LogLoss(const std::vector<double>& scores,
+               const std::vector<float>& labels) {
+  VF2_CHECK(scores.size() == labels.size() && !scores.empty());
+  double total = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    // Numerically stable: log(1 + exp(-|s|)) formulation.
+    const double s = scores[i];
+    const double y = labels[i];
+    total += std::log1p(std::exp(-std::fabs(s))) + (s > 0 ? (1 - y) * s : -y * s);
+  }
+  return total / static_cast<double>(scores.size());
+}
+
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<float>& labels) {
+  VF2_CHECK(predictions.size() == labels.size() && !predictions.empty());
+  double total = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - labels[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(predictions.size()));
+}
+
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<float>& labels) {
+  VF2_CHECK(scores.size() == labels.size() && !scores.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] > 0;
+    const bool actual = labels[i] > 0.5f;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+}  // namespace vf2boost

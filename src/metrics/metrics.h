@@ -1,0 +1,27 @@
+#ifndef VF2BOOST_METRICS_METRICS_H_
+#define VF2BOOST_METRICS_METRICS_H_
+
+#include <vector>
+
+namespace vf2boost {
+
+/// Area under the ROC curve of raw scores (any monotone transform of the
+/// probability works) against {0,1} labels. Ties share rank. Returns 0.5
+/// when one class is absent.
+double Auc(const std::vector<double>& scores, const std::vector<float>& labels);
+
+/// Mean logistic loss of raw (pre-sigmoid) scores against {0,1} labels.
+double LogLoss(const std::vector<double>& scores,
+               const std::vector<float>& labels);
+
+/// Root mean squared error of predictions against labels.
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<float>& labels);
+
+/// Fraction of correct {0,1} classifications of raw scores at threshold 0.
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<float>& labels);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_METRICS_METRICS_H_

@@ -1,0 +1,64 @@
+#ifndef VF2BOOST_SIM_COST_MODEL_H_
+#define VF2BOOST_SIM_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace vf2boost {
+
+/// \brief Unit costs (seconds per op, single thread) of the primitives the
+/// vertical federated GBDT protocol is built from — the paper's cost model
+/// of §5 (T_ENC, T_DEC, T_HADD, T_SMUL, T_COMM).
+///
+/// Two sources: Calibrate() measures this machine's own Paillier library
+/// (so simulated and real runs agree), and PaperScale() encodes the
+/// environment of the paper's evaluation (S = 2048, 16-core nodes, 8-worker
+/// parties, 300 Mbps WAN) reverse-fitted from Table 1.
+struct CostModel {
+  // Cryptography (per operation, one thread).
+  double t_enc = 3.0e-3;    ///< Paillier encryption
+  double t_dec = 1.5e-3;    ///< CRT decryption
+  double t_hadd = 9.0e-5;   ///< homomorphic addition (same exponent)
+  double t_scale = 4.5e-4;  ///< cipher scaling (SMul by B^k, small k)
+  double t_smul = 1.5e-3;   ///< scalar multiplication (word-size scalar)
+  double t_pack_slot = 6.0e-4;  ///< pack one slot: SMul(2^M) + HAdd
+
+  // Plaintext GBDT (per nonzero entry / per bin).
+  double t_plain_hist = 4.0e-9;
+  double t_split_scan = 8.0e-9;
+
+  // Wire.
+  double cipher_bytes = 512;  ///< 2S bits
+  double bandwidth_bytes_per_sec = 37.5e6;  ///< 300 Mbps
+  double latency_seconds = 0.01;
+
+  /// Number of distinct fixed-point exponents E (affects scaling counts).
+  double num_exponents = 4;
+  /// Histogram-packing slots per cipher (paper: 32 at S=2048, M=64).
+  double pack_slots = 32;
+  /// Amdahl-style coordination loss per extra worker (stragglers, shuffle,
+  /// scheduler overhead): effective parallelism = w / (1 + f*(w-1)).
+  double straggler_factor = 0.08;
+  /// Cross-party synchronization cost B pays per layer per A party.
+  double party_sync_seconds = 2.0;
+
+  /// w workers deliver this much ideal-worker parallelism.
+  double EffectiveWorkers(double w) const {
+    return w / (1.0 + straggler_factor * (w - 1.0));
+  }
+
+  /// Measures the crypto primitives of this build at `key_bits` and returns
+  /// a model whose network matches `bandwidth_mbps`/`latency`.
+  static CostModel Calibrate(size_t key_bits, double bandwidth_mbps = 300,
+                             double latency_seconds = 0.01);
+
+  /// The paper's environment (S = 2048): fitted so the simulated Table 1
+  /// baseline reproduces the paper's Enc/Comm/HAdd breakdown.
+  static CostModel PaperScale();
+
+  std::string ToString() const;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_SIM_COST_MODEL_H_

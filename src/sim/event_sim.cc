@@ -1,0 +1,71 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+EventSim::ResourceId EventSim::AddResource(std::string name, size_t capacity) {
+  resources_.push_back({std::move(name), std::max<size_t>(1, capacity)});
+  return resources_.size() - 1;
+}
+
+EventSim::TaskId EventSim::AddTask(ResourceId resource, double duration,
+                                   std::string label,
+                                   std::vector<TaskId> deps) {
+  VF2_CHECK(resource < resources_.size());
+  for (TaskId d : deps) VF2_CHECK(d < tasks_.size()) << "dep on later task";
+  tasks_.push_back({std::move(label), resource, std::max(0.0, duration),
+                    std::move(deps), 0, 0});
+  return tasks_.size() - 1;
+}
+
+double EventSim::Run() {
+  // Per-resource slot availability times.
+  std::vector<std::vector<double>> slots(resources_.size());
+  for (size_t r = 0; r < resources_.size(); ++r) {
+    slots[r].assign(resources_[r].capacity, 0.0);
+  }
+
+  // Dependency bookkeeping.
+  std::vector<size_t> remaining(tasks_.size(), 0);
+  std::vector<std::vector<TaskId>> dependents(tasks_.size());
+  std::vector<double> ready_time(tasks_.size(), 0.0);
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    remaining[t] = tasks_[t].deps.size();
+    for (TaskId d : tasks_[t].deps) dependents[d].push_back(t);
+  }
+
+  // Ready queue ordered by (ready time, insertion order).
+  using Entry = std::pair<double, TaskId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ready;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (remaining[t] == 0) ready.push({0.0, t});
+  }
+
+  size_t scheduled = 0;
+  double makespan = 0;
+  while (!ready.empty()) {
+    auto [ready_at, t] = ready.top();
+    ready.pop();
+    Task& task = tasks_[t];
+    // Earliest-available slot of the task's resource.
+    auto& res_slots = slots[task.resource];
+    auto slot = std::min_element(res_slots.begin(), res_slots.end());
+    task.start = std::max(ready_at, *slot);
+    task.finish = task.start + task.duration;
+    *slot = task.finish;
+    makespan = std::max(makespan, task.finish);
+    ++scheduled;
+    for (TaskId dep : dependents[t]) {
+      ready_time[dep] = std::max(ready_time[dep], task.finish);
+      if (--remaining[dep] == 0) ready.push({ready_time[dep], dep});
+    }
+  }
+  VF2_CHECK(scheduled == tasks_.size()) << "dependency cycle in task graph";
+  return makespan;
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,47 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace vf2boost {
+
+std::string RenderGantt(const EventSim& sim, size_t width) {
+  double makespan = 0;
+  for (const auto& t : sim.tasks()) makespan = std::max(makespan, t.finish);
+  if (makespan <= 0 || width == 0) return "(empty schedule)\n";
+
+  size_t name_width = 0;
+  for (const auto& r : sim.resources()) {
+    name_width = std::max(name_width, r.name.size());
+  }
+
+  std::vector<std::string> rows(sim.resources().size(),
+                                std::string(width, '.'));
+  for (const auto& t : sim.tasks()) {
+    if (t.duration <= 0) continue;
+    size_t begin = static_cast<size_t>(t.start / makespan * width);
+    size_t end = static_cast<size_t>(t.finish / makespan * width);
+    begin = std::min(begin, width - 1);
+    end = std::min(std::max(end, begin + 1), width);
+    const char phase = t.label.empty() ? '?' : t.label[0];
+    for (size_t i = begin; i < end; ++i) rows[t.resource][i] = phase;
+  }
+
+  std::string out;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string name = sim.resources()[r].name;
+    name.resize(name_width, ' ');
+    out += name + " |" + rows[r] + "|\n";
+  }
+  char footer[128];
+  std::snprintf(footer, sizeof(footer),
+                "%*s  0%*s%.1fs\n", static_cast<int>(name_width), "",
+                static_cast<int>(width - 1), "", makespan);
+  out += footer;
+  out += "  (E=encrypt C=cipher-comm H=build-hist-A D=decrypt F=find-split-B"
+         " P=place/sync)\n";
+  return out;
+}
+
+}  // namespace vf2boost

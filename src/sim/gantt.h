@@ -1,0 +1,18 @@
+#ifndef VF2BOOST_SIM_GANTT_H_
+#define VF2BOOST_SIM_GANTT_H_
+
+#include <string>
+
+#include "sim/event_sim.h"
+
+namespace vf2boost {
+
+/// Renders a scheduled EventSim as a text Gantt chart (one row per
+/// resource), the tool the paper uses to analyze protocol overlap
+/// (Figures 4-6). Each task paints its phase letter (first character of its
+/// label); '.' is idle time.
+std::string RenderGantt(const EventSim& sim, size_t width = 100);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_SIM_GANTT_H_

@@ -1,0 +1,260 @@
+#include "sim/protocol_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace vf2boost {
+
+namespace {
+
+// Work (seconds, after intra-party parallelization) of Party A accumulating
+// one full scan of the instances into encrypted histograms for the `nodes`
+// active nodes of one layer.
+double HistAddWork(const SimWorkload& w, const SimFlags& flags,
+                   const CostModel& cost, double nodes) {
+  // features_a counts ALL A-party features; the parties build their own
+  // shares concurrently, so wall-clock work is per-party.
+  const double party_features = w.features_a / w.parties_a;
+  const double adds =
+      2.0 * w.instances * w.density * party_features;
+  double scalings;
+  if (flags.reordered) {
+    // E-1 scalings per bin at finalize.
+    scalings =
+        2.0 * party_features * w.bins * nodes * (cost.num_exponents - 1);
+  } else {
+    scalings = adds * (cost.num_exponents - 1) / cost.num_exponents;
+  }
+  // Intra-party aggregation: every worker ships its partial encrypted
+  // histograms for merging; the merge volume is the full layer histogram and
+  // does not shrink with more workers (the Table 5 sublinearity).
+  const double agg = 2.0 * party_features * w.bins * nodes * cost.t_hadd *
+                     (1.0 - 1.0 / w.workers);
+  return (adds * cost.t_hadd + scalings * cost.t_scale) /
+             cost.EffectiveWorkers(w.workers) +
+         agg;
+}
+
+// Nodes that are still splittable at a layer. Real trees thin out quickly —
+// most nodes stop splitting well before the depth limit — so the effective
+// width saturates instead of doubling forever.
+double EffectiveNodes(const SimWorkload& w, double layer) {
+  return std::min({std::pow(2.0, layer), 16.0, w.instances});
+}
+
+// Per-layer histogram size (ciphers) Party A ships to B.
+double LayerHistCiphers(const SimWorkload& w, double layer) {
+  return EffectiveNodes(w, layer) * 2.0 * w.features_a * w.bins;
+}
+
+SimReport FinishReport(std::shared_ptr<EventSim> sim) {
+  SimReport r;
+  r.total_seconds = sim->Run();
+  for (const auto& task : sim->tasks()) {
+    const char phase = task.label.empty() ? '?' : task.label[0];
+    switch (phase) {
+      case 'E':
+        r.enc_seconds += task.duration;
+        break;
+      case 'C':
+        r.comm_seconds += task.duration;
+        break;
+      case 'H':
+        r.hadd_seconds += task.duration;
+        break;
+      case 'D':
+        r.dec_seconds += task.duration;
+        break;
+      default:
+        break;
+    }
+  }
+  r.sim = std::move(sim);
+  return r;
+}
+
+}  // namespace
+
+SimReport SimulateRootNode(const SimWorkload& w, const SimFlags& flags,
+                           const CostModel& cost) {
+  auto sim = std::make_shared<EventSim>();
+  const auto b_cpu = sim->AddResource("PartyB");
+  const auto wan = sim->AddResource("WAN");
+  const auto a_cpu = sim->AddResource("PartyA");
+
+  const size_t batches = flags.blaster ? std::max<size_t>(1, flags.blaster_batches) : 1;
+  const double enc_total =
+      2.0 * w.instances * cost.t_enc / cost.EffectiveWorkers(w.workers);
+  const double comm_total = w.parties_a * 2.0 * w.instances *
+                                cost.cipher_bytes /
+                                cost.bandwidth_bytes_per_sec;
+  const double hist_total = HistAddWork(w, flags, cost, 1);
+
+  EventSim::TaskId prev_enc = 0, prev_comm = 0, prev_hist = 0;
+  for (size_t k = 0; k < batches; ++k) {
+    std::vector<EventSim::TaskId> enc_deps, comm_deps, hist_deps;
+    if (k > 0) {
+      enc_deps = {prev_enc};
+      comm_deps = {prev_comm};
+      hist_deps = {prev_hist};
+    }
+    const auto enc = sim->AddTask(b_cpu, enc_total / batches,
+                                  "Enc#" + std::to_string(k), enc_deps);
+    comm_deps.push_back(enc);
+    const auto comm =
+        sim->AddTask(wan, comm_total / batches + cost.latency_seconds,
+                     "Comm#" + std::to_string(k), comm_deps);
+    hist_deps.push_back(comm);
+    const auto hist = sim->AddTask(a_cpu, hist_total / batches,
+                                   "HAdd#" + std::to_string(k), hist_deps);
+    prev_enc = enc;
+    prev_comm = comm;
+    prev_hist = hist;
+  }
+  return FinishReport(std::move(sim));
+}
+
+SimReport SimulateTree(const SimWorkload& w, const SimFlags& flags,
+                       const CostModel& cost) {
+  auto sim = std::make_shared<EventSim>();
+  const auto b_cpu = sim->AddResource("PartyB");
+  const auto wan = sim->AddResource("WAN");
+  const auto a_cpu = sim->AddResource("PartyA");
+
+  // Expected fraction of nodes whose best split Party A owns — the paper's
+  // optimistic-failure probability D_A / (D_A + D_B).
+  const double p_dirty = w.features_a / (w.features_a + w.features_b);
+
+  // --- root prologue: gradient encryption + transfer + BuildHistA(0) -------
+  const size_t batches =
+      flags.blaster ? std::max<size_t>(1, flags.blaster_batches) : 1;
+  const double enc_total =
+      2.0 * w.instances * cost.t_enc / cost.EffectiveWorkers(w.workers);
+  const double grad_comm = w.parties_a * 2.0 * w.instances *
+                               cost.cipher_bytes /
+                               cost.bandwidth_bytes_per_sec;
+  const double hist_work = HistAddWork(w, flags, cost, 1);
+
+  EventSim::TaskId last_hist = 0;
+  {
+    EventSim::TaskId prev_enc = 0, prev_comm = 0, prev_hist = 0;
+    for (size_t k = 0; k < batches; ++k) {
+      std::vector<EventSim::TaskId> enc_deps, comm_deps, hist_deps;
+      if (k > 0) {
+        enc_deps = {prev_enc};
+        comm_deps = {prev_comm};
+        hist_deps = {prev_hist};
+      }
+      const auto enc = sim->AddTask(b_cpu, enc_total / batches, "Enc#0", enc_deps);
+      comm_deps.push_back(enc);
+      const auto comm = sim->AddTask(
+          wan, grad_comm / batches + cost.latency_seconds, "Comm#g", comm_deps);
+      hist_deps.push_back(comm);
+      prev_hist = sim->AddTask(a_cpu, hist_work / batches, "HAdd#L0", hist_deps);
+      prev_enc = enc;
+      prev_comm = comm;
+    }
+    last_hist = prev_hist;
+  }
+
+  // --- layers ---------------------------------------------------------------
+  // Per layer l: A's layer-l histograms go to B (comm), B decrypts and
+  // validates/finds splits, placements come back, A builds layer l+1.
+  EventSim::TaskId last_b_task = 0;
+  bool have_b_task = false;
+  const size_t split_layers = static_cast<size_t>(std::max(1.0, w.layers - 1));
+  for (size_t layer = 0; layer + 1 <= split_layers; ++layer) {
+    const double hist_ciphers =
+        LayerHistCiphers(w, static_cast<double>(layer));
+    double wire_ciphers = hist_ciphers;
+    double dec_ops = hist_ciphers;
+    double pack_work = 0;
+    if (flags.packing) {
+      wire_ciphers = hist_ciphers / cost.pack_slots;
+      dec_ops = hist_ciphers / cost.pack_slots;
+      pack_work = hist_ciphers * cost.t_pack_slot /
+                  cost.EffectiveWorkers(w.workers);
+    }
+    const std::string ls = std::to_string(layer);
+
+    // A packs (optional) and ships layer-l histograms. Node histograms are
+    // individual messages, so transfer and decryption stream per node: model
+    // them as two pipelined halves so validation of the first nodes lands
+    // while the rest is still in flight.
+    EventSim::TaskId ship_dep = last_hist;
+    if (pack_work > 0) {
+      ship_dep = sim->AddTask(a_cpu, pack_work, "HPack#L" + ls, {last_hist});
+    }
+    const double comm_time =
+        wire_ciphers * cost.cipher_bytes / cost.bandwidth_bytes_per_sec +
+        cost.latency_seconds;
+    const auto comm1 =
+        sim->AddTask(wan, comm_time / 2, "Comm#L" + ls + "a", {ship_dep});
+    const auto comm2 =
+        sim->AddTask(wan, comm_time / 2, "Comm#L" + ls + "b", {comm1});
+
+    // B's own split finding for this layer (fast, plaintext).
+    const double find_b_work =
+        (w.instances * w.NnzPerInstanceB() * cost.t_plain_hist +
+         (w.features_a + w.features_b) * w.bins * cost.t_split_scan *
+             std::pow(2.0, static_cast<double>(layer))) /
+        w.workers;
+    std::vector<EventSim::TaskId> fb_deps;
+    if (have_b_task) fb_deps.push_back(last_b_task);
+    const auto find_b = sim->AddTask(b_cpu, find_b_work, "FindB#L" + ls, fb_deps);
+
+    // B decrypts A's histograms and validates (FindSplitA), per node.
+    const double dec_time =
+        dec_ops * cost.t_dec / cost.EffectiveWorkers(w.workers);
+    const auto dec1 = sim->AddTask(b_cpu, dec_time / 2, "Dec#L" + ls + "a",
+                                   {comm1, find_b});
+    const auto dec2 = sim->AddTask(b_cpu, dec_time / 2, "Dec#L" + ls + "b",
+                                   {comm2, dec1});
+    // Cross-party coordination: B synchronizes one round with every A party
+    // per layer (multi-party runs pay this parties_a times, Table 6).
+    const auto dec = sim->AddTask(
+        b_cpu, cost.party_sync_seconds * w.parties_a, "Sync#L" + ls, {dec2});
+    last_b_task = dec;
+    have_b_task = true;
+
+    if (layer + 1 == split_layers) break;  // children are leaves
+
+    // Next-layer BuildHistA.
+
+
+    const double next_hist_work = HistAddWork(w, flags, cost, EffectiveNodes(w, static_cast<double>(layer) + 1));
+    if (flags.optimistic) {
+      // Placement comes from B's own optimistic split: A starts the next
+      // layer as soon as its current build ends (placement latency only).
+      const auto opt_placement = sim->AddTask(
+          wan, cost.latency_seconds, "Place#L" + ls, {find_b});
+      const auto clean_part = sim->AddTask(
+          a_cpu, next_hist_work * (1.0 - p_dirty), "HAdd#L" + ls + "c",
+          {last_hist, opt_placement});
+      // The dirty share must wait for validation (Dec) and is re-done. The
+      // sub-task slicing of §4.2 aborts in-flight dirty work once validation
+      // lands, so the waste beyond the redo itself depends on how early the
+      // verdict arrives — packing accelerates discovery ("Party B can
+      // discover the invalid optimistic splits earlier, saving more time
+      // from the dirty nodes", §6.2).
+      const double waste = flags.packing ? 1.0 : 1.15;
+      // Dirty verdicts stream back with the first validated nodes (dec1).
+      const auto redo_placement = sim->AddTask(
+          wan, cost.latency_seconds, "Place#L" + ls + "d", {dec1});
+      const auto dirty_part = sim->AddTask(
+          a_cpu, next_hist_work * p_dirty * waste, "HAdd#L" + ls + "d",
+          {clean_part, redo_placement});
+      last_hist = dirty_part;
+    } else {
+      // Sequential: A waits for B's decryption + split decision.
+      const auto placement = sim->AddTask(
+          wan, cost.latency_seconds, "Place#L" + ls, {dec});
+      last_hist = sim->AddTask(a_cpu, next_hist_work, "HAdd#L" + ls + "n",
+                               {last_hist, placement});
+    }
+  }
+  return FinishReport(std::move(sim));
+}
+
+}  // namespace vf2boost

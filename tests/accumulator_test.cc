@@ -1,0 +1,140 @@
+#include "crypto/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "crypto/paillier.h"
+
+namespace vf2boost {
+namespace {
+
+// The accumulators are backend-agnostic; run every test against both the
+// mock ring and real Paillier.
+class AccumulatorTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    codec_ = FixedPointCodec(16, 4, 4);  // E = 4 distinct exponents
+    if (GetParam()) {
+      Rng krng(555);
+      auto kp = PaillierKeyPair::Generate(256, &krng);
+      ASSERT_TRUE(kp.ok());
+      auto pb = std::make_unique<PaillierBackend>(kp->pub, codec_);
+      pb->SetPrivateKey(kp->priv);
+      backend_ = std::move(pb);
+    } else {
+      backend_ = std::make_unique<MockBackend>(codec_);
+    }
+  }
+
+  std::vector<Cipher> MakeStream(int n, std::vector<double>* values) {
+    std::vector<Cipher> out;
+    Rng vrng(42);
+    for (int i = 0; i < n; ++i) {
+      const double v = vrng.NextGaussian();
+      values->push_back(v);
+      out.push_back(backend_->Encrypt(v, &rng_));  // random exponent
+    }
+    return out;
+  }
+
+  FixedPointCodec codec_{16, 4, 4};
+  std::unique_ptr<CipherBackend> backend_;
+  Rng rng_{7};
+};
+
+TEST_P(AccumulatorTest, BothStrategiesComputeTheSameSum) {
+  std::vector<double> values;
+  std::vector<Cipher> stream = MakeStream(GetParam() ? 40 : 400, &values);
+  double expect = 0;
+  for (double v : values) expect += v;
+
+  AccumulatorStats naive_stats, reordered_stats;
+  Cipher naive = SumCiphers(stream, *backend_, /*reordered=*/false,
+                            &naive_stats);
+  Cipher reordered = SumCiphers(stream, *backend_, /*reordered=*/true,
+                                &reordered_stats);
+  EXPECT_NEAR(backend_->Decrypt(naive), expect, 1e-3);
+  EXPECT_NEAR(backend_->Decrypt(reordered), expect, 1e-3);
+}
+
+TEST_P(AccumulatorTest, ReorderedNeedsAtMostEMinusOneScalings) {
+  std::vector<double> values;
+  std::vector<Cipher> stream = MakeStream(GetParam() ? 40 : 400, &values);
+
+  AccumulatorStats naive_stats, reordered_stats;
+  SumCiphers(stream, *backend_, false, &naive_stats);
+  SumCiphers(stream, *backend_, true, &reordered_stats);
+
+  const size_t e = static_cast<size_t>(codec_.num_exponents());
+  EXPECT_LE(reordered_stats.scalings, e - 1);
+  // Naive accumulation pays O(N * (E-1)/E) scalings: vastly more.
+  EXPECT_GT(naive_stats.scalings, stream.size() / 2);
+}
+
+TEST_P(AccumulatorTest, EmptyAccumulatorYieldsZero) {
+  NaiveCipherAccumulator naive(backend_.get());
+  ReorderedCipherAccumulator reordered(backend_.get());
+  EXPECT_NEAR(backend_->Decrypt(naive.Finalize()), 0.0, 1e-9);
+  EXPECT_NEAR(backend_->Decrypt(reordered.Finalize()), 0.0, 1e-9);
+}
+
+TEST_P(AccumulatorTest, SingleCipherPassesThrough) {
+  Cipher c = backend_->EncryptAt(2.5, 5, &rng_);
+  NaiveCipherAccumulator naive(backend_.get());
+  naive.Add(c);
+  EXPECT_NEAR(backend_->Decrypt(naive.Finalize()), 2.5, 1e-6);
+  EXPECT_EQ(naive.stats().scalings, 0u);
+
+  ReorderedCipherAccumulator reordered(backend_.get());
+  reordered.Add(c);
+  EXPECT_NEAR(backend_->Decrypt(reordered.Finalize()), 2.5, 1e-6);
+  EXPECT_EQ(reordered.stats().scalings, 0u);
+}
+
+TEST_P(AccumulatorTest, UniformExponentStreamNeedsZeroScalings) {
+  // When every cipher shares one exponent, even the naive strategy pays no
+  // scalings — the cost comes only from exponent diversity.
+  std::vector<Cipher> stream;
+  double expect = 0;
+  for (int i = 0; i < 30; ++i) {
+    stream.push_back(backend_->EncryptAt(0.5, 6, &rng_));
+    expect += 0.5;
+  }
+  AccumulatorStats naive_stats, reordered_stats;
+  Cipher a = SumCiphers(stream, *backend_, false, &naive_stats);
+  Cipher b = SumCiphers(stream, *backend_, true, &reordered_stats);
+  EXPECT_EQ(naive_stats.scalings, 0u);
+  EXPECT_EQ(reordered_stats.scalings, 0u);
+  EXPECT_NEAR(backend_->Decrypt(a), expect, 1e-6);
+  EXPECT_NEAR(backend_->Decrypt(b), expect, 1e-6);
+}
+
+TEST_P(AccumulatorTest, FinalExponentIsMaxSeen) {
+  std::vector<Cipher> stream = {backend_->EncryptAt(1.0, 4, &rng_),
+                                backend_->EncryptAt(1.0, 6, &rng_),
+                                backend_->EncryptAt(1.0, 5, &rng_)};
+  Cipher naive = SumCiphers(stream, *backend_, false, nullptr);
+  Cipher reordered = SumCiphers(stream, *backend_, true, nullptr);
+  EXPECT_EQ(naive.exponent, 6);
+  EXPECT_EQ(reordered.exponent, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(MockAndPaillier, AccumulatorTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Paillier" : "Mock";
+                         });
+
+TEST(AccumulatorDeathTest, OutOfRangeExponentIsRejected) {
+  MockBackend backend(FixedPointCodec(16, 4, 2));
+  ReorderedCipherAccumulator acc(&backend);
+  Cipher bad;
+  bad.exponent = 99;
+  bad.data = BigInt(1);
+  EXPECT_DEATH(acc.Add(bad), "outside codec range");
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -1,0 +1,157 @@
+// Property tests cross-checking src/bigint against GMP. GMP is used ONLY
+// here, as an independent oracle — the library itself never links it.
+
+#include <gmp.h>
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bigint/bigint.h"
+#include "bigint/modarith.h"
+#include "bigint/prime.h"
+#include "common/random.h"
+
+namespace vf2boost {
+namespace {
+
+// Converts via decimal strings, which independently exercises the string
+// codecs too.
+class Gmp {
+ public:
+  explicit Gmp(const BigInt& v) { mpz_init_set_str(z_, v.ToDecString().c_str(), 10); }
+  Gmp() { mpz_init(z_); }
+  ~Gmp() { mpz_clear(z_); }
+  Gmp(const Gmp&) = delete;
+  Gmp& operator=(const Gmp&) = delete;
+
+  mpz_t& get() { return z_; }
+  std::string Str() const {
+    char* s = mpz_get_str(nullptr, 10, z_);
+    std::string out(s);
+    free(s);
+    return out;
+  }
+
+ private:
+  mutable mpz_t z_;
+};
+
+BigInt RandomSigned(size_t bits, Rng* rng) {
+  BigInt v = BigInt::Random(bits, rng);
+  return (rng->NextU64() & 1) ? -v : v;
+}
+
+TEST(BigIntOracle, AddSubMul) {
+  Rng rng(1001);
+  for (int i = 0; i < 400; ++i) {
+    BigInt a = RandomSigned(1 + (i * 37) % 2000, &rng);
+    BigInt b = RandomSigned(1 + (i * 53) % 2000, &rng);
+    Gmp ga(a), gb(b), out;
+    mpz_add(out.get(), ga.get(), gb.get());
+    EXPECT_EQ((a + b).ToDecString(), out.Str());
+    mpz_sub(out.get(), ga.get(), gb.get());
+    EXPECT_EQ((a - b).ToDecString(), out.Str());
+    mpz_mul(out.get(), ga.get(), gb.get());
+    EXPECT_EQ((a * b).ToDecString(), out.Str());
+  }
+}
+
+TEST(BigIntOracle, DivMod) {
+  Rng rng(1003);
+  for (int i = 0; i < 400; ++i) {
+    BigInt a = RandomSigned(64 + (i * 41) % 1500, &rng);
+    BigInt b = RandomSigned(1 + (i * 29) % 800, &rng);
+    if (b.IsZero()) continue;
+    Gmp ga(a), gb(b), q, r;
+    mpz_tdiv_qr(q.get(), r.get(), ga.get(), gb.get());
+    EXPECT_EQ((a / b).ToDecString(), q.Str());
+    EXPECT_EQ((a % b).ToDecString(), r.Str());
+  }
+}
+
+TEST(BigIntOracle, ModExpOddModuli) {
+  Rng rng(1005);
+  for (int i = 0; i < 40; ++i) {
+    BigInt base = BigInt::Random(512, &rng);
+    BigInt exp = BigInt::Random(256, &rng);
+    BigInt m = BigInt::Random(512, &rng);
+    if (m.IsEven()) m += BigInt(1);
+    if (m.IsOne() || m.IsZero()) continue;
+    Gmp gb(base), ge(exp), gm(m), out;
+    mpz_powm(out.get(), gb.get(), ge.get(), gm.get());
+    EXPECT_EQ(ModExp(base, exp, m).ToDecString(), out.Str());
+  }
+}
+
+TEST(BigIntOracle, ModExpPaillierShapedOperands) {
+  // The exact operand shape Paillier uses: 2S-bit odd modulus n^2, S-bit
+  // exponent, 2S-bit base.
+  Rng rng(1007);
+  for (size_t s : {256u, 512u}) {
+    BigInt p = GeneratePrime(s / 2, &rng);
+    BigInt q = GeneratePrime(s / 2, &rng);
+    BigInt n = p * q;
+    BigInt n2 = n * n;
+    MontgomeryContext ctx(n2);
+    for (int i = 0; i < 10; ++i) {
+      BigInt base = BigInt::RandomBelow(n2, &rng);
+      Gmp gb(base), ge(n), gm(n2), out;
+      mpz_powm(out.get(), gb.get(), ge.get(), gm.get());
+      EXPECT_EQ(ctx.Pow(base, n).ToDecString(), out.Str());
+    }
+  }
+}
+
+TEST(BigIntOracle, ModInverse) {
+  Rng rng(1009);
+  for (int i = 0; i < 60; ++i) {
+    BigInt m = BigInt::Random(256, &rng);
+    if (m.BitLength() < 2) continue;
+    BigInt a = BigInt::RandomBelow(m, &rng);
+    Gmp ga(a), gm(m), out;
+    const int invertible = mpz_invert(out.get(), ga.get(), gm.get());
+    auto mine = ModInverse(a, m);
+    EXPECT_EQ(mine.ok(), invertible != 0);
+    if (mine.ok()) {
+      EXPECT_EQ(mine.value().ToDecString(), out.Str());
+    }
+  }
+}
+
+TEST(BigIntOracle, Gcd) {
+  Rng rng(1011);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::Random(300, &rng);
+    BigInt b = BigInt::Random(200, &rng);
+    Gmp ga(a), gb(b), out;
+    mpz_gcd(out.get(), ga.get(), gb.get());
+    EXPECT_EQ(Gcd(a, b).ToDecString(), out.Str());
+  }
+}
+
+TEST(BigIntOracle, PrimalityAgreement) {
+  Rng rng(1013);
+  for (int i = 0; i < 60; ++i) {
+    BigInt n = BigInt::Random(128, &rng);
+    if (n.IsZero()) continue;
+    Gmp gn(n);
+    const bool gmp_prime = mpz_probab_prime_p(gn.get(), 30) > 0;
+    EXPECT_EQ(IsProbablePrime(n, &rng), gmp_prime) << n.ToDecString();
+  }
+}
+
+TEST(BigIntOracle, ShiftAgreement) {
+  Rng rng(1015);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::Random(1 + (i * 31) % 900, &rng);
+    unsigned long s = rng.NextBounded(300);
+    Gmp ga(a), out;
+    mpz_mul_2exp(out.get(), ga.get(), s);
+    EXPECT_EQ((a << s).ToDecString(), out.Str());
+    mpz_fdiv_q_2exp(out.get(), ga.get(), s);
+    EXPECT_EQ((a >> s).ToDecString(), out.Str());
+  }
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -1,0 +1,131 @@
+#include "fed/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+#include "fed/inbox.h"
+
+namespace vf2boost {
+namespace {
+
+Message Make(MessageType type, uint8_t tag) {
+  Message m;
+  m.type = type;
+  m.payload = {tag};
+  return m;
+}
+
+TEST(ChannelTest, FifoOrderBothDirections) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  a->Send(Make(MessageType::kGradBatch, 1));
+  a->Send(Make(MessageType::kGradBatch, 2));
+  b->Send(Make(MessageType::kDecisions, 3));
+  EXPECT_EQ(b->Receive().payload[0], 1);
+  EXPECT_EQ(b->Receive().payload[0], 2);
+  EXPECT_EQ(a->Receive().payload[0], 3);
+}
+
+TEST(ChannelTest, TryReceiveNonBlocking) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  Message m;
+  EXPECT_FALSE(b->TryReceive(&m));
+  a->Send(Make(MessageType::kTreeDone, 9));
+  EXPECT_TRUE(b->TryReceive(&m));
+  EXPECT_EQ(m.payload[0], 9);
+  EXPECT_FALSE(b->TryReceive(&m));
+}
+
+TEST(ChannelTest, CrossThreadBlockingReceive) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  std::thread sender([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->Send(Make(MessageType::kTreeDone, 5));
+  });
+  Message m = b->Receive();
+  sender.join();
+  EXPECT_EQ(m.payload[0], 5);
+}
+
+TEST(ChannelTest, SentStatsCountBytesAndMessages) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  Message m;
+  m.type = MessageType::kGradBatch;
+  m.payload.assign(100, 0);
+  a->Send(m);
+  a->Send(m);
+  const ChannelStats stats = a->sent_stats();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.bytes, 2 * 101u);
+  EXPECT_EQ(b->sent_stats().messages, 0u);
+}
+
+TEST(ChannelTest, LatencyDelaysDelivery) {
+  NetworkConfig net;
+  net.latency_seconds = 0.05;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  a->Send(Make(MessageType::kTreeDone, 1));
+  Message m;
+  EXPECT_FALSE(b->TryReceive(&m));  // not yet deliverable
+  Stopwatch clock;
+  m = b->Receive();
+  EXPECT_GE(clock.ElapsedSeconds(), 0.04);
+  EXPECT_EQ(m.payload[0], 1);
+}
+
+TEST(ChannelTest, BandwidthThrottlesLargeMessages) {
+  NetworkConfig net;
+  net.bandwidth_bytes_per_sec = 100000;  // 100 KB/s
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  Message big;
+  big.type = MessageType::kNodeHistogram;
+  big.payload.assign(5000, 0);  // ~50 ms at 100 KB/s
+  Stopwatch clock;
+  a->Send(big);
+  EXPECT_LT(clock.ElapsedSeconds(), 0.02);  // send is async
+  Message m = b->Receive();
+  EXPECT_GE(clock.ElapsedSeconds(), 0.04);
+}
+
+TEST(ChannelTest, BandwidthSerializesBackToBackMessages) {
+  NetworkConfig net;
+  net.bandwidth_bytes_per_sec = 100000;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  Message msg;
+  msg.type = MessageType::kGradBatch;
+  msg.payload.assign(2500, 0);  // 25 ms each
+  Stopwatch clock;
+  a->Send(msg);
+  a->Send(msg);
+  b->Receive();
+  b->Receive();
+  EXPECT_GE(clock.ElapsedSeconds(), 0.045);  // ~2x transfer time
+}
+
+TEST(InboxTest, ReceiveTypeBuffersOthers) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  Inbox inbox(b.get());
+  a->Send(Make(MessageType::kNodeHistogram, 1));
+  a->Send(Make(MessageType::kNodeHistogram, 2));
+  a->Send(Make(MessageType::kPlacement, 3));
+  // Pull the placement first; histograms must be preserved in order.
+  Message p = inbox.ReceiveType(MessageType::kPlacement);
+  EXPECT_EQ(p.payload[0], 3);
+  EXPECT_EQ(inbox.Receive().payload[0], 1);
+  EXPECT_EQ(inbox.ReceiveType(MessageType::kNodeHistogram).payload[0], 2);
+}
+
+TEST(InboxTest, ReceiveDrainsBufferFirst) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  Inbox inbox(b.get());
+  a->Send(Make(MessageType::kNodeHistogram, 1));
+  a->Send(Make(MessageType::kVerdicts, 2));
+  EXPECT_EQ(inbox.ReceiveType(MessageType::kVerdicts).payload[0], 2);
+  a->Send(Make(MessageType::kTreeDone, 3));
+  EXPECT_EQ(inbox.Receive().payload[0], 1);  // buffered one comes first
+  EXPECT_EQ(inbox.Receive().payload[0], 3);
+}
+
+}  // namespace
+}  // namespace vf2boost

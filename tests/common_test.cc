@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+
+namespace vf2boost {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad key size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad key size");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::CryptoError("x").code(), StatusCode::kCryptoError);
+  EXPECT_EQ(Status::ProtocolError("x").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(*good, 7);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(42);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(BitmapTest, SetGetClearCount) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(63));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Get(64));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, ByteSizeIsCompact) {
+  // 1e4 instances -> 1.25 KB, versus 40 KB as a u32 index list. This is the
+  // wire saving the paper's placement messages rely on.
+  Bitmap b(10000);
+  EXPECT_LE(b.ByteSize(), 10000 / 8 + 8);
+}
+
+TEST(BitmapTest, WordsRoundTrip) {
+  Bitmap b(70);
+  b.Set(3);
+  b.Set(69);
+  Bitmap c = Bitmap::FromWords(70, b.words());
+  EXPECT_TRUE(c.Get(3));
+  EXPECT_TRUE(c.Get(69));
+  EXPECT_EQ(c.Count(), 2u);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(BytesTest, RoundTripAllTypes) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-42);
+  w.PutI64(-1234567890123LL);
+  w.PutDouble(3.25);
+  w.PutString("hello");
+  w.PutU64Vector({1, 2, 3});
+
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  double d;
+  std::string s;
+  std::vector<uint64_t> v;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI32(&i32).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  ASSERT_TRUE(r.GetU64Vector(&v).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123LL);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadIsCorruption) {
+  ByteWriter w;
+  w.PutU32(5);
+  ByteReader r(w.data());
+  uint64_t v;
+  Status s = r.GetU64(&v);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, HostileStringLengthRejected) {
+  // A corrupt length prefix must not cause a huge allocation or OOB read.
+  ByteWriter w;
+  w.PutU64(UINT64_MAX);
+  ByteReader r(w.data());
+  std::string s;
+  EXPECT_EQ(r.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, HostileVectorLengthRejected) {
+  ByteWriter w;
+  w.PutU64(1ULL << 60);
+  ByteReader r(w.data());
+  std::vector<uint64_t> v;
+  EXPECT_EQ(r.GetU64Vector(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSmall) {
+  ThreadPool pool(8);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  std::atomic<int> n{0};
+  pool.ParallelFor(2, [&n](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.Submit([&n] { n.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(n.load(), 1);
+  pool.Submit([&n] { n.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(n.load(), 2);
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -1,0 +1,169 @@
+#include "fed/enc_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synthetic.h"
+#include "gbdt/loss.h"
+
+namespace vf2boost {
+namespace {
+
+class EncHistogramTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    codec_ = FixedPointCodec(16, 6, 4);
+    if (GetParam()) {
+      Rng krng(31337);
+      auto kp = PaillierKeyPair::Generate(512, &krng);
+      ASSERT_TRUE(kp.ok());
+      auto pb = std::make_unique<PaillierBackend>(kp->pub, codec_);
+      pb->SetPrivateKey(kp->priv);
+      backend_ = std::move(pb);
+    } else {
+      backend_ = std::make_unique<MockBackend>(codec_);
+    }
+
+    SyntheticSpec spec;
+    spec.rows = GetParam() ? 60 : 400;
+    spec.cols = 6;
+    spec.density = 0.5;
+    spec.seed = 404;
+    data_ = GenerateSynthetic(spec);
+    cuts_ = ComputeBinCuts(data_.features, 6);
+    binned_ = BinnedMatrix::FromCsr(data_.features, cuts_);
+    layout_ = FeatureLayout::FromCuts(cuts_);
+
+    // Logistic-like gradient pairs and their ciphers.
+    Rng vrng(5);
+    grads_.resize(data_.rows());
+    for (auto& gp : grads_) {
+      gp.g = vrng.NextDouble() * 2 - 1;  // in [-1, 1]
+      gp.h = vrng.NextDouble() * 0.25;
+    }
+    Rng enc_rng(6);
+    for (const GradPair& gp : grads_) {
+      g_ciphers_.push_back(backend_->Encrypt(gp.g, &enc_rng));
+      h_ciphers_.push_back(backend_->Encrypt(gp.h, &enc_rng));
+    }
+    instances_.resize(data_.rows());
+    std::iota(instances_.begin(), instances_.end(), 0);
+  }
+
+  Histogram PlainReference() const {
+    return Histogram::Build(binned_, layout_, instances_, grads_);
+  }
+
+  FixedPointCodec codec_{16, 6, 4};
+  std::unique_ptr<CipherBackend> backend_;
+  Dataset data_;
+  BinCuts cuts_;
+  BinnedMatrix binned_;
+  FeatureLayout layout_;
+  std::vector<GradPair> grads_;
+  std::vector<Cipher> g_ciphers_, h_ciphers_;
+  std::vector<uint32_t> instances_;
+};
+
+TEST_P(EncHistogramTest, MatchesPlaintextHistogram) {
+  for (bool reordered : {false, true}) {
+    AccumulatorStats stats;
+    EncryptedHistogram enc = BuildEncryptedHistogram(
+        binned_, layout_, instances_, g_ciphers_, h_ciphers_, *backend_,
+        reordered, &stats);
+    size_t decryptions = 0;
+    auto hist = DecryptRawHistogram(enc.g_bins, enc.h_bins, layout_,
+                                    *backend_, &decryptions);
+    ASSERT_TRUE(hist.ok());
+    EXPECT_EQ(decryptions, 2 * layout_.total_bins());
+    Histogram ref = PlainReference();
+    for (size_t i = 0; i < layout_.total_bins(); ++i) {
+      EXPECT_NEAR(hist->bin(i).g, ref.bin(i).g, 1e-4) << "bin " << i;
+      EXPECT_NEAR(hist->bin(i).h, ref.bin(i).h, 1e-4) << "bin " << i;
+    }
+  }
+}
+
+TEST_P(EncHistogramTest, ReorderedCutsScalings) {
+  AccumulatorStats naive_stats, reordered_stats;
+  BuildEncryptedHistogram(binned_, layout_, instances_, g_ciphers_,
+                          h_ciphers_, *backend_, false, &naive_stats);
+  BuildEncryptedHistogram(binned_, layout_, instances_, g_ciphers_,
+                          h_ciphers_, *backend_, true, &reordered_stats);
+  // Re-ordered: at most E-1 scalings per bin per statistic.
+  const size_t e = static_cast<size_t>(codec_.num_exponents());
+  EXPECT_LE(reordered_stats.scalings, 2 * layout_.total_bins() * (e - 1));
+  EXPECT_LT(reordered_stats.scalings, naive_stats.scalings);
+  EXPECT_EQ(reordered_stats.hadds, naive_stats.hadds);
+}
+
+TEST_P(EncHistogramTest, PackedRoundTripMatchesRaw) {
+  EncryptedHistogram enc = BuildEncryptedHistogram(
+      binned_, layout_, instances_, g_ciphers_, h_ciphers_, *backend_,
+      /*reordered=*/true, nullptr);
+  AccumulatorStats pack_stats;
+  auto packed = PackHistogram(enc, layout_, data_.rows(),
+                              /*grad_bound=*/1.0, *backend_, &pack_stats);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+
+  size_t packed_decryptions = 0;
+  auto packed_hist = DecryptPackedHistogram(packed.value(), layout_,
+                                            *backend_, &packed_decryptions);
+  ASSERT_TRUE(packed_hist.ok()) << packed_hist.status().ToString();
+
+  size_t raw_decryptions = 0;
+  auto raw_hist = DecryptRawHistogram(enc.g_bins, enc.h_bins, layout_,
+                                      *backend_, &raw_decryptions);
+  ASSERT_TRUE(raw_hist.ok());
+
+  // The whole point: far fewer decryptions.
+  EXPECT_LT(packed_decryptions, raw_decryptions / 2);
+  for (size_t i = 0; i < layout_.total_bins(); ++i) {
+    EXPECT_NEAR(packed_hist->bin(i).g, raw_hist->bin(i).g, 1e-3) << i;
+    EXPECT_NEAR(packed_hist->bin(i).h, raw_hist->bin(i).h, 1e-3) << i;
+  }
+}
+
+TEST_P(EncHistogramTest, SubsetOfInstances) {
+  // Histogram over half the instances must match the plaintext restriction.
+  std::vector<uint32_t> subset;
+  for (size_t i = 0; i < instances_.size(); i += 2) subset.push_back(i);
+  EncryptedHistogram enc = BuildEncryptedHistogram(
+      binned_, layout_, subset, g_ciphers_, h_ciphers_, *backend_, true,
+      nullptr);
+  auto hist =
+      DecryptRawHistogram(enc.g_bins, enc.h_bins, layout_, *backend_, nullptr);
+  ASSERT_TRUE(hist.ok());
+  Histogram ref = Histogram::Build(binned_, layout_, subset, grads_);
+  for (size_t i = 0; i < layout_.total_bins(); ++i) {
+    EXPECT_NEAR(hist->bin(i).g, ref.bin(i).g, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MockAndPaillier, EncHistogramTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Paillier" : "Mock";
+                         });
+
+TEST(PackHistogramTest, TinyKeyFallsBackWithError) {
+  // A 128-bit key cannot hold two ~60-bit slots: PackHistogram must refuse.
+  Rng krng(99);
+  auto kp = PaillierKeyPair::Generate(128, &krng);
+  ASSERT_TRUE(kp.ok());
+  FixedPointCodec codec(16, 8, 4);
+  PaillierBackend backend(kp->pub, codec);
+  FeatureLayout layout;
+  layout.offsets = {0, 2};
+  EncryptedHistogram hist;
+  Rng rng(1);
+  hist.g_bins = {backend.EncryptAt(0.5, 11, &rng),
+                 backend.EncryptAt(0.5, 11, &rng)};
+  hist.h_bins = hist.g_bins;
+  auto packed = PackHistogram(hist, layout, 1000000, 1.0, backend, nullptr);
+  EXPECT_FALSE(packed.ok());
+}
+
+}  // namespace
+}  // namespace vf2boost

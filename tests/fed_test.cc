@@ -1,0 +1,437 @@
+#include "fed/fed_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "gbdt/trainer.h"
+#include "metrics/metrics.h"
+
+namespace vf2boost {
+namespace {
+
+struct Fixture {
+  Dataset train;
+  Dataset valid;
+  VerticalSplitSpec spec;
+  std::vector<Dataset> shards;  // A parties first, B last
+};
+
+Fixture MakeFixture(size_t rows, size_t cols, double density,
+                    const std::vector<double>& fractions, uint64_t seed) {
+  SyntheticSpec sspec;
+  sspec.rows = rows;
+  sspec.cols = cols;
+  sspec.density = density;
+  sspec.seed = seed;
+  Dataset all = GenerateSynthetic(sspec);
+
+  Fixture f;
+  Rng rng(seed + 1);
+  TrainValidSplit(all, 0.8, &rng, &f.train, &f.valid);
+  f.spec = SplitColumnsRandomly(cols, fractions, &rng);
+  auto shards = PartitionVertically(f.train, f.spec,
+                                    /*label_party=*/fractions.size() - 1);
+  EXPECT_TRUE(shards.ok());
+  f.shards = std::move(shards).value();
+  return f;
+}
+
+FedConfig FastConfig() {
+  FedConfig config;
+  config.mock_crypto = true;
+  config.gbdt.num_trees = 5;
+  config.gbdt.num_layers = 4;
+  config.gbdt.max_bins = 8;
+  return config;
+}
+
+TEST(FedTrainerTest, MockSequentialLearns) {
+  Fixture f = MakeFixture(1500, 16, 0.5, {0.5, 0.5}, 21);
+  FedTrainer trainer(FastConfig());
+  auto result = trainer.Train(f.shards);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->model.trees.size(), 5u);
+
+  auto joint = result->ToJointModel(f.spec);
+  ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+  const double auc = Auc(joint->PredictRaw(f.valid.features), f.valid.labels);
+  EXPECT_GT(auc, 0.70) << "federated model failed to learn";
+
+  // Both parties contribute splits.
+  EXPECT_GT(result->stats.splits_a, 0u);
+  EXPECT_GT(result->stats.splits_b, 0u);
+  EXPECT_GT(result->stats.leaves, 0u);
+  // Train loss decreases across trees.
+  EXPECT_LT(result->log.back().train_loss, result->log.front().train_loss);
+}
+
+TEST(FedTrainerTest, FederatedBeatsPartyBOnly) {
+  Fixture f = MakeFixture(2000, 20, 0.5, {0.5, 0.5}, 23);
+  FedConfig config = FastConfig();
+  config.gbdt.num_trees = 10;
+  FedTrainer trainer(config);
+  auto result = trainer.Train(f.shards);
+  ASSERT_TRUE(result.ok());
+  auto joint = result->ToJointModel(f.spec);
+  ASSERT_TRUE(joint.ok());
+  const double fed_auc =
+      Auc(joint->PredictRaw(f.valid.features), f.valid.labels);
+
+  // Party-B-only baseline: plain GBDT on B's columns.
+  Dataset b_train = f.shards.back();
+  GbdtTrainer plain(config.gbdt);
+  auto b_model = plain.Train(b_train);
+  ASSERT_TRUE(b_model.ok());
+  Dataset b_valid;
+  b_valid.features = f.valid.features.SelectColumns(f.spec.party_columns[1]);
+  b_valid.labels = f.valid.labels;
+  const double b_auc =
+      Auc(b_model->PredictRaw(b_valid.features), b_valid.labels);
+
+  // And the co-located upper reference.
+  auto full_model = plain.Train(f.train);
+  ASSERT_TRUE(full_model.ok());
+  const double full_auc =
+      Auc(full_model->PredictRaw(f.valid.features), f.valid.labels);
+
+  EXPECT_GT(fed_auc, b_auc + 0.01) << "vertical FL should lift AUC";
+  EXPECT_NEAR(fed_auc, full_auc, 0.05) << "FL should match co-located";
+}
+
+TEST(FedTrainerTest, OptimisticMatchesSequentialExactly) {
+  Fixture f = MakeFixture(1200, 16, 0.5, {0.5, 0.5}, 25);
+  FedConfig seq = FastConfig();
+  FedConfig opt = FastConfig();
+  opt.optimistic = true;
+
+  auto r_seq = FedTrainer(seq).Train(f.shards);
+  auto r_opt = FedTrainer(opt).Train(f.shards);
+  ASSERT_TRUE(r_seq.ok());
+  ASSERT_TRUE(r_opt.ok());
+
+  // The optimistic protocol must be a pure scheduling change: identical
+  // split decisions, identical model.
+  auto j_seq = r_seq->ToJointModel(f.spec);
+  auto j_opt = r_opt->ToJointModel(f.spec);
+  ASSERT_TRUE(j_seq.ok());
+  ASSERT_TRUE(j_opt.ok());
+  auto p_seq = j_seq->PredictRaw(f.valid.features);
+  auto p_opt = j_opt->PredictRaw(f.valid.features);
+  for (size_t i = 0; i < p_seq.size(); ++i) {
+    ASSERT_DOUBLE_EQ(p_seq[i], p_opt[i]) << "instance " << i;
+  }
+  // With balanced features, a sizable share of optimistic splits is dirty.
+  EXPECT_GT(r_opt->stats.dirty_nodes, 0u);
+  EXPECT_GT(r_opt->stats.optimistic_splits, r_opt->stats.dirty_nodes);
+  EXPECT_EQ(r_seq->stats.dirty_nodes, 0u);
+}
+
+TEST(FedTrainerTest, DirtyRateTracksFeatureRatio) {
+  // Paper §4.2: failure probability ~ D_A / (D_A + D_B).
+  auto dirty_rate = [](const std::vector<double>& fractions, uint64_t seed) {
+    Fixture f = MakeFixture(1200, 30, 0.4, fractions, seed);
+    FedConfig config = FastConfig();
+    config.optimistic = true;
+    auto r = FedTrainer(config).Train(f.shards);
+    EXPECT_TRUE(r.ok());
+    const double total = static_cast<double>(r->stats.dirty_nodes +
+                                             r->stats.splits_b);
+    return total == 0 ? 0.0 : r->stats.dirty_nodes / total;
+  };
+  const double rate_a_heavy = dirty_rate({0.8, 0.2}, 31);
+  const double rate_b_heavy = dirty_rate({0.2, 0.8}, 31);
+  EXPECT_GT(rate_a_heavy, rate_b_heavy);
+}
+
+TEST(FedTrainerTest, PackingPreservesQualityAndCutsBytes) {
+  Fixture f = MakeFixture(1500, 16, 0.5, {0.5, 0.5}, 27);
+  FedConfig raw = FastConfig();
+  FedConfig packed = FastConfig();
+  packed.packing = true;
+
+  auto r_raw = FedTrainer(raw).Train(f.shards);
+  auto r_packed = FedTrainer(packed).Train(f.shards);
+  ASSERT_TRUE(r_raw.ok());
+  ASSERT_TRUE(r_packed.ok()) << r_packed.status().ToString();
+
+  auto j_raw = r_raw->ToJointModel(f.spec);
+  auto j_packed = r_packed->ToJointModel(f.spec);
+  ASSERT_TRUE(j_raw.ok());
+  ASSERT_TRUE(j_packed.ok());
+  const double auc_raw =
+      Auc(j_raw->PredictRaw(f.valid.features), f.valid.labels);
+  const double auc_packed =
+      Auc(j_packed->PredictRaw(f.valid.features), f.valid.labels);
+  EXPECT_NEAR(auc_raw, auc_packed, 0.02);
+
+  EXPECT_GT(r_packed->stats.packs, 0u);
+  EXPECT_LT(r_packed->stats.decryptions, r_raw->stats.decryptions / 2);
+  EXPECT_LT(r_packed->stats.bytes_a_to_b, r_raw->stats.bytes_a_to_b);
+}
+
+TEST(FedTrainerTest, ReorderedReducesScalings) {
+  Fixture f = MakeFixture(800, 12, 0.5, {0.5, 0.5}, 29);
+  FedConfig naive = FastConfig();
+  naive.gbdt.num_trees = 2;
+  FedConfig reordered = naive;
+  reordered.reordered = true;
+
+  auto r_naive = FedTrainer(naive).Train(f.shards);
+  auto r_reordered = FedTrainer(reordered).Train(f.shards);
+  ASSERT_TRUE(r_naive.ok());
+  ASSERT_TRUE(r_reordered.ok());
+  EXPECT_LT(r_reordered->stats.scalings, r_naive->stats.scalings / 2);
+}
+
+TEST(FedTrainerTest, BlasterSplitsGradTraffic) {
+  Fixture f = MakeFixture(1000, 10, 0.5, {0.5, 0.5}, 33);
+  FedConfig bulk = FastConfig();
+  bulk.gbdt.num_trees = 1;
+  FedConfig blaster = bulk;
+  blaster.blaster = true;
+  blaster.blaster_batch = 128;
+
+  auto r_bulk = FedTrainer(bulk).Train(f.shards);
+  auto r_blaster = FedTrainer(blaster).Train(f.shards);
+  ASSERT_TRUE(r_bulk.ok());
+  ASSERT_TRUE(r_blaster.ok());
+  // Same data volume, same learned model quality; the blaster just streams.
+  auto j_bulk = r_bulk->ToJointModel(f.spec);
+  auto j_blaster = r_blaster->ToJointModel(f.spec);
+  ASSERT_TRUE(j_bulk.ok());
+  ASSERT_TRUE(j_blaster.ok());
+  auto p1 = j_bulk->PredictRaw(f.valid.features);
+  auto p2 = j_blaster->PredictRaw(f.valid.features);
+  for (size_t i = 0; i < p1.size(); ++i) ASSERT_DOUBLE_EQ(p1[i], p2[i]);
+}
+
+TEST(FedTrainerTest, FullVf2BoostStackLearns) {
+  Fixture f = MakeFixture(1500, 16, 0.5, {0.5, 0.5}, 35);
+  FedConfig config = FedConfig::Vf2Boost();
+  config.mock_crypto = true;
+  config.gbdt.num_trees = 5;
+  config.gbdt.num_layers = 4;
+  config.gbdt.max_bins = 8;
+  auto result = FedTrainer(config).Train(f.shards);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joint = result->ToJointModel(f.spec);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_GT(Auc(joint->PredictRaw(f.valid.features), f.valid.labels), 0.70);
+  EXPECT_GT(result->stats.packs, 0u);
+  EXPECT_GT(result->stats.optimistic_splits, 0u);
+}
+
+TEST(FedTrainerTest, RealPaillierEndToEnd) {
+  // Small but fully real: 256-bit Paillier, every optimization on.
+  Fixture f = MakeFixture(200, 8, 0.6, {0.5, 0.5}, 37);
+  FedConfig config = FedConfig::Vf2Boost();
+  config.paillier_bits = 256;
+  config.gbdt.num_trees = 2;
+  config.gbdt.num_layers = 3;
+  config.gbdt.max_bins = 6;
+  auto result = FedTrainer(config).Train(f.shards);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.encryptions, 0u);
+  EXPECT_GT(result->stats.decryptions, 0u);
+
+  // The exact same run under mock crypto must produce the same tree
+  // decisions (the cryptosystem is computation-transparent).
+  FedConfig mock = config;
+  mock.mock_crypto = true;
+  auto mock_result = FedTrainer(mock).Train(f.shards);
+  ASSERT_TRUE(mock_result.ok());
+  auto j_real = result->ToJointModel(f.spec);
+  auto j_mock = mock_result->ToJointModel(f.spec);
+  ASSERT_TRUE(j_real.ok());
+  ASSERT_TRUE(j_mock.ok());
+  auto p_real = j_real->PredictRaw(f.valid.features);
+  auto p_mock = j_mock->PredictRaw(f.valid.features);
+  double max_diff = 0;
+  for (size_t i = 0; i < p_real.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(p_real[i] - p_mock[i]));
+  }
+  EXPECT_LT(max_diff, 1e-3);
+}
+
+TEST(FedTrainerTest, RealPaillierSequentialRaw) {
+  // The baseline VF-GBDT path under real crypto.
+  Fixture f = MakeFixture(150, 6, 0.8, {0.5, 0.5}, 39);
+  FedConfig config = FedConfig::VfGbdt();
+  config.mock_crypto = false;
+  config.paillier_bits = 256;
+  config.gbdt.num_trees = 2;
+  config.gbdt.num_layers = 3;
+  config.gbdt.max_bins = 6;
+  auto result = FedTrainer(config).Train(f.shards);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->model.trees.size(), 2u);
+}
+
+TEST(FedTrainerTest, ThreeParties) {
+  Fixture f = MakeFixture(1500, 24, 0.5, {0.34, 0.33, 0.33}, 41);
+  FedConfig config = FastConfig();
+  config.optimistic = true;
+  config.gbdt.num_trees = 10;
+  auto result = FedTrainer(config).Train(f.shards);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joint = result->ToJointModel(f.spec);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_GT(Auc(joint->PredictRaw(f.valid.features), f.valid.labels), 0.66);
+  EXPECT_EQ(result->party_a_cuts.size(), 2u);
+}
+
+TEST(FedTrainerTest, MorePartiesLiftAuc) {
+  // Table 6's qualitative claim: adding feature-contributing parties helps.
+  SyntheticSpec spec;
+  spec.rows = 2500;
+  spec.cols = 32;
+  spec.density = 0.4;
+  spec.seed = 43;
+  Dataset all = GenerateSynthetic(spec);
+  Rng rng(44);
+  Dataset train, valid;
+  TrainValidSplit(all, 0.8, &rng, &train, &valid);
+  VerticalSplitSpec spec4 = SplitColumnsRandomly(32, {1, 1, 1, 1}, &rng);
+
+  FedConfig config = FastConfig();
+  config.gbdt.num_trees = 8;
+
+  // B-only baseline (B = last party's columns).
+  Dataset b_train;
+  b_train.features = train.features.SelectColumns(spec4.party_columns[3]);
+  b_train.labels = train.labels;
+  GbdtTrainer plain(config.gbdt);
+  auto b_model = plain.Train(b_train);
+  ASSERT_TRUE(b_model.ok());
+  Dataset b_valid;
+  b_valid.features = valid.features.SelectColumns(spec4.party_columns[3]);
+  const double auc1 = Auc(b_model->PredictRaw(b_valid.features), valid.labels);
+
+  // 2 parties: A = parties 0+1+2 columns merged? No — use party 0 as A.
+  auto run_fed = [&](size_t num_a) {
+    VerticalSplitSpec sub;
+    for (size_t p = 0; p < num_a; ++p) {
+      sub.party_columns.push_back(spec4.party_columns[p]);
+    }
+    sub.party_columns.push_back(spec4.party_columns[3]);
+    auto shards = PartitionVertically(train, sub, num_a);
+    EXPECT_TRUE(shards.ok());
+    auto result = FedTrainer(config).Train(shards.value());
+    EXPECT_TRUE(result.ok());
+    auto joint = result->ToJointModel(sub);
+    EXPECT_TRUE(joint.ok());
+    return Auc(joint->PredictRaw(valid.features), valid.labels);
+  };
+  const double auc2 = run_fed(1);
+  const double auc4 = run_fed(3);
+  EXPECT_GT(auc2, auc1);
+  EXPECT_GT(auc4, auc2);
+}
+
+TEST(FedTrainerTest, OptimisticLeafCorrectionPath) {
+  // Force the trickiest rollback path: B's features are pure noise, so B
+  // optimistically declares LEAVES (its own gains fall under gamma) that
+  // validation later converts into A-owned splits — children created fresh
+  // by the verdict, not reused.
+  Rng rng(71);
+  std::vector<std::vector<Entry>> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 1200; ++i) {
+    std::vector<Entry> row;
+    double score = 0;
+    for (uint32_t c = 0; c < 6; ++c) {  // informative (party A)
+      const float v = static_cast<float>(rng.NextGaussian());
+      row.push_back({c, v});
+      score += v;
+    }
+    for (uint32_t c = 6; c < 12; ++c) {  // noise (party B)
+      row.push_back({c, static_cast<float>(rng.NextGaussian())});
+    }
+    rows.push_back(std::move(row));
+    labels.push_back(score > 0 ? 1.0f : 0.0f);
+  }
+  Dataset data;
+  data.features = CsrMatrix::FromRows(rows, 12).value();
+  data.labels = labels;
+
+  VerticalSplitSpec spec;
+  spec.party_columns = {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}};
+  auto shards = PartitionVertically(data, spec, 1);
+  ASSERT_TRUE(shards.ok());
+
+  FedConfig seq = FastConfig();
+  seq.gbdt.min_split_gain = 5.0;  // kill B's spurious noise splits
+  FedConfig opt = seq;
+  opt.optimistic = true;
+
+  auto r_seq = FedTrainer(seq).Train(shards.value());
+  auto r_opt = FedTrainer(opt).Train(shards.value());
+  ASSERT_TRUE(r_seq.ok()) << r_seq.status().ToString();
+  ASSERT_TRUE(r_opt.ok()) << r_opt.status().ToString();
+
+  // Nearly every split belongs to A; B's optimistic actions were leaves
+  // that validation overturned.
+  EXPECT_GT(r_opt->stats.splits_a, 0u);
+  EXPECT_GT(r_opt->stats.dirty_nodes, r_opt->stats.optimistic_splits)
+      << "expected leaf->split corrections beyond rolled-back B splits";
+
+  // Still exactly equivalent to the sequential protocol.
+  auto p_seq = r_seq->ToJointModel(spec)->PredictRaw(data.features);
+  auto p_opt = r_opt->ToJointModel(spec)->PredictRaw(data.features);
+  for (size_t i = 0; i < p_seq.size(); ++i) {
+    ASSERT_DOUBLE_EQ(p_seq[i], p_opt[i]);
+  }
+  // And the model actually uses A's informative features.
+  EXPECT_GT(Auc(p_opt, data.labels), 0.8);
+}
+
+TEST(FedTrainerTest, InputValidation) {
+  Fixture f = MakeFixture(100, 8, 0.5, {0.5, 0.5}, 47);
+  FedTrainer trainer(FastConfig());
+
+  // Too few parties.
+  EXPECT_FALSE(trainer.Train({f.shards[1]}).ok());
+  // B without labels.
+  std::vector<Dataset> no_labels = {f.shards[0], f.shards[0]};
+  EXPECT_FALSE(trainer.Train(no_labels).ok());
+  // A with labels (privacy violation).
+  std::vector<Dataset> leak = {f.shards[1], f.shards[1]};
+  EXPECT_FALSE(trainer.Train(leak).ok());
+  // Misaligned rows.
+  Fixture f2 = MakeFixture(120, 8, 0.5, {0.5, 0.5}, 48);
+  std::vector<Dataset> misaligned = {f2.shards[0], f.shards[1]};
+  EXPECT_FALSE(trainer.Train(misaligned).ok());
+}
+
+TEST(FedTrainerTest, ToJointModelValidation) {
+  Fixture f = MakeFixture(300, 8, 0.5, {0.5, 0.5}, 49);
+  auto result = FedTrainer(FastConfig()).Train(f.shards);
+  ASSERT_TRUE(result.ok());
+  VerticalSplitSpec bad;
+  bad.party_columns = {{0, 1}};  // wrong party count
+  EXPECT_FALSE(result->ToJointModel(bad).ok());
+}
+
+TEST(FedTrainerTest, NetworkLatencyDoesNotChangeModel) {
+  Fixture f = MakeFixture(400, 10, 0.5, {0.5, 0.5}, 51);
+  FedConfig fast = FastConfig();
+  fast.gbdt.num_trees = 2;
+  FedConfig slow = fast;
+  slow.network.latency_seconds = 0.002;
+  slow.network.bandwidth_bytes_per_sec = 10e6;
+
+  auto r_fast = FedTrainer(fast).Train(f.shards);
+  auto r_slow = FedTrainer(slow).Train(f.shards);
+  ASSERT_TRUE(r_fast.ok());
+  ASSERT_TRUE(r_slow.ok());
+  auto p1 = r_fast->ToJointModel(f.spec)->PredictRaw(f.valid.features);
+  auto p2 = r_slow->ToJointModel(f.spec)->PredictRaw(f.valid.features);
+  for (size_t i = 0; i < p1.size(); ++i) ASSERT_DOUBLE_EQ(p1[i], p2[i]);
+  // Slower network shows up as waiting time.
+  EXPECT_GT(r_slow->log.back().elapsed_seconds,
+            r_fast->log.back().elapsed_seconds);
+}
+
+}  // namespace
+}  // namespace vf2boost

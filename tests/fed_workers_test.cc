@@ -1,0 +1,145 @@
+// Intra-party worker parallelism: the scheduler-worker decomposition must
+// change only the schedule, never the protocol semantics or model quality.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fed/enc_histogram.h"
+#include "fed/fed_trainer.h"
+#include "metrics/metrics.h"
+
+namespace vf2boost {
+namespace {
+
+TEST(ParallelHistogramTest, ShardMergeMatchesSerialBuild) {
+  SyntheticSpec spec;
+  spec.rows = 500;
+  spec.cols = 8;
+  spec.density = 0.5;
+  spec.seed = 55;
+  Dataset data = GenerateSynthetic(spec);
+  BinCuts cuts = ComputeBinCuts(data.features, 6);
+  BinnedMatrix binned = BinnedMatrix::FromCsr(data.features, cuts);
+  FeatureLayout layout = FeatureLayout::FromCuts(cuts);
+
+  MockBackend backend(FixedPointCodec(16, 6, 4));
+  Rng rng(5);
+  std::vector<Cipher> g, h;
+  std::vector<double> plain_g;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double v = rng.NextGaussian();
+    plain_g.push_back(v);
+    g.push_back(backend.Encrypt(v, &rng));
+    h.push_back(backend.Encrypt(0.25, &rng));
+  }
+  std::vector<uint32_t> all(data.rows());
+  std::iota(all.begin(), all.end(), 0);
+
+  EncryptedHistogram serial = BuildEncryptedHistogram(
+      binned, layout, all, g, h, backend, /*reordered=*/true, nullptr);
+
+  ThreadPool pool(4);
+  EncryptedHistogram parallel = BuildEncryptedHistogramParallel(
+      binned, layout, all, g, h, backend, /*reordered=*/true, nullptr, &pool);
+
+  ASSERT_EQ(parallel.g_bins.size(), serial.g_bins.size());
+  for (size_t i = 0; i < serial.g_bins.size(); ++i) {
+    EXPECT_NEAR(backend.Decrypt(parallel.g_bins[i]),
+                backend.Decrypt(serial.g_bins[i]), 1e-6)
+        << "bin " << i;
+    EXPECT_NEAR(backend.Decrypt(parallel.h_bins[i]),
+                backend.Decrypt(serial.h_bins[i]), 1e-6);
+  }
+}
+
+TEST(ParallelHistogramTest, NullPoolFallsBackToSerial) {
+  SyntheticSpec spec;
+  spec.rows = 50;
+  spec.cols = 4;
+  spec.density = 1.0;
+  spec.seed = 57;
+  Dataset data = GenerateSynthetic(spec);
+  BinCuts cuts = ComputeBinCuts(data.features, 4);
+  BinnedMatrix binned = BinnedMatrix::FromCsr(data.features, cuts);
+  FeatureLayout layout = FeatureLayout::FromCuts(cuts);
+  MockBackend backend;
+  Rng rng(1);
+  std::vector<Cipher> g, h;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    g.push_back(backend.Encrypt(1.0, &rng));
+    h.push_back(backend.Encrypt(1.0, &rng));
+  }
+  std::vector<uint32_t> all(data.rows());
+  std::iota(all.begin(), all.end(), 0);
+  EncryptedHistogram hist = BuildEncryptedHistogramParallel(
+      binned, layout, all, g, h, backend, false, nullptr, /*pool=*/nullptr);
+  EXPECT_EQ(hist.g_bins.size(), layout.total_bins());
+}
+
+struct WorkerFixture {
+  Dataset train;
+  Dataset valid;
+  VerticalSplitSpec spec;
+  std::vector<Dataset> shards;
+};
+
+WorkerFixture MakeFixture(uint64_t seed) {
+  SyntheticSpec sspec;
+  sspec.rows = 1200;
+  sspec.cols = 14;
+  sspec.density = 0.5;
+  sspec.seed = seed;
+  Dataset all = GenerateSynthetic(sspec);
+  WorkerFixture f;
+  Rng rng(seed + 1);
+  TrainValidSplit(all, 0.8, &rng, &f.train, &f.valid);
+  f.spec = SplitColumnsRandomly(14, {0.5, 0.5}, &rng);
+  auto shards = PartitionVertically(f.train, f.spec, 1);
+  EXPECT_TRUE(shards.ok());
+  f.shards = std::move(shards).value();
+  return f;
+}
+
+TEST(FedWorkersTest, MultiWorkerTrainingMatchesSingleWorkerQuality) {
+  WorkerFixture f = MakeFixture(61);
+  FedConfig base;
+  base.mock_crypto = true;
+  base.gbdt.num_trees = 6;
+  base.gbdt.num_layers = 4;
+  base.gbdt.max_bins = 8;
+
+  FedConfig multi = base;
+  multi.workers_per_party = 3;
+
+  auto r1 = FedTrainer(base).Train(f.shards);
+  auto r3 = FedTrainer(multi).Train(f.shards);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+
+  const double auc1 = Auc(
+      r1->ToJointModel(f.spec)->PredictRaw(f.valid.features), f.valid.labels);
+  const double auc3 = Auc(
+      r3->ToJointModel(f.spec)->PredictRaw(f.valid.features), f.valid.labels);
+  EXPECT_NEAR(auc1, auc3, 0.03);
+  EXPECT_GT(auc3, 0.65);
+}
+
+TEST(FedWorkersTest, MultiWorkerWithAllOptimizationsAndRealCrypto) {
+  WorkerFixture f = MakeFixture(63);
+  FedConfig config = FedConfig::Vf2Boost();
+  config.paillier_bits = 256;
+  config.workers_per_party = 2;
+  config.gbdt.num_trees = 2;
+  config.gbdt.num_layers = 3;
+  config.gbdt.max_bins = 6;
+  auto result = FedTrainer(config).Train(f.shards);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->model.trees.size(), 2u);
+  EXPECT_GT(result->stats.encryptions, 0u);
+}
+
+}  // namespace
+}  // namespace vf2boost

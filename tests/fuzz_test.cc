@@ -1,0 +1,160 @@
+// Failure-injection tests: every cross-party decoder and the model parser
+// must turn arbitrary or corrupted bytes into a clean Status — never UB,
+// crashes, or huge allocations. (In a cross-enterprise deployment the wire
+// is a trust boundary.)
+
+#include <gtest/gtest.h>
+
+#include "crypto/backend.h"
+#include "fed/placement.h"
+#include "fed/protocol.h"
+#include "gbdt/model_io.h"
+
+namespace vf2boost {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng* rng, size_t max_len) {
+  std::vector<uint8_t> out(rng->NextBounded(max_len + 1));
+  for (uint8_t& b : out) out[&b - out.data()] = static_cast<uint8_t>(rng->NextU64());
+  return out;
+}
+
+TEST(DecoderFuzzTest, RandomPayloadsNeverCrash) {
+  MockBackend backend;
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Message msg;
+    msg.payload = RandomBytes(&rng, 200);
+
+    msg.type = MessageType::kGradBatch;
+    GradBatchPayload grads;
+    (void)DecodeGradBatch(msg, backend, &grads);
+
+    msg.type = MessageType::kNodeHistogram;
+    NodeHistogramPayload hist;
+    (void)DecodeNodeHistogram(msg, backend, &hist);
+
+    msg.type = MessageType::kDecisions;
+    DecisionsPayload decisions;
+    (void)DecodeDecisions(msg, &decisions);
+
+    msg.type = MessageType::kVerdicts;
+    VerdictsPayload verdicts;
+    (void)DecodeVerdicts(msg, &verdicts);
+
+    msg.type = MessageType::kPlacement;
+    PlacementPayload placement;
+    (void)DecodePlacement(msg, &placement);
+
+    msg.type = MessageType::kLayout;
+    LayoutPayload layout;
+    (void)DecodeLayout(msg, &layout);
+  }
+  SUCCEED();
+}
+
+TEST(DecoderFuzzTest, TruncatedValidMessagesReturnCorruption) {
+  MockBackend backend;
+  Rng rng(0xBEEF);
+  // Build a valid grad batch, then decode every possible truncation.
+  GradBatchPayload payload;
+  payload.tree = 3;
+  payload.start = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload.g.push_back(backend.Encrypt(0.5, &rng));
+    payload.h.push_back(backend.Encrypt(0.25, &rng));
+  }
+  Message full = EncodeGradBatch(payload, backend);
+  for (size_t len = 0; len < full.payload.size(); ++len) {
+    Message cut;
+    cut.type = full.type;
+    cut.payload.assign(full.payload.begin(), full.payload.begin() + len);
+    GradBatchPayload out;
+    Status s = DecodeGradBatch(cut, backend, &out);
+    EXPECT_FALSE(s.ok()) << "truncation at " << len << " decoded";
+  }
+  // The untruncated message decodes.
+  GradBatchPayload out;
+  EXPECT_TRUE(DecodeGradBatch(full, backend, &out).ok());
+  EXPECT_EQ(out.g.size(), 4u);
+}
+
+TEST(DecoderFuzzTest, BitFlippedDecisionsAreStatusNotCrash) {
+  DecisionsPayload payload;
+  payload.tree = 1;
+  payload.layer = 2;
+  NodeDecision d;
+  d.node = 0;
+  d.action = NodeAction::kSplitResolved;
+  d.left = 1;
+  d.right = 2;
+  d.placement = Bitmap(100);
+  payload.decisions.push_back(d);
+  Message base = EncodeDecisions(payload, MessageType::kDecisions);
+
+  Rng rng(0xAB);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Message mutated = base;
+    const size_t pos = rng.NextBounded(mutated.payload.size());
+    mutated.payload[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    DecisionsPayload out;
+    (void)DecodeDecisions(mutated, &out);  // any Status is fine; no crash
+  }
+  SUCCEED();
+}
+
+TEST(ModelFuzzTest, MutatedModelTextNeverCrashes) {
+  // A real model, then random character mutations.
+  const std::string base =
+      "vf2boost-model-v1\nobjective logistic\nlearning_rate 0.1\n"
+      "base_score 0\nnum_trees 1\ntree 3\n"
+      "1 2 0 0.5 3 1 -1 0 1.25\n"
+      "-1 -1 0 0 0 1 -1 0.7 0\n"
+      "-1 -1 0 0 0 1 -1 -0.7 0\n";
+  {
+    auto ok = ModelFromString(base);
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  }
+  Rng rng(0xCD);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = base;
+    const size_t edits = 1 + rng.NextBounded(4);
+    for (size_t e = 0; e < edits; ++e) {
+      const size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] = static_cast<char>(' ' + rng.NextBounded(95));
+    }
+    auto result = ModelFromString(mutated);
+    if (result.ok()) {
+      // If it parsed, it must be structurally safe to evaluate (joint
+      // models only — federated skeletons are a documented precondition).
+      bool joint = true;
+      for (const Tree& tree : result->trees) {
+        for (size_t i = 0; i < tree.size(); ++i) {
+          joint &= tree.node(static_cast<int32_t>(i)).owner_party < 0;
+        }
+      }
+      if (!joint) continue;
+      auto m = CsrMatrix::FromRows({{{0, 1.0f}}}, 8);
+      ASSERT_TRUE(m.ok());
+      (void)result->PredictRaw(m.value());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(BitmapFuzzTest, HostileBitmapHeadersRejected) {
+  Rng rng(0xEF);
+  for (int trial = 0; trial < 1000; ++trial) {
+    ByteWriter w;
+    w.PutU64(rng.NextU64());  // arbitrary bit count
+    w.PutU64(rng.NextBounded(4));
+    for (int i = 0; i < 3; ++i) w.PutU64(rng.NextU64());
+    ByteReader r(w.data());
+    Bitmap bitmap;
+    (void)DeserializeBitmap(&r, &bitmap);  // must not allocate absurdly
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -1,0 +1,171 @@
+// Tests for the production GBDT features beyond the paper's core loop:
+// row/column subsampling, early stopping, and feature importance.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "gbdt/importance.h"
+#include "gbdt/trainer.h"
+#include "metrics/metrics.h"
+
+namespace vf2boost {
+namespace {
+
+Dataset MakeData(size_t rows, size_t cols, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.density = 0.5;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+TEST(SubsamplingTest, RowSubsampleStillLearns) {
+  Dataset data = MakeData(2000, 15, 3);
+  Rng rng(1);
+  Dataset train, valid;
+  TrainValidSplit(data, 0.8, &rng, &train, &valid);
+
+  GbdtParams params;
+  params.num_trees = 15;
+  params.num_layers = 4;
+  params.row_subsample = 0.5;
+  auto model = GbdtTrainer(params).Train(train);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(Auc(model->PredictRaw(valid.features), valid.labels), 0.7);
+}
+
+TEST(SubsamplingTest, ColSubsampleStillLearnsAndDiversifiesSplits) {
+  Dataset data = MakeData(2000, 20, 5);
+  GbdtParams params;
+  params.num_trees = 12;
+  params.num_layers = 4;
+  params.col_subsample = 0.4;
+  auto model = GbdtTrainer(params).Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(Auc(model->PredictRaw(data.features), data.labels), 0.7);
+  // With 40% columns per tree, many distinct features must appear.
+  const auto freq =
+      FeatureImportance(model.value(), 20, ImportanceType::kFrequency);
+  size_t used = 0;
+  for (double f : freq) used += f > 0;
+  EXPECT_GT(used, 8u);
+}
+
+TEST(SubsamplingTest, DeterministicGivenSeed) {
+  Dataset data = MakeData(500, 10, 7);
+  GbdtParams params;
+  params.num_trees = 5;
+  params.num_layers = 4;
+  params.row_subsample = 0.6;
+  params.col_subsample = 0.6;
+  params.seed = 99;
+  auto m1 = GbdtTrainer(params).Train(data);
+  auto m2 = GbdtTrainer(params).Train(data);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  auto p1 = m1->PredictRaw(data.features);
+  auto p2 = m2->PredictRaw(data.features);
+  for (size_t i = 0; i < p1.size(); ++i) ASSERT_DOUBLE_EQ(p1[i], p2[i]);
+
+  params.seed = 100;
+  auto m3 = GbdtTrainer(params).Train(data);
+  ASSERT_TRUE(m3.ok());
+  auto p3 = m3->PredictRaw(data.features);
+  bool any_diff = false;
+  for (size_t i = 0; i < p1.size(); ++i) any_diff |= p1[i] != p3[i];
+  EXPECT_TRUE(any_diff) << "different seed should sample differently";
+}
+
+TEST(EarlyStoppingTest, StopsBeforeTreeBudget) {
+  // A tiny noisy dataset overfits quickly: validation loss stalls early.
+  Dataset data = MakeData(300, 8, 11);
+  Rng rng(2);
+  Dataset train, valid;
+  TrainValidSplit(data, 0.6, &rng, &train, &valid);
+
+  GbdtParams params;
+  params.num_trees = 200;
+  params.num_layers = 6;
+  params.learning_rate = 0.5;
+  params.early_stopping_rounds = 3;
+  std::vector<EvalRecord> log;
+  auto model = GbdtTrainer(params).Train(train, &valid, &log);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->trees.size(), 200u) << "early stopping never triggered";
+  EXPECT_EQ(model->trees.size(), log.size());
+}
+
+TEST(EarlyStoppingTest, OffWithoutValidationSet) {
+  Dataset data = MakeData(300, 8, 13);
+  GbdtParams params;
+  params.num_trees = 10;
+  params.num_layers = 3;
+  params.early_stopping_rounds = 2;
+  auto model = GbdtTrainer(params).Train(data);  // no valid set
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->trees.size(), 10u);
+}
+
+TEST(ImportanceTest, PlantedFeatureDominates) {
+  // Labels depend (almost) only on feature 0.
+  Rng rng(21);
+  std::vector<std::vector<Entry>> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 2000; ++i) {
+    const float x0 = static_cast<float>(rng.NextGaussian());
+    const float x1 = static_cast<float>(rng.NextGaussian());
+    const float x2 = static_cast<float>(rng.NextGaussian());
+    rows.push_back({{0, x0}, {1, x1}, {2, x2}});
+    labels.push_back(x0 + 0.05f * x1 > 0 ? 1.0f : 0.0f);
+  }
+  Dataset data;
+  data.features = CsrMatrix::FromRows(rows, 3).value();
+  data.labels = labels;
+
+  GbdtParams params;
+  params.num_trees = 10;
+  params.num_layers = 4;
+  auto model = GbdtTrainer(params).Train(data);
+  ASSERT_TRUE(model.ok());
+
+  const auto gain = FeatureImportance(model.value(), 3, ImportanceType::kGain);
+  EXPECT_GT(gain[0], gain[1] * 5);
+  EXPECT_GT(gain[0], gain[2] * 5);
+  const auto top = TopFeatures(gain, 2);
+  EXPECT_EQ(top[0], 0u);
+
+  const auto freq =
+      FeatureImportance(model.value(), 3, ImportanceType::kFrequency);
+  EXPECT_GE(freq[0], 1.0);
+}
+
+TEST(ImportanceTest, GainsAreRecordedOnSplits) {
+  Dataset data = MakeData(500, 6, 23);
+  GbdtParams params;
+  params.num_trees = 3;
+  params.num_layers = 4;
+  auto model = GbdtTrainer(params).Train(data);
+  ASSERT_TRUE(model.ok());
+  size_t splits = 0;
+  for (const Tree& tree : model->trees) {
+    for (size_t i = 0; i < tree.size(); ++i) {
+      const TreeNode& n = tree.node(static_cast<int32_t>(i));
+      if (!n.is_leaf()) {
+        EXPECT_GT(n.gain, 0.0);
+        ++splits;
+      }
+    }
+  }
+  EXPECT_GT(splits, 0u);
+}
+
+TEST(ImportanceTest, TopFeaturesHandlesShortLists) {
+  std::vector<double> imp = {1.0, 3.0, 2.0};
+  EXPECT_EQ(TopFeatures(imp, 10).size(), 3u);
+  EXPECT_EQ(TopFeatures(imp, 2), (std::vector<size_t>{1, 2}));
+  EXPECT_TRUE(TopFeatures({}, 3).empty());
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -1,0 +1,389 @@
+#include "gbdt/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synthetic.h"
+#include "gbdt/loss.h"
+#include "gbdt/model_io.h"
+#include "gbdt/split.h"
+#include "metrics/metrics.h"
+
+namespace vf2boost {
+namespace {
+
+TEST(LossTest, LogisticGradHess) {
+  LogisticLoss loss;
+  GradPair gp = loss.GradHess(0.0, 1.0f);
+  EXPECT_NEAR(gp.g, -0.5, 1e-12);
+  EXPECT_NEAR(gp.h, 0.25, 1e-12);
+  gp = loss.GradHess(0.0, 0.0f);
+  EXPECT_NEAR(gp.g, 0.5, 1e-12);
+  // Gradient sign reveals the label — the reason encryption is needed.
+  EXPECT_GT(loss.GradHess(2.0, 0.0f).g, 0);
+  EXPECT_LT(loss.GradHess(2.0, 1.0f).g, 0);
+  EXPECT_LE(std::fabs(loss.GradHess(100.0, 0.0f).g), loss.GradientBound());
+  EXPECT_LE(loss.GradHess(0.0, 0.0f).h, loss.HessianBound());
+}
+
+TEST(LossTest, SquaredGradHess) {
+  SquaredLoss loss;
+  GradPair gp = loss.GradHess(3.0, 1.0f);
+  EXPECT_DOUBLE_EQ(gp.g, 2.0);
+  EXPECT_DOUBLE_EQ(gp.h, 1.0);
+  EXPECT_DOUBLE_EQ(loss.Value(3.0, 1.0f), 2.0);
+}
+
+TEST(LossTest, FactoryRejectsUnknown) {
+  EXPECT_TRUE(MakeLoss("logistic").ok());
+  EXPECT_TRUE(MakeLoss("squared").ok());
+  EXPECT_FALSE(MakeLoss("hinge").ok());
+}
+
+TEST(HistogramTest, BuildAccumulatesPerBin) {
+  // Two features, 2 bins each. 4 instances.
+  auto m = CsrMatrix::FromRows({{{0, 1.0f}},
+                                {{0, 5.0f}, {1, 1.0f}},
+                                {{1, 5.0f}},
+                                {{0, 5.0f}}},
+                               2);
+  ASSERT_TRUE(m.ok());
+  BinCuts cuts;
+  cuts.cuts = {{3.0f}, {3.0f}};  // bin 0: v<3 (v=1), bin 1: v>=3 (v=5)
+  BinnedMatrix binned = BinnedMatrix::FromCsr(m.value(), cuts);
+  FeatureLayout layout = FeatureLayout::FromCuts(cuts);
+  ASSERT_EQ(layout.total_bins(), 4u);
+
+  std::vector<GradPair> grads = {{1, 1}, {2, 1}, {4, 1}, {8, 1}};
+  std::vector<uint32_t> all = {0, 1, 2, 3};
+  Histogram hist = Histogram::Build(binned, layout, all, grads);
+  EXPECT_DOUBLE_EQ(hist.bin(layout.Flat(0, 0)).g, 1.0);   // inst 0
+  EXPECT_DOUBLE_EQ(hist.bin(layout.Flat(0, 1)).g, 10.0);  // inst 1, 3
+  EXPECT_DOUBLE_EQ(hist.bin(layout.Flat(1, 0)).g, 2.0);   // inst 1
+  EXPECT_DOUBLE_EQ(hist.bin(layout.Flat(1, 1)).g, 4.0);   // inst 2
+  // Missing mass for feature 1 = total - feature sum = 15 - 6 = 9.
+  GradPair total{15, 4};
+  GradPair missing = total - hist.FeatureSum(layout, 1);
+  EXPECT_DOUBLE_EQ(missing.g, 9.0);
+}
+
+TEST(HistogramTest, SiblingSubtraction) {
+  FeatureLayout layout;
+  layout.offsets = {0, 3};
+  Histogram parent(3), child(3);
+  parent.bin(0) = {10, 5};
+  parent.bin(1) = {20, 6};
+  parent.bin(2) = {30, 7};
+  child.bin(0) = {4, 2};
+  child.bin(1) = {20, 6};
+  child.SubtractFrom(parent);
+  EXPECT_DOUBLE_EQ(child.bin(0).g, 6.0);
+  EXPECT_DOUBLE_EQ(child.bin(0).h, 3.0);
+  EXPECT_DOUBLE_EQ(child.bin(1).g, 0.0);
+  EXPECT_DOUBLE_EQ(child.bin(2).g, 30.0);
+}
+
+TEST(SplitTest, LeafWeightFormula) {
+  GbdtParams params;
+  params.l2_reg = 1.0;
+  EXPECT_DOUBLE_EQ(LeafWeight({-4.0, 3.0}, params), 1.0);
+  EXPECT_DOUBLE_EQ(LeafWeight({4.0, 3.0}, params), -1.0);
+}
+
+TEST(SplitTest, ObviousSplitIsFound) {
+  // Feature 0 separates positives (bin 1, g=-1) from negatives (bin 0, g=+1).
+  FeatureLayout layout;
+  layout.offsets = {0, 2};
+  Histogram hist(2);
+  hist.bin(0) = {5.0, 2.5};   // negatives
+  hist.bin(1) = {-5.0, 2.5};  // positives
+  GbdtParams params;
+  SplitCandidate split =
+      FindBestSplit(hist, layout, GradPair{0.0, 5.0}, params);
+  ASSERT_TRUE(split.valid());
+  EXPECT_EQ(split.feature, 0u);
+  EXPECT_EQ(split.bin, 0u);
+  // Gain = 0.5*(25/3.5 + 25/3.5 - 0) ~ 7.14.
+  EXPECT_NEAR(split.gain, 0.5 * (25 / 3.5 + 25 / 3.5), 1e-9);
+}
+
+TEST(SplitTest, NoSplitOnPureNode) {
+  FeatureLayout layout;
+  layout.offsets = {0, 2};
+  Histogram hist(2);
+  hist.bin(0) = {2.0, 1.0};
+  hist.bin(1) = {2.0, 1.0};
+  GbdtParams params;
+  SplitCandidate split =
+      FindBestSplit(hist, layout, GradPair{4.0, 2.0}, params);
+  EXPECT_FALSE(split.valid());
+}
+
+TEST(SplitTest, MinChildWeightBlocksTinyChildren) {
+  FeatureLayout layout;
+  layout.offsets = {0, 2};
+  Histogram hist(2);
+  hist.bin(0) = {5.0, 0.01};
+  hist.bin(1) = {-5.0, 5.0};
+  GbdtParams params;
+  params.min_child_weight = 0.1;
+  SplitCandidate split =
+      FindBestSplit(hist, layout, GradPair{0.0, 5.01}, params);
+  // default_left would add missing=0; child hessian 0.01 < 0.1 on one side.
+  EXPECT_FALSE(split.valid());
+}
+
+TEST(SplitTest, DefaultDirectionUsesMissingMass) {
+  // All signal sits in the missing mass: one noisy nonzero bin, missing
+  // carries strongly negative gradients.
+  FeatureLayout layout;
+  layout.offsets = {0, 2};
+  Histogram hist(2);
+  hist.bin(0) = {3.0, 1.0};
+  hist.bin(1) = {0.0, 0.0};
+  GradPair total{-7.0, 4.0};  // missing = (-10, 3)
+  GbdtParams params;
+  SplitCandidate split = FindBestSplit(hist, layout, total, params);
+  ASSERT_TRUE(split.valid());
+  EXPECT_FALSE(split.default_left);  // separates missing from bin 0
+  EXPECT_DOUBLE_EQ(split.left_sum.g, 3.0);
+}
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static Dataset MakeData(size_t rows, size_t cols, double density,
+                          uint64_t seed) {
+    SyntheticSpec spec;
+    spec.rows = rows;
+    spec.cols = cols;
+    spec.density = density;
+    spec.seed = seed;
+    return GenerateSynthetic(spec);
+  }
+};
+
+TEST_F(TrainerTest, LearnsSeparableData) {
+  Dataset data = MakeData(2000, 20, 0.5, 3);
+  Rng rng(1);
+  Dataset train, valid;
+  TrainValidSplit(data, 0.8, &rng, &train, &valid);
+
+  GbdtParams params;
+  params.num_trees = 10;
+  params.num_layers = 5;
+  GbdtTrainer trainer(params);
+  std::vector<EvalRecord> log;
+  auto model = trainer.Train(train, &valid, &log);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->trees.size(), 10u);
+
+  const auto scores = model->PredictRaw(valid.features);
+  const double auc = Auc(scores, valid.labels);
+  EXPECT_GT(auc, 0.75) << "model failed to learn";
+
+  // Training loss decreases monotonically-ish.
+  ASSERT_EQ(log.size(), 10u);
+  EXPECT_LT(log.back().train_loss, log.front().train_loss);
+  EXPECT_LT(log.back().train_loss, std::log(2.0));
+}
+
+TEST_F(TrainerTest, SparseDataStillLearns) {
+  Dataset data = MakeData(3000, 100, 0.05, 5);
+  Rng rng(2);
+  Dataset train, valid;
+  TrainValidSplit(data, 0.8, &rng, &train, &valid);
+  GbdtParams params;
+  params.num_trees = 15;
+  params.num_layers = 5;
+  GbdtTrainer trainer(params);
+  auto model = trainer.Train(train);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(Auc(model->PredictRaw(valid.features), valid.labels), 0.65);
+}
+
+TEST_F(TrainerTest, DepthLimitRespected) {
+  Dataset data = MakeData(500, 10, 0.5, 7);
+  GbdtParams params;
+  params.num_trees = 3;
+  params.num_layers = 4;  // depth <= 3
+  GbdtTrainer trainer(params);
+  auto model = trainer.Train(data);
+  ASSERT_TRUE(model.ok());
+  for (const Tree& tree : model->trees) {
+    EXPECT_LE(tree.Depth(), 3u);
+    EXPECT_GE(tree.NumLeaves(), 2u);
+  }
+}
+
+TEST_F(TrainerTest, SingleLayerYieldsStumps) {
+  Dataset data = MakeData(200, 5, 1.0, 9);
+  GbdtParams params;
+  params.num_trees = 2;
+  params.num_layers = 1;  // root only
+  GbdtTrainer trainer(params);
+  auto model = trainer.Train(data);
+  ASSERT_TRUE(model.ok());
+  for (const Tree& tree : model->trees) {
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_TRUE(tree.node(0).is_leaf());
+  }
+}
+
+TEST_F(TrainerTest, MoreTreesReduceTrainLoss) {
+  Dataset data = MakeData(1000, 15, 0.4, 11);
+  GbdtParams params;
+  params.num_layers = 4;
+  params.num_trees = 20;
+  GbdtTrainer trainer(params);
+  std::vector<EvalRecord> log;
+  auto model = trainer.Train(data, nullptr, &log);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(log[19].train_loss, log[4].train_loss);
+}
+
+TEST_F(TrainerTest, SquaredObjectiveRegresses) {
+  Dataset data = MakeData(800, 10, 0.6, 13);
+  // Regress the labels directly; RMSE should drop well below the
+  // predict-the-mean baseline (~0.5 for balanced 0/1 labels).
+  GbdtParams params;
+  params.objective = "squared";
+  params.num_trees = 20;
+  params.num_layers = 4;
+  GbdtTrainer trainer(params);
+  auto model = trainer.Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(Rmse(model->PredictRaw(data.features), data.labels), 0.45);
+}
+
+TEST_F(TrainerTest, RejectsBadInput) {
+  Dataset unlabeled = MakeData(100, 5, 1.0, 1);
+  unlabeled.labels.clear();
+  GbdtTrainer trainer(GbdtParams{});
+  EXPECT_FALSE(trainer.Train(unlabeled).ok());
+
+  GbdtParams params;
+  params.objective = "hinge";
+  Dataset data = MakeData(100, 5, 1.0, 1);
+  EXPECT_FALSE(GbdtTrainer(params).Train(data).ok());
+
+  params = GbdtParams{};
+  params.num_layers = 0;
+  EXPECT_FALSE(GbdtTrainer(params).Train(data).ok());
+}
+
+TEST_F(TrainerTest, PartitionInstancesMatchesPrediction) {
+  Dataset data = MakeData(400, 8, 0.5, 17);
+  BinCuts cuts = ComputeBinCuts(data.features, 10);
+  BinnedMatrix binned = BinnedMatrix::FromCsr(data.features, cuts);
+  std::vector<uint32_t> all(data.rows());
+  std::iota(all.begin(), all.end(), 0);
+
+  const uint32_t feature = 3;
+  const uint32_t bin = 2;
+  for (bool default_left : {true, false}) {
+    std::vector<uint32_t> left, right;
+    PartitionInstances(binned, all, feature, bin, default_left, &left, &right);
+    EXPECT_EQ(left.size() + right.size(), all.size());
+    const float split_value = cuts.SplitValue(feature, bin);
+    for (uint32_t i : left) {
+      const float v = data.features.At(i, feature);
+      if (v == 0.0f) {
+        EXPECT_TRUE(default_left);
+      } else {
+        EXPECT_LT(v, split_value);
+      }
+    }
+    for (uint32_t i : right) {
+      const float v = data.features.At(i, feature);
+      if (v == 0.0f) {
+        EXPECT_FALSE(default_left);
+      } else {
+        EXPECT_GE(v, split_value);
+      }
+    }
+  }
+}
+
+TEST_F(TrainerTest, ModelSerializationRoundTrip) {
+  Dataset data = MakeData(500, 10, 0.5, 19);
+  GbdtParams params;
+  params.num_trees = 5;
+  params.num_layers = 4;
+  GbdtTrainer trainer(params);
+  auto model = trainer.Train(data);
+  ASSERT_TRUE(model.ok());
+
+  const std::string text = ModelToString(model.value());
+  auto back = ModelFromString(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  auto orig_scores = model->PredictRaw(data.features);
+  auto back_scores = back->PredictRaw(data.features);
+  for (size_t i = 0; i < orig_scores.size(); ++i) {
+    ASSERT_DOUBLE_EQ(orig_scores[i], back_scores[i]);
+  }
+
+  const std::string path = ::testing::TempDir() + "/model.txt";
+  ASSERT_TRUE(SaveModel(model.value(), path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->trees.size(), 5u);
+}
+
+TEST(SplitTest, L1RegularizationSoftThresholds) {
+  GbdtParams params;
+  params.l2_reg = 1.0;
+  params.l1_reg = 2.0;
+  // |G| <= alpha -> weight 0.
+  EXPECT_DOUBLE_EQ(LeafWeight({1.5, 3.0}, params), 0.0);
+  EXPECT_DOUBLE_EQ(LeafWeight({-2.0, 3.0}, params), 0.0);
+  // |G| > alpha -> shrunk toward zero by alpha.
+  EXPECT_DOUBLE_EQ(LeafWeight({-6.0, 3.0}, params), 1.0);   // (6-2)/(3+1)
+  EXPECT_DOUBLE_EQ(LeafWeight({6.0, 3.0}, params), -1.0);
+  // Gains are computed on thresholded gradients too.
+  GbdtParams no_l1 = params;
+  no_l1.l1_reg = 0.0;
+  const GradPair left{5.0, 2.0}, right{-5.0, 2.0}, total{0.0, 4.0};
+  EXPECT_LT(SplitGain(left, right, total, params),
+            SplitGain(left, right, total, no_l1));
+}
+
+TEST_F(TrainerTest, L1RegularizedModelStillLearnsWithSmallerLeaves) {
+  Dataset data = MakeData(1500, 12, 0.5, 29);
+  GbdtParams base;
+  base.num_trees = 8;
+  base.num_layers = 4;
+  GbdtParams l1 = base;
+  l1.l1_reg = 0.5;
+  auto m0 = GbdtTrainer(base).Train(data);
+  auto m1 = GbdtTrainer(l1).Train(data);
+  ASSERT_TRUE(m0.ok());
+  ASSERT_TRUE(m1.ok());
+  EXPECT_GT(Auc(m1->PredictRaw(data.features), data.labels), 0.7);
+  // L1 shrinks the aggregate leaf magnitude.
+  auto total_leaf_mass = [](const GbdtModel& m) {
+    double mass = 0;
+    for (const Tree& tree : m.trees) {
+      for (size_t i = 0; i < tree.size(); ++i) {
+        const TreeNode& n = tree.node(static_cast<int32_t>(i));
+        if (n.is_leaf()) mass += std::fabs(n.weight);
+      }
+    }
+    return mass;
+  };
+  EXPECT_LT(total_leaf_mass(m1.value()), total_leaf_mass(m0.value()));
+}
+
+TEST(ModelIoTest, RejectsCorruptText) {
+  EXPECT_FALSE(ModelFromString("").ok());
+  EXPECT_FALSE(ModelFromString("not-a-model\n").ok());
+  EXPECT_FALSE(ModelFromString("vf2boost-model-v1\nobjective logistic\n").ok());
+  // Hostile child index.
+  const std::string bad =
+      "vf2boost-model-v1\nobjective logistic\nlearning_rate 0.1\n"
+      "base_score 0\nnum_trees 1\ntree 1\n5 6 0 0 1 -1 0.5\n";
+  EXPECT_FALSE(ModelFromString(bad).ok());
+}
+
+}  // namespace
+}  // namespace vf2boost

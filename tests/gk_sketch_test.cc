@@ -1,0 +1,132 @@
+#include "data/gk_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vf2boost {
+namespace {
+
+// Exact rank of v in sorted data.
+double ExactRankFraction(const std::vector<float>& sorted, float v) {
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), v);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), v);
+  const double mid = 0.5 * ((lo - sorted.begin()) + (hi - sorted.begin()));
+  return mid / static_cast<double>(sorted.size());
+}
+
+class GkSketchPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GkSketchPropertyTest, RankErrorWithinEpsilon) {
+  const auto [dist, size_exp] = GetParam();
+  const size_t n = 1000 << size_exp;
+  const double epsilon = 0.01;
+  GkSketch sketch(epsilon);
+  Rng rng(static_cast<uint64_t>(dist * 1000 + size_exp));
+  std::vector<float> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    float v;
+    switch (dist) {
+      case 0:  // uniform
+        v = static_cast<float>(rng.NextDouble());
+        break;
+      case 1:  // gaussian
+        v = static_cast<float>(rng.NextGaussian());
+        break;
+      case 2:  // heavy-tailed / skewed
+        v = static_cast<float>(std::exp(3 * rng.NextGaussian()));
+        break;
+      default:  // sorted-adversarial (ascending stream)
+        v = static_cast<float>(i);
+        break;
+    }
+    data.push_back(v);
+    sketch.Add(v);
+  }
+  std::sort(data.begin(), data.end());
+
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const float est = sketch.Quantile(q);
+    const double rank = ExactRankFraction(data, est);
+    EXPECT_NEAR(rank, q, 2 * epsilon + 1.0 / n)
+        << "dist=" << dist << " n=" << n << " q=" << q;
+  }
+}
+
+TEST_P(GkSketchPropertyTest, SummaryStaysCompact) {
+  const auto [dist, size_exp] = GetParam();
+  const size_t n = 1000 << size_exp;
+  GkSketch sketch(0.01);
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    sketch.Add(dist == 3 ? static_cast<float>(i)
+                         : static_cast<float>(rng.NextGaussian()));
+  }
+  // Space is O((1/eps) * log(eps*n)); allow a lax constant.
+  const double bound = (1.0 / 0.01) * (std::log2(0.01 * n + 2) + 4) * 4;
+  EXPECT_LT(sketch.SummarySize(), static_cast<size_t>(bound));
+  EXPECT_EQ(sketch.count(), n);
+}
+
+std::string GkParamName(
+    const ::testing::TestParamInfo<GkSketchPropertyTest::ParamType>& info) {
+  static const char* kDist[] = {"Uniform", "Gaussian", "LogNormal", "Sorted"};
+  return std::string(kDist[std::get<0>(info.param)]) + "N" +
+         std::to_string(1000 << std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndSizes, GkSketchPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 3, 6)),
+    GkParamName);
+
+TEST(GkSketchTest, ExactForSmallStreams) {
+  GkSketch sketch(0.01);
+  for (int v : {5, 1, 4, 2, 3}) sketch.Add(static_cast<float>(v));
+  EXPECT_EQ(sketch.Quantile(0.0), 1.0f);
+  EXPECT_EQ(sketch.Quantile(1.0), 5.0f);
+  EXPECT_NEAR(sketch.Quantile(0.5), 3.0f, 1.0f);
+}
+
+TEST(GkSketchTest, MinAndMaxAreExact) {
+  GkSketch sketch(0.02);
+  Rng rng(3);
+  float lo = 1e30f, hi = -1e30f;
+  for (int i = 0; i < 50000; ++i) {
+    const float v = static_cast<float>(rng.NextGaussian());
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sketch.Add(v);
+  }
+  EXPECT_EQ(sketch.Quantile(0.0), lo);
+  EXPECT_EQ(sketch.Quantile(1.0), hi);
+}
+
+TEST(GkSketchTest, CutsAreSortedAndDeduplicated) {
+  GkSketch sketch(0.01);
+  for (int i = 0; i < 1000; ++i) sketch.Add(static_cast<float>(i % 3));
+  const std::vector<float> cuts = sketch.GetCuts(20);
+  EXPECT_LE(cuts.size(), 19u);
+  EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+  EXPECT_TRUE(std::adjacent_find(cuts.begin(), cuts.end()) == cuts.end());
+}
+
+TEST(GkSketchTest, EmptySketchIsSafe) {
+  GkSketch sketch;
+  EXPECT_EQ(sketch.Quantile(0.5), 0.0f);
+  EXPECT_TRUE(sketch.GetCuts(10).empty());
+}
+
+TEST(GkSketchDeathTest, RejectsBadEpsilon) {
+  EXPECT_DEATH(GkSketch sketch(0.0), "epsilon");
+  EXPECT_DEATH(GkSketch sketch(0.7), "epsilon");
+}
+
+}  // namespace
+}  // namespace vf2boost

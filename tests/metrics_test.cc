@@ -1,0 +1,73 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vf2boost {
+namespace {
+
+TEST(AucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, TiesAverageToHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.3}, neg {0.5, 0.1}. Pairs won by pos: (0.8>0.5),
+  // (0.8>0.1), (0.3>0.1) = 3 of 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(Auc({0.8, 0.5, 0.3, 0.1}, {1, 0, 1, 0}), 0.75);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(rng.NextGaussian());
+    labels.push_back(rng.NextDouble() < 0.4 ? 1.0f : 0.0f);
+  }
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(1.0 / (1.0 + std::exp(-s)));
+  EXPECT_NEAR(Auc(scores, labels), Auc(transformed, labels), 1e-12);
+}
+
+TEST(LogLossTest, MatchesClosedForm) {
+  // score 0 -> p=0.5 -> loss ln 2 either way.
+  EXPECT_NEAR(LogLoss({0.0}, {1}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogLoss({0.0}, {0}), std::log(2.0), 1e-12);
+  // Strong correct prediction -> loss near 0; strong wrong -> near |s|.
+  EXPECT_LT(LogLoss({10.0}, {1}), 1e-4);
+  EXPECT_NEAR(LogLoss({10.0}, {0}), 10.0, 1e-3);
+}
+
+TEST(LogLossTest, StableForExtremeScores) {
+  EXPECT_TRUE(std::isfinite(LogLoss({1000.0, -1000.0}, {1, 0})));
+  EXPECT_NEAR(LogLoss({1000.0, -1000.0}, {1, 0}), 0.0, 1e-9);
+}
+
+TEST(RmseTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Rmse({0.0, 0.0}, {3, 4}), std::sqrt(12.5));
+}
+
+TEST(AccuracyTest, ThresholdAtZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({1.0, -1.0, 2.0, -2.0}, {1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy({1.0, -1.0}, {1, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -1,0 +1,236 @@
+// Wire-format round-trip tests for every cross-party payload, plus
+// FedConfig validation.
+
+#include "fed/protocol.h"
+
+#include <gtest/gtest.h>
+#include "fed/fed_trainer.h"
+
+namespace vf2boost {
+namespace {
+
+class PayloadRoundTripTest : public ::testing::Test {
+ protected:
+  MockBackend backend_;
+  Rng rng_{9};
+};
+
+TEST_F(PayloadRoundTripTest, GradBatch) {
+  GradBatchPayload payload;
+  payload.tree = 7;
+  payload.start = 4096;
+  for (int i = 0; i < 10; ++i) {
+    payload.g.push_back(backend_.Encrypt(0.1 * i - 0.5, &rng_));
+    payload.h.push_back(backend_.Encrypt(0.02 * i, &rng_));
+  }
+  Message msg = EncodeGradBatch(payload, backend_);
+  EXPECT_EQ(msg.type, MessageType::kGradBatch);
+
+  GradBatchPayload out;
+  ASSERT_TRUE(DecodeGradBatch(msg, backend_, &out).ok());
+  EXPECT_EQ(out.tree, 7u);
+  EXPECT_EQ(out.start, 4096u);
+  ASSERT_EQ(out.g.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out.g[i].data, payload.g[i].data);
+    EXPECT_EQ(out.h[i].exponent, payload.h[i].exponent);
+  }
+}
+
+TEST_F(PayloadRoundTripTest, NodeHistogramRaw) {
+  NodeHistogramPayload payload;
+  payload.tree = 1;
+  payload.layer = 3;
+  payload.node = 12;
+  payload.epoch = 1;
+  payload.packed = false;
+  for (int i = 0; i < 6; ++i) {
+    payload.g_bins.push_back(backend_.Encrypt(i * 1.0, &rng_));
+    payload.h_bins.push_back(backend_.Encrypt(i * 0.25, &rng_));
+  }
+  Message msg = EncodeNodeHistogram(payload, backend_);
+  NodeHistogramPayload out;
+  ASSERT_TRUE(DecodeNodeHistogram(msg, backend_, &out).ok());
+  EXPECT_EQ(out.node, 12);
+  EXPECT_EQ(out.epoch, 1u);
+  EXPECT_FALSE(out.packed);
+  ASSERT_EQ(out.g_bins.size(), 6u);
+  EXPECT_NEAR(backend_.Decrypt(out.g_bins[3]), 3.0, 1e-6);
+}
+
+TEST_F(PayloadRoundTripTest, NodeHistogramPacked) {
+  NodeHistogramPayload payload;
+  payload.tree = 2;
+  payload.layer = 1;
+  payload.node = 5;
+  payload.packed = true;
+  payload.shift_g = 1000.0;
+  payload.shift_h = 0.0;
+  PackedCipher pc;
+  pc.data = BigInt(123456789);
+  pc.exponent = 9;
+  pc.slot_bits = 40;
+  pc.num_slots = 3;
+  payload.g_packs.push_back(pc);
+  payload.h_packs.push_back(pc);
+  payload.h_packs.push_back(pc);
+
+  Message msg = EncodeNodeHistogram(payload, backend_);
+  NodeHistogramPayload out;
+  ASSERT_TRUE(DecodeNodeHistogram(msg, backend_, &out).ok());
+  EXPECT_TRUE(out.packed);
+  EXPECT_EQ(out.shift_g, 1000.0);
+  ASSERT_EQ(out.g_packs.size(), 1u);
+  ASSERT_EQ(out.h_packs.size(), 2u);
+  EXPECT_EQ(out.g_packs[0].data, BigInt(123456789));
+  EXPECT_EQ(out.g_packs[0].slot_bits, 40u);
+  EXPECT_EQ(out.g_packs[0].num_slots, 3u);
+}
+
+TEST_F(PayloadRoundTripTest, DecisionsAllActionKinds) {
+  DecisionsPayload payload;
+  payload.tree = 4;
+  payload.layer = 2;
+  NodeDecision leaf;
+  leaf.node = 1;
+  leaf.action = NodeAction::kLeaf;
+  NodeDecision resolved;
+  resolved.node = 2;
+  resolved.action = NodeAction::kSplitResolved;
+  resolved.left = 5;
+  resolved.right = 6;
+  resolved.placement = Bitmap(10);
+  resolved.placement.Set(3);
+  NodeDecision query;
+  query.node = 3;
+  query.action = NodeAction::kSplitQuery;
+  query.left = 7;
+  query.right = 8;
+  query.feature = 11;
+  query.bin = 4;
+  query.default_left = false;
+  payload.decisions = {leaf, resolved, query};
+
+  Message msg = EncodeDecisions(payload, MessageType::kDecisions);
+  DecisionsPayload out;
+  ASSERT_TRUE(DecodeDecisions(msg, &out).ok());
+  ASSERT_EQ(out.decisions.size(), 3u);
+  EXPECT_EQ(out.decisions[0].action, NodeAction::kLeaf);
+  EXPECT_EQ(out.decisions[1].action, NodeAction::kSplitResolved);
+  EXPECT_TRUE(out.decisions[1].placement.Get(3));
+  EXPECT_FALSE(out.decisions[1].placement.Get(4));
+  EXPECT_EQ(out.decisions[2].action, NodeAction::kSplitQuery);
+  EXPECT_EQ(out.decisions[2].feature, 11u);
+  EXPECT_EQ(out.decisions[2].bin, 4u);
+  EXPECT_FALSE(out.decisions[2].default_left);
+}
+
+TEST_F(PayloadRoundTripTest, Verdicts) {
+  VerdictsPayload payload;
+  payload.tree = 9;
+  payload.layer = 4;
+  NodeVerdict confirm;
+  confirm.node = 1;
+  confirm.use_a = false;
+  NodeVerdict dirty;
+  dirty.node = 2;
+  dirty.use_a = true;
+  dirty.owner = 1;
+  dirty.feature = 3;
+  dirty.bin = 7;
+  dirty.default_left = false;
+  dirty.left = 9;
+  dirty.right = 10;
+  payload.verdicts = {confirm, dirty};
+
+  Message msg = EncodeVerdicts(payload);
+  VerdictsPayload out;
+  ASSERT_TRUE(DecodeVerdicts(msg, &out).ok());
+  ASSERT_EQ(out.verdicts.size(), 2u);
+  EXPECT_FALSE(out.verdicts[0].use_a);
+  EXPECT_TRUE(out.verdicts[1].use_a);
+  EXPECT_EQ(out.verdicts[1].owner, 1u);
+  EXPECT_EQ(out.verdicts[1].left, 9);
+  EXPECT_EQ(out.verdicts[1].right, 10);
+}
+
+TEST_F(PayloadRoundTripTest, PlacementAndLayout) {
+  PlacementPayload placement;
+  placement.tree = 1;
+  placement.layer = 2;
+  placement.node = 3;
+  placement.placement = Bitmap(130);
+  placement.placement.Set(0);
+  placement.placement.Set(129);
+  Message msg = EncodePlacement(placement);
+  PlacementPayload pout;
+  ASSERT_TRUE(DecodePlacement(msg, &pout).ok());
+  EXPECT_EQ(pout.node, 3);
+  EXPECT_TRUE(pout.placement.Get(129));
+  EXPECT_EQ(pout.placement.Count(), 2u);
+
+  LayoutPayload layout;
+  layout.bins_per_feature = {20, 20, 7, 1};
+  Message lmsg = EncodeLayout(layout);
+  LayoutPayload lout;
+  ASSERT_TRUE(DecodeLayout(lmsg, &lout).ok());
+  EXPECT_EQ(lout.bins_per_feature, layout.bins_per_feature);
+}
+
+TEST(FedConfigTest, PresetsAreValid) {
+  EXPECT_TRUE(FedConfig::VfGbdt().Validate().ok());
+  EXPECT_TRUE(FedConfig::Vf2Boost().Validate().ok());
+  EXPECT_TRUE(FedConfig::VfMock().Validate().ok());
+}
+
+TEST(FedConfigTest, ValidateRejectsBadSettings) {
+  FedConfig c;
+  c.paillier_bits = 63;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.paillier_bits = 30;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.mock_crypto = true;
+  c.paillier_bits = 30;  // irrelevant under mock
+  EXPECT_TRUE(c.Validate().ok());
+  c = FedConfig{};
+  c.codec_num_exponents = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.codec_min_exponent = 14;
+  c.codec_num_exponents = 6;  // exceeds mantissa-safe range
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.gbdt.num_trees = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.gbdt.max_bins = 1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.gbdt.learning_rate = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.blaster = true;
+  c.blaster_batch = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FedConfig{};
+  c.workers_per_party = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(FedConfigTest, TrainerRejectsInvalidConfig) {
+  FedConfig c;
+  c.gbdt.num_trees = 0;
+  Dataset dummy;
+  EXPECT_FALSE(FedTrainer(c).Train({dummy, dummy}).ok());
+}
+
+TEST(MessageTest, AllTypeNamesResolve) {
+  for (uint8_t t = 1; t <= 14; ++t) {
+    EXPECT_STRNE(MessageTypeName(static_cast<MessageType>(t)), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace vf2boost

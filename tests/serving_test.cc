@@ -1,0 +1,162 @@
+#include "fed/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace vf2boost {
+namespace {
+
+struct ServingFixture {
+  Dataset train;
+  VerticalSplitSpec spec;
+  std::vector<Dataset> shards;       // training shards (A..., B)
+  FedTrainResult result;
+  GbdtModel joint;
+};
+
+ServingFixture Train(size_t parties_a, uint64_t seed) {
+  SyntheticSpec sspec;
+  sspec.rows = 600;
+  sspec.cols = 18;
+  sspec.density = 0.5;
+  sspec.seed = seed;
+  ServingFixture f;
+  f.train = GenerateSynthetic(sspec);
+  Rng rng(seed + 1);
+  std::vector<double> fractions(parties_a + 1, 1.0);
+  f.spec = SplitColumnsRandomly(18, fractions, &rng);
+  auto shards = PartitionVertically(f.train, f.spec, parties_a);
+  EXPECT_TRUE(shards.ok());
+  f.shards = std::move(shards).value();
+
+  FedConfig config;
+  config.mock_crypto = true;
+  config.gbdt.num_trees = 4;
+  config.gbdt.num_layers = 4;
+  config.gbdt.max_bins = 8;
+  auto result = FedTrainer(config).Train(f.shards);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  f.result = std::move(result).value();
+  auto joint = f.result.ToJointModel(f.spec);
+  EXPECT_TRUE(joint.ok());
+  f.joint = std::move(joint).value();
+  return f;
+}
+
+TEST(SplitModelTest, SkeletonScrubsForeignSplits) {
+  ServingFixture f = Train(1, 31);
+  auto split = SplitModelShards(f.result);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split->shards.size(), 1u);
+  EXPECT_GT(split->shards[0].splits.size(), 0u)
+      << "party A contributed no splits";
+
+  size_t scrubbed = 0;
+  for (size_t t = 0; t < split->skeleton.trees.size(); ++t) {
+    const Tree& tree = split->skeleton.trees[t];
+    for (size_t i = 0; i < tree.size(); ++i) {
+      const TreeNode& n = tree.node(static_cast<int32_t>(i));
+      if (n.is_leaf() || n.owner_party != 0) continue;
+      // A-owned node in B's skeleton: threshold information must be gone.
+      EXPECT_EQ(n.feature, 0u);
+      EXPECT_EQ(n.split_value, 0.0f);
+      ++scrubbed;
+      // ...and present in A's shard.
+      EXPECT_TRUE(split->shards[0].splits.count(
+          {static_cast<uint32_t>(t), static_cast<int32_t>(i)}));
+    }
+  }
+  EXPECT_EQ(scrubbed, split->shards[0].splits.size());
+}
+
+TEST(ServingTest, FederatedInferenceMatchesJointModel) {
+  ServingFixture f = Train(1, 33);
+  auto split = SplitModelShards(f.result);
+  ASSERT_TRUE(split.ok());
+
+  auto [a_end, b_end] = ChannelEndpoint::CreatePair();
+  ServingPartyA party_a(split->shards[0], f.shards[0], a_end.get());
+  std::thread a_thread([&party_a] {
+    Status s = party_a.Run();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+
+  ServingPartyB party_b(split->skeleton, f.shards[1], {b_end.get()});
+  auto scores = party_b.Predict();
+  party_b.Shutdown();
+  a_thread.join();
+
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  const auto expected = f.joint.PredictRaw(f.train.features);
+  ASSERT_EQ(scores->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR((*scores)[i], expected[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST(ServingTest, MultiPartyInference) {
+  ServingFixture f = Train(2, 35);
+  auto split = SplitModelShards(f.result);
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split->shards.size(), 2u);
+
+  auto [a0_end, b0_end] = ChannelEndpoint::CreatePair();
+  auto [a1_end, b1_end] = ChannelEndpoint::CreatePair();
+  ServingPartyA a0(split->shards[0], f.shards[0], a0_end.get());
+  ServingPartyA a1(split->shards[1], f.shards[1], a1_end.get());
+  std::thread t0([&a0] { EXPECT_TRUE(a0.Run().ok()); });
+  std::thread t1([&a1] { EXPECT_TRUE(a1.Run().ok()); });
+
+  ServingPartyB party_b(split->skeleton, f.shards[2],
+                        {b0_end.get(), b1_end.get()});
+  auto scores = party_b.Predict();
+  party_b.Shutdown();
+  t0.join();
+  t1.join();
+
+  ASSERT_TRUE(scores.ok());
+  const auto expected = f.joint.PredictRaw(f.train.features);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR((*scores)[i], expected[i], 1e-9);
+  }
+}
+
+TEST(ServingTest, ShutdownWithoutPredicting) {
+  ServingFixture f = Train(1, 37);
+  auto split = SplitModelShards(f.result);
+  ASSERT_TRUE(split.ok());
+  auto [a_end, b_end] = ChannelEndpoint::CreatePair();
+  ServingPartyA party_a(split->shards[0], f.shards[0], a_end.get());
+  std::thread a_thread([&party_a] { EXPECT_TRUE(party_a.Run().ok()); });
+  ServingPartyB party_b(split->skeleton, f.shards[1], {b_end.get()});
+  party_b.Shutdown();
+  a_thread.join();
+}
+
+TEST(ServingTest, RejectsQueryForUnownedNode) {
+  ServingFixture f = Train(1, 39);
+  auto split = SplitModelShards(f.result);
+  ASSERT_TRUE(split.ok());
+  auto [a_end, b_end] = ChannelEndpoint::CreatePair();
+  ServingPartyA party_a(split->shards[0], f.shards[0], a_end.get());
+  std::thread a_thread([&party_a] {
+    Status s = party_a.Run();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kProtocolError);
+  });
+  // Hand-craft a query for node 9999 of tree 0.
+  ByteWriter w;
+  w.PutU32(0);
+  w.PutI32(9999);
+  w.PutU64(0);
+  b_end->Send(Message{MessageType::kServeQuery, w.Release()});
+  a_thread.join();
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -1,0 +1,234 @@
+#include "sim/protocol_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/gantt.h"
+
+namespace vf2boost {
+namespace {
+
+TEST(EventSimTest, ChainSchedulesSequentially) {
+  EventSim sim;
+  auto r = sim.AddResource("cpu");
+  auto t1 = sim.AddTask(r, 1.0, "A");
+  auto t2 = sim.AddTask(r, 2.0, "B", {t1});
+  auto t3 = sim.AddTask(r, 3.0, "C", {t2});
+  EXPECT_DOUBLE_EQ(sim.Run(), 6.0);
+  EXPECT_DOUBLE_EQ(sim.tasks()[t3].start, 3.0);
+}
+
+TEST(EventSimTest, IndependentTasksOnDistinctResourcesOverlap) {
+  EventSim sim;
+  auto r1 = sim.AddResource("cpu1");
+  auto r2 = sim.AddResource("cpu2");
+  sim.AddTask(r1, 5.0, "A");
+  sim.AddTask(r2, 4.0, "B");
+  EXPECT_DOUBLE_EQ(sim.Run(), 5.0);
+}
+
+TEST(EventSimTest, SingleResourceSerializes) {
+  EventSim sim;
+  auto r = sim.AddResource("cpu");
+  sim.AddTask(r, 2.0, "A");
+  sim.AddTask(r, 3.0, "B");
+  EXPECT_DOUBLE_EQ(sim.Run(), 5.0);
+}
+
+TEST(EventSimTest, CapacityAllowsParallelism) {
+  EventSim sim;
+  auto r = sim.AddResource("pool", 2);
+  sim.AddTask(r, 3.0, "A");
+  sim.AddTask(r, 3.0, "B");
+  sim.AddTask(r, 3.0, "C");
+  EXPECT_DOUBLE_EQ(sim.Run(), 6.0);
+}
+
+TEST(EventSimTest, PipelineOverlapBeatsSequential) {
+  // 3-stage pipeline with 4 batches: makespan < sum of stage times.
+  EventSim sim;
+  auto s1 = sim.AddResource("s1");
+  auto s2 = sim.AddResource("s2");
+  auto s3 = sim.AddResource("s3");
+  EventSim::TaskId p1 = 0, p2 = 0, p3 = 0;
+  for (int k = 0; k < 4; ++k) {
+    std::vector<EventSim::TaskId> d1, d2, d3;
+    if (k) {
+      d1 = {p1};
+      d2 = {p2};
+      d3 = {p3};
+    }
+    p1 = sim.AddTask(s1, 1.0, "A", d1);
+    d2.push_back(p1);
+    p2 = sim.AddTask(s2, 1.0, "B", d2);
+    d3.push_back(p2);
+    p3 = sim.AddTask(s3, 1.0, "C", d3);
+  }
+  EXPECT_DOUBLE_EQ(sim.Run(), 6.0);  // 4 + 2 instead of 12
+}
+
+class ProtocolSimTest : public ::testing::Test {
+ protected:
+  static SimWorkload PaperWorkload() {
+    SimWorkload w;
+    w.instances = 2.5e6;
+    w.features_a = 25000;
+    w.features_b = 25000;
+    w.density = 0.002;
+    w.bins = 20;
+    w.layers = 7;
+    w.workers = 8;
+    return w;
+  }
+  CostModel cost_ = CostModel::PaperScale();
+};
+
+TEST_F(ProtocolSimTest, RootBaselineMatchesPaperBreakdownShape) {
+  // Paper Table 1, N=2.5M row: Enc 116, Comm 44, HAdd 248 (s).
+  SimReport r = SimulateRootNode(PaperWorkload(), SimFlags{}, cost_);
+  EXPECT_NEAR(r.enc_seconds, 116, 25);
+  EXPECT_NEAR(r.comm_seconds, 44, 15);
+  EXPECT_NEAR(r.hadd_seconds, 248, 50);
+  // Sequential: total ~ sum of phases.
+  EXPECT_NEAR(r.total_seconds, r.enc_seconds + r.comm_seconds + r.hadd_seconds,
+              r.total_seconds * 0.1);
+}
+
+TEST_F(ProtocolSimTest, BlasterOverlapSpeedsUpRoot) {
+  SimFlags baseline;
+  SimFlags blaster;
+  blaster.blaster = true;
+  SimReport r0 = SimulateRootNode(PaperWorkload(), baseline, cost_);
+  SimReport r1 = SimulateRootNode(PaperWorkload(), blaster, cost_);
+  const double speedup = r0.total_seconds / r1.total_seconds;
+  // Paper: 1.52-1.58x.
+  EXPECT_GT(speedup, 1.3);
+  EXPECT_LT(speedup, 1.9);
+  // With the pipeline, total ~ the dominant phase, not the sum.
+  EXPECT_LT(r1.total_seconds, r1.enc_seconds + r1.comm_seconds +
+                                  r1.hadd_seconds - 50);
+}
+
+TEST_F(ProtocolSimTest, ReorderedPlusBlasterCompound) {
+  SimFlags both;
+  both.blaster = true;
+  both.reordered = true;
+  SimReport r0 = SimulateRootNode(PaperWorkload(), SimFlags{}, cost_);
+  SimReport r1 = SimulateRootNode(PaperWorkload(), both, cost_);
+  const double speedup = r0.total_seconds / r1.total_seconds;
+  // Paper: 2.22-2.32x.
+  EXPECT_GT(speedup, 1.8);
+  EXPECT_LT(speedup, 2.8);
+}
+
+TEST_F(ProtocolSimTest, OptimisticSpeedsUpTree) {
+  SimFlags opt;
+  opt.optimistic = true;
+  SimReport r0 = SimulateTree(PaperWorkload(), SimFlags{}, cost_);
+  SimReport r1 = SimulateTree(PaperWorkload(), opt, cost_);
+  const double speedup = r0.total_seconds / r1.total_seconds;
+  // Paper Table 2 (25K/25K): 1.32x.
+  EXPECT_GT(speedup, 1.1);
+  EXPECT_LT(speedup, 1.7);
+}
+
+TEST_F(ProtocolSimTest, OptimisticBetterWhenPartyBHoldsMoreFeatures) {
+  auto speedup_for = [&](double da, double db) {
+    SimWorkload w = PaperWorkload();
+    w.features_a = da;
+    w.features_b = db;
+    SimFlags opt;
+    opt.optimistic = true;
+    return SimulateTree(w, SimFlags{}, cost_).total_seconds /
+           SimulateTree(w, opt, cost_).total_seconds;
+  };
+  // Paper Table 2: 40K/10K -> 1.28x, 10K/40K -> 1.45x.
+  EXPECT_GT(speedup_for(10000, 40000), speedup_for(40000, 10000));
+}
+
+TEST_F(ProtocolSimTest, PackingSpeedsUpTree) {
+  SimFlags pack;
+  pack.packing = true;
+  SimReport r0 = SimulateTree(PaperWorkload(), SimFlags{}, cost_);
+  SimReport r1 = SimulateTree(PaperWorkload(), pack, cost_);
+  const double speedup = r0.total_seconds / r1.total_seconds;
+  // Paper Table 2 (25K/25K): 1.45x. At this N the decrypt share is larger,
+  // so the simulated gain runs higher.
+  EXPECT_GT(speedup, 1.15);
+  EXPECT_LT(speedup, 3.5);
+  EXPECT_LT(r1.dec_seconds, r0.dec_seconds / 4);
+}
+
+TEST_F(ProtocolSimTest, AllTreeOptimizationsCompound) {
+  SimFlags all;
+  all.blaster = true;
+  all.reordered = true;
+  all.optimistic = true;
+  all.packing = true;
+  SimReport r0 = SimulateTree(PaperWorkload(), SimFlags{}, cost_);
+  SimReport r1 = SimulateTree(PaperWorkload(), all, cost_);
+  const double speedup = r0.total_seconds / r1.total_seconds;
+  EXPECT_GT(speedup, 1.8);  // paper: ~2.2x for OptimSplit+HistPack alone
+}
+
+TEST_F(ProtocolSimTest, WorkerScalingIsSublinear) {
+  auto time_with = [&](double workers) {
+    SimWorkload w = PaperWorkload();
+    w.workers = workers;
+    SimFlags all;
+    all.blaster = all.reordered = all.optimistic = all.packing = true;
+    return SimulateTree(w, all, cost_).total_seconds;
+  };
+  const double t4 = time_with(4);
+  const double t8 = time_with(8);
+  const double t16 = time_with(16);
+  // Monotone improvement...
+  EXPECT_LT(t8, t4);
+  EXPECT_LT(t16, t8);
+  // ...but sublinear (paper Table 5: 4->16 workers gives ~1.9-2.2x).
+  EXPECT_LT(t4 / t16, 3.5);
+  EXPECT_GT(t4 / t16, 1.4);
+}
+
+TEST_F(ProtocolSimTest, MorePartiesCostAFewPercent) {
+  // §6.4 semantics: each extra party CONTRIBUTES its own feature group, so
+  // per-party A work stays constant while B decrypts more histograms.
+  auto time_with = [&](double parties) {
+    SimWorkload w = PaperWorkload();
+    w.features_a = 12500 * parties;
+    w.features_b = 12500;
+    w.parties_a = parties;
+    SimFlags all;
+    all.blaster = all.reordered = all.optimistic = all.packing = true;
+    return SimulateTree(w, all, cost_).total_seconds;
+  };
+  const double t2 = time_with(1);  // two parties total
+  const double t4 = time_with(3);  // four parties total
+  EXPECT_GE(t4, t2 * 0.99);
+  EXPECT_LT(t4, t2 * 1.5);  // paper Table 6: within ~10%
+}
+
+TEST_F(ProtocolSimTest, GanttRendersAllResources) {
+  SimFlags blaster;
+  blaster.blaster = true;
+  SimReport r = SimulateRootNode(PaperWorkload(), blaster, cost_);
+  const std::string chart = RenderGantt(*r.sim, 80);
+  EXPECT_NE(chart.find("PartyA"), std::string::npos);
+  EXPECT_NE(chart.find("PartyB"), std::string::npos);
+  EXPECT_NE(chart.find("WAN"), std::string::npos);
+  EXPECT_NE(chart.find('E'), std::string::npos);
+  EXPECT_NE(chart.find('H'), std::string::npos);
+}
+
+TEST(CostModelTest, CalibrateMeasuresSaneValues) {
+  CostModel m = CostModel::Calibrate(256, 300, 0.01);
+  EXPECT_GT(m.t_enc, 0);
+  EXPECT_GT(m.t_dec, 0);
+  EXPECT_GT(m.t_hadd, 0);
+  // Encryption is a full modexp; HAdd is one modular multiply.
+  EXPECT_GT(m.t_enc, m.t_hadd * 10);
+  EXPECT_EQ(m.cipher_bytes, 64);  // 2*256 bits
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+}  // namespace
+}  // namespace vf2boost

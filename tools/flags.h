@@ -1,0 +1,97 @@
+#ifndef VF2BOOST_TOOLS_FLAGS_H_
+#define VF2BOOST_TOOLS_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vf2boost {
+namespace tools {
+
+/// \brief Minimal --key=value / --key value command-line parser for the CLI
+/// tools. Unknown flags abort with a message so typos never silently use
+/// defaults.
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::map<std::string, std::string>& spec)
+      : spec_(spec) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        Die("positional arguments are not supported: " + arg);
+      }
+      arg = arg.substr(2);
+      std::string key, value;
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        key = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+      } else {
+        key = arg;
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          value = argv[++i];
+        } else {
+          value = "true";  // boolean flag
+        }
+      }
+      if (key == "help") {
+        PrintHelp();
+        std::exit(0);
+      }
+      if (spec_.find(key) == spec_.end()) Die("unknown flag --" + key);
+      values_[key] = value;
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool GetBool(const std::string& key, bool fallback = false) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1";
+  }
+
+  /// Aborts unless every listed flag was provided.
+  void Require(const std::vector<std::string>& keys) const {
+    for (const auto& key : keys) {
+      if (!Has(key)) Die("missing required flag --" + key);
+    }
+  }
+
+  void PrintHelp() const {
+    std::fprintf(stderr, "flags:\n");
+    for (const auto& [key, doc] : spec_) {
+      std::fprintf(stderr, "  --%-18s %s\n", key.c_str(), doc.c_str());
+    }
+  }
+
+ private:
+  void Die(const std::string& msg) const {
+    std::fprintf(stderr, "error: %s\n", msg.c_str());
+    PrintHelp();
+    std::exit(2);
+  }
+
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tools
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_TOOLS_FLAGS_H_

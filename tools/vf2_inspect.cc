@@ -1,0 +1,92 @@
+// Model introspection CLI: dumps summary statistics, per-tree structure and
+// feature importance of a saved model.
+//
+//   vf2_inspect --model model.txt [--tree 0] [--importance 10]
+
+#include <cstdio>
+
+#include "gbdt/importance.h"
+#include "gbdt/model_io.h"
+#include "tools/flags.h"
+
+namespace {
+
+void DumpNode(const vf2boost::Tree& tree, int32_t id, int indent) {
+  const vf2boost::TreeNode& n = tree.node(id);
+  std::printf("%*s", indent * 2, "");
+  if (n.is_leaf()) {
+    std::printf("leaf #%d  weight=%+.5f\n", id, n.weight);
+    return;
+  }
+  if (n.owner_party >= 0) {
+    std::printf("node #%d  [party %d] feature=%u bin=%u %s gain=%.3f\n", id,
+                n.owner_party, n.feature, n.split_bin,
+                n.default_left ? "default-left" : "default-right", n.gain);
+  } else {
+    std::printf("node #%d  f%u < %g %s gain=%.3f\n", id, n.feature,
+                n.split_value, n.default_left ? "default-left"
+                                              : "default-right",
+                n.gain);
+  }
+  DumpNode(tree, n.left, indent + 1);
+  DumpNode(tree, n.right, indent + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vf2boost;
+  tools::Flags flags(argc, argv,
+                     {{"model", "model path (required)"},
+                      {"tree", "dump this tree's structure (-1 = none)"},
+                      {"importance", "print top-k features by gain"}});
+  flags.Require({"model"});
+
+  auto model = LoadModel(flags.GetString("model"));
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t total_nodes = 0, total_leaves = 0, max_depth = 0;
+  uint32_t max_feature = 0;
+  for (const Tree& tree : model->trees) {
+    total_nodes += tree.size();
+    total_leaves += tree.NumLeaves();
+    max_depth = std::max(max_depth, tree.Depth());
+    for (size_t i = 0; i < tree.size(); ++i) {
+      const TreeNode& n = tree.node(static_cast<int32_t>(i));
+      if (!n.is_leaf()) max_feature = std::max(max_feature, n.feature);
+    }
+  }
+  std::printf("model: %zu trees, %zu nodes (%zu leaves), max depth %zu, "
+              "objective %s, learning rate %g\n",
+              model->trees.size(), total_nodes, total_leaves, max_depth,
+              model->params.objective.c_str(), model->params.learning_rate);
+
+  const long top_k = flags.GetInt("importance", 0);
+  if (top_k > 0) {
+    const auto gain =
+        FeatureImportance(model.value(), max_feature + 1,
+                          ImportanceType::kGain);
+    const auto freq =
+        FeatureImportance(model.value(), max_feature + 1,
+                          ImportanceType::kFrequency);
+    std::printf("top features (gain / split count):\n");
+    for (size_t f : TopFeatures(gain, static_cast<size_t>(top_k))) {
+      if (gain[f] <= 0) break;
+      std::printf("  f%-6zu %10.4f  %4.0f splits\n", f, gain[f], freq[f]);
+    }
+  }
+
+  const long tree_id = flags.GetInt("tree", -1);
+  if (tree_id >= 0) {
+    if (static_cast<size_t>(tree_id) >= model->trees.size()) {
+      std::fprintf(stderr, "tree %ld out of range\n", tree_id);
+      return 1;
+    }
+    std::printf("tree %ld:\n", tree_id);
+    DumpNode(model->trees[static_cast<size_t>(tree_id)], 0, 1);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Batch prediction CLI: scores a LIBSVM file with a saved model, optionally
+// writing per-row probabilities and reporting metrics against the labels.
+//
+//   vf2_predict --data test.libsvm --model model.txt --out scores.txt
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/io.h"
+#include "gbdt/model_io.h"
+#include "metrics/metrics.h"
+#include "tools/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace vf2boost;
+  tools::Flags flags(argc, argv,
+                     {{"data", "LIBSVM file to score (required)"},
+                      {"model", "model path (required)"},
+                      {"out", "write one probability per line here"},
+                      {"raw", "output raw scores instead of probabilities"}});
+  flags.Require({"data", "model"});
+
+  auto data = LoadLibsvm(flags.GetString("data"));
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto model = LoadModel(flags.GetString("model"));
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  const bool raw = flags.GetBool("raw");
+  const std::vector<double> scores =
+      raw ? model->PredictRaw(data->features)
+          : model->PredictProba(data->features);
+
+  if (flags.Has("out")) {
+    std::ofstream out(flags.GetString("out"));
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flags.GetString("out").c_str());
+      return 1;
+    }
+    for (double s : scores) out << s << '\n';
+  }
+
+  if (data->has_labels()) {
+    const std::vector<double> raw_scores = model->PredictRaw(data->features);
+    std::printf("rows     : %zu\n", data->rows());
+    std::printf("auc      : %.5f\n", Auc(raw_scores, data->labels));
+    std::printf("logloss  : %.5f\n", LogLoss(raw_scores, data->labels));
+    std::printf("accuracy : %.5f\n", Accuracy(raw_scores, data->labels));
+  } else {
+    std::printf("scored %zu rows (no labels in input)\n", data->rows());
+  }
+  return 0;
+}
