@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crypto.dir/bench_ablation_crypto.cc.o"
+  "CMakeFiles/bench_ablation_crypto.dir/bench_ablation_crypto.cc.o.d"
+  "bench_ablation_crypto"
+  "bench_ablation_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45_gantt.dir/bench_fig45_gantt.cc.o"
+  "CMakeFiles/bench_fig45_gantt.dir/bench_fig45_gantt.cc.o.d"
+  "bench_fig45_gantt"
+  "bench_fig45_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

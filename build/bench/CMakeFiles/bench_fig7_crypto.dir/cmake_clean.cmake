@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_crypto.dir/bench_fig7_crypto.cc.o"
+  "CMakeFiles/bench_fig7_crypto.dir/bench_fig7_crypto.cc.o.d"
+  "bench_fig7_crypto"
+  "bench_fig7_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lr_extension.dir/bench_lr_extension.cc.o"
+  "CMakeFiles/bench_lr_extension.dir/bench_lr_extension.cc.o.d"
+  "bench_lr_extension"
+  "bench_lr_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lr_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lr_extension.
+# This may be replaced when dependencies are built.

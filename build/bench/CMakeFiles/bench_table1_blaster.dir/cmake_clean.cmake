@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_blaster.dir/bench_table1_blaster.cc.o"
+  "CMakeFiles/bench_table1_blaster.dir/bench_table1_blaster.cc.o.d"
+  "bench_table1_blaster"
+  "bench_table1_blaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_blaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

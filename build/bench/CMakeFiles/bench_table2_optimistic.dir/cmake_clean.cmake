@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_optimistic.dir/bench_table2_optimistic.cc.o"
+  "CMakeFiles/bench_table2_optimistic.dir/bench_table2_optimistic.cc.o.d"
+  "bench_table2_optimistic"
+  "bench_table2_optimistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_optimistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

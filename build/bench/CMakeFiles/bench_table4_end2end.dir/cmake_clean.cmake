@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_end2end.dir/bench_table4_end2end.cc.o"
+  "CMakeFiles/bench_table4_end2end.dir/bench_table4_end2end.cc.o.d"
+  "bench_table4_end2end"
+  "bench_table4_end2end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

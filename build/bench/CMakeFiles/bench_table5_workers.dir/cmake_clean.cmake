@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_workers.dir/bench_table5_workers.cc.o"
+  "CMakeFiles/bench_table5_workers.dir/bench_table5_workers.cc.o.d"
+  "bench_table5_workers"
+  "bench_table5_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

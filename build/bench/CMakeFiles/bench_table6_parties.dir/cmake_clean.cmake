@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_parties.dir/bench_table6_parties.cc.o"
+  "CMakeFiles/bench_table6_parties.dir/bench_table6_parties.cc.o.d"
+  "bench_table6_parties"
+  "bench_table6_parties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_parties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

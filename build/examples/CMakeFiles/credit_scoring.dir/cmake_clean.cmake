@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_scoring.dir/credit_scoring.cc.o"
+  "CMakeFiles/credit_scoring.dir/credit_scoring.cc.o.d"
+  "credit_scoring"
+  "credit_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

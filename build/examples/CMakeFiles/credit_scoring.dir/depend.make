@@ -1,0 +1,2 @@
+# Empty dependencies file for credit_scoring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_tour.dir/crypto_tour.cc.o"
+  "CMakeFiles/crypto_tour.dir/crypto_tour.cc.o.d"
+  "crypto_tour"
+  "crypto_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

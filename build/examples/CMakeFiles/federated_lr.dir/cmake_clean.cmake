@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_lr.dir/federated_lr.cc.o"
+  "CMakeFiles/federated_lr.dir/federated_lr.cc.o.d"
+  "federated_lr"
+  "federated_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

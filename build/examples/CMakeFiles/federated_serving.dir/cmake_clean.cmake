@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_serving.dir/federated_serving.cc.o"
+  "CMakeFiles/federated_serving.dir/federated_serving.cc.o.d"
+  "federated_serving"
+  "federated_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

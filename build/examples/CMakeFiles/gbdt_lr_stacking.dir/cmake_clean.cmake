@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_lr_stacking.dir/gbdt_lr_stacking.cc.o"
+  "CMakeFiles/gbdt_lr_stacking.dir/gbdt_lr_stacking.cc.o.d"
+  "gbdt_lr_stacking"
+  "gbdt_lr_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_lr_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

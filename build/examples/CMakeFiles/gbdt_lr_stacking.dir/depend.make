@@ -1,0 +1,2 @@
+# Empty dependencies file for gbdt_lr_stacking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiparty_marketing.dir/multiparty_marketing.cc.o"
+  "CMakeFiles/multiparty_marketing.dir/multiparty_marketing.cc.o.d"
+  "multiparty_marketing"
+  "multiparty_marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiparty_marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

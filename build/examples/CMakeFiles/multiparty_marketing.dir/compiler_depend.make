@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiparty_marketing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiparty_marketing.
+# This may be replaced when dependencies are built.

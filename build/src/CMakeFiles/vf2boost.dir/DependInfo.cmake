@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cc" "src/CMakeFiles/vf2boost.dir/bigint/bigint.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/bigint/bigint.cc.o.d"
+  "/root/repo/src/bigint/modarith.cc" "src/CMakeFiles/vf2boost.dir/bigint/modarith.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/bigint/modarith.cc.o.d"
+  "/root/repo/src/bigint/prime.cc" "src/CMakeFiles/vf2boost.dir/bigint/prime.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/bigint/prime.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/vf2boost.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/vf2boost.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/vf2boost.dir/common/status.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/common/status.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/vf2boost.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/crypto/accumulator.cc" "src/CMakeFiles/vf2boost.dir/crypto/accumulator.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/crypto/accumulator.cc.o.d"
+  "/root/repo/src/crypto/backend.cc" "src/CMakeFiles/vf2boost.dir/crypto/backend.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/crypto/backend.cc.o.d"
+  "/root/repo/src/crypto/encoding.cc" "src/CMakeFiles/vf2boost.dir/crypto/encoding.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/crypto/encoding.cc.o.d"
+  "/root/repo/src/crypto/packing.cc" "src/CMakeFiles/vf2boost.dir/crypto/packing.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/crypto/packing.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/CMakeFiles/vf2boost.dir/crypto/paillier.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/crypto/paillier.cc.o.d"
+  "/root/repo/src/data/binning.cc" "src/CMakeFiles/vf2boost.dir/data/binning.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/binning.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/vf2boost.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/gk_sketch.cc" "src/CMakeFiles/vf2boost.dir/data/gk_sketch.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/gk_sketch.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/vf2boost.dir/data/io.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/io.cc.o.d"
+  "/root/repo/src/data/matrix.cc" "src/CMakeFiles/vf2boost.dir/data/matrix.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/matrix.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/CMakeFiles/vf2boost.dir/data/partition.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/partition.cc.o.d"
+  "/root/repo/src/data/psi.cc" "src/CMakeFiles/vf2boost.dir/data/psi.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/psi.cc.o.d"
+  "/root/repo/src/data/quantile.cc" "src/CMakeFiles/vf2boost.dir/data/quantile.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/quantile.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/vf2boost.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/fed/channel.cc" "src/CMakeFiles/vf2boost.dir/fed/channel.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/channel.cc.o.d"
+  "/root/repo/src/fed/enc_histogram.cc" "src/CMakeFiles/vf2boost.dir/fed/enc_histogram.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/enc_histogram.cc.o.d"
+  "/root/repo/src/fed/fed_trainer.cc" "src/CMakeFiles/vf2boost.dir/fed/fed_trainer.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/fed_trainer.cc.o.d"
+  "/root/repo/src/fed/message.cc" "src/CMakeFiles/vf2boost.dir/fed/message.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/message.cc.o.d"
+  "/root/repo/src/fed/party_a.cc" "src/CMakeFiles/vf2boost.dir/fed/party_a.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/party_a.cc.o.d"
+  "/root/repo/src/fed/party_b.cc" "src/CMakeFiles/vf2boost.dir/fed/party_b.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/party_b.cc.o.d"
+  "/root/repo/src/fed/placement.cc" "src/CMakeFiles/vf2boost.dir/fed/placement.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/placement.cc.o.d"
+  "/root/repo/src/fed/protocol.cc" "src/CMakeFiles/vf2boost.dir/fed/protocol.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/protocol.cc.o.d"
+  "/root/repo/src/fed/serving.cc" "src/CMakeFiles/vf2boost.dir/fed/serving.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fed/serving.cc.o.d"
+  "/root/repo/src/fedlr/fed_lr.cc" "src/CMakeFiles/vf2boost.dir/fedlr/fed_lr.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fedlr/fed_lr.cc.o.d"
+  "/root/repo/src/fedlr/lr_model.cc" "src/CMakeFiles/vf2boost.dir/fedlr/lr_model.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/fedlr/lr_model.cc.o.d"
+  "/root/repo/src/gbdt/histogram.cc" "src/CMakeFiles/vf2boost.dir/gbdt/histogram.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/gbdt/histogram.cc.o.d"
+  "/root/repo/src/gbdt/importance.cc" "src/CMakeFiles/vf2boost.dir/gbdt/importance.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/gbdt/importance.cc.o.d"
+  "/root/repo/src/gbdt/loss.cc" "src/CMakeFiles/vf2boost.dir/gbdt/loss.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/gbdt/loss.cc.o.d"
+  "/root/repo/src/gbdt/model_io.cc" "src/CMakeFiles/vf2boost.dir/gbdt/model_io.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/gbdt/model_io.cc.o.d"
+  "/root/repo/src/gbdt/split.cc" "src/CMakeFiles/vf2boost.dir/gbdt/split.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/gbdt/split.cc.o.d"
+  "/root/repo/src/gbdt/trainer.cc" "src/CMakeFiles/vf2boost.dir/gbdt/trainer.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/gbdt/trainer.cc.o.d"
+  "/root/repo/src/gbdt/tree.cc" "src/CMakeFiles/vf2boost.dir/gbdt/tree.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/gbdt/tree.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/vf2boost.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/vf2boost.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/vf2boost.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/sim/gantt.cc" "src/CMakeFiles/vf2boost.dir/sim/gantt.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/sim/gantt.cc.o.d"
+  "/root/repo/src/sim/protocol_sim.cc" "src/CMakeFiles/vf2boost.dir/sim/protocol_sim.cc.o" "gcc" "src/CMakeFiles/vf2boost.dir/sim/protocol_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

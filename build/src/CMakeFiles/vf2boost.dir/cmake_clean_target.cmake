@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvf2boost.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulator_test.dir/accumulator_test.cc.o"
+  "CMakeFiles/accumulator_test.dir/accumulator_test.cc.o.d"
+  "accumulator_test"
+  "accumulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

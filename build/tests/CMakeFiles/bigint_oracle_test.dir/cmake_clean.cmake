@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_oracle_test.dir/bigint_oracle_test.cc.o"
+  "CMakeFiles/bigint_oracle_test.dir/bigint_oracle_test.cc.o.d"
+  "bigint_oracle_test"
+  "bigint_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enc_histogram_test.dir/enc_histogram_test.cc.o"
+  "CMakeFiles/enc_histogram_test.dir/enc_histogram_test.cc.o.d"
+  "enc_histogram_test"
+  "enc_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enc_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

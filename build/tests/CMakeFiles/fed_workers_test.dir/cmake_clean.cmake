@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_workers_test.dir/fed_workers_test.cc.o"
+  "CMakeFiles/fed_workers_test.dir/fed_workers_test.cc.o.d"
+  "fed_workers_test"
+  "fed_workers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_workers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

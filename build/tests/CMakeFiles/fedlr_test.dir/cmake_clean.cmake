@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedlr_test.dir/fedlr_test.cc.o"
+  "CMakeFiles/fedlr_test.dir/fedlr_test.cc.o.d"
+  "fedlr_test"
+  "fedlr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedlr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_features_test.dir/gbdt_features_test.cc.o"
+  "CMakeFiles/gbdt_features_test.dir/gbdt_features_test.cc.o.d"
+  "gbdt_features_test"
+  "gbdt_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

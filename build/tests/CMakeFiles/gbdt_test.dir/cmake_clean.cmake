@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_test.dir/gbdt_test.cc.o"
+  "CMakeFiles/gbdt_test.dir/gbdt_test.cc.o.d"
+  "gbdt_test"
+  "gbdt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_sketch_test.dir/gk_sketch_test.cc.o"
+  "CMakeFiles/gk_sketch_test.dir/gk_sketch_test.cc.o.d"
+  "gk_sketch_test"
+  "gk_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packing_test.dir/packing_test.cc.o"
+  "CMakeFiles/packing_test.dir/packing_test.cc.o.d"
+  "packing_test"
+  "packing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_test.dir/tree_test.cc.o"
+  "CMakeFiles/tree_test.dir/tree_test.cc.o.d"
+  "tree_test"
+  "tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

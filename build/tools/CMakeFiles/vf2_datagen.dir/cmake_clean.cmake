@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vf2_datagen.dir/vf2_datagen.cc.o"
+  "CMakeFiles/vf2_datagen.dir/vf2_datagen.cc.o.d"
+  "vf2_datagen"
+  "vf2_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vf2_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vf2_fedtrain.dir/vf2_fedtrain.cc.o"
+  "CMakeFiles/vf2_fedtrain.dir/vf2_fedtrain.cc.o.d"
+  "vf2_fedtrain"
+  "vf2_fedtrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vf2_fedtrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

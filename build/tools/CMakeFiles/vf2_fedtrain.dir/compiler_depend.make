@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vf2_fedtrain.
+# This may be replaced when dependencies are built.

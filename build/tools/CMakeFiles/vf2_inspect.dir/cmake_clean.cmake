@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vf2_inspect.dir/vf2_inspect.cc.o"
+  "CMakeFiles/vf2_inspect.dir/vf2_inspect.cc.o.d"
+  "vf2_inspect"
+  "vf2_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vf2_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vf2_predict.dir/vf2_predict.cc.o"
+  "CMakeFiles/vf2_predict.dir/vf2_predict.cc.o.d"
+  "vf2_predict"
+  "vf2_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vf2_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vf2_train.dir/vf2_train.cc.o"
+  "CMakeFiles/vf2_train.dir/vf2_train.cc.o.d"
+  "vf2_train"
+  "vf2_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vf2_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
