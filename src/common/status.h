@@ -21,6 +21,8 @@ enum class StatusCode {
   kAborted,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// \brief Outcome of an operation: a code plus a human-readable message.
@@ -63,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,14 @@
 
 namespace vf2boost {
 
+namespace {
+// Set while a thread executes inside ThreadPool::WorkerLoop. Lets
+// ParallelFor detect nested use (a task calling back into its own pool),
+// which must run inline: blocking a worker on work that needs that same
+// worker deadlocks the pool.
+thread_local const ThreadPool* g_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   threads_.reserve(num_threads);
@@ -37,20 +45,44 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  if (g_worker_pool == this) {
+    // Nested call from one of our own workers: run inline (caller-runs).
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const size_t workers = std::min(n, threads_.size());
   const size_t chunk = (n + workers - 1) / workers;
+  // Completion tracking is batch-scoped, NOT the pool-global in_flight_
+  // counter: concurrent ParallelFor callers each wait for exactly their own
+  // ranges, never for each other's work.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  } batch;
+  for (size_t w = 0; w < workers; ++w) {
+    if (w * chunk >= n) break;
+    ++batch.remaining;
+  }
   for (size_t w = 0; w < workers; ++w) {
     const size_t begin = w * chunk;
     const size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
+    Submit([begin, end, &fn, &batch] {
       for (size_t i = begin; i < end; ++i) fn(i);
+      // Notify under the lock: the waiter owns `batch` on its stack and
+      // destroys it as soon as it observes remaining == 0, so the cv must
+      // not be touched after the mutex is released.
+      std::lock_guard<std::mutex> lock(batch.mu);
+      if (--batch.remaining == 0) batch.cv.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.cv.wait(lock, [&batch] { return batch.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  g_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -31,11 +31,16 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task (from ALL callers) has finished.
+  /// Pool-global by design; for scoped completion use ParallelFor.
   void Wait();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Work is split into contiguous ranges, one per worker.
+  /// Work is split into contiguous ranges, one per worker. Completion is
+  /// tracked per call, so concurrent ParallelFor invocations on the same
+  /// pool do not wait on each other's work. When called from inside one of
+  /// this pool's own tasks, the range runs inline on the calling worker
+  /// (caller-runs) instead of deadlocking the pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

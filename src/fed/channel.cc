@@ -2,15 +2,46 @@
 
 #include <algorithm>
 
+#include "common/random.h"
+
 namespace vf2boost {
 
 namespace {
-using Clock = std::chrono::steady_clock;
+using Clock = ChannelEndpoint::Clock;
+
+Clock::duration Seconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
 }  // namespace
 
+Status NetworkConfig::Validate() const {
+  if (bandwidth_bytes_per_sec < 0 || latency_seconds < 0 ||
+      default_deadline_seconds < 0 || retransmit_timeout_seconds < 0 ||
+      jitter_seconds < 0) {
+    return Status::InvalidArgument("network delays must be nonnegative");
+  }
+  if (drop_probability < 0 || drop_probability > 1 ||
+      duplicate_probability < 0 || duplicate_probability > 1) {
+    return Status::InvalidArgument(
+        "network fault probabilities must lie in [0, 1]");
+  }
+  if (max_retransmits < 0) {
+    return Status::InvalidArgument("max_retransmits must be >= 0");
+  }
+  return Status::OK();
+}
+
 struct ChannelEndpoint::Queue {
-  std::deque<std::pair<Clock::time_point, Message>> items;
+  struct Item {
+    Clock::time_point deliver;
+    uint64_t seq = 0;
+    Message msg;
+  };
+  std::deque<Item> items;
   Clock::time_point next_free = Clock::now();  // bandwidth serialization point
+  uint64_t next_seq = 1;
+  uint64_t last_delivered_seq = 0;  // duplicate suppression watermark
   ChannelStats sent;
 };
 
@@ -20,12 +51,16 @@ struct ChannelEndpoint::Shared {
   std::condition_variable cv;
   Queue a_to_b;
   Queue b_to_a;
+  bool closed = false;
+  Status close_status;
+  Rng fault_rng{0};
 };
 
 std::pair<std::unique_ptr<ChannelEndpoint>, std::unique_ptr<ChannelEndpoint>>
 ChannelEndpoint::CreatePair(const NetworkConfig& config) {
   auto shared = std::make_shared<Shared>();
   shared->config = config;
+  shared->fault_rng = Rng(config.fault_seed);
   auto a = std::unique_ptr<ChannelEndpoint>(
       new ChannelEndpoint(shared, &shared->b_to_a, &shared->a_to_b));
   auto b = std::unique_ptr<ChannelEndpoint>(
@@ -40,53 +75,154 @@ ChannelEndpoint::ChannelEndpoint(std::shared_ptr<Shared> shared, Queue* in,
 void ChannelEndpoint::Send(Message msg) {
   const size_t bytes = msg.WireBytes();
   std::lock_guard<std::mutex> lock(shared_->mu);
+  const auto& cfg = shared_->config;
+  out_->sent.messages += 1;
+  out_->sent.bytes += bytes;
+  if (shared_->closed) {
+    out_->sent.dropped += 1;
+    return;
+  }
+  // Deterministic link death: the gateway stops forwarding after N messages.
+  if (cfg.kill_after_messages > 0 &&
+      out_->sent.messages > cfg.kill_after_messages) {
+    out_->sent.dropped += 1;
+    return;
+  }
   const auto now = Clock::now();
   auto deliver = now;
-  const auto& cfg = shared_->config;
   if (cfg.bandwidth_bytes_per_sec > 0) {
     // Messages serialize through the gateway link.
     const auto start = std::max(now, out_->next_free);
-    const auto transfer = std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(static_cast<double>(bytes) /
-                                      cfg.bandwidth_bytes_per_sec));
-    out_->next_free = start + transfer;
+    out_->next_free = start + Seconds(static_cast<double>(bytes) /
+                                      cfg.bandwidth_bytes_per_sec);
     deliver = out_->next_free;
   }
   if (cfg.latency_seconds > 0) {
-    deliver += std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(cfg.latency_seconds));
+    deliver += Seconds(cfg.latency_seconds);
   }
-  out_->items.emplace_back(deliver, std::move(msg));
-  out_->sent.messages += 1;
-  out_->sent.bytes += bytes;
+  if (cfg.jitter_seconds > 0) {
+    deliver += Seconds(shared_->fault_rng.NextDouble() * cfg.jitter_seconds);
+  }
+  if (cfg.drop_probability > 0) {
+    // Each lost attempt costs one retransmit timeout; a message whose whole
+    // retry budget is lost vanishes (the receiver's deadline reports it).
+    int attempts = 0;
+    while (shared_->fault_rng.NextDouble() < cfg.drop_probability) {
+      if (attempts >= cfg.max_retransmits) {
+        out_->sent.dropped += 1;
+        return;
+      }
+      ++attempts;
+      out_->sent.retransmits += 1;
+      deliver += Seconds(cfg.retransmit_timeout_seconds);
+    }
+  }
+  const uint64_t seq = out_->next_seq++;
+  out_->items.push_back(Queue::Item{deliver, seq, msg});
+  if (cfg.duplicate_probability > 0 &&
+      shared_->fault_rng.NextDouble() < cfg.duplicate_probability) {
+    // Gateway redelivery: same sequence number, later arrival. The receiver
+    // suppresses it, keeping delivery effectively-once.
+    out_->sent.duplicates += 1;
+    out_->items.push_back(Queue::Item{
+        deliver + Seconds(cfg.retransmit_timeout_seconds), seq, msg});
+  }
   shared_->cv.notify_all();
 }
 
-Message ChannelEndpoint::Receive() {
+Result<Message> ChannelEndpoint::Receive() {
+  const double d = shared_->config.default_deadline_seconds;
+  if (d > 0) return ReceiveInternal(Clock::now() + Seconds(d));
+  return ReceiveInternal(std::nullopt);
+}
+
+Result<Message> ChannelEndpoint::ReceiveUntil(Clock::time_point deadline) {
+  return ReceiveInternal(deadline);
+}
+
+Result<Message> ChannelEndpoint::ReceiveInternal(
+    std::optional<Clock::time_point> deadline) {
   std::unique_lock<std::mutex> lock(shared_->mu);
   for (;;) {
+    // Suppress redelivered duplicates (effectively-once).
+    while (!in_->items.empty() &&
+           in_->items.front().seq <= in_->last_delivered_seq) {
+      in_->items.pop_front();
+    }
+    // An error close fails fast, ahead of any still-undrained traffic.
+    if (shared_->closed && !shared_->close_status.ok()) {
+      return shared_->close_status;
+    }
+    const auto now = Clock::now();
     if (!in_->items.empty()) {
-      const auto deliver = in_->items.front().first;
-      if (Clock::now() >= deliver) {
-        Message msg = std::move(in_->items.front().second);
+      const auto deliver = in_->items.front().deliver;
+      if (now >= deliver) {
+        in_->last_delivered_seq = in_->items.front().seq;
+        Message msg = std::move(in_->items.front().msg);
         in_->items.pop_front();
         return msg;
       }
-      shared_->cv.wait_until(lock, deliver);
+      if (deadline && *deadline < deliver) {
+        if (now >= *deadline) {
+          return Status::DeadlineExceeded("receive deadline expired");
+        }
+        shared_->cv.wait_until(lock, *deadline);
+      } else {
+        shared_->cv.wait_until(lock, deliver);
+      }
     } else {
-      shared_->cv.wait(lock);
+      if (shared_->closed) {
+        return Status::Aborted("channel closed");
+      }
+      if (deadline) {
+        if (now >= *deadline) {
+          return Status::DeadlineExceeded("receive deadline expired");
+        }
+        shared_->cv.wait_until(lock, *deadline);
+      } else {
+        shared_->cv.wait(lock);
+      }
     }
   }
 }
 
-bool ChannelEndpoint::TryReceive(Message* out) {
+Status ChannelEndpoint::TryReceive(Message* out, bool* got) {
+  *got = false;
   std::lock_guard<std::mutex> lock(shared_->mu);
-  if (in_->items.empty() || Clock::now() < in_->items.front().first) {
-    return false;
+  while (!in_->items.empty() &&
+         in_->items.front().seq <= in_->last_delivered_seq) {
+    in_->items.pop_front();
   }
-  *out = std::move(in_->items.front().second);
+  if (shared_->closed && !shared_->close_status.ok()) {
+    return shared_->close_status;
+  }
+  if (in_->items.empty()) {
+    if (shared_->closed) return Status::Aborted("channel closed");
+    return Status::OK();
+  }
+  if (Clock::now() < in_->items.front().deliver) {
+    return Status::OK();
+  }
+  in_->last_delivered_seq = in_->items.front().seq;
+  *out = std::move(in_->items.front().msg);
   in_->items.pop_front();
-  return true;
+  *got = true;
+  return Status::OK();
+}
+
+void ChannelEndpoint::Close(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->closed) return;  // first close (and its reason) wins
+    shared_->closed = true;
+    shared_->close_status = std::move(status);
+  }
+  shared_->cv.notify_all();
+}
+
+bool ChannelEndpoint::closed() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->closed;
 }
 
 ChannelStats ChannelEndpoint::sent_stats() const {

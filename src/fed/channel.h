@@ -6,7 +6,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
 
+#include "common/result.h"
 #include "fed/message.h"
 
 namespace vf2boost {
@@ -14,44 +18,110 @@ namespace vf2boost {
 /// \brief Model of the restricted WAN between the parties' data centers.
 ///
 /// The paper's deployment routes all cross-party traffic through gateway
-/// message queues over a 300 Mbps public link. A zero-initialized config
-/// models an ideal network (tests); benches set the paper's numbers.
+/// message queues over an unreliable 300 Mbps public link. A zero-initialized
+/// config models an ideal network (tests); benches set the paper's numbers,
+/// and failure drills turn on the fault-injection knobs below.
 struct NetworkConfig {
   /// 0 = unlimited. Paper: 300 Mbps = 37.5e6 bytes/s.
   double bandwidth_bytes_per_sec = 0;
   /// One-way propagation delay per message. 0 = none.
   double latency_seconds = 0;
+
+  // --- failure model --------------------------------------------------------
+
+  /// Default per-call Receive deadline. 0 = block until close; > 0 turns a
+  /// silent peer into Status::DeadlineExceeded instead of a hang.
+  double default_deadline_seconds = 0;
+  /// Probability that one transmission attempt of a message is lost. Lost
+  /// attempts are retransmitted (each adds retransmit_timeout_seconds of
+  /// delivery delay) up to max_retransmits times; a message whose every
+  /// attempt is lost is dropped permanently and only surfaces downstream as
+  /// a receive deadline.
+  double drop_probability = 0;
+  int max_retransmits = 3;
+  double retransmit_timeout_seconds = 0.01;
+  /// Probability that the gateway redelivers a message it already delivered.
+  /// The receiving endpoint suppresses such duplicates by sequence number,
+  /// preserving the channel's effectively-once contract.
+  double duplicate_probability = 0;
+  /// Extra uniform-random delivery delay in [0, jitter_seconds).
+  double jitter_seconds = 0;
+  /// Deterministic link death: after this many Send calls per direction the
+  /// link silently drops everything (0 = never). Models a peer data center
+  /// going dark mid-protocol.
+  size_t kill_after_messages = 0;
+  /// Seed of the per-channel fault PRNG (deterministic runs).
+  uint64_t fault_seed = 0x5eedULL;
+
+  /// Rejects nonsensical knob values (probabilities outside [0, 1], negative
+  /// delays / deadlines).
+  Status Validate() const;
 };
 
 /// Traffic counters for one direction.
 struct ChannelStats {
-  size_t messages = 0;
+  size_t messages = 0;  ///< Send calls (including ones later dropped)
   size_t bytes = 0;
+  size_t retransmits = 0;  ///< injected lost-attempt redeliveries
+  size_t duplicates = 0;   ///< injected duplicate deliveries
+  size_t dropped = 0;      ///< messages lost permanently (link dead / retries
+                           ///< exhausted / sent after close)
 };
 
-/// \brief One endpoint of a duplex, ordered, reliable message channel —
-/// the in-process stand-in for a Pulsar topic pair between gateways.
+/// \brief One endpoint of a duplex, ordered message channel — the in-process
+/// stand-in for a Pulsar topic pair between gateways.
 ///
-/// Send never drops or reorders ("effectively-once" semantics); Receive
-/// blocks until a message is available *and* its simulated network delivery
-/// time has passed. Thread-safe: one party thread per endpoint.
+/// Send never reorders, and duplicates injected by the (simulated) gateway
+/// are suppressed by sequence number ("effectively-once" semantics; under
+/// fault injection a message can still be lost outright once its bounded
+/// retransmit budget is exhausted — that loss surfaces as a receive
+/// deadline, never as reordering). Receive blocks until a message is
+/// available *and* its simulated network delivery time has passed, or until
+/// the deadline expires, or until either side calls Close. Thread-safe: one
+/// party thread per endpoint.
 class ChannelEndpoint {
  public:
+  using Clock = std::chrono::steady_clock;
+
   /// Creates a connected pair. first is conventionally Party A's endpoint.
   static std::pair<std::unique_ptr<ChannelEndpoint>,
                    std::unique_ptr<ChannelEndpoint>>
   CreatePair(const NetworkConfig& config = {});
 
   /// Enqueues a message; returns immediately (the sender's cost is modeled
-  /// by the delivery timestamp on the receiver side).
+  /// by the delivery timestamp on the receiver side). Sends on a closed
+  /// channel are dropped.
   void Send(Message msg);
 
-  /// Blocks until the next message is deliverable and returns it.
-  Message Receive();
+  /// Blocks until the next message is deliverable and returns it, subject to
+  /// the config's default deadline. Error outcomes:
+  ///  - the peer's (or our own) close status when the channel was closed
+  ///    with an error,
+  ///  - Aborted("channel closed") when it was closed cleanly and every
+  ///    pending message has been drained,
+  ///  - DeadlineExceeded when default_deadline_seconds elapses first.
+  Result<Message> Receive();
 
-  /// Non-blocking variant: returns false when nothing is deliverable yet.
-  /// Used by Party A to poll for aborts while it crunches histograms.
-  bool TryReceive(Message* out);
+  /// Receive with an explicit deadline (overrides the config default).
+  Result<Message> ReceiveUntil(Clock::time_point deadline);
+
+  /// Non-blocking variant. OK + *got=true: *out holds the next message.
+  /// OK + *got=false: nothing deliverable yet. Error: the channel is closed
+  /// (same statuses as Receive). Handy for polling loops and tests; the
+  /// training engines themselves use blocking Receive — Party A learns of
+  /// aborted optimistic work through the ordered kVerdicts/kDecisions stream
+  /// (hist_epoch_ corrections), not by polling.
+  Status TryReceive(Message* out, bool* got);
+
+  /// Closes the whole duplex channel: wakes every blocked receiver on BOTH
+  /// ends and makes subsequent Receive/TryReceive calls fail as described
+  /// above. `status` records why; an engine that failed passes its error so
+  /// the peer sees the root cause within one receive call. The first close
+  /// wins; later calls are no-ops.
+  void Close(Status status);
+
+  /// True once either side has called Close.
+  bool closed() const;
 
   /// Bytes/messages sent from this endpoint.
   ChannelStats sent_stats() const;
@@ -62,9 +132,37 @@ class ChannelEndpoint {
 
   ChannelEndpoint(std::shared_ptr<Shared> shared, Queue* in, Queue* out);
 
+  Result<Message> ReceiveInternal(std::optional<Clock::time_point> deadline);
+
   std::shared_ptr<Shared> shared_;
   Queue* in_;
   Queue* out_;
+};
+
+/// \brief RAII guard: closes an endpoint when the owning engine leaves its
+/// Run() scope, propagating the engine's final status so blocked peers fail
+/// with a descriptive Aborted error instead of hanging forever.
+class ChannelCloseGuard {
+ public:
+  /// `who` names the owning engine in the propagated error (e.g. "party A0").
+  ChannelCloseGuard(ChannelEndpoint* endpoint, std::string who)
+      : endpoint_(endpoint), who_(std::move(who)) {}
+  ~ChannelCloseGuard() {
+    if (endpoint_ == nullptr) return;
+    endpoint_->Close(status_.ok() ? Status::OK()
+                                  : Status::Aborted(who_ + " failed: " +
+                                                    status_.ToString()));
+  }
+
+  ChannelCloseGuard(const ChannelCloseGuard&) = delete;
+  ChannelCloseGuard& operator=(const ChannelCloseGuard&) = delete;
+
+  void SetStatus(const Status& status) { status_ = status; }
+
+ private:
+  ChannelEndpoint* endpoint_;
+  std::string who_;
+  Status status_;
 };
 
 }  // namespace vf2boost

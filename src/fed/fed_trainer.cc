@@ -1,5 +1,7 @@
 #include "fed/fed_trainer.h"
 
+#include <algorithm>
+#include <string>
 #include <thread>
 
 #include "common/logging.h"
@@ -61,22 +63,30 @@ Result<FedTrainResult> FedTrainer::Train(
     }
   }
 
-  // One duplex channel per A party.
+  // One duplex channel per A party, with optional per-party network faults.
   std::vector<std::unique_ptr<ChannelEndpoint>> a_ends, b_ends;
   for (size_t p = 0; p < num_a; ++p) {
-    auto [a, b] = ChannelEndpoint::CreatePair(config_.network);
+    const NetworkConfig& net = p < config_.network_per_party.size()
+                                   ? config_.network_per_party[p]
+                                   : config_.network;
+    auto [a, b] = ChannelEndpoint::CreatePair(net);
     a_ends.push_back(std::move(a));
     b_ends.push_back(std::move(b));
   }
 
+  // Build every engine before spawning any thread: the vector must not
+  // reallocate while worker threads hold references into it.
   std::vector<std::unique_ptr<PartyAEngine>> engines;
-  std::vector<Status> a_status(num_a);
-  std::vector<std::thread> threads;
   for (size_t p = 0; p < num_a; ++p) {
     engines.push_back(std::make_unique<PartyAEngine>(
         config_, parties[p], a_ends[p].get(), static_cast<uint32_t>(p)));
-    threads.emplace_back([&a_status, &engines, p] {
-      a_status[p] = engines[p]->Run();
+  }
+  std::vector<Status> a_status(num_a);
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < num_a; ++p) {
+    PartyAEngine* engine = engines[p].get();
+    threads.emplace_back([&a_status, engine, p] {
+      a_status[p] = engine->Run();
       if (!a_status[p].ok()) {
         VF2_LOG(Error) << "party A" << p
                        << " failed: " << a_status[p].ToString();
@@ -89,13 +99,26 @@ Result<FedTrainResult> FedTrainer::Train(
   PartyBEngine party_b_engine(config_, party_b, std::move(b_channel_ptrs));
   Result<PartyBResult> b_result = party_b_engine.Run();
 
-  if (!b_result.ok()) {
-    // Release any A thread still blocked on its inbox before joining.
-    for (auto& e : b_ends) e->Send(Message{MessageType::kTrainDone, {}});
-  }
+  // Joining is always safe: every engine closes its channel on exit, so a
+  // failure on either side wakes the peer's blocked receives — A threads
+  // cannot outlive a failed B, and a dead A cannot hang B.
   for (auto& t : threads) t.join();
-  if (!b_result.ok()) return b_result.status();
-  for (const Status& s : a_status) VF2_RETURN_IF_ERROR(s);
+
+  bool any_a_failed = false;
+  std::string failures;
+  if (!b_result.ok()) {
+    failures += "party B: " + b_result.status().ToString();
+  }
+  for (size_t p = 0; p < num_a; ++p) {
+    if (a_status[p].ok()) continue;
+    any_a_failed = true;
+    if (!failures.empty()) failures += "; ";
+    failures += "party A" + std::to_string(p) + ": " + a_status[p].ToString();
+  }
+  if (!b_result.ok() && !any_a_failed) return b_result.status();
+  if (!failures.empty()) {
+    return Status::Aborted("federated training failed: " + failures);
+  }
 
   FedTrainResult out;
   out.model = std::move(b_result->model);
@@ -107,6 +130,8 @@ Result<FedTrainResult> FedTrainer::Train(
     out.stats.scalings += a.scalings;
     out.stats.packs += a.packs;
     out.stats.redone_hist_builds += a.redone_hist_builds;
+    out.stats.inbox_high_water =
+        std::max(out.stats.inbox_high_water, a.inbox_high_water);
     out.stats.party_a += a.party_a;
     out.stats.bytes_a_to_b += a_ends[p]->sent_stats().bytes;
     out.party_a_cuts.push_back(engines[p]->cuts());

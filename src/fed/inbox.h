@@ -1,7 +1,9 @@
 #ifndef VF2BOOST_FED_INBOX_H_
 #define VF2BOOST_FED_INBOX_H_
 
+#include <algorithm>
 #include <deque>
+#include <string>
 
 #include "fed/channel.h"
 
@@ -13,14 +15,22 @@ namespace vf2boost {
 /// have next-layer histograms in flight while it is still waiting for this
 /// layer's placement replies. Inbox lets the engine pull "the next message
 /// of type T", buffering everything else in arrival order.
+///
+/// A failing or over-chatty peer would otherwise grow that buffer without
+/// bound, so the buffer is capped: exceeding `max_buffered` pending messages
+/// fails the receive with ResourceExhausted. The high-water mark is exported
+/// through FedStats for capacity planning.
 class Inbox {
  public:
-  explicit Inbox(ChannelEndpoint* endpoint) : endpoint_(endpoint) {}
+  /// `max_buffered` = 0 disables the cap.
+  explicit Inbox(ChannelEndpoint* endpoint, size_t max_buffered = 0)
+      : endpoint_(endpoint), max_buffered_(max_buffered) {}
 
   ChannelEndpoint* endpoint() { return endpoint_; }
 
-  /// Next message of any type (buffered first).
-  Message Receive() {
+  /// Next message of any type (buffered first). Fails when the channel is
+  /// closed or the receive deadline expires (see ChannelEndpoint::Receive).
+  Result<Message> Receive() {
     if (!buffer_.empty()) {
       Message m = std::move(buffer_.front());
       buffer_.pop_front();
@@ -31,7 +41,7 @@ class Inbox {
 
   /// Blocks until a message of `type` arrives; other messages are buffered
   /// and later returned by Receive()/ReceiveType in arrival order.
-  Message ReceiveType(MessageType type) {
+  Result<Message> ReceiveType(MessageType type) {
     for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
       if (it->type == type) {
         Message m = std::move(*it);
@@ -40,16 +50,34 @@ class Inbox {
       }
     }
     for (;;) {
-      Message m = endpoint_->Receive();
-      if (m.type == type) return m;
-      buffer_.push_back(std::move(m));
+      Result<Message> m = endpoint_->Receive();
+      if (!m.ok()) return m.status();
+      if (m->type == type) return std::move(m).value();
+      VF2_RETURN_IF_ERROR(Buffer(std::move(m).value(), type));
     }
   }
 
   void Send(Message msg) { endpoint_->Send(std::move(msg)); }
 
+  /// Largest number of messages ever parked in the buffer.
+  size_t buffered_high_water() const { return high_water_; }
+
  private:
+  Status Buffer(Message m, MessageType waiting_for) {
+    if (max_buffered_ > 0 && buffer_.size() >= max_buffered_) {
+      return Status::ResourceExhausted(
+          "inbox buffered " + std::to_string(buffer_.size()) +
+          " messages while waiting for " + MessageTypeName(waiting_for) +
+          " (cap " + std::to_string(max_buffered_) + ")");
+    }
+    buffer_.push_back(std::move(m));
+    high_water_ = std::max(high_water_, buffer_.size());
+    return Status::OK();
+  }
+
   ChannelEndpoint* endpoint_;
+  size_t max_buffered_;
+  size_t high_water_ = 0;
   std::deque<Message> buffer_;
 };
 

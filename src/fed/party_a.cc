@@ -1,5 +1,6 @@
 #include "fed/party_a.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/logging.h"
@@ -13,7 +14,7 @@ PartyAEngine::PartyAEngine(const FedConfig& config, const Dataset& data,
                            ChannelEndpoint* channel, uint32_t party_index)
     : config_(config),
       data_(data),
-      inbox_(channel),
+      inbox_(channel, config.max_inbox_buffered),
       party_index_(party_index),
       rng_(config.seed * 7919 + party_index + 1) {
   if (config_.workers_per_party > 1) {
@@ -27,7 +28,8 @@ Status PartyAEngine::Setup() {
   layout_ = FeatureLayout::FromCuts(cuts_);
 
   Stopwatch wait;
-  Message msg = inbox_.ReceiveType(MessageType::kPublicKey);
+  VF2_ASSIGN_OR_RETURN(Message msg,
+                       inbox_.ReceiveType(MessageType::kPublicKey));
   stats_.party_a.comm_wait += wait.ElapsedSeconds();
   if (config_.mock_crypto) {
     backend_ = std::make_unique<MockBackend>(config_.MakeCodec());
@@ -48,10 +50,23 @@ Status PartyAEngine::Setup() {
 }
 
 Status PartyAEngine::Run() {
+  // Whatever way this engine exits — clean kTrainDone, protocol error,
+  // channel failure — the close guard wakes the peer so it never deadlocks
+  // waiting on a dead party.
+  ChannelCloseGuard guard(inbox_.endpoint(),
+                          "party A" + std::to_string(party_index_));
+  Status status = RunLoop();
+  stats_.inbox_high_water =
+      std::max(stats_.inbox_high_water, inbox_.buffered_high_water());
+  guard.SetStatus(status);
+  return status;
+}
+
+Status PartyAEngine::RunLoop() {
   VF2_RETURN_IF_ERROR(Setup());
   for (;;) {
     Stopwatch wait;
-    Message msg = inbox_.Receive();
+    VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
     stats_.party_a.comm_wait += wait.ElapsedSeconds();
     if (msg.type == MessageType::kTrainDone) return Status::OK();
     if (msg.type != MessageType::kGradBatch) {
@@ -82,7 +97,7 @@ Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
     received += batch.g.size();
     if (received >= n) break;
     Stopwatch wait;
-    msg = inbox_.ReceiveType(MessageType::kGradBatch);
+    VF2_ASSIGN_OR_RETURN(msg, inbox_.ReceiveType(MessageType::kGradBatch));
     stats_.party_a.comm_wait += wait.ElapsedSeconds();
   }
   return Status::OK();
@@ -275,7 +290,7 @@ Status PartyAEngine::RunTree(Message first_grad_msg) {
 
   for (;;) {
     Stopwatch wait;
-    Message msg = inbox_.Receive();
+    VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
     stats_.party_a.comm_wait += wait.ElapsedSeconds();
     switch (msg.type) {
       case MessageType::kTreeDone:

@@ -37,6 +37,7 @@ class PartyAEngine {
 
  private:
   Status Setup();
+  Status RunLoop();
   Status RunTree(Message first_grad_msg);
   Status ReceiveGradients(Message first, uint32_t* tree_id);
   Status BuildAndSendHist(uint32_t tree, uint32_t layer, int32_t node);

@@ -17,7 +17,9 @@ PartyBEngine::PartyBEngine(const FedConfig& config, const Dataset& data,
       data_(data),
       party_b_index_(static_cast<uint32_t>(channels.size())),
       rng_(config.seed) {
-  for (ChannelEndpoint* c : channels) inboxes_.emplace_back(c);
+  for (ChannelEndpoint* c : channels) {
+    inboxes_.emplace_back(c, config.max_inbox_buffered);
+  }
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
   }
@@ -55,7 +57,8 @@ Status PartyBEngine::Setup() {
     inbox.Send(std::move(copy));
   }
   for (Inbox& inbox : inboxes_) {
-    Message msg = inbox.ReceiveType(MessageType::kLayout);
+    VF2_ASSIGN_OR_RETURN(Message msg,
+                         inbox.ReceiveType(MessageType::kLayout));
     LayoutPayload layout;
     VF2_RETURN_IF_ERROR(DecodeLayout(msg, &layout));
     FeatureLayout fl;
@@ -127,7 +130,8 @@ Status PartyBEngine::CollectHistograms(
     auto& per_party = (*hists)[p];
     while (per_party.size() < nodes.size()) {
       Stopwatch wait;
-      Message msg = inboxes_[p].ReceiveType(MessageType::kNodeHistogram);
+      VF2_ASSIGN_OR_RETURN(
+          Message msg, inboxes_[p].ReceiveType(MessageType::kNodeHistogram));
       stats_.party_b.comm_wait += wait.ElapsedSeconds();
       NodeHistogramPayload payload;
       VF2_RETURN_IF_ERROR(DecodeNodeHistogram(msg, *backend_, &payload));
@@ -361,8 +365,9 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
         corrections.layer = layer;
         for (const Dirty& d : dirty) {
           Stopwatch wait;
-          Message msg =
-              inboxes_[d.owner].ReceiveType(MessageType::kPlacement);
+          VF2_ASSIGN_OR_RETURN(
+              Message msg,
+              inboxes_[d.owner].ReceiveType(MessageType::kPlacement));
           stats_.party_b.comm_wait += wait.ElapsedSeconds();
           PlacementPayload placement;
           VF2_RETURN_IF_ERROR(DecodePlacement(msg, &placement));
@@ -502,7 +507,9 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
       }
       for (const PendingA& pa : pending) {
         Stopwatch wait;
-        Message msg = inboxes_[pa.owner].ReceiveType(MessageType::kPlacement);
+        VF2_ASSIGN_OR_RETURN(
+            Message msg,
+            inboxes_[pa.owner].ReceiveType(MessageType::kPlacement));
         stats_.party_b.comm_wait += wait.ElapsedSeconds();
         PlacementPayload placement;
         VF2_RETURN_IF_ERROR(DecodePlacement(msg, &placement));
@@ -532,6 +539,21 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
 }
 
 Result<PartyBResult> PartyBEngine::Run() {
+  Result<PartyBResult> result = RunInternal();
+  // Close every channel so A engines blocked on their inboxes fail with the
+  // root cause instead of hanging (clean closes drain pending messages, so
+  // the final kTrainDone still arrives).
+  const Status close_status =
+      result.ok() ? Status::OK()
+                  : Status::Aborted("party B failed: " +
+                                    result.status().ToString());
+  for (Inbox& inbox : inboxes_) {
+    inbox.endpoint()->Close(close_status);
+  }
+  return result;
+}
+
+Result<PartyBResult> PartyBEngine::RunInternal() {
   VF2_RETURN_IF_ERROR(Setup());
 
   PartyBResult result;
@@ -562,6 +584,8 @@ Result<PartyBResult> PartyBEngine::Run() {
   for (Inbox& inbox : inboxes_) {
     const ChannelStats sent = inbox.endpoint()->sent_stats();
     stats_.bytes_b_to_a += sent.bytes;
+    stats_.inbox_high_water =
+        std::max(stats_.inbox_high_water, inbox.buffered_high_water());
   }
   result.stats = stats_;
   return result;

@@ -55,6 +55,7 @@ class PartyBEngine {
   };
 
   Status Setup();
+  Result<PartyBResult> RunInternal();
   Status TrainOneTree(uint32_t tree_id, Tree* tree);
   void EncryptAndSendGradients(uint32_t tree_id);
   /// Collects the expected-epoch histogram of every node in `nodes` from

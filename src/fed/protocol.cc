@@ -40,6 +40,10 @@ Status FedConfig::Validate() const {
   if (workers_per_party == 0 || workers_per_party > 256) {
     return Status::InvalidArgument("workers_per_party must be in [1, 256]");
   }
+  VF2_RETURN_IF_ERROR(network.Validate());
+  for (const NetworkConfig& per_party : network_per_party) {
+    VF2_RETURN_IF_ERROR(per_party.Validate());
+  }
   return Status::OK();
 }
 

@@ -52,6 +52,14 @@ struct FedConfig {
   size_t workers_per_party = 1;
 
   NetworkConfig network;
+  /// Optional per-A-party network overrides: channel p uses
+  /// network_per_party[p] when present, `network` otherwise. Lets failure
+  /// drills degrade or kill one party's link while the rest stay healthy.
+  std::vector<NetworkConfig> network_per_party;
+  /// Cap on messages an Inbox parks while waiting for a specific type
+  /// (0 = unlimited). Exceeding it fails training with ResourceExhausted
+  /// instead of buffering a misbehaving peer without bound.
+  size_t max_inbox_buffered = 4096;
   uint64_t seed = 42;
 
   FixedPointCodec MakeCodec() const {
@@ -117,6 +125,9 @@ struct FedStats {
   size_t redone_hist_builds = 0;   ///< A-side node hists rebuilt after dirt
   size_t bytes_a_to_b = 0;
   size_t bytes_b_to_a = 0;
+  /// Largest number of messages any party's Inbox ever had parked while
+  /// waiting for a specific type (see FedConfig::max_inbox_buffered).
+  size_t inbox_high_water = 0;
   PhaseTimes party_a;
   PhaseTimes party_b;
 };

@@ -110,8 +110,16 @@ ServingPartyA::ServingPartyA(PartyModelShard shard, const Dataset& features,
     : shard_(std::move(shard)), features_(features), inbox_(channel) {}
 
 Status ServingPartyA::Run() {
+  ChannelCloseGuard guard(inbox_.endpoint(),
+                          "serving party A" + std::to_string(shard_.party));
+  Status status = RunLoop();
+  guard.SetStatus(status);
+  return status;
+}
+
+Status ServingPartyA::RunLoop() {
   for (;;) {
-    Message msg = inbox_.Receive();
+    VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
     if (msg.type == MessageType::kServeDone) return Status::OK();
     if (msg.type != MessageType::kServeQuery) {
       return Status::ProtocolError(
@@ -150,6 +158,19 @@ ServingPartyB::ServingPartyB(GbdtModel skeleton, const Dataset& features,
 }
 
 Result<std::vector<double>> ServingPartyB::Predict() {
+  Result<std::vector<double>> scores = PredictInternal();
+  if (!scores.ok()) {
+    // Wake every A-side responder; a failed coordinator must not leave them
+    // blocked in Receive forever.
+    for (Inbox& inbox : inboxes_) {
+      inbox.endpoint()->Close(Status::Aborted(
+          "serving party B failed: " + scores.status().ToString()));
+    }
+  }
+  return scores;
+}
+
+Result<std::vector<double>> ServingPartyB::PredictInternal() {
   const size_t n = features_.rows();
   std::vector<double> scores(n, skeleton_.base_score);
   const uint32_t b_party = static_cast<uint32_t>(inboxes_.size());
@@ -205,7 +226,8 @@ Result<std::vector<double>> ServingPartyB::Predict() {
       }
       // Phase 3: collect replies.
       for (const auto& [node_id, owner] : pending) {
-        Message msg = inboxes_[owner].ReceiveType(MessageType::kServeReply);
+        VF2_ASSIGN_OR_RETURN(
+            Message msg, inboxes_[owner].ReceiveType(MessageType::kServeReply));
         ServeReply reply;
         VF2_RETURN_IF_ERROR(DecodeServeReply(msg, &reply));
         if (reply.node != node_id ||
@@ -231,6 +253,8 @@ Result<std::vector<double>> ServingPartyB::Predict() {
 void ServingPartyB::Shutdown() {
   for (Inbox& inbox : inboxes_) {
     inbox.Send(Message{MessageType::kServeDone, {}});
+    // Clean close: the kServeDone above still drains to the responder.
+    inbox.endpoint()->Close(Status::OK());
   }
 }
 

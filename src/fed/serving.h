@@ -44,10 +44,14 @@ class ServingPartyA {
   ServingPartyA(PartyModelShard shard, const Dataset& features,
                 ChannelEndpoint* channel);
 
-  /// Serves until Party B sends kServeDone. Run on the A party's thread.
+  /// Serves until Party B sends kServeDone (or the channel closes / a
+  /// receive deadline expires). Run on the A party's thread; closes the
+  /// channel on exit so the coordinator never blocks on a dead responder.
   Status Run();
 
  private:
+  Status RunLoop();
+
   PartyModelShard shard_;
   const Dataset& features_;
   Inbox inbox_;
@@ -65,10 +69,13 @@ class ServingPartyB {
   /// must be loaded, PSI-aligned, at every A party).
   Result<std::vector<double>> Predict();
 
-  /// Releases the A-side responders.
+  /// Releases the A-side responders (sends kServeDone, then cleanly closes
+  /// every channel).
   void Shutdown();
 
  private:
+  Result<std::vector<double>> PredictInternal();
+
   GbdtModel skeleton_;
   const Dataset& features_;
   std::vector<Inbox> inboxes_;

@@ -130,6 +130,7 @@ class LrPeer {
 
  private:
   Status Setup();
+  Status RunLoop();
   Status RunBatch(const std::vector<uint32_t>& batch);
   double PartialScore(uint32_t i) const;
 
@@ -162,7 +163,9 @@ Status LrPeer::Setup() {
   if (config_.mock_crypto) {
     own_ = std::make_unique<MockBackend>(codec);
     inbox_.Send(Message{MessageType::kPublicKey, {}});
-    Message msg = inbox_.ReceiveType(MessageType::kPublicKey);
+    VF2_ASSIGN_OR_RETURN(Message msg,
+                         inbox_.ReceiveType(MessageType::kPublicKey));
+    (void)msg;
     peer_ = std::make_unique<MockBackend>(codec);
     return Status::OK();
   }
@@ -175,7 +178,8 @@ Status LrPeer::Setup() {
   ByteWriter w;
   kp->pub.Serialize(&w);
   inbox_.Send(Message{MessageType::kPublicKey, w.Release()});
-  Message msg = inbox_.ReceiveType(MessageType::kPublicKey);
+  VF2_ASSIGN_OR_RETURN(Message msg,
+                       inbox_.ReceiveType(MessageType::kPublicKey));
   ByteReader r(msg.payload);
   auto peer_pub = PaillierPublicKey::Deserialize(&r);
   VF2_RETURN_IF_ERROR(peer_pub.status());
@@ -348,7 +352,8 @@ Status LrPeer::RunBatch(const std::vector<uint32_t>& batch) {
     PutCipherVector(own_partials, *own_, &w);
     inbox_.Send(Message{MessageType::kLrPartial, w.Release()});
   }
-  Message msg = inbox_.ReceiveType(MessageType::kLrPartial);
+  VF2_ASSIGN_OR_RETURN(Message msg,
+                       inbox_.ReceiveType(MessageType::kLrPartial));
   std::vector<Cipher> peer_partials;
   {
     ByteReader r(msg.payload);
@@ -383,14 +388,16 @@ Status LrPeer::RunBatch(const std::vector<uint32_t>& batch) {
   VF2_RETURN_IF_ERROR(BuildGradRequest(batch, z, &req));
   inbox_.Send(EncodeGradRequest(req, *peer_));
 
-  Message peer_req_msg = inbox_.ReceiveType(MessageType::kLrGradRequest);
+  VF2_ASSIGN_OR_RETURN(Message peer_req_msg,
+                       inbox_.ReceiveType(MessageType::kLrGradRequest));
   GradRequest peer_req;
   VF2_RETURN_IF_ERROR(DecodeGradRequest(peer_req_msg, *own_, &peer_req));
   std::vector<double> answer;
   VF2_RETURN_IF_ERROR(AnswerGradRequest(peer_req, &answer));
   inbox_.Send(EncodeGradReply(answer));
 
-  Message reply_msg = inbox_.ReceiveType(MessageType::kLrGradReply);
+  VF2_ASSIGN_OR_RETURN(Message reply_msg,
+                       inbox_.ReceiveType(MessageType::kLrGradReply));
   std::vector<double> reply;
   VF2_RETURN_IF_ERROR(DecodeGradReply(reply_msg, &reply));
   const size_t expected =
@@ -403,6 +410,15 @@ Status LrPeer::RunBatch(const std::vector<uint32_t>& batch) {
 }
 
 Status LrPeer::Run() {
+  ChannelCloseGuard guard(
+      inbox_.endpoint(),
+      std::string("LR party ") + (is_label_owner_ ? "B" : "A"));
+  Status status = RunLoop();
+  guard.SetStatus(status);
+  return status;
+}
+
+Status LrPeer::RunLoop() {
   VF2_RETURN_IF_ERROR(Setup());
   const size_t n = data_.rows();
   for (size_t epoch = 0; epoch < config_.lr.epochs; ++epoch) {
@@ -413,7 +429,7 @@ Status LrPeer::Run() {
     }
   }
   inbox_.Send(Message{MessageType::kLrDone, {}});
-  Message msg = inbox_.ReceiveType(MessageType::kLrDone);
+  VF2_ASSIGN_OR_RETURN(Message msg, inbox_.ReceiveType(MessageType::kLrDone));
   (void)msg;
   stats_.bytes_a_to_b += inbox_.endpoint()->sent_stats().bytes;
   return Status::OK();
@@ -437,6 +453,7 @@ Status FedLrConfig::Validate() const {
         "codec exponent range (plus the feature-multiplier exponent) must "
         "stay within the 64-bit mantissa");
   }
+  VF2_RETURN_IF_ERROR(network.Validate());
   return Status::OK();
 }
 

@@ -17,24 +17,31 @@ Message Make(MessageType type, uint8_t tag) {
   return m;
 }
 
+// Non-blocking pull that asserts the channel is healthy.
+bool TryGet(ChannelEndpoint* e, Message* out) {
+  bool got = false;
+  EXPECT_TRUE(e->TryReceive(out, &got).ok());
+  return got;
+}
+
 TEST(ChannelTest, FifoOrderBothDirections) {
   auto [a, b] = ChannelEndpoint::CreatePair();
   a->Send(Make(MessageType::kGradBatch, 1));
   a->Send(Make(MessageType::kGradBatch, 2));
   b->Send(Make(MessageType::kDecisions, 3));
-  EXPECT_EQ(b->Receive().payload[0], 1);
-  EXPECT_EQ(b->Receive().payload[0], 2);
-  EXPECT_EQ(a->Receive().payload[0], 3);
+  EXPECT_EQ(b->Receive()->payload[0], 1);
+  EXPECT_EQ(b->Receive()->payload[0], 2);
+  EXPECT_EQ(a->Receive()->payload[0], 3);
 }
 
 TEST(ChannelTest, TryReceiveNonBlocking) {
   auto [a, b] = ChannelEndpoint::CreatePair();
   Message m;
-  EXPECT_FALSE(b->TryReceive(&m));
+  EXPECT_FALSE(TryGet(b.get(), &m));
   a->Send(Make(MessageType::kTreeDone, 9));
-  EXPECT_TRUE(b->TryReceive(&m));
+  EXPECT_TRUE(TryGet(b.get(), &m));
   EXPECT_EQ(m.payload[0], 9);
-  EXPECT_FALSE(b->TryReceive(&m));
+  EXPECT_FALSE(TryGet(b.get(), &m));
 }
 
 TEST(ChannelTest, CrossThreadBlockingReceive) {
@@ -43,9 +50,10 @@ TEST(ChannelTest, CrossThreadBlockingReceive) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     a->Send(Make(MessageType::kTreeDone, 5));
   });
-  Message m = b->Receive();
+  Result<Message> m = b->Receive();
   sender.join();
-  EXPECT_EQ(m.payload[0], 5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->payload[0], 5);
 }
 
 TEST(ChannelTest, SentStatsCountBytesAndMessages) {
@@ -67,11 +75,12 @@ TEST(ChannelTest, LatencyDelaysDelivery) {
   auto [a, b] = ChannelEndpoint::CreatePair(net);
   a->Send(Make(MessageType::kTreeDone, 1));
   Message m;
-  EXPECT_FALSE(b->TryReceive(&m));  // not yet deliverable
+  EXPECT_FALSE(TryGet(b.get(), &m));  // not yet deliverable
   Stopwatch clock;
-  m = b->Receive();
+  Result<Message> r = b->Receive();
+  ASSERT_TRUE(r.ok());
   EXPECT_GE(clock.ElapsedSeconds(), 0.04);
-  EXPECT_EQ(m.payload[0], 1);
+  EXPECT_EQ(r->payload[0], 1);
 }
 
 TEST(ChannelTest, BandwidthThrottlesLargeMessages) {
@@ -84,7 +93,7 @@ TEST(ChannelTest, BandwidthThrottlesLargeMessages) {
   Stopwatch clock;
   a->Send(big);
   EXPECT_LT(clock.ElapsedSeconds(), 0.02);  // send is async
-  Message m = b->Receive();
+  EXPECT_TRUE(b->Receive().ok());
   EXPECT_GE(clock.ElapsedSeconds(), 0.04);
 }
 
@@ -98,10 +107,187 @@ TEST(ChannelTest, BandwidthSerializesBackToBackMessages) {
   Stopwatch clock;
   a->Send(msg);
   a->Send(msg);
-  b->Receive();
-  b->Receive();
+  EXPECT_TRUE(b->Receive().ok());
+  EXPECT_TRUE(b->Receive().ok());
   EXPECT_GE(clock.ElapsedSeconds(), 0.045);  // ~2x transfer time
 }
+
+// --- lifecycle --------------------------------------------------------------
+
+TEST(ChannelTest, CloseWakesBlockedReceiverOnPeerEnd) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->Close(Status::Aborted("party A0 failed: injected"));
+  });
+  Result<Message> r = b->Receive();  // blocked until the close
+  closer.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  EXPECT_NE(r.status().message().find("injected"), std::string::npos);
+  EXPECT_TRUE(b->closed());
+}
+
+TEST(ChannelTest, CleanCloseDrainsPendingMessagesFirst) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  a->Send(Make(MessageType::kTrainDone, 7));
+  a->Close(Status::OK());
+  Result<Message> r = b->Receive();
+  ASSERT_TRUE(r.ok());  // in-flight message still delivered
+  EXPECT_EQ(r->payload[0], 7);
+  Result<Message> after = b->Receive();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kAborted);
+}
+
+TEST(ChannelTest, ErrorCloseFailsFastAheadOfPendingTraffic) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  a->Send(Make(MessageType::kGradBatch, 1));
+  a->Close(Status::Aborted("mid-protocol death"));
+  Result<Message> r = b->Receive();
+  ASSERT_FALSE(r.ok());  // error beats the undrained message
+  Message m;
+  bool got = true;
+  EXPECT_FALSE(b->TryReceive(&m, &got).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(ChannelTest, FirstCloseWins) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  a->Close(Status::Aborted("root cause"));
+  b->Close(Status::OK());  // late clean close must not mask the error
+  Result<Message> r = a->Receive();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("root cause"), std::string::npos);
+}
+
+TEST(ChannelTest, SendAfterCloseIsDropped) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  a->Close(Status::OK());
+  a->Send(Make(MessageType::kGradBatch, 1));
+  EXPECT_EQ(a->sent_stats().dropped, 1u);
+}
+
+// --- deadlines --------------------------------------------------------------
+
+TEST(ChannelTest, DefaultDeadlineTurnsSilentPeerIntoError) {
+  NetworkConfig net;
+  net.default_deadline_seconds = 0.05;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  Stopwatch clock;
+  Result<Message> r = b->Receive();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(clock.ElapsedSeconds(), 0.04);
+}
+
+TEST(ChannelTest, ExplicitDeadlineOverridesConfig) {
+  auto [a, b] = ChannelEndpoint::CreatePair();  // no default deadline
+  Result<Message> r = b->ReceiveUntil(ChannelEndpoint::Clock::now() +
+                                      std::chrono::milliseconds(30));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ChannelTest, DeadlineDoesNotFireWhenMessageArrives) {
+  NetworkConfig net;
+  net.default_deadline_seconds = 0.5;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  a->Send(Make(MessageType::kTreeDone, 4));
+  Result<Message> r = b->Receive();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->payload[0], 4);
+}
+
+// --- fault injection --------------------------------------------------------
+
+TEST(ChannelTest, RetransmitsDelayButDeliverEverything) {
+  NetworkConfig net;
+  net.drop_probability = 0.5;
+  net.max_retransmits = 64;
+  net.retransmit_timeout_seconds = 0.0005;
+  net.fault_seed = 123;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  for (uint8_t i = 0; i < 20; ++i) a->Send(Make(MessageType::kGradBatch, i));
+  for (uint8_t i = 0; i < 20; ++i) {
+    Result<Message> r = b->Receive();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->payload[0], i);  // order survives retransmission delays
+  }
+  EXPECT_GT(a->sent_stats().retransmits, 0u);
+  EXPECT_EQ(a->sent_stats().dropped, 0u);
+}
+
+TEST(ChannelTest, DuplicateDeliveriesAreSuppressed) {
+  NetworkConfig net;
+  net.duplicate_probability = 1.0;  // every message redelivered once
+  net.retransmit_timeout_seconds = 0;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  for (uint8_t i = 0; i < 5; ++i) a->Send(Make(MessageType::kGradBatch, i));
+  for (uint8_t i = 0; i < 5; ++i) {
+    Result<Message> r = b->Receive();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->payload[0], i);  // each message exactly once, in order
+  }
+  Message m;
+  EXPECT_FALSE(TryGet(b.get(), &m));  // duplicates never surface
+  EXPECT_EQ(a->sent_stats().duplicates, 5u);
+}
+
+TEST(ChannelTest, JitterPreservesOrder) {
+  NetworkConfig net;
+  net.jitter_seconds = 0.003;
+  net.fault_seed = 7;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  for (uint8_t i = 0; i < 10; ++i) a->Send(Make(MessageType::kGradBatch, i));
+  for (uint8_t i = 0; i < 10; ++i) {
+    Result<Message> r = b->Receive();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->payload[0], i);
+  }
+}
+
+TEST(ChannelTest, ExhaustedRetriesDropAndDeadlineReportsIt) {
+  NetworkConfig net;
+  net.drop_probability = 1.0;  // every attempt lost
+  net.max_retransmits = 2;
+  net.retransmit_timeout_seconds = 0;
+  net.default_deadline_seconds = 0.05;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  a->Send(Make(MessageType::kGradBatch, 1));
+  EXPECT_EQ(a->sent_stats().dropped, 1u);
+  Result<Message> r = b->Receive();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ChannelTest, KillAfterMessagesSilencesTheLink) {
+  NetworkConfig net;
+  net.kill_after_messages = 2;
+  net.default_deadline_seconds = 0.05;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  a->Send(Make(MessageType::kGradBatch, 1));
+  a->Send(Make(MessageType::kGradBatch, 2));
+  a->Send(Make(MessageType::kGradBatch, 3));  // link already dead
+  EXPECT_EQ(b->Receive()->payload[0], 1);
+  EXPECT_EQ(b->Receive()->payload[0], 2);
+  Result<Message> r = b->Receive();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(a->sent_stats().dropped, 1u);
+}
+
+TEST(NetworkConfigTest, ValidateRejectsBadKnobs) {
+  NetworkConfig net;
+  EXPECT_TRUE(net.Validate().ok());
+  net.drop_probability = 1.5;
+  EXPECT_FALSE(net.Validate().ok());
+  net.drop_probability = 0;
+  net.default_deadline_seconds = -1;
+  EXPECT_FALSE(net.Validate().ok());
+}
+
+// --- inbox ------------------------------------------------------------------
 
 TEST(InboxTest, ReceiveTypeBuffersOthers) {
   auto [a, b] = ChannelEndpoint::CreatePair();
@@ -110,10 +296,12 @@ TEST(InboxTest, ReceiveTypeBuffersOthers) {
   a->Send(Make(MessageType::kNodeHistogram, 2));
   a->Send(Make(MessageType::kPlacement, 3));
   // Pull the placement first; histograms must be preserved in order.
-  Message p = inbox.ReceiveType(MessageType::kPlacement);
-  EXPECT_EQ(p.payload[0], 3);
-  EXPECT_EQ(inbox.Receive().payload[0], 1);
-  EXPECT_EQ(inbox.ReceiveType(MessageType::kNodeHistogram).payload[0], 2);
+  Result<Message> p = inbox.ReceiveType(MessageType::kPlacement);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->payload[0], 3);
+  EXPECT_EQ(inbox.Receive()->payload[0], 1);
+  EXPECT_EQ(inbox.ReceiveType(MessageType::kNodeHistogram)->payload[0], 2);
+  EXPECT_EQ(inbox.buffered_high_water(), 2u);
 }
 
 TEST(InboxTest, ReceiveDrainsBufferFirst) {
@@ -121,10 +309,31 @@ TEST(InboxTest, ReceiveDrainsBufferFirst) {
   Inbox inbox(b.get());
   a->Send(Make(MessageType::kNodeHistogram, 1));
   a->Send(Make(MessageType::kVerdicts, 2));
-  EXPECT_EQ(inbox.ReceiveType(MessageType::kVerdicts).payload[0], 2);
+  EXPECT_EQ(inbox.ReceiveType(MessageType::kVerdicts)->payload[0], 2);
   a->Send(Make(MessageType::kTreeDone, 3));
-  EXPECT_EQ(inbox.Receive().payload[0], 1);  // buffered one comes first
-  EXPECT_EQ(inbox.Receive().payload[0], 3);
+  EXPECT_EQ(inbox.Receive()->payload[0], 1);  // buffered one comes first
+  EXPECT_EQ(inbox.Receive()->payload[0], 3);
+}
+
+TEST(InboxTest, BufferCapReturnsResourceExhausted) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  Inbox inbox(b.get(), /*max_buffered=*/2);
+  a->Send(Make(MessageType::kNodeHistogram, 1));
+  a->Send(Make(MessageType::kNodeHistogram, 2));
+  a->Send(Make(MessageType::kNodeHistogram, 3));
+  Result<Message> r = inbox.ReceiveType(MessageType::kPlacement);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(inbox.buffered_high_water(), 2u);
+}
+
+TEST(InboxTest, PropagatesChannelClose) {
+  auto [a, b] = ChannelEndpoint::CreatePair();
+  Inbox inbox(b.get());
+  a->Close(Status::Aborted("peer died"));
+  Result<Message> r = inbox.ReceiveType(MessageType::kNodeHistogram);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+#include "common/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vf2boost {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndSmallN) {
+  ThreadPool pool(8);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "fn called for n=0"; });
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](size_t) { ++count; });  // n < num_threads
+  EXPECT_EQ(count.load(), 3);
+}
+
+// Regression: ParallelFor completion used to ride the pool-global in-flight
+// counter, so a caller could return while its own range was still running
+// whenever another caller's work drove the counter to zero first.
+TEST(ThreadPoolTest, ConcurrentCallersOnlyWaitForTheirOwnWork) {
+  ThreadPool pool(4);
+  constexpr int kRounds = 50;
+  constexpr size_t kN = 64;
+  std::atomic<bool> failed{false};
+  auto hammer = [&](unsigned salt) {
+    std::vector<int> out(kN, -1);
+    for (int round = 0; round < kRounds && !failed; ++round) {
+      std::fill(out.begin(), out.end(), -1);
+      pool.ParallelFor(kN, [&](size_t i) {
+        out[i] = static_cast<int>(i + salt);
+      });
+      // If ParallelFor returned before its own ranges finished, some slot
+      // is still -1 (or a torn write from the previous round).
+      for (size_t i = 0; i < kN; ++i) {
+        if (out[i] != static_cast<int>(i + salt)) failed = true;
+      }
+    }
+  };
+  std::thread t1(hammer, 1u);
+  std::thread t2(hammer, 1000u);
+  std::thread t3(hammer, 2000u);
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_FALSE(failed.load()) << "a caller returned before its work finished";
+}
+
+// Regression: a task calling ParallelFor on its own pool used to deadlock —
+// the worker blocked waiting for subtasks that needed that same worker. The
+// nested call must run inline on the calling worker instead.
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);  // fewer workers than outer ranges forces the hazard
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, NestedFromSubmittedTaskAlsoSafe) {
+  ThreadPool pool(1);  // single worker: any blocking nested call would hang
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  pool.Submit([&] {
+    pool.ParallelFor(10, [&](size_t) { ++count; });
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done; }))
+      << "nested ParallelFor from a submitted task deadlocked";
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitDrainEverything) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace vf2boost
