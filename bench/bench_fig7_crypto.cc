@@ -6,8 +6,13 @@
 // picture — re-ordered HAdd ~4x naive HAdd, packed decryption ~pack_slots x
 // raw decryption — is the reproduced result.
 
+// Run with `--json BENCH_crypto.json` to also write per-benchmark ops/s in
+// the repo's flat JSON metric format (bench/bench_util.h) for regression
+// tracking.
+
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/logging.h"
 #include "crypto/accumulator.h"
 #include "crypto/backend.h"
@@ -140,7 +145,44 @@ void BM_DecryptUnpacked(benchmark::State& state) {
 }
 BENCHMARK(BM_DecryptUnpacked)->Arg(256)->Arg(512)->Arg(1024);
 
+// Console reporter that additionally records each benchmark's throughput so
+// main() can emit the JSON metrics file.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(bench::JsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        json_->Add(run.benchmark_name(), items->second.value, "ops/s");
+      } else if (run.real_accumulated_time > 0 && run.iterations > 0) {
+        json_->Add(run.benchmark_name(),
+                   static_cast<double>(run.iterations) /
+                       run.real_accumulated_time,
+                   "ops/s");
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::JsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace vf2boost
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      vf2boost::bench::TakeStringFlag(&argc, argv, "--json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  vf2boost::bench::JsonWriter json;
+  vf2boost::CapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
+  return 0;
+}

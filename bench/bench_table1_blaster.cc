@@ -53,7 +53,7 @@ RootRun RunRoot(const bench::BenchFixture& f, bool blaster, bool reordered) {
   return run;
 }
 
-void RealPart() {
+void RealPart(bool smoke, bench::JsonWriter* json) {
   std::printf(
       "== Table 1 (real runs, scaled: 256-bit keys, D=20+20 features) ==\n");
   const std::vector<int> widths = {10, 10, 10, 10, 12, 12, 14};
@@ -61,7 +61,11 @@ void RealPart() {
             "+Reordered", "+Both"},
            widths);
   PrintRule(widths);
-  for (size_t n : {2500, 5000, 10000}) {
+  // Smoke mode (CI): one small size so the job finishes in seconds while
+  // still exercising every protocol variant end to end.
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{1000} : std::vector<size_t>{2500, 5000, 10000};
+  for (size_t n : sizes) {
     SyntheticSpec spec;
     spec.rows = n + n / 4;  // 80% train split lands near n
     spec.cols = 40;
@@ -79,11 +83,20 @@ void RealPart() {
               Fmt("%.2fx", base.total / reordered.total),
               Fmt("%.2fx", base.total / both.total)},
              widths);
+    if (json != nullptr) {
+      const std::string prefix = "table1/real/n=" + std::to_string(n);
+      json->Add(prefix + "/base_total", base.total, "s");
+      json->Add(prefix + "/base_encrypt", base.enc, "s");
+      json->Add(prefix + "/speedup_blaster", base.total / blaster.total, "x");
+      json->Add(prefix + "/speedup_reordered", base.total / reordered.total,
+                "x");
+      json->Add(prefix + "/speedup_both", base.total / both.total, "x");
+    }
   }
   std::printf("\n");
 }
 
-void SimulatedPart() {
+void SimulatedPart(bench::JsonWriter* json) {
   std::printf(
       "== Table 1 (simulated at paper scale: S=2048, D=25K+25K, 8 workers, "
       "300 Mbps) ==\n");
@@ -119,6 +132,17 @@ void SimulatedPart() {
               Fmt("%.0f ", both.total_seconds) +
                   Fmt("(%.2fx)", base.total_seconds / both.total_seconds)},
              widths);
+    if (json != nullptr) {
+      const std::string prefix =
+          "table1/sim/n=" + Fmt("%.1fM", n / 1e6);
+      json->Add(prefix + "/base_total", base.total_seconds, "s");
+      json->Add(prefix + "/speedup_blaster",
+                base.total_seconds / blaster.total_seconds, "x");
+      json->Add(prefix + "/speedup_reordered",
+                base.total_seconds / reordered.total_seconds, "x");
+      json->Add(prefix + "/speedup_both",
+                base.total_seconds / both.total_seconds, "x");
+    }
   }
   std::printf("\n");
 }
@@ -126,8 +150,14 @@ void SimulatedPart() {
 }  // namespace
 }  // namespace vf2boost
 
-int main() {
-  vf2boost::RealPart();
-  vf2boost::SimulatedPart();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      vf2boost::bench::TakeStringFlag(&argc, argv, "--json");
+  const bool smoke = vf2boost::bench::TakeBoolFlag(&argc, argv, "--smoke");
+  vf2boost::bench::JsonWriter json;
+  vf2boost::bench::JsonWriter* jp = json_path.empty() ? nullptr : &json;
+  vf2boost::RealPart(smoke, jp);
+  vf2boost::SimulatedPart(jp);
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   return 0;
 }

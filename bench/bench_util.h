@@ -2,6 +2,7 @@
 #define VF2BOOST_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,92 @@
 
 namespace vf2boost {
 namespace bench {
+
+/// Collects named metrics and writes them as a flat JSON document:
+///   {"benchmarks": [{"name": "...", "value": 123.4, "unit": "ops/s"}, ...]}
+/// The format is deliberately minimal so CI jobs and regression-tracking
+/// scripts can diff runs without a JSON library on the reading side either.
+class JsonWriter {
+ public:
+  void Add(const std::string& name, double value, const std::string& unit) {
+    entries_.push_back({name, value, unit});
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                   Escape(e.name).c_str(), e.value, Escape(e.unit).c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %zu metrics to %s\n", entries_.size(), path.c_str());
+    return true;
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Extracts `--flag value` or `--flag=value` from argv (removing the consumed
+/// elements so later parsers — e.g. benchmark::Initialize — never see them).
+/// Returns the empty string when the flag is absent.
+inline std::string TakeStringFlag(int* argc, char** argv, const char* flag) {
+  const std::string eq = std::string(flag) + "=";
+  for (int i = 1; i < *argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      value = argv[i] + eq.size();
+      consumed = 1;
+    }
+    if (consumed > 0) {
+      for (int j = i + consumed; j < *argc; ++j) argv[j - consumed] = argv[j];
+      *argc -= consumed;
+      return value;
+    }
+  }
+  return "";
+}
+
+/// Extracts a boolean `--flag` from argv; true when present.
+inline bool TakeBoolFlag(int* argc, char** argv, const char* flag) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      for (int j = i + 1; j < *argc; ++j) argv[j - 1] = argv[j];
+      *argc -= 1;
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Prints a Markdown-ish table row.
 inline void PrintRow(const std::vector<std::string>& cells,

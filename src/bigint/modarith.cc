@@ -1,6 +1,7 @@
 #include "bigint/modarith.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -52,6 +53,11 @@ BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
   return result;
 }
 
+BigInt ModExp(const BigInt& base, const BigInt& exp,
+              const MontgomeryContext& ctx) {
+  return ctx.Pow(base, exp);
+}
+
 Result<BigInt> ModInverse(const BigInt& a, const BigInt& m) {
   // Iterative extended Euclid on (a mod m, m).
   BigInt r0 = Mod(a, m), r1 = m;
@@ -101,13 +107,26 @@ MontgomeryContext::MontgomeryContext(const BigInt& m) : m_(m) {
   // R^2 mod m where R = 2^(64k).
   r2_ = Mod(BigInt(1) << (128 * k_), m_);
   one_mont_ = Mod(BigInt(1) << (64 * k_), m_);
+
+  r2_raw_.assign(k_, 0);
+  LoadRaw(r2_, r2_raw_.data());
+  one_raw_.assign(k_, 0);
+  LoadRaw(one_mont_, one_raw_.data());
+  unit_raw_.assign(k_, 0);
+  unit_raw_[0] = 1;
 }
 
-void MontgomeryContext::MulReduce(const uint64_t* a, const uint64_t* b,
-                                  uint64_t* out) const {
-  // CIOS: t has k_+2 limbs.
-  std::vector<uint64_t> t(k_ + 2, 0);
-  const std::vector<uint64_t>& n = m_.limbs();
+void MontgomeryContext::MulReduceRaw(const uint64_t* a, const uint64_t* b,
+                                     uint64_t* out) const {
+  // CIOS over a thread-local accumulator of k_+2 limbs. The scratch persists
+  // across calls, so steady-state cost is one fill — no heap traffic.
+  // `out` is only written after the last read of `a`/`b`, so aliasing either
+  // (squaring, in-place chains) is safe.
+  thread_local std::vector<uint64_t> scratch;
+  if (scratch.size() < k_ + 2) scratch.resize(k_ + 2);
+  uint64_t* t = scratch.data();
+  std::fill(t, t + k_ + 2, 0);
+  const uint64_t* n = m_.limbs().data();
   for (size_t i = 0; i < k_; ++i) {
     // t += a[i] * b
     uint64_t carry = 0;
@@ -154,8 +173,21 @@ void MontgomeryContext::MulReduce(const uint64_t* a, const uint64_t* b,
       borrow = (cur >> 64) ? 1 : 0;
     }
   } else {
-    std::copy(t.begin(), t.begin() + k_, out);
+    std::copy(t, t + k_, out);
   }
+}
+
+void MontgomeryContext::LoadRaw(const BigInt& a, uint64_t* out) const {
+  const std::vector<uint64_t>& limbs = a.limbs();
+  VF2_DCHECK(!a.IsNegative() && limbs.size() <= k_);
+  std::copy(limbs.begin(), limbs.end(), out);
+  std::fill(out + limbs.size(), out + k_, 0);
+}
+
+BigInt MontgomeryContext::FromMontRaw(const uint64_t* a) const {
+  std::vector<uint64_t> out(k_);
+  MulReduceRaw(a, unit_raw_.data(), out.data());
+  return BigInt::FromLimbs(std::move(out));
 }
 
 BigInt MontgomeryContext::ToMont(const BigInt& a) const {
@@ -163,45 +195,114 @@ BigInt MontgomeryContext::ToMont(const BigInt& a) const {
 }
 
 BigInt MontgomeryContext::FromMont(const BigInt& a) const {
-  return MontMul(a, BigInt(1));
+  thread_local std::vector<uint64_t> pad;
+  if (pad.size() < k_) pad.resize(k_);
+  LoadRaw(a, pad.data());
+  return FromMontRaw(pad.data());
 }
 
 BigInt MontgomeryContext::MontMul(const BigInt& a, const BigInt& b) const {
   VF2_DCHECK(!a.IsNegative() && !b.IsNegative());
-  std::vector<uint64_t> av(k_, 0), bv(k_, 0), outv(k_, 0);
-  std::copy(a.limbs().begin(), a.limbs().end(), av.begin());
-  std::copy(b.limbs().begin(), b.limbs().end(), bv.begin());
-  MulReduce(av.data(), bv.data(), outv.data());
-  return BigInt::FromLimbs(std::move(outv));
+  thread_local std::vector<uint64_t> pads;
+  if (pads.size() < 2 * k_) pads.resize(2 * k_);
+  uint64_t* av = pads.data();
+  uint64_t* bv = av + k_;
+  LoadRaw(a, av);
+  LoadRaw(b, bv);
+  std::vector<uint64_t> out(k_);
+  MulReduceRaw(av, bv, out.data());
+  return BigInt::FromLimbs(std::move(out));
 }
 
 BigInt MontgomeryContext::Pow(const BigInt& base, const BigInt& exp) const {
   VF2_CHECK(!exp.IsNegative()) << "negative exponent";
   if (exp.IsZero()) return Mod(BigInt(1), m_);
 
-  // Fixed 4-bit window: precompute base^0..base^15 in Montgomery form.
+  // Fixed 4-bit window over raw limb buffers: table[d] = base^d in the
+  // Montgomery domain, then square-and-multiply window by window. One
+  // thread-local arena holds the table and the accumulator, so the whole
+  // loop performs no heap allocation.
   constexpr size_t kWindow = 4;
-  BigInt b_mont = ToMont(base);
-  BigInt table[1 << kWindow];
-  table[0] = one_mont_;
-  table[1] = b_mont;
-  for (size_t i = 2; i < (1 << kWindow); ++i) {
-    table[i] = MontMul(table[i - 1], b_mont);
+  constexpr size_t kTableSize = 1 << kWindow;
+  thread_local std::vector<uint64_t> arena;
+  if (arena.size() < (kTableSize + 1) * k_) arena.resize((kTableSize + 1) * k_);
+  uint64_t* table = arena.data();  // entry d at table + d*k_
+  uint64_t* acc = table + kTableSize * k_;
+
+  const BigInt* b = &base;
+  BigInt reduced;
+  if (base.IsNegative() || base.Compare(m_) >= 0) {
+    reduced = Mod(base, m_);
+    b = &reduced;
+  }
+  std::copy(one_raw_.begin(), one_raw_.end(), table);  // d = 0
+  LoadRaw(*b, table + k_);
+  MulReduceRaw(table + k_, r2_raw_.data(), table + k_);  // into the domain
+  for (size_t d = 2; d < kTableSize; ++d) {
+    MulReduceRaw(table + (d - 1) * k_, table + k_, table + d * k_);
   }
 
   const size_t bits = exp.BitLength();
   const size_t windows = (bits + kWindow - 1) / kWindow;
-  BigInt acc = one_mont_;
+  std::copy(one_raw_.begin(), one_raw_.end(), acc);
   for (size_t w = windows; w-- > 0;) {
-    for (size_t s = 0; s < kWindow; ++s) acc = MontMul(acc, acc);
+    for (size_t s = 0; s < kWindow; ++s) MulReduceRaw(acc, acc, acc);
     size_t idx = 0;
     for (size_t s = 0; s < kWindow; ++s) {
       const size_t bit = w * kWindow + (kWindow - 1 - s);
       idx = (idx << 1) | (exp.TestBit(bit) ? 1 : 0);
     }
-    if (idx) acc = MontMul(acc, table[idx]);
+    if (idx) MulReduceRaw(acc, table + idx * k_, acc);
   }
-  return FromMont(acc);
+  return FromMontRaw(acc);
+}
+
+FixedBasePowTable::FixedBasePowTable(
+    std::shared_ptr<const MontgomeryContext> ctx, BigInt base,
+    size_t max_exp_bits, size_t window_bits)
+    : ctx_(std::move(ctx)),
+      base_(std::move(base)),
+      max_exp_bits_(max_exp_bits),
+      window_bits_(window_bits),
+      k_(ctx_->num_limbs()) {
+  VF2_CHECK(window_bits_ >= 1 && window_bits_ <= 8) << "bad window";
+  VF2_CHECK(max_exp_bits_ >= 1) << "empty exponent range";
+  num_windows_ = (max_exp_bits_ + window_bits_ - 1) / window_bits_;
+  table_digits_ = (size_t{1} << window_bits_) - 1;
+  table_.assign(num_windows_ * table_digits_ * k_, 0);
+
+  // g_i = base^(2^(w*i)) in the Montgomery domain; entry (i, d) = g_i^d.
+  std::vector<uint64_t> g(k_);
+  ctx_->LoadRaw(Mod(base_, ctx_->modulus()), g.data());
+  ctx_->MulReduceRaw(g.data(), ctx_->r2_raw(), g.data());
+  for (size_t i = 0; i < num_windows_; ++i) {
+    uint64_t* first = table_.data() + i * table_digits_ * k_;
+    std::copy(g.begin(), g.end(), first);  // digit 1
+    for (size_t d = 2; d <= table_digits_; ++d) {
+      ctx_->MulReduceRaw(first + (d - 2) * k_, g.data(), first + (d - 1) * k_);
+    }
+    for (size_t s = 0; s < window_bits_; ++s) {
+      ctx_->MulReduceRaw(g.data(), g.data(), g.data());
+    }
+  }
+}
+
+BigInt FixedBasePowTable::Pow(const BigInt& exp) const {
+  VF2_CHECK(!exp.IsNegative() && exp.BitLength() <= max_exp_bits_)
+      << "fixed-base exponent out of range";
+  thread_local std::vector<uint64_t> acc;
+  if (acc.size() < k_) acc.resize(k_);
+  std::copy(ctx_->one_raw(), ctx_->one_raw() + k_, acc.data());
+  const size_t windows =
+      std::min(num_windows_, (exp.BitLength() + window_bits_ - 1) / window_bits_);
+  for (size_t i = 0; i < windows; ++i) {
+    size_t digit = 0;
+    for (size_t s = window_bits_; s-- > 0;) {
+      digit = (digit << 1) | (exp.TestBit(i * window_bits_ + s) ? 1 : 0);
+    }
+    if (digit) ctx_->MulReduceRaw(acc.data(), Entry(i, digit), acc.data());
+  }
+  return ctx_->FromMontRaw(acc.data());
 }
 
 }  // namespace vf2boost

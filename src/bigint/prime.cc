@@ -41,18 +41,23 @@ bool IsProbablePrime(const BigInt& n, Rng* rng, int rounds) {
   while (!n_minus_1.TestBit(r)) ++r;
   const BigInt d = n_minus_1 >> r;
 
+  // One Montgomery context serves every witness of every round; the
+  // squaring chain stays in the Montgomery domain (canonical residues, so
+  // the n-1 comparison works on in-domain values directly).
   const MontgomeryContext ctx(n);
   const BigInt two(2);
   const BigInt n_minus_3 = n - BigInt(3);
+  const BigInt minus_one_mont = ctx.ToMont(n_minus_1);
   for (int round = 0; round < rounds; ++round) {
     // Witness a uniform in [2, n-2].
     const BigInt a = BigInt::RandomBelow(n_minus_3, rng) + two;
     BigInt x = ctx.Pow(a, d);
     if (x.IsOne() || x == n_minus_1) continue;
+    BigInt xm = ctx.ToMont(x);
     bool composite = true;
     for (size_t i = 0; i + 1 < r; ++i) {
-      x = Mod(x * x, n);
-      if (x == n_minus_1) {
+      xm = ctx.MontMul(xm, xm);
+      if (xm == minus_one_mont) {
         composite = false;
         break;
       }

@@ -28,6 +28,28 @@ double CipherBackend::Decrypt(const Cipher& c) const {
   return codec_.Decode(DecryptRaw(c.data), c.exponent, plain_modulus());
 }
 
+std::vector<BigInt> CipherBackend::DecryptRawBatch(
+    const std::vector<BigInt>& cs, ThreadPool* /*pool*/) const {
+  std::vector<BigInt> out;
+  out.reserve(cs.size());
+  for (const BigInt& c : cs) out.push_back(DecryptRaw(c));
+  return out;
+}
+
+std::vector<double> CipherBackend::DecryptBatch(const std::vector<Cipher>& cs,
+                                                ThreadPool* pool) const {
+  VF2_CHECK(can_decrypt()) << "backend has no private key";
+  std::vector<BigInt> raw;
+  raw.reserve(cs.size());
+  for (const Cipher& c : cs) raw.push_back(c.data);
+  const std::vector<BigInt> plain = DecryptRawBatch(raw, pool);
+  std::vector<double> out(cs.size());
+  for (size_t i = 0; i < cs.size(); ++i) {
+    out[i] = codec_.Decode(plain[i], cs[i].exponent, plain_modulus());
+  }
+  return out;
+}
+
 Cipher CipherBackend::ScaleTo(const Cipher& c, int target_exponent) const {
   VF2_CHECK(target_exponent >= c.exponent)
       << "cannot rescale cipher downward";
@@ -79,9 +101,22 @@ Status CipherBackend::DeserializeCipher(ByteReader* r, Cipher* c) const {
   return Status::OK();
 }
 
+BigInt PaillierBackend::EncryptRaw(const BigInt& m, Rng* rng) const {
+  if (noise_pool_ != nullptr) {
+    return pub_.EncryptWithNonce(m, noise_pool_->Take(rng));
+  }
+  return pub_.Encrypt(m, rng);
+}
+
 BigInt PaillierBackend::DecryptRaw(const BigInt& data) const {
   VF2_CHECK(priv_.has_value()) << "PaillierBackend has no private key";
   return priv_->Decrypt(data);
+}
+
+std::vector<BigInt> PaillierBackend::DecryptRawBatch(
+    const std::vector<BigInt>& cs, ThreadPool* pool) const {
+  VF2_CHECK(priv_.has_value()) << "PaillierBackend has no private key";
+  return priv_->DecryptBatch(cs, pool);
 }
 
 BigInt MockBackend::HAddRaw(const BigInt& a, const BigInt& b) const {

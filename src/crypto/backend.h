@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "bigint/bigint.h"
 #include "common/bytes.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/threadpool.h"
 #include "crypto/encoding.h"
+#include "crypto/noise_pool.h"
 #include "crypto/paillier.h"
 
 namespace vf2boost {
@@ -54,6 +57,11 @@ class CipherBackend {
   BigInt HSubRaw(const BigInt& a, const BigInt& b) const {
     return HAddRaw(a, NegRaw(b));
   }
+  /// Batch decryption of raw ciphertexts. The default loops DecryptRaw;
+  /// the Paillier backend spreads the independent CRT halves across `pool`
+  /// when one is given.
+  virtual std::vector<BigInt> DecryptRawBatch(const std::vector<BigInt>& cs,
+                                              ThreadPool* pool) const;
 
   // --- exponent-aware fixed-point layer -------------------------------------
   /// Encrypts v with a randomly sampled exponent (footnote 2 of the paper).
@@ -64,6 +72,10 @@ class CipherBackend {
   Cipher EncryptPublicAt(double v, int exponent) const;
   /// Decrypts and decodes (requires can_decrypt()).
   double Decrypt(const Cipher& c) const;
+  /// Batch decrypt-and-decode; `pool` parallelizes the CRT halves when
+  /// non-null (requires can_decrypt()).
+  std::vector<double> DecryptBatch(const std::vector<Cipher>& cs,
+                                   ThreadPool* pool) const;
 
   /// Rescales c to a higher exponent via one SMul with B^(diff).
   /// This is the "cipher scaling" operation whose count the re-ordered
@@ -94,16 +106,24 @@ class PaillierBackend : public CipherBackend {
 
   void SetPrivateKey(PaillierPrivateKey priv) { priv_ = std::move(priv); }
 
+  /// Installs a background pre-compute pool of obfuscation nonces;
+  /// EncryptRaw then consumes pooled nonces, leaving one modular multiply
+  /// on the critical path. Pass nullptr to detach.
+  void SetNoisePool(std::shared_ptr<NoisePool> pool) {
+    noise_pool_ = std::move(pool);
+  }
+  const std::shared_ptr<NoisePool>& noise_pool() const { return noise_pool_; }
+
   const PaillierPublicKey& public_key() const { return pub_; }
   const BigInt& plain_modulus() const override { return pub_.n(); }
   bool is_mock() const override { return false; }
   bool can_decrypt() const override { return priv_.has_value(); }
   size_t CipherBytes() const override { return pub_.CipherBytes(); }
 
-  BigInt EncryptRaw(const BigInt& m, Rng* rng) const override {
-    return pub_.Encrypt(m, rng);
-  }
+  BigInt EncryptRaw(const BigInt& m, Rng* rng) const override;
   BigInt DecryptRaw(const BigInt& data) const override;
+  std::vector<BigInt> DecryptRawBatch(const std::vector<BigInt>& cs,
+                                      ThreadPool* pool) const override;
   BigInt HAddRaw(const BigInt& a, const BigInt& b) const override {
     return pub_.HAdd(a, b);
   }
@@ -117,6 +137,7 @@ class PaillierBackend : public CipherBackend {
  private:
   PaillierPublicKey pub_;
   std::optional<PaillierPrivateKey> priv_;
+  std::shared_ptr<NoisePool> noise_pool_;
 };
 
 /// \brief Plaintext backend with identical encoding semantics (VF-MOCK).

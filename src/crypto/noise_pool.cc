@@ -1,0 +1,71 @@
+#include "crypto/noise_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+NoisePool::NoisePool(PaillierPublicKey pub, size_t capacity, size_t workers,
+                     uint64_t seed)
+    : pub_(std::move(pub)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      low_water_(capacity_ / 2),
+      seed_(seed) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { ProducerLoop(i); });
+  }
+}
+
+NoisePool::~NoisePool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  refill_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void NoisePool::ProducerLoop(size_t worker_index) {
+  // Each worker draws exponents from its own deterministic stream.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (worker_index + 1)));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    refill_cv_.wait(lock, [&] {
+      return shutdown_ || ready_.size() <= low_water_;
+    });
+    if (shutdown_) return;
+    while (!shutdown_ && ready_.size() < capacity_) {
+      lock.unlock();
+      BigInt nonce = pub_.MakeNonce(&rng);  // the expensive part, unlocked
+      lock.lock();
+      ready_.push_back(std::move(nonce));
+      ++stats_.produced;
+    }
+  }
+}
+
+BigInt NoisePool::Take(Rng* fallback_rng) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ready_.empty()) {
+      BigInt nonce = std::move(ready_.front());
+      ready_.pop_front();
+      ++stats_.hits;
+      if (ready_.size() <= low_water_) refill_cv_.notify_all();
+      return nonce;
+    }
+    ++stats_.misses;
+    refill_cv_.notify_all();
+  }
+  VF2_DCHECK(fallback_rng != nullptr);
+  return pub_.MakeNonce(fallback_rng);
+}
+
+NoisePool::Stats NoisePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vf2boost

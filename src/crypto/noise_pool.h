@@ -1,0 +1,73 @@
+#ifndef VF2BOOST_CRYPTO_NOISE_POOL_H_
+#define VF2BOOST_CRYPTO_NOISE_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+#include "crypto/paillier.h"
+
+namespace vf2boost {
+
+/// \brief Background pre-compute pool of Paillier obfuscation nonces.
+///
+/// Even with short-exponent obfuscation a nonce costs tens of Montgomery
+/// multiplies; this pool moves that work off the critical path. Producer
+/// threads keep up to `capacity` nonces ready and refill whenever the pool
+/// drains below half, so `Encrypt`/`Rerandomize` on the consumer side
+/// degenerate to one modular multiply while nonce generation overlaps the
+/// previous batch's transfer and accumulation (paper §4.1 pipelining,
+/// extended one stage earlier).
+///
+/// Thread-safe: any number of concurrent consumers (Take) and producers.
+/// A Take on an empty pool never blocks — it computes the nonce inline with
+/// the caller's rng and counts a miss.
+class NoisePool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;      ///< Takes served from the pool
+    uint64_t misses = 0;    ///< Takes computed inline (pool was empty)
+    uint64_t produced = 0;  ///< nonces pre-computed by background workers
+  };
+
+  /// Starts `workers` producer threads that keep up to `capacity` nonces
+  /// ready. `seed` derives each worker's deterministic exponent stream.
+  /// `workers` may be 0 (every Take computes inline — useful in tests).
+  NoisePool(PaillierPublicKey pub, size_t capacity, size_t workers,
+            uint64_t seed);
+  ~NoisePool();
+
+  NoisePool(const NoisePool&) = delete;
+  NoisePool& operator=(const NoisePool&) = delete;
+
+  /// Pops a pre-computed nonce, or computes one inline from `fallback_rng`
+  /// when the pool is empty. Never blocks.
+  BigInt Take(Rng* fallback_rng);
+
+  Stats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void ProducerLoop(size_t worker_index);
+
+  const PaillierPublicKey pub_;  // by value: pool never dangles off a backend
+  const size_t capacity_;
+  const size_t low_water_;  // refill trigger: capacity/2
+  const uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::condition_variable refill_cv_;
+  std::deque<BigInt> ready_;
+  Stats stats_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_CRYPTO_NOISE_POOL_H_

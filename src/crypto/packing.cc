@@ -59,12 +59,9 @@ std::vector<BigInt> UnpackPlaintext(const BigInt& plain, size_t slot_bits,
   return out;
 }
 
-Result<std::vector<double>> DecryptPacked(const PackedCipher& packed,
-                                          const CipherBackend& backend) {
-  if (!backend.can_decrypt()) {
-    return Status::CryptoError("backend has no private key");
-  }
-  const BigInt plain = backend.DecryptRaw(packed.data);
+std::vector<double> DecodePackedPlain(const PackedCipher& packed,
+                                      const BigInt& plain,
+                                      const CipherBackend& backend) {
   const std::vector<BigInt> raw =
       UnpackPlaintext(plain, packed.slot_bits, packed.num_slots);
   const double scale =
@@ -73,6 +70,14 @@ Result<std::vector<double>> DecryptPacked(const PackedCipher& packed,
   out.reserve(raw.size());
   for (const BigInt& v : raw) out.push_back(v.ToDouble() / scale);
   return out;
+}
+
+Result<std::vector<double>> DecryptPacked(const PackedCipher& packed,
+                                          const CipherBackend& backend) {
+  if (!backend.can_decrypt()) {
+    return Status::CryptoError("backend has no private key");
+  }
+  return DecodePackedPlain(packed, backend.DecryptRaw(packed.data), backend);
 }
 
 }  // namespace vf2boost

@@ -7,14 +7,64 @@
 
 namespace vf2boost {
 
+namespace {
+
+// Deterministically derives the public obfuscation-base seed from the
+// modulus, so every holder of the same public key builds the same
+// h_s = (-y^2)^n mod n^2 without shipping y on the wire. y is public in the
+// DJN scheme — short-exponent security rests on the subgroup assumption,
+// not on hiding the base.
+uint64_t ObfuscationSeed(const BigInt& n) {
+  uint64_t seed = 0x766632626f6f7374ULL;  // "vf2boost"
+  for (uint64_t limb : n.limbs()) {
+    seed ^= limb + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+}  // namespace
+
 PaillierPublicKey::PaillierPublicKey(BigInt n)
     : n_(std::move(n)),
       n2_(n_ * n_),
-      mont_n2_(std::make_shared<MontgomeryContext>(n2_)) {}
+      mont_n2_(std::make_shared<MontgomeryContext>(n2_)) {
+  // h = -y^2 mod n for a public y in Z_n^*; h_s = h^n mod n^2. One full
+  // S-bit exponentiation at key setup buys every later nonce the short
+  // fixed-base path.
+  Rng rng(ObfuscationSeed(n_));
+  BigInt y;
+  do {
+    y = BigInt::RandomBelow(n_ - BigInt(1), &rng) + BigInt(1);
+  } while (!Gcd(y, n_).IsOne());
+  const BigInt h = n_ - Mod(y * y, n_);  // -y^2 mod n, nonzero since y in Z_n^*
+  hs_ = mont_n2_->Pow(h, n_);
+  obf_table_ = std::make_shared<const FixedBasePowTable>(
+      mont_n2_, hs_, kObfuscationExpBits);
+}
+
+BigInt PaillierPublicKey::MakeNonce(Rng* rng) const {
+  BigInt x;
+  do {
+    x = BigInt::Random(kObfuscationExpBits, rng);
+  } while (x.IsZero());  // x = 0 would yield the unobfuscated nonce 1
+  return obf_table_->Pow(x);
+}
+
+BigInt PaillierPublicKey::EncryptWithNonce(const BigInt& m,
+                                           const BigInt& nonce) const {
+  VF2_DCHECK(!m.IsNegative() && m.Compare(n_) < 0);
+  // c = (1 + m*n) * nonce mod n^2, with g = n+1.
+  const BigInt gm = Mod(BigInt(1) + m * n_, n2_);
+  return Mod(gm * nonce, n2_);
+}
 
 BigInt PaillierPublicKey::Encrypt(const BigInt& m, Rng* rng) const {
+  return EncryptWithNonce(m, MakeNonce(rng));
+}
+
+BigInt PaillierPublicKey::EncryptLegacy(const BigInt& m, Rng* rng) const {
   VF2_DCHECK(!m.IsNegative() && m.Compare(n_) < 0);
-  // c = (1 + m*n) * r^n mod n^2, with g = n+1.
+  // Full-exponent obfuscation: r^n mod n^2 for r uniform in Z_n^*.
   BigInt r = BigInt::RandomBelow(n_ - BigInt(1), rng) + BigInt(1);
   const BigInt rn = mont_n2_->Pow(r, n_);
   const BigInt gm = Mod(BigInt(1) + m * n_, n2_);
@@ -35,8 +85,12 @@ BigInt PaillierPublicKey::SMul(const BigInt& k, const BigInt& c) const {
 }
 
 BigInt PaillierPublicKey::Rerandomize(const BigInt& c, Rng* rng) const {
-  BigInt r = BigInt::RandomBelow(n_ - BigInt(1), rng) + BigInt(1);
-  return Mod(c * mont_n2_->Pow(r, n_), n2_);
+  return RerandomizeWithNonce(c, MakeNonce(rng));
+}
+
+BigInt PaillierPublicKey::RerandomizeWithNonce(const BigInt& c,
+                                               const BigInt& nonce) const {
+  return Mod(c * nonce, n2_);
 }
 
 void PaillierPublicKey::Serialize(ByteWriter* w) const {
@@ -85,15 +139,46 @@ PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pub, BigInt p,
   p_inv_mod_q_ = pinv.value();
 }
 
-BigInt PaillierPrivateKey::Decrypt(const BigInt& c) const {
-  // mp = L_p(c^{p-1} mod p^2) * hp mod p; likewise mq.
-  const BigInt cp = mont_p2_->Pow(Mod(c, p2_), p_ - BigInt(1));
-  const BigInt cq = mont_q2_->Pow(Mod(c, q2_), q_ - BigInt(1));
-  const BigInt mp = Mod(LFunction(cp, p_) * hp_, p_);
-  const BigInt mq = Mod(LFunction(cq, q_) * hq_, q_);
+BigInt PaillierPrivateKey::DecryptHalf(const BigInt& c, const BigInt& prime,
+                                       const BigInt& sq,
+                                       const MontgomeryContext& mont,
+                                       const BigInt& hinv) const {
+  // m_prime = L_prime(c^{prime-1} mod prime^2) * hinv mod prime.
+  const BigInt cp = mont.Pow(Mod(c, sq), prime - BigInt(1));
+  return Mod(LFunction(cp, prime) * hinv, prime);
+}
+
+BigInt PaillierPrivateKey::CrtCombine(const BigInt& mp, const BigInt& mq) const {
   // CRT: m = mp + p * ((mq - mp) * p^{-1} mod q).
   const BigInt diff = Mod(mq - mp, q_);
   return mp + p_ * Mod(diff * p_inv_mod_q_, q_);
+}
+
+BigInt PaillierPrivateKey::Decrypt(const BigInt& c) const {
+  return CrtCombine(DecryptHalf(c, p_, p2_, *mont_p2_, hp_),
+                    DecryptHalf(c, q_, q2_, *mont_q2_, hq_));
+}
+
+std::vector<BigInt> PaillierPrivateKey::DecryptBatch(
+    const std::vector<BigInt>& cs, ThreadPool* pool) const {
+  std::vector<BigInt> out(cs.size());
+  if (pool == nullptr || pool->num_threads() < 2 || cs.size() < 2) {
+    for (size_t i = 0; i < cs.size(); ++i) out[i] = Decrypt(cs[i]);
+    return out;
+  }
+  // 2 independent CRT halves per cipher, spread across the pool; the cheap
+  // recombination runs serially afterwards.
+  std::vector<BigInt> mp(cs.size()), mq(cs.size());
+  pool->ParallelFor(2 * cs.size(), [&](size_t t) {
+    const size_t i = t >> 1;
+    if ((t & 1) == 0) {
+      mp[i] = DecryptHalf(cs[i], p_, p2_, *mont_p2_, hp_);
+    } else {
+      mq[i] = DecryptHalf(cs[i], q_, q2_, *mont_q2_, hq_);
+    }
+  });
+  for (size_t i = 0; i < cs.size(); ++i) out[i] = CrtCombine(mp[i], mq[i]);
+  return out;
 }
 
 Result<PaillierKeyPair> PaillierKeyPair::Generate(size_t key_bits, Rng* rng) {

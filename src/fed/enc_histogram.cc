@@ -178,14 +178,20 @@ Result<Histogram> DecryptRawHistogram(const std::vector<Cipher>& g_bins,
                                       const std::vector<Cipher>& h_bins,
                                       const FeatureLayout& layout,
                                       const CipherBackend& backend,
-                                      size_t* decryptions) {
+                                      size_t* decryptions, ThreadPool* pool) {
   if (g_bins.size() != layout.total_bins() || h_bins.size() != g_bins.size()) {
     return Status::ProtocolError("histogram size does not match layout");
   }
+  // One batch over g then h so the pool sees 4*total independent CRT halves.
+  std::vector<Cipher> batch;
+  batch.reserve(2 * g_bins.size());
+  batch.insert(batch.end(), g_bins.begin(), g_bins.end());
+  batch.insert(batch.end(), h_bins.begin(), h_bins.end());
+  const std::vector<double> values = backend.DecryptBatch(batch, pool);
   Histogram hist(layout.total_bins());
   for (size_t i = 0; i < g_bins.size(); ++i) {
-    hist.bin(i).g = backend.Decrypt(g_bins[i]);
-    hist.bin(i).h = backend.Decrypt(h_bins[i]);
+    hist.bin(i).g = values[i];
+    hist.bin(i).h = values[g_bins.size() + i];
   }
   if (decryptions != nullptr) *decryptions += 2 * g_bins.size();
   return hist;
@@ -194,15 +200,27 @@ Result<Histogram> DecryptRawHistogram(const std::vector<Cipher>& g_bins,
 Result<Histogram> DecryptPackedHistogram(const PackedHistogram& packed,
                                          const FeatureLayout& layout,
                                          const CipherBackend& backend,
-                                         size_t* decryptions) {
+                                         size_t* decryptions, ThreadPool* pool) {
+  if (!backend.can_decrypt()) {
+    return Status::CryptoError("backend has no private key");
+  }
+  // Batch-decrypt every pack (g and h together) in one DecryptRawBatch so the
+  // pool can spread all the CRT halves, then decode serially (cheap).
+  std::vector<BigInt> raw;
+  raw.reserve(packed.g_packs.size() + packed.h_packs.size());
+  for (const PackedCipher& pc : packed.g_packs) raw.push_back(pc.data);
+  for (const PackedCipher& pc : packed.h_packs) raw.push_back(pc.data);
+  const std::vector<BigInt> plains = backend.DecryptRawBatch(raw, pool);
+  if (decryptions != nullptr) *decryptions += raw.size();
+
+  size_t next = 0;
   auto unpack_all =
       [&](const std::vector<PackedCipher>& packs,
           std::vector<double>* values) -> Status {
     for (const PackedCipher& pc : packs) {
-      auto slots = DecryptPacked(pc, backend);
-      VF2_RETURN_IF_ERROR(slots.status());
-      values->insert(values->end(), slots->begin(), slots->end());
-      if (decryptions != nullptr) *decryptions += 1;
+      const std::vector<double> slots =
+          DecodePackedPlain(pc, plains[next++], backend);
+      values->insert(values->end(), slots.begin(), slots.end());
     }
     return Status::OK();
   };

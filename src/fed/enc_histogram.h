@@ -67,18 +67,23 @@ Result<PackedHistogram> PackHistogram(const EncryptedHistogram& hist,
                                       size_t min_slots = 2);
 
 /// B side: decrypts a raw (unpacked) histogram into plaintext GradPairs.
+/// When `pool` is non-null the backend spreads the independent CRT
+/// decryption halves across it.
 Result<Histogram> DecryptRawHistogram(const std::vector<Cipher>& g_bins,
                                       const std::vector<Cipher>& h_bins,
                                       const FeatureLayout& layout,
                                       const CipherBackend& backend,
-                                      size_t* decryptions);
+                                      size_t* decryptions,
+                                      ThreadPool* pool = nullptr);
 
-/// B side: decrypts a packed histogram — one decryption per pack — and
-/// reconstructs per-bin GradPairs from the prefix sums.
+/// B side: decrypts a packed histogram — one decryption per pack,
+/// batch-parallelized over `pool` when given — and reconstructs per-bin
+/// GradPairs from the prefix sums.
 Result<Histogram> DecryptPackedHistogram(const PackedHistogram& packed,
                                          const FeatureLayout& layout,
                                          const CipherBackend& backend,
-                                         size_t* decryptions);
+                                         size_t* decryptions,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace vf2boost
 

@@ -47,6 +47,12 @@ Status PartyBEngine::Setup() {
     auto pb =
         std::make_unique<PaillierBackend>(kp->pub, config_.MakeCodec());
     pb->SetPrivateKey(kp->priv);
+    if (config_.noise_pool_workers > 0 && config_.noise_pool_capacity > 0) {
+      noise_pool_ = std::make_shared<NoisePool>(
+          kp->pub, config_.noise_pool_capacity, config_.noise_pool_workers,
+          config_.seed ^ 0x6e6f697365ULL);  // "noise"
+      pb->SetNoisePool(noise_pool_);
+    }
     ByteWriter w;
     kp->pub.Serialize(&w);
     key_msg.payload = w.Release();
@@ -156,10 +162,10 @@ Status PartyBEngine::CollectHistograms(
               packed.g_packs = std::move(payload.g_packs);
               packed.h_packs = std::move(payload.h_packs);
               return DecryptPackedHistogram(packed, a_layouts_[p], *backend_,
-                                            &stats_.decryptions);
+                                            &stats_.decryptions, pool_.get());
             }()
           : DecryptRawHistogram(payload.g_bins, payload.h_bins, a_layouts_[p],
-                                *backend_, &stats_.decryptions);
+                                *backend_, &stats_.decryptions, pool_.get());
       VF2_RETURN_IF_ERROR(hist.status());
       stats_.party_b.decrypt += dec_timer.ElapsedSeconds();
       per_party[payload.node] = std::move(hist).value();
@@ -586,6 +592,12 @@ Result<PartyBResult> PartyBEngine::RunInternal() {
     stats_.bytes_b_to_a += sent.bytes;
     stats_.inbox_high_water =
         std::max(stats_.inbox_high_water, inbox.buffered_high_water());
+  }
+  if (noise_pool_ != nullptr) {
+    const NoisePool::Stats ps = noise_pool_->stats();
+    stats_.noise_pool_hits = ps.hits;
+    stats_.noise_pool_misses = ps.misses;
+    stats_.noise_pool_produced = ps.produced;
   }
   result.stats = stats_;
   return result;

@@ -76,6 +76,7 @@ class PartyBEngine {
   FeatureLayout layout_;
   std::vector<FeatureLayout> a_layouts_;
   std::unique_ptr<CipherBackend> backend_;
+  std::shared_ptr<NoisePool> noise_pool_;  // real crypto only; may be null
   std::unique_ptr<Loss> loss_;
   std::unique_ptr<ThreadPool> pool_;  // intra-party workers (config > 1)
   Rng rng_;

@@ -51,6 +51,14 @@ struct FedConfig {
   /// by workers are merged into global ones (§3.2).
   size_t workers_per_party = 1;
 
+  /// Background threads pre-computing obfuscation nonces on Party B so
+  /// Encrypt degenerates to one modular multiply (§4.1 pipelining extended
+  /// one stage earlier). 0 disables the pool (nonces computed inline).
+  /// Ignored under mock_crypto.
+  size_t noise_pool_workers = 1;
+  /// Nonces the pool keeps ready; producers refill below capacity/2.
+  size_t noise_pool_capacity = 8192;
+
   NetworkConfig network;
   /// Optional per-A-party network overrides: channel p uses
   /// network_per_party[p] when present, `network` otherwise. Lets failure
@@ -128,6 +136,12 @@ struct FedStats {
   /// Largest number of messages any party's Inbox ever had parked while
   /// waiting for a specific type (see FedConfig::max_inbox_buffered).
   size_t inbox_high_water = 0;
+  /// Noise-pool counters (B side, real crypto only): encryptions served a
+  /// pre-computed nonce / forced to compute one inline / nonces produced by
+  /// the background workers.
+  uint64_t noise_pool_hits = 0;
+  uint64_t noise_pool_misses = 0;
+  uint64_t noise_pool_produced = 0;
   PhaseTimes party_a;
   PhaseTimes party_b;
 };

@@ -4,6 +4,7 @@
 #include <gmp.h>
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "bigint/bigint.h"
@@ -98,6 +99,29 @@ TEST(BigIntOracle, ModExpPaillierShapedOperands) {
       Gmp gb(base), ge(n), gm(n2), out;
       mpz_powm(out.get(), gb.get(), ge.get(), gm.get());
       EXPECT_EQ(ctx.Pow(base, n).ToDecString(), out.Str());
+    }
+  }
+}
+
+TEST(BigIntOracle, FixedBasePowMatchesGmp) {
+  // The fixed-base window table used for short-exponent Paillier nonces:
+  // same operand shape (odd 2S-bit modulus, fixed base, 256-bit exponents).
+  Rng rng(1006);
+  for (size_t s : {256u, 512u}) {
+    BigInt p = GeneratePrime(s / 2, &rng);
+    BigInt q = GeneratePrime(s / 2, &rng);
+    BigInt n2 = p * q * p * q;
+    auto ctx = std::make_shared<MontgomeryContext>(n2);
+    BigInt base = BigInt::RandomBelow(n2, &rng);
+    FixedBasePowTable table(ctx, base, 256);
+    for (int i = 0; i < 20; ++i) {
+      // Sweep lengths, including degenerate exponents.
+      BigInt exp = i == 0 ? BigInt(0) : BigInt::Random(1 + (i * 29) % 256, &rng);
+      Gmp gb(base), ge(exp), gm(n2), out;
+      mpz_powm(out.get(), gb.get(), ge.get(), gm.get());
+      EXPECT_EQ(table.Pow(exp).ToDecString(), out.Str())
+          << "bits=" << s << " i=" << i;
+      EXPECT_EQ(table.Pow(exp), ctx->Pow(base, exp));
     }
   }
 }
