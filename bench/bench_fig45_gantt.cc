@@ -2,9 +2,19 @@
 // vs blaster-style encryption) and of whole-tree processing (existing
 // protocol vs optimistic node-splitting), rendered from the calibrated
 // event simulator at the paper's scale.
+//
+// With --real the same figures are rendered from an actual traced training
+// run (small scale, real Paillier): an obs::TraceRecorder captures the
+// engines' spans and the text gantt shows the measured overlap next to the
+// simulator's prediction.
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+#include "fed/fed_trainer.h"
+#include "obs/trace.h"
+#include "obs/trace_gantt.h"
 #include "sim/cost_model.h"
 #include "sim/gantt.h"
 #include "sim/protocol_sim.h"
@@ -56,11 +66,53 @@ void Figure5() {
               o.total_seconds, base.total_seconds / o.total_seconds);
 }
 
+// The measured counterpart: trains for real (small scale, real Paillier)
+// with a TraceRecorder installed and renders the captured spans as the same
+// kind of text gantt. Party rows come from the trace itself (pid = party),
+// so what prints is the overlap that actually happened — encrypt slices
+// interleaving with A's builds under blaster, opt_split/rollback blocks
+// under the optimistic protocol.
+void RealTracedRun(bool optimistic) {
+  SyntheticSpec sspec;
+  sspec.rows = 400;
+  sspec.cols = 16;
+  sspec.density = 0.5;
+  sspec.seed = 7;
+  bench::BenchFixture f = bench::MakeBenchFixture(sspec, {0.5, 0.5}, 7);
+
+  FedConfig config = optimistic ? FedConfig::Vf2Boost() : FedConfig::VfGbdt();
+  config.blaster = true;
+  config.blaster_batch = 128;
+  config.paillier_bits = 256;
+  config.gbdt.num_trees = 1;
+  config.gbdt.num_layers = 4;
+
+  obs::TraceRecorder recorder;
+  recorder.Install();
+  auto result = FedTrainer(config).Train(f.shards);
+  obs::TraceRecorder::Uninstall();
+  if (!result.ok()) {
+    std::fprintf(stderr, "traced run failed: %s\n",
+                 result.status().ToString().c_str());
+    return;
+  }
+  std::printf("== Measured: traced run, %s (%zu rows, 1 tree) ==\n",
+              optimistic ? "vf2boost (optimistic)" : "vfgbdt (sequential)",
+              sspec.rows);
+  std::printf("%s\n", RenderTraceGantt(recorder, 90).c_str());
+}
+
 }  // namespace
 }  // namespace vf2boost
 
-int main() {
+int main(int argc, char** argv) {
+  const bool real =
+      vf2boost::bench::TakeBoolFlag(&argc, argv, "--real");
   vf2boost::Figure4();
   vf2boost::Figure5();
+  if (real) {
+    vf2boost::RealTracedRun(/*optimistic=*/false);
+    vf2boost::RealTracedRun(/*optimistic=*/true);
+  }
   return 0;
 }

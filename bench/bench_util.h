@@ -8,58 +8,32 @@
 
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "obs/metrics_registry.h"
 
 namespace vf2boost {
 namespace bench {
 
 /// Collects named metrics and writes them as a flat JSON document:
 ///   {"benchmarks": [{"name": "...", "value": 123.4, "unit": "ops/s"}, ...]}
-/// The format is deliberately minimal so CI jobs and regression-tracking
-/// scripts can diff runs without a JSON library on the reading side either.
+/// Thin shim over obs::MetricsRegistry — the registry owns the JSON shape,
+/// so bench output and --metrics-out from the training tools stay
+/// byte-level compatible for the same CI diff scripts.
 class JsonWriter {
  public:
   void Add(const std::string& name, double value, const std::string& unit) {
-    entries_.push_back({name, value, unit});
+    registry_.SetValue(name, value, unit);
   }
 
   bool WriteTo(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-      return false;
-    }
-    std::fprintf(f, "{\n  \"benchmarks\": [\n");
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      const Entry& e = entries_[i];
-      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
-                   Escape(e.name).c_str(), e.value, Escape(e.unit).c_str(),
-                   i + 1 < entries_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %zu metrics to %s\n", entries_.size(), path.c_str());
+    if (!registry_.WriteJson(path)) return false;
+    std::printf("wrote %zu metrics to %s\n", registry_.size(), path.c_str());
     return true;
   }
 
-  bool empty() const { return entries_.empty(); }
+  bool empty() const { return registry_.empty(); }
 
  private:
-  struct Entry {
-    std::string name;
-    double value;
-    std::string unit;
-  };
-
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out;
-  }
-
-  std::vector<Entry> entries_;
+  obs::MetricsRegistry registry_;
 };
 
 /// Extracts `--flag value` or `--flag=value` from argv (removing the consumed

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <mutex>
 
@@ -8,8 +9,16 @@ namespace vf2boost {
 
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+int InitialLevelFromEnv() {
+  const char* env = std::getenv("VF2_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_min_level{InitialLevelFromEnv()};
 std::mutex g_log_mutex;
+thread_local std::string t_log_context;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,6 +46,25 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string lower;
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") *level = LogLevel::kDebug;
+  else if (lower == "info" || lower == "1") *level = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning" || lower == "2")
+    *level = LogLevel::kWarn;
+  else if (lower == "error" || lower == "3") *level = LogLevel::kError;
+  else if (lower == "fatal" || lower == "4") *level = LogLevel::kFatal;
+  else return false;
+  return true;
+}
+
+void SetThreadLogContext(const std::string& tag) { t_log_context = tag; }
+
+const std::string& GetThreadLogContext() { return t_log_context; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -49,6 +77,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       if (*p == '/') base = p + 1;
     }
     stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    if (!t_log_context.empty()) stream_ << "[" << t_log_context << "] ";
   }
 }
 

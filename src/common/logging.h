@@ -10,9 +10,23 @@ namespace vf2boost {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
 
-/// Sets the minimum level emitted to stderr (default kInfo).
+/// Sets the minimum level emitted to stderr. The initial level is read from
+/// the VF2_LOG_LEVEL environment variable at process startup
+/// ("debug|info|warn|error|fatal" or "0".."4"); kInfo when unset or
+/// unparsable. SetLogLevel overrides the env value.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug|info|warn|error|fatal" (case-insensitive) or "0".."4".
+/// Returns false (leaving *level untouched) on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// Sets a thread-local context tag prepended to every log line from the
+/// calling thread (e.g. "[A0] party A0 failed: ..."). The federated engines
+/// tag their threads with the party id so interleaved multi-party logs stay
+/// attributable. An empty tag clears the prefix.
+void SetThreadLogContext(const std::string& tag);
+const std::string& GetThreadLogContext();
 
 namespace internal {
 

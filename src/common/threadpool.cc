@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.h"
+
 namespace vf2boost {
 
 namespace {
@@ -29,11 +31,20 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::SetQueueDepthGauge(obs::Gauge* gauge) {
+  queue_depth_gauge_.store(gauge, std::memory_order_release);
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
+  }
+  if (auto* gauge = queue_depth_gauge_.load(std::memory_order_acquire)) {
+    gauge->Max(static_cast<double>(depth));
   }
   task_cv_.notify_one();
 }

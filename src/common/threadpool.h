@@ -12,6 +12,10 @@
 
 namespace vf2boost {
 
+namespace obs {
+class Gauge;
+}  // namespace obs
+
 /// \brief Fixed-size worker pool used for intra-party data parallelism.
 ///
 /// Models the paper's scheduler-worker layout inside one party: the caller
@@ -35,6 +39,12 @@ class ThreadPool {
   /// Pool-global by design; for scoped completion use ParallelFor.
   void Wait();
 
+  /// Publishes the task-queue depth to `gauge` (high-water via Gauge::Max)
+  /// on every Submit. Pass nullptr to detach. Wire it before submitting
+  /// work — the pointer is read by worker threads without synchronization
+  /// beyond the atomic itself.
+  void SetQueueDepthGauge(obs::Gauge* gauge);
+
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Work is split into contiguous ranges, one per worker. Completion is
   /// tracked per call, so concurrent ParallelFor invocations on the same
@@ -53,6 +63,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::atomic<obs::Gauge*> queue_depth_gauge_{nullptr};
 };
 
 }  // namespace vf2boost

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace vf2boost {
 
@@ -27,6 +28,24 @@ NoisePool::~NoisePool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void NoisePool::SetFillGauge(obs::Gauge* gauge) {
+  fill_gauge_.store(gauge, std::memory_order_release);
+}
+
+void NoisePool::PublishFill(size_t fill) {
+  if (auto* gauge = fill_gauge_.load(std::memory_order_acquire)) {
+    gauge->Set(static_cast<double>(fill));
+  }
+  // Counter-track samples are throttled: the fill level changes per nonce,
+  // far too often for a trace meant to show phase structure.
+  if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+    const uint64_t n = fill_updates_.fetch_add(1, std::memory_order_relaxed);
+    if (n % 64 == 0) {
+      rec->CounterValue("noise_pool_fill", static_cast<double>(fill));
+    }
+  }
+}
+
 void NoisePool::ProducerLoop(size_t worker_index) {
   // Each worker draws exponents from its own deterministic stream.
   Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (worker_index + 1)));
@@ -41,31 +60,47 @@ void NoisePool::ProducerLoop(size_t worker_index) {
       BigInt nonce = pub_.MakeNonce(&rng);  // the expensive part, unlocked
       lock.lock();
       ready_.push_back(std::move(nonce));
-      ++stats_.produced;
+      produced_.fetch_add(1, std::memory_order_relaxed);
+      const size_t fill = ready_.size();
+      lock.unlock();
+      PublishFill(fill);
+      lock.lock();
     }
   }
 }
 
 BigInt NoisePool::Take(Rng* fallback_rng) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (!ready_.empty()) {
       BigInt nonce = std::move(ready_.front());
       ready_.pop_front();
-      ++stats_.hits;
-      if (ready_.size() <= low_water_) refill_cv_.notify_all();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      const size_t fill = ready_.size();
+      if (fill <= low_water_) refill_cv_.notify_all();
+      lock.unlock();
+      PublishFill(fill);
       return nonce;
     }
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     refill_cv_.notify_all();
   }
+  PublishFill(0);
   VF2_DCHECK(fallback_rng != nullptr);
   return pub_.MakeNonce(fallback_rng);
 }
 
 NoisePool::Stats NoisePool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.produced = produced_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t NoisePool::fill() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return ready_.size();
 }
 
 }  // namespace vf2boost

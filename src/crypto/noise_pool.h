@@ -1,6 +1,7 @@
 #ifndef VF2BOOST_CRYPTO_NOISE_POOL_H_
 #define VF2BOOST_CRYPTO_NOISE_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -11,6 +12,7 @@
 #include "bigint/bigint.h"
 #include "common/random.h"
 #include "crypto/paillier.h"
+#include "obs/metrics_registry.h"
 
 namespace vf2boost {
 
@@ -29,6 +31,10 @@ namespace vf2boost {
 /// the caller's rng and counts a miss.
 class NoisePool {
  public:
+  /// Counter snapshot. The live counters are std::atomic (consumers and
+  /// producers bump them from many threads concurrently — the FedStats
+  /// single-writer rule in fed/protocol.h); stats() copies them into this
+  /// plain struct, readable at any time without tearing.
   struct Stats {
     uint64_t hits = 0;      ///< Takes served from the pool
     uint64_t misses = 0;    ///< Takes computed inline (pool was empty)
@@ -51,9 +57,19 @@ class NoisePool {
 
   Stats stats() const;
   size_t capacity() const { return capacity_; }
+  /// Nonces currently ready (instantaneous; for gauges/tests).
+  size_t fill() const;
+
+  /// Publishes the pool's fill level to `gauge` on every Take/refill (and,
+  /// when a TraceRecorder is installed, as a throttled "noise_pool_fill"
+  /// counter track). Pass nullptr to detach. Not synchronized with Take:
+  /// wire it before the consumers start, as PartyBEngine does in Setup.
+  void SetFillGauge(obs::Gauge* gauge);
 
  private:
   void ProducerLoop(size_t worker_index);
+  /// Publishes `fill` to the gauge and (throttled) to the trace recorder.
+  void PublishFill(size_t fill);
 
   const PaillierPublicKey pub_;  // by value: pool never dangles off a backend
   const size_t capacity_;
@@ -63,7 +79,11 @@ class NoisePool {
   mutable std::mutex mu_;
   std::condition_variable refill_cv_;
   std::deque<BigInt> ready_;
-  Stats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> produced_{0};
+  std::atomic<obs::Gauge*> fill_gauge_{nullptr};
+  std::atomic<uint64_t> fill_updates_{0};  // trace-counter throttle
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,8 +1,11 @@
 #include "fed/channel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 
 #include "common/random.h"
+#include "obs/trace.h"
 
 namespace vf2boost {
 
@@ -13,6 +16,13 @@ Clock::duration Seconds(double s) {
   return std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(s));
 }
+
+// Process-unique id per queue direction; flow ids are (direction << 32) |
+// sequence so a send and its receive pair up across parties while staying
+// distinct from every other channel's traffic.
+std::atomic<uint64_t> g_next_flow_dir{1};
+
+uint64_t FlowId(uint64_t dir, uint64_t seq) { return (dir << 32) | seq; }
 }  // namespace
 
 Status NetworkConfig::Validate() const {
@@ -42,6 +52,7 @@ struct ChannelEndpoint::Queue {
   Clock::time_point next_free = Clock::now();  // bandwidth serialization point
   uint64_t next_seq = 1;
   uint64_t last_delivered_seq = 0;  // duplicate suppression watermark
+  uint64_t flow_dir = 0;  // trace flow-id namespace for this direction
   ChannelStats sent;
 };
 
@@ -61,6 +72,10 @@ ChannelEndpoint::CreatePair(const NetworkConfig& config) {
   auto shared = std::make_shared<Shared>();
   shared->config = config;
   shared->fault_rng = Rng(config.fault_seed);
+  shared->a_to_b.flow_dir =
+      g_next_flow_dir.fetch_add(1, std::memory_order_relaxed);
+  shared->b_to_a.flow_dir =
+      g_next_flow_dir.fetch_add(1, std::memory_order_relaxed);
   auto a = std::unique_ptr<ChannelEndpoint>(
       new ChannelEndpoint(shared, &shared->b_to_a, &shared->a_to_b));
   auto b = std::unique_ptr<ChannelEndpoint>(
@@ -74,60 +89,76 @@ ChannelEndpoint::ChannelEndpoint(std::shared_ptr<Shared> shared, Queue* in,
 
 void ChannelEndpoint::Send(Message msg) {
   const size_t bytes = msg.WireBytes();
-  std::lock_guard<std::mutex> lock(shared_->mu);
-  const auto& cfg = shared_->config;
-  out_->sent.messages += 1;
-  out_->sent.bytes += bytes;
-  if (shared_->closed) {
-    out_->sent.dropped += 1;
-    return;
-  }
-  // Deterministic link death: the gateway stops forwarding after N messages.
-  if (cfg.kill_after_messages > 0 &&
-      out_->sent.messages > cfg.kill_after_messages) {
-    out_->sent.dropped += 1;
-    return;
-  }
-  const auto now = Clock::now();
-  auto deliver = now;
-  if (cfg.bandwidth_bytes_per_sec > 0) {
-    // Messages serialize through the gateway link.
-    const auto start = std::max(now, out_->next_free);
-    out_->next_free = start + Seconds(static_cast<double>(bytes) /
-                                      cfg.bandwidth_bytes_per_sec);
-    deliver = out_->next_free;
-  }
-  if (cfg.latency_seconds > 0) {
-    deliver += Seconds(cfg.latency_seconds);
-  }
-  if (cfg.jitter_seconds > 0) {
-    deliver += Seconds(shared_->fault_rng.NextDouble() * cfg.jitter_seconds);
-  }
-  if (cfg.drop_probability > 0) {
-    // Each lost attempt costs one retransmit timeout; a message whose whole
-    // retry budget is lost vanishes (the receiver's deadline reports it).
-    int attempts = 0;
-    while (shared_->fault_rng.NextDouble() < cfg.drop_probability) {
-      if (attempts >= cfg.max_retransmits) {
-        out_->sent.dropped += 1;
-        return;
-      }
-      ++attempts;
-      out_->sent.retransmits += 1;
-      deliver += Seconds(cfg.retransmit_timeout_seconds);
+  const MessageType type = msg.type;
+  uint64_t flow_id = 0;  // nonzero once the message is actually enqueued
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    const auto& cfg = shared_->config;
+    out_->sent.messages += 1;
+    out_->sent.bytes += bytes;
+    if (shared_->closed) {
+      out_->sent.dropped += 1;
+      return;
     }
+    // Deterministic link death: the gateway stops forwarding after N
+    // messages.
+    if (cfg.kill_after_messages > 0 &&
+        out_->sent.messages > cfg.kill_after_messages) {
+      out_->sent.dropped += 1;
+      return;
+    }
+    const auto now = Clock::now();
+    auto deliver = now;
+    if (cfg.bandwidth_bytes_per_sec > 0) {
+      // Messages serialize through the gateway link.
+      const auto start = std::max(now, out_->next_free);
+      out_->next_free = start + Seconds(static_cast<double>(bytes) /
+                                        cfg.bandwidth_bytes_per_sec);
+      deliver = out_->next_free;
+    }
+    if (cfg.latency_seconds > 0) {
+      deliver += Seconds(cfg.latency_seconds);
+    }
+    if (cfg.jitter_seconds > 0) {
+      deliver += Seconds(shared_->fault_rng.NextDouble() * cfg.jitter_seconds);
+    }
+    if (cfg.drop_probability > 0) {
+      // Each lost attempt costs one retransmit timeout; a message whose whole
+      // retry budget is lost vanishes (the receiver's deadline reports it).
+      int attempts = 0;
+      while (shared_->fault_rng.NextDouble() < cfg.drop_probability) {
+        if (attempts >= cfg.max_retransmits) {
+          out_->sent.dropped += 1;
+          return;
+        }
+        ++attempts;
+        out_->sent.retransmits += 1;
+        deliver += Seconds(cfg.retransmit_timeout_seconds);
+      }
+    }
+    const uint64_t seq = out_->next_seq++;
+    flow_id = FlowId(out_->flow_dir, seq);
+    out_->items.push_back(Queue::Item{deliver, seq, msg});
+    if (cfg.duplicate_probability > 0 &&
+        shared_->fault_rng.NextDouble() < cfg.duplicate_probability) {
+      // Gateway redelivery: same sequence number, later arrival. The receiver
+      // suppresses it, keeping delivery effectively-once.
+      out_->sent.duplicates += 1;
+      out_->items.push_back(Queue::Item{
+          deliver + Seconds(cfg.retransmit_timeout_seconds), seq, msg});
+    }
+    shared_->cv.notify_all();
   }
-  const uint64_t seq = out_->next_seq++;
-  out_->items.push_back(Queue::Item{deliver, seq, msg});
-  if (cfg.duplicate_probability > 0 &&
-      shared_->fault_rng.NextDouble() < cfg.duplicate_probability) {
-    // Gateway redelivery: same sequence number, later arrival. The receiver
-    // suppresses it, keeping delivery effectively-once.
-    out_->sent.duplicates += 1;
-    out_->items.push_back(Queue::Item{
-        deliver + Seconds(cfg.retransmit_timeout_seconds), seq, msg});
+  // Trace flow start (outside the channel lock): one arrow per delivered
+  // message from this send to the peer's matching receive. A message later
+  // lost in flight leaves a dangling start, which viewers render as an
+  // arrow to nowhere — exactly right.
+  if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"bytes\":%zu", bytes);
+    rec->FlowStart(std::string("snd ") + MessageTypeName(type), flow_id,
+                   args);
   }
-  shared_->cv.notify_all();
 }
 
 Result<Message> ChannelEndpoint::Receive() {
@@ -157,9 +188,18 @@ Result<Message> ChannelEndpoint::ReceiveInternal(
     if (!in_->items.empty()) {
       const auto deliver = in_->items.front().deliver;
       if (now >= deliver) {
-        in_->last_delivered_seq = in_->items.front().seq;
+        const uint64_t seq = in_->items.front().seq;
+        const uint64_t flow_id = FlowId(in_->flow_dir, seq);
+        in_->last_delivered_seq = seq;
         Message msg = std::move(in_->items.front().msg);
         in_->items.pop_front();
+        lock.unlock();
+        if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+          char args[64];
+          std::snprintf(args, sizeof(args), "\"bytes\":%zu", msg.WireBytes());
+          rec->FlowEnd(std::string("rcv ") + MessageTypeName(msg.type),
+                       flow_id, args);
+        }
         return msg;
       }
       if (deadline && *deadline < deliver) {
@@ -188,25 +228,36 @@ Result<Message> ChannelEndpoint::ReceiveInternal(
 
 Status ChannelEndpoint::TryReceive(Message* out, bool* got) {
   *got = false;
-  std::lock_guard<std::mutex> lock(shared_->mu);
-  while (!in_->items.empty() &&
-         in_->items.front().seq <= in_->last_delivered_seq) {
+  uint64_t flow_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    while (!in_->items.empty() &&
+           in_->items.front().seq <= in_->last_delivered_seq) {
+      in_->items.pop_front();
+    }
+    if (shared_->closed && !shared_->close_status.ok()) {
+      return shared_->close_status;
+    }
+    if (in_->items.empty()) {
+      if (shared_->closed) return Status::Aborted("channel closed");
+      return Status::OK();
+    }
+    if (Clock::now() < in_->items.front().deliver) {
+      return Status::OK();
+    }
+    const uint64_t seq = in_->items.front().seq;
+    flow_id = FlowId(in_->flow_dir, seq);
+    in_->last_delivered_seq = seq;
+    *out = std::move(in_->items.front().msg);
     in_->items.pop_front();
+    *got = true;
   }
-  if (shared_->closed && !shared_->close_status.ok()) {
-    return shared_->close_status;
+  if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"bytes\":%zu", out->WireBytes());
+    rec->FlowEnd(std::string("rcv ") + MessageTypeName(out->type), flow_id,
+                 args);
   }
-  if (in_->items.empty()) {
-    if (shared_->closed) return Status::Aborted("channel closed");
-    return Status::OK();
-  }
-  if (Clock::now() < in_->items.front().deliver) {
-    return Status::OK();
-  }
-  in_->last_delivered_seq = in_->items.front().seq;
-  *out = std::move(in_->items.front().msg);
-  in_->items.pop_front();
-  *got = true;
   return Status::OK();
 }
 

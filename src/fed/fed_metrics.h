@@ -1,0 +1,98 @@
+#ifndef VF2BOOST_FED_FED_METRICS_H_
+#define VF2BOOST_FED_FED_METRICS_H_
+
+#include <string>
+
+#include "common/timer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace vf2boost {
+
+struct FedStats;
+
+/// \brief The metric handles one party engine touches during training.
+///
+/// This is the single source of truth for protocol counters and phase
+/// timings: engines bump these (atomic) handles from whichever thread does
+/// the work, and the legacy FedStats snapshot is DERIVED from them once at
+/// the end of a run (PhaseTimes fields are the sums of the corresponding
+/// latency histograms). Handles resolve once at engine construction, so the
+/// per-event cost is a relaxed atomic op.
+struct PartyMetrics {
+  obs::Counter* encryptions = nullptr;
+  obs::Counter* decryptions = nullptr;
+  obs::Counter* hadds = nullptr;
+  obs::Counter* scalings = nullptr;
+  obs::Counter* packs = nullptr;
+  obs::Counter* splits_a = nullptr;
+  obs::Counter* splits_b = nullptr;
+  obs::Counter* leaves = nullptr;
+  obs::Counter* optimistic_splits = nullptr;
+  obs::Counter* dirty_nodes = nullptr;
+  obs::Counter* redone_hist_builds = nullptr;
+  obs::Gauge* inbox_high_water = nullptr;
+  obs::Gauge* bytes_sent = nullptr;
+  obs::Counter* noise_pool_hits = nullptr;
+  obs::Counter* noise_pool_misses = nullptr;
+  obs::Counter* noise_pool_produced = nullptr;
+  obs::Gauge* noise_pool_fill = nullptr;
+  /// High-water task-queue depth of the party's worker pool (registry-only;
+  /// FedStats has no legacy slot for it).
+  obs::Gauge* pool_queue_high_water = nullptr;
+
+  obs::Histogram* phase_encrypt = nullptr;
+  obs::Histogram* phase_build_hist = nullptr;
+  obs::Histogram* phase_pack = nullptr;
+  obs::Histogram* phase_decrypt = nullptr;
+  obs::Histogram* phase_find_split = nullptr;
+  obs::Histogram* phase_comm_wait = nullptr;
+
+  /// Registers every handle under `prefix` (e.g. "party_a0", "party_b").
+  static PartyMetrics Create(obs::MetricsRegistry* registry,
+                             const std::string& prefix);
+
+  /// Derives the legacy FedStats snapshot. `is_b` selects which PhaseTimes
+  /// slot (party_a vs party_b) receives the phase-histogram sums.
+  FedStats Snapshot(bool is_b) const;
+};
+
+/// \brief Times one protocol phase: observes `hist` with the elapsed
+/// seconds and emits a "phase" trace span covering exactly the same region.
+/// Stop() ends the phase early (e.g. right after a blocking receive, before
+/// unrelated work in the same scope); the destructor stops implicitly.
+class PhaseClock {
+ public:
+  PhaseClock(obs::Histogram* hist, const char* trace_name)
+      : hist_(hist),
+        trace_name_(trace_name),
+        rec_(obs::TraceRecorder::Current()) {
+    if (rec_ != nullptr) start_us_ = rec_->NowMicros();
+  }
+  ~PhaseClock() { Stop(); }
+
+  PhaseClock(const PhaseClock&) = delete;
+  PhaseClock& operator=(const PhaseClock&) = delete;
+
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    hist_->Observe(watch_.ElapsedSeconds());
+    if (rec_ != nullptr) {
+      rec_->CompleteSpan(trace_name_, "phase", start_us_,
+                         rec_->NowMicros() - start_us_, "");
+    }
+  }
+
+ private:
+  obs::Histogram* hist_;
+  const char* trace_name_;
+  obs::TraceRecorder* rec_;
+  int64_t start_us_ = 0;
+  Stopwatch watch_;
+  bool stopped_ = false;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_FED_METRICS_H_

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "fed/party_a.h"
 #include "fed/party_b.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace vf2boost {
 
@@ -41,7 +43,17 @@ Result<GbdtModel> FedTrainResult::ToJointModel(
 
 Result<FedTrainResult> FedTrainer::Train(
     const std::vector<Dataset>& parties) const {
+  // The trainer thread is trace pid 0; engines rebind to pid = party + 1
+  // while they run (B borrows this thread and restores it).
+  obs::ThreadPartyScope trainer_scope(0, "trainer");
+  VF2_TRACE_SPAN("phase", "fed_train");
   VF2_RETURN_IF_ERROR(config_.Validate());
+  // All engines of a run share one registry; callers that want the metrics
+  // afterwards pass their own via FedConfig::metrics, everyone else gets
+  // this run-local one (outlives the engines: they join before we return).
+  obs::MetricsRegistry local_registry;
+  FedConfig config = config_;
+  if (config.metrics == nullptr) config.metrics = &local_registry;
   if (parties.size() < 2) {
     return Status::InvalidArgument("need at least two parties");
   }
@@ -66,9 +78,9 @@ Result<FedTrainResult> FedTrainer::Train(
   // One duplex channel per A party, with optional per-party network faults.
   std::vector<std::unique_ptr<ChannelEndpoint>> a_ends, b_ends;
   for (size_t p = 0; p < num_a; ++p) {
-    const NetworkConfig& net = p < config_.network_per_party.size()
-                                   ? config_.network_per_party[p]
-                                   : config_.network;
+    const NetworkConfig& net = p < config.network_per_party.size()
+                                   ? config.network_per_party[p]
+                                   : config.network;
     auto [a, b] = ChannelEndpoint::CreatePair(net);
     a_ends.push_back(std::move(a));
     b_ends.push_back(std::move(b));
@@ -79,7 +91,7 @@ Result<FedTrainResult> FedTrainer::Train(
   std::vector<std::unique_ptr<PartyAEngine>> engines;
   for (size_t p = 0; p < num_a; ++p) {
     engines.push_back(std::make_unique<PartyAEngine>(
-        config_, parties[p], a_ends[p].get(), static_cast<uint32_t>(p)));
+        config, parties[p], a_ends[p].get(), static_cast<uint32_t>(p)));
   }
   std::vector<Status> a_status(num_a);
   std::vector<std::thread> threads;
@@ -96,7 +108,7 @@ Result<FedTrainResult> FedTrainer::Train(
 
   std::vector<ChannelEndpoint*> b_channel_ptrs;
   for (auto& e : b_ends) b_channel_ptrs.push_back(e.get());
-  PartyBEngine party_b_engine(config_, party_b, std::move(b_channel_ptrs));
+  PartyBEngine party_b_engine(config, party_b, std::move(b_channel_ptrs));
   Result<PartyBResult> b_result = party_b_engine.Run();
 
   // Joining is always safe: every engine closes its channel on exit, so a
@@ -135,6 +147,14 @@ Result<FedTrainResult> FedTrainer::Train(
     out.stats.party_a += a.party_a;
     out.stats.bytes_a_to_b += a_ends[p]->sent_stats().bytes;
     out.party_a_cuts.push_back(engines[p]->cuts());
+  }
+  // Per-direction channel byte gauges (after join: stats are final).
+  for (size_t p = 0; p < num_a; ++p) {
+    const std::string chan = "channel/a" + std::to_string(p);
+    config.metrics->GetGauge(chan + "/to_b/bytes", "bytes")
+        ->Set(static_cast<double>(a_ends[p]->sent_stats().bytes));
+    config.metrics->GetGauge(chan + "/from_b/bytes", "bytes")
+        ->Set(static_cast<double>(b_ends[p]->sent_stats().bytes));
   }
   return out;
 }

@@ -17,8 +17,17 @@ PartyAEngine::PartyAEngine(const FedConfig& config, const Dataset& data,
       inbox_(channel, config.max_inbox_buffered),
       party_index_(party_index),
       rng_(config.seed * 7919 + party_index + 1) {
+  if (config_.metrics == nullptr) {
+    // Engines built directly (tests, drills) get a private registry so the
+    // handles below always resolve; FedTrainer injects a shared one.
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    config_.metrics = owned_metrics_.get();
+  }
+  m_ = PartyMetrics::Create(config_.metrics,
+                            "party_a" + std::to_string(party_index));
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
+    pool_->SetQueueDepthGauge(m_.pool_queue_high_water);
   }
 }
 
@@ -27,10 +36,10 @@ Status PartyAEngine::Setup() {
   binned_ = BinnedMatrix::FromCsr(data_.features, cuts_);
   layout_ = FeatureLayout::FromCuts(cuts_);
 
-  Stopwatch wait;
+  PhaseClock wait(m_.phase_comm_wait, "comm_wait");
   VF2_ASSIGN_OR_RETURN(Message msg,
                        inbox_.ReceiveType(MessageType::kPublicKey));
-  stats_.party_a.comm_wait += wait.ElapsedSeconds();
+  wait.Stop();
   if (config_.mock_crypto) {
     backend_ = std::make_unique<MockBackend>(config_.MakeCodec());
   } else {
@@ -50,14 +59,22 @@ Status PartyAEngine::Setup() {
 }
 
 Status PartyAEngine::Run() {
+  // Trace/log attribution for this engine's thread: pid = party index + 1
+  // (pid 0 is the trainer), "[party A<p>]" log prefix. Restored on exit (A
+  // runs on its own thread, but drills may reuse one).
+  obs::ThreadPartyScope party_scope(
+      party_index_ + 1, "party A" + std::to_string(party_index_));
   // Whatever way this engine exits — clean kTrainDone, protocol error,
   // channel failure — the close guard wakes the peer so it never deadlocks
   // waiting on a dead party.
   ChannelCloseGuard guard(inbox_.endpoint(),
                           "party A" + std::to_string(party_index_));
   Status status = RunLoop();
-  stats_.inbox_high_water =
-      std::max(stats_.inbox_high_water, inbox_.buffered_high_water());
+  m_.inbox_high_water->Max(
+      static_cast<double>(inbox_.buffered_high_water()));
+  m_.bytes_sent->Set(
+      static_cast<double>(inbox_.endpoint()->sent_stats().bytes));
+  stats_ = m_.Snapshot(/*is_b=*/false);
   guard.SetStatus(status);
   return status;
 }
@@ -65,9 +82,9 @@ Status PartyAEngine::Run() {
 Status PartyAEngine::RunLoop() {
   VF2_RETURN_IF_ERROR(Setup());
   for (;;) {
-    Stopwatch wait;
+    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
     VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
-    stats_.party_a.comm_wait += wait.ElapsedSeconds();
+    wait.Stop();
     if (msg.type == MessageType::kTrainDone) return Status::OK();
     if (msg.type != MessageType::kGradBatch) {
       return Status::ProtocolError(std::string("party A expected GradBatch, got ") +
@@ -78,6 +95,7 @@ Status PartyAEngine::RunLoop() {
 }
 
 Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
+  VF2_TRACE_SPAN("phase", "recv_gradients");
   const size_t n = data_.rows();
   g_ciphers_.assign(n, Cipher{});
   h_ciphers_.assign(n, Cipher{});
@@ -96,9 +114,9 @@ Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
     }
     received += batch.g.size();
     if (received >= n) break;
-    Stopwatch wait;
+    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
     VF2_ASSIGN_OR_RETURN(msg, inbox_.ReceiveType(MessageType::kGradBatch));
-    stats_.party_a.comm_wait += wait.ElapsedSeconds();
+    wait.Stop();
   }
   return Status::OK();
 }
@@ -110,12 +128,23 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
 
   Stopwatch timer;
   AccumulatorStats acc_stats;
-  EncryptedHistogram hist = BuildEncryptedHistogramParallel(
-      binned_, layout_, it->second, g_ciphers_, h_ciphers_, *backend_,
-      config_.reordered, &acc_stats, pool_.get());
-  stats_.hadds += acc_stats.hadds;
-  stats_.scalings += acc_stats.scalings;
-  stats_.party_a.build_hist += timer.ElapsedSeconds();
+  EncryptedHistogram hist;
+  {
+    obs::TraceSpan span("phase", "build_hist");
+    if (span.active()) {
+      span.AddArg("tree", static_cast<int64_t>(tree));
+      span.AddArg("layer", static_cast<int64_t>(layer));
+      span.AddArg("node", static_cast<int64_t>(node));
+      span.AddArg("epoch", static_cast<int64_t>(hist_epoch_[node]));
+      span.AddArg("instances", static_cast<int64_t>(it->second.size()));
+    }
+    hist = BuildEncryptedHistogramParallel(
+        binned_, layout_, it->second, g_ciphers_, h_ciphers_, *backend_,
+        config_.reordered, &acc_stats, pool_.get());
+  }
+  m_.hadds->Add(acc_stats.hadds);
+  m_.scalings->Add(acc_stats.scalings);
+  m_.phase_build_hist->Observe(timer.ElapsedSeconds());
 
   NodeHistogramPayload payload;
   payload.tree = tree;
@@ -124,7 +153,7 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
   payload.epoch = hist_epoch_[node];
 
   if (config_.packing) {
-    Stopwatch pack_timer;
+    PhaseClock pack_clock(m_.phase_pack, "pack");
     AccumulatorStats pack_stats;
     auto loss = MakeLoss(config_.gbdt.objective);
     VF2_RETURN_IF_ERROR(loss.status());
@@ -137,16 +166,15 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
       payload.shift_h = packed->shift_h;
       payload.g_packs = std::move(packed->g_packs);
       payload.h_packs = std::move(packed->h_packs);
-      stats_.packs += payload.g_packs.size() + payload.h_packs.size();
-      stats_.hadds += pack_stats.hadds;
-      stats_.scalings += pack_stats.scalings;
+      m_.packs->Add(payload.g_packs.size() + payload.h_packs.size());
+      m_.hadds->Add(pack_stats.hadds);
+      m_.scalings->Add(pack_stats.scalings);
     } else {
       // Key too small for the required slot width: fall back to raw.
       payload.packed = false;
       payload.g_bins = std::move(hist.g_bins);
       payload.h_bins = std::move(hist.h_bins);
     }
-    stats_.party_a.pack += pack_timer.ElapsedSeconds();
   } else {
     payload.g_bins = std::move(hist.g_bins);
     payload.h_bins = std::move(hist.h_bins);
@@ -174,8 +202,12 @@ Status PartyAEngine::HandleSplitQueries(const Message& msg) {
     reply.tree = queries.tree;
     reply.layer = queries.layer;
     reply.node = q.node;
-    reply.placement = ComputePlacement(binned_, it->second, q.feature, q.bin,
-                                       q.default_left);
+    {
+      obs::TraceSpan span("phase", "placement");
+      if (span.active()) span.AddArg("node", static_cast<int64_t>(q.node));
+      reply.placement = ComputePlacement(binned_, it->second, q.feature,
+                                         q.bin, q.default_left);
+    }
     inbox_.Send(EncodePlacement(reply));
   }
   return Status::OK();
@@ -199,7 +231,7 @@ Status PartyAEngine::HandleResolvedDecisions(const Message& msg) {
     if (redo) {
       ++hist_epoch_[d.left];
       ++hist_epoch_[d.right];
-      stats_.redone_hist_builds += 2;
+      m_.redone_hist_builds->Add(2);
     }
     std::vector<uint32_t> left, right;
     ApplyPlacement(it->second, d.placement, &left, &right);
@@ -213,8 +245,18 @@ Status PartyAEngine::HandleResolvedDecisions(const Message& msg) {
       // In sequential mode every child hist is a first build; in optimistic
       // mode only corrected children reach this path (fresh children of a
       // corrected optimistic-leaf included).
-      VF2_RETURN_IF_ERROR(
-          BuildAndSendHist(decisions.tree, decisions.layer + 1, child));
+      if (redo) {
+        // The wasted-then-redone work the optimistic protocol pays for a
+        // dirty node — wraps the ordinary build so the cost shows as one
+        // "redo_hist" block in the timeline.
+        obs::TraceSpan span("phase", "redo_hist");
+        if (span.active()) span.AddArg("node", static_cast<int64_t>(child));
+        VF2_RETURN_IF_ERROR(
+            BuildAndSendHist(decisions.tree, decisions.layer + 1, child));
+      } else {
+        VF2_RETURN_IF_ERROR(
+            BuildAndSendHist(decisions.tree, decisions.layer + 1, child));
+      }
     }
   }
   return Status::OK();
@@ -266,8 +308,12 @@ Status PartyAEngine::HandleVerdicts(const Message& msg) {
     reply.tree = verdicts.tree;
     reply.layer = verdicts.layer;
     reply.node = v.node;
-    reply.placement = ComputePlacement(binned_, it->second, v.feature, v.bin,
-                                       v.default_left);
+    {
+      obs::TraceSpan span("phase", "placement");
+      if (span.active()) span.AddArg("node", static_cast<int64_t>(v.node));
+      reply.placement = ComputePlacement(binned_, it->second, v.feature,
+                                         v.bin, v.default_left);
+    }
     inbox_.Send(EncodePlacement(reply));
   }
   return Status::OK();
@@ -289,9 +335,9 @@ Status PartyAEngine::RunTree(Message first_grad_msg) {
   }
 
   for (;;) {
-    Stopwatch wait;
+    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
     VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
-    stats_.party_a.comm_wait += wait.ElapsedSeconds();
+    wait.Stop();
     switch (msg.type) {
       case MessageType::kTreeDone:
         return Status::OK();

@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "fed/enc_histogram.h"
+#include "fed/fed_metrics.h"
 #include "fed/inbox.h"
 #include "fed/protocol.h"
 
@@ -71,6 +72,10 @@ class PartyAEngine {
   std::unordered_map<int32_t, uint32_t> hist_epoch_;
   uint32_t current_tree_ = 0;
 
+  // Live counters/timings are registry handles (see FedStats threading
+  // contract in protocol.h); stats_ is derived from them after Run.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
+  PartyMetrics m_;
   FedStats stats_;
 };
 

@@ -20,8 +20,16 @@ PartyBEngine::PartyBEngine(const FedConfig& config, const Dataset& data,
   for (ChannelEndpoint* c : channels) {
     inboxes_.emplace_back(c, config.max_inbox_buffered);
   }
+  if (config_.metrics == nullptr) {
+    // Engines built directly (tests, drills) get a private registry so the
+    // handles below always resolve; FedTrainer injects a shared one.
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    config_.metrics = owned_metrics_.get();
+  }
+  m_ = PartyMetrics::Create(config_.metrics, "party_b");
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
+    pool_->SetQueueDepthGauge(m_.pool_queue_high_water);
   }
 }
 
@@ -42,6 +50,7 @@ Status PartyBEngine::Setup() {
   if (config_.mock_crypto) {
     backend_ = std::make_unique<MockBackend>(config_.MakeCodec());
   } else {
+    VF2_TRACE_SPAN("crypto", "keygen");
     auto kp = PaillierKeyPair::Generate(config_.paillier_bits, &rng_);
     VF2_RETURN_IF_ERROR(kp.status());
     auto pb =
@@ -51,6 +60,7 @@ Status PartyBEngine::Setup() {
       noise_pool_ = std::make_shared<NoisePool>(
           kp->pub, config_.noise_pool_capacity, config_.noise_pool_workers,
           config_.seed ^ 0x6e6f697365ULL);  // "noise"
+      noise_pool_->SetFillGauge(m_.noise_pool_fill);
       pb->SetNoisePool(noise_pool_);
     }
     ByteWriter w;
@@ -63,8 +73,10 @@ Status PartyBEngine::Setup() {
     inbox.Send(std::move(copy));
   }
   for (Inbox& inbox : inboxes_) {
+    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
     VF2_ASSIGN_OR_RETURN(Message msg,
                          inbox.ReceiveType(MessageType::kLayout));
+    wait.Stop();
     LayoutPayload layout;
     VF2_RETURN_IF_ERROR(DecodeLayout(msg, &layout));
     FeatureLayout fl;
@@ -90,9 +102,18 @@ void PartyBEngine::EncryptAndSendGradients(uint32_t tree_id) {
   const size_t n = data_.rows();
   const size_t batch =
       config_.blaster ? std::max<size_t>(1, config_.blaster_batch) : n;
-  Stopwatch timer;
   for (size_t start = 0; start < n; start += batch) {
     const size_t end = std::min(n, start + batch);
+    // One span + histogram sample per batch: under blaster streaming the
+    // per-batch slices interleave with A's transfer/build in the timeline
+    // (Fig-4 pipelining).
+    Stopwatch timer;
+    obs::TraceSpan span("phase", "encrypt");
+    if (span.active()) {
+      span.AddArg("tree", static_cast<int64_t>(tree_id));
+      span.AddArg("start", static_cast<int64_t>(start));
+      span.AddArg("count", static_cast<int64_t>(end - start));
+    }
     GradBatchPayload payload;
     payload.tree = tree_id;
     payload.start = start;
@@ -119,13 +140,13 @@ void PartyBEngine::EncryptAndSendGradients(uint32_t tree_id) {
         payload.h[i - start] = backend_->Encrypt(grads_[i].h, &rng_);
       }
     }
-    stats_.encryptions += 2 * (end - start);
+    m_.encryptions->Add(2 * (end - start));
     // The same ciphers go to every A party.
     for (Inbox& inbox : inboxes_) {
       inbox.Send(EncodeGradBatch(payload, *backend_));
     }
+    m_.phase_encrypt->Observe(timer.ElapsedSeconds());
   }
-  stats_.party_b.encrypt += timer.ElapsedSeconds();
 }
 
 Status PartyBEngine::CollectHistograms(
@@ -135,10 +156,10 @@ Status PartyBEngine::CollectHistograms(
   for (size_t p = 0; p < inboxes_.size(); ++p) {
     auto& per_party = (*hists)[p];
     while (per_party.size() < nodes.size()) {
-      Stopwatch wait;
+      PhaseClock wait(m_.phase_comm_wait, "comm_wait");
       VF2_ASSIGN_OR_RETURN(
           Message msg, inboxes_[p].ReceiveType(MessageType::kNodeHistogram));
-      stats_.party_b.comm_wait += wait.ElapsedSeconds();
+      wait.Stop();
       NodeHistogramPayload payload;
       VF2_RETURN_IF_ERROR(DecodeNodeHistogram(msg, *backend_, &payload));
       if (payload.layer != layer) {
@@ -154,6 +175,15 @@ Status PartyBEngine::CollectHistograms(
       if (!known) return Status::ProtocolError("histogram for unknown node");
 
       Stopwatch dec_timer;
+      obs::TraceSpan span("phase", "decrypt");
+      if (span.active()) {
+        span.AddArg("node", static_cast<int64_t>(payload.node));
+        span.AddArg("party", static_cast<int64_t>(p));
+        span.AddArg("packed", static_cast<int64_t>(payload.packed ? 1 : 0));
+      }
+      // The decrypt helpers bump this on the calling thread only (the pool
+      // parallelizes CRT halves, not the counter), so a stack local is safe.
+      size_t num_dec = 0;
       Result<Histogram> hist = payload.packed
           ? [&]() {
               PackedHistogram packed;
@@ -162,12 +192,13 @@ Status PartyBEngine::CollectHistograms(
               packed.g_packs = std::move(payload.g_packs);
               packed.h_packs = std::move(payload.h_packs);
               return DecryptPackedHistogram(packed, a_layouts_[p], *backend_,
-                                            &stats_.decryptions, pool_.get());
+                                            &num_dec, pool_.get());
             }()
           : DecryptRawHistogram(payload.g_bins, payload.h_bins, a_layouts_[p],
-                                *backend_, &stats_.decryptions, pool_.get());
+                                *backend_, &num_dec, pool_.get());
       VF2_RETURN_IF_ERROR(hist.status());
-      stats_.party_b.decrypt += dec_timer.ElapsedSeconds();
+      m_.decryptions->Add(num_dec);
+      m_.phase_decrypt->Observe(dec_timer.ElapsedSeconds());
       per_party[payload.node] = std::move(hist).value();
     }
   }
@@ -180,10 +211,14 @@ void PartyBEngine::FinalizeLeaf(const NodeState& node, Tree* tree) {
   for (uint32_t i : node.instances) {
     scores_[i] += config_.gbdt.learning_rate * w;
   }
-  ++stats_.leaves;
+  m_.leaves->Add(1);
 }
 
 Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
+  obs::TraceSpan tree_span("phase", "tree");
+  if (tree_span.active()) {
+    tree_span.AddArg("tree", static_cast<int64_t>(tree_id));
+  }
   const GbdtParams& params = config_.gbdt;
   loss_->Compute(scores_, data_.labels, &grads_);
   EncryptAndSendGradients(tree_id);
@@ -200,7 +235,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
        ++layer) {
     // --- FindSplitB: own histograms + best own splits -----------------------
     {
-      Stopwatch timer;
+      PhaseClock clock(m_.phase_find_split, "find_split");
       for (NodeState& node : active) {
         if (!node.has_hist) {  // only the root reaches this; children are
                                // derived at split time (sibling subtraction)
@@ -211,7 +246,6 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
         node.best_b = FindBestSplit(node.own_hist, layout_, node.total,
                                     params);
       }
-      stats_.party_b.find_split += timer.ElapsedSeconds();
     }
 
     std::vector<NodeState> children;
@@ -238,7 +272,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
         big->own_hist = small->own_hist;
         big->own_hist.SubtractFrom(node.own_hist);
         l.has_hist = r.has_hist = true;
-        stats_.party_b.find_split += timer.ElapsedSeconds();
+        m_.phase_find_split->Observe(timer.ElapsedSeconds());
       }
       children.push_back(std::move(l));
       children.push_back(std::move(r));
@@ -254,6 +288,11 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
 
     if (config_.optimistic) {
       // --- optimistic pre-split by B's own best (§4.2) ----------------------
+      obs::TraceSpan opt_span("phase", "opt_split");
+      if (opt_span.active()) {
+        opt_span.AddArg("layer", static_cast<int64_t>(layer));
+        opt_span.AddArg("nodes", static_cast<int64_t>(active.size()));
+      }
       DecisionsPayload opt;
       opt.tree = tree_id;
       opt.layer = layer;
@@ -282,7 +321,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
           d.placement = placement;
           node.opt_split = true;
           split_node(node, left_id, right_id, placement);
-          ++stats_.optimistic_splits;
+          m_.optimistic_splits->Add(1);
         } else {
           d.action = NodeAction::kLeaf;
           node.opt_split = false;
@@ -295,6 +334,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
           inbox.Send(EncodeDecisions(opt, MessageType::kOptPlacements));
         }
       }
+      opt_span.End();
 
       // --- receive + validate (FindSplitA) ----------------------------------
       std::vector<NodeState*> node_ptrs;
@@ -312,7 +352,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
       };
       std::vector<Dirty> dirty;
       {
-        Stopwatch timer;
+        PhaseClock clock(m_.phase_find_split, "find_split");
         for (NodeState& node : active) {
           SplitCandidate best_a;
           uint32_t owner = 0;
@@ -354,11 +394,10 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
             tn.left = v.left;
             tn.right = v.right;
             dirty.push_back({&node, owner, v.left, v.right});
-            ++stats_.dirty_nodes;
+            m_.dirty_nodes->Add(1);
           }
           verdicts.verdicts.push_back(v);
         }
-        stats_.party_b.find_split += timer.ElapsedSeconds();
       }
       for (Inbox& inbox : inboxes_) {
         inbox.Send(EncodeVerdicts(verdicts));
@@ -370,11 +409,18 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
         corrections.tree = tree_id;
         corrections.layer = layer;
         for (const Dirty& d : dirty) {
-          Stopwatch wait;
+          // One "rollback" span per dirty node: wait for the owner's real
+          // placement, then redo the split B guessed wrong.
+          obs::TraceSpan rollback_span("phase", "rollback");
+          if (rollback_span.active()) {
+            rollback_span.AddArg("node", static_cast<int64_t>(d.node->id));
+            rollback_span.AddArg("owner", static_cast<int64_t>(d.owner));
+          }
+          PhaseClock wait(m_.phase_comm_wait, "comm_wait");
           VF2_ASSIGN_OR_RETURN(
               Message msg,
               inboxes_[d.owner].ReceiveType(MessageType::kPlacement));
-          stats_.party_b.comm_wait += wait.ElapsedSeconds();
+          wait.Stop();
           PlacementPayload placement;
           VF2_RETURN_IF_ERROR(DecodePlacement(msg, &placement));
           if (placement.node != d.node->id) {
@@ -391,7 +437,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
           correction.right = d.right;
           correction.placement = std::move(placement.placement);
           corrections.decisions.push_back(std::move(correction));
-          ++stats_.splits_a;
+          m_.splits_a->Add(1);
         }
         for (Inbox& inbox : inboxes_) {
           DecisionsPayload copy = corrections;
@@ -405,7 +451,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
         for (const Dirty& d : dirty) is_dirty |= d.node == &node;
         if (is_dirty) continue;
         if (node.opt_split) {
-          ++stats_.splits_b;
+          m_.splits_b->Add(1);
         } else {
           FinalizeLeaf(node, tree);
         }
@@ -429,6 +475,11 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
       };
       std::vector<PendingA> pending;
 
+      obs::TraceSpan split_span("phase", "find_split");
+      if (split_span.active()) {
+        split_span.AddArg("layer", static_cast<int64_t>(layer));
+        split_span.AddArg("nodes", static_cast<int64_t>(active.size()));
+      }
       Stopwatch timer;
       for (NodeState& node : active) {
         SplitCandidate best_a;
@@ -467,7 +518,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
           d.right = right_id;
           d.placement = placement;
           split_node(node, left_id, right_id, placement);
-          ++stats_.splits_b;
+          m_.splits_b->Add(1);
         } else if (best_a.valid()) {
           const int32_t left_id = tree->AddNode();
           const int32_t right_id = tree->AddNode();
@@ -494,14 +545,15 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
           d.action = NodeAction::kSplitResolved;  // placement filled later
           d.left = left_id;
           d.right = right_id;
-          ++stats_.splits_a;
+          m_.splits_a->Add(1);
         } else {
           d.action = NodeAction::kLeaf;
           FinalizeLeaf(node, tree);
         }
         resolved.decisions.push_back(std::move(d));
       }
-      stats_.party_b.find_split += timer.ElapsedSeconds();
+      m_.phase_find_split->Observe(timer.ElapsedSeconds());
+      split_span.End();
 
       // Query owners for placements of A-won splits.
       for (size_t p = 0; p < inboxes_.size(); ++p) {
@@ -512,11 +564,11 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
             EncodeDecisions(queries[p], MessageType::kSplitQueries));
       }
       for (const PendingA& pa : pending) {
-        Stopwatch wait;
+        PhaseClock wait(m_.phase_comm_wait, "comm_wait");
         VF2_ASSIGN_OR_RETURN(
             Message msg,
             inboxes_[pa.owner].ReceiveType(MessageType::kPlacement));
-        stats_.party_b.comm_wait += wait.ElapsedSeconds();
+        wait.Stop();
         PlacementPayload placement;
         VF2_RETURN_IF_ERROR(DecodePlacement(msg, &placement));
         if (placement.node != pa.node->id ||
@@ -545,6 +597,10 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
 }
 
 Result<PartyBResult> PartyBEngine::Run() {
+  // Trace/log attribution: B runs on the caller's (trainer's) thread, so the
+  // scope restores the previous binding on exit. pid = party index + 1 (B
+  // comes last; pid 0 is the trainer).
+  obs::ThreadPartyScope party_scope(party_b_index_ + 1, "party B");
   Result<PartyBResult> result = RunInternal();
   // Close every channel so A engines blocked on their inboxes fail with the
   // root cause instead of hanging (clean closes drain pending messages, so
@@ -587,18 +643,23 @@ Result<PartyBResult> PartyBEngine::RunInternal() {
     inbox.Send(Message{MessageType::kTrainDone, {}});
   }
 
+  size_t bytes_sent = 0;
   for (Inbox& inbox : inboxes_) {
-    const ChannelStats sent = inbox.endpoint()->sent_stats();
-    stats_.bytes_b_to_a += sent.bytes;
-    stats_.inbox_high_water =
-        std::max(stats_.inbox_high_water, inbox.buffered_high_water());
+    bytes_sent += inbox.endpoint()->sent_stats().bytes;
+    m_.inbox_high_water->Max(
+        static_cast<double>(inbox.buffered_high_water()));
   }
+  m_.bytes_sent->Set(static_cast<double>(bytes_sent));
   if (noise_pool_ != nullptr) {
+    // Merge the pool's atomic counters into the registry exactly once, after
+    // the last Encrypt (producers may still run, but consumers are done).
     const NoisePool::Stats ps = noise_pool_->stats();
-    stats_.noise_pool_hits = ps.hits;
-    stats_.noise_pool_misses = ps.misses;
-    stats_.noise_pool_produced = ps.produced;
+    m_.noise_pool_hits->Add(ps.hits);
+    m_.noise_pool_misses->Add(ps.misses);
+    m_.noise_pool_produced->Add(ps.produced);
+    m_.noise_pool_fill->Set(static_cast<double>(noise_pool_->fill()));
   }
+  stats_ = m_.Snapshot(/*is_b=*/true);
   result.stats = stats_;
   return result;
 }

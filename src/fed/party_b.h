@@ -7,6 +7,7 @@
 
 #include "common/threadpool.h"
 #include "data/dataset.h"
+#include "fed/fed_metrics.h"
 #include "fed/inbox.h"
 #include "fed/protocol.h"
 #include "gbdt/loss.h"
@@ -85,6 +86,10 @@ class PartyBEngine {
   std::vector<GradPair> grads_;
   std::map<int32_t, uint32_t> hist_epoch_;
 
+  // Live counters/timings are registry handles (see FedStats threading
+  // contract in protocol.h); stats_ is derived from them after training.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
+  PartyMetrics m_;
   FedStats stats_;
 };
 

@@ -15,6 +15,10 @@
 
 namespace vf2boost {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Everything that selects a protocol level and its knobs.
 ///
 /// The four optimization flags correspond 1:1 to the paper's techniques;
@@ -70,6 +74,14 @@ struct FedConfig {
   size_t max_inbox_buffered = 4096;
   uint64_t seed = 42;
 
+  /// External metrics registry shared by every engine of the run. When null,
+  /// FedTrainer provides a per-run registry internally (and engines built
+  /// directly, e.g. in tests, create their own). All protocol counters and
+  /// phase timings live in the registry — FedStats below is a derived
+  /// snapshot. Trace recording is orthogonal: install an obs::TraceRecorder
+  /// globally (TraceRecorder::Install) before Train to capture spans.
+  obs::MetricsRegistry* metrics = nullptr;
+
   FixedPointCodec MakeCodec() const {
     return FixedPointCodec(codec_base, codec_min_exponent,
                            codec_num_exponents);
@@ -119,6 +131,16 @@ struct PhaseTimes {
 };
 
 /// Counters published by a training run (ablation tables & tests).
+///
+/// Threading contract (single-writer rule): FedStats is a plain snapshot
+/// struct with NO internal synchronization. Live counters that may be
+/// touched off the engine thread (worker-pool tasks, noise-pool producers,
+/// channel internals) live in atomic homes — obs::MetricsRegistry handles
+/// or NoisePool's atomic Stats — and are merged into a FedStats exactly
+/// once, by the owning engine thread, after its helper threads have
+/// finished (PartyMetrics::Snapshot). Code must never write a FedStats
+/// field from more than one thread, and must never write one while another
+/// thread can read it.
 struct FedStats {
   size_t encryptions = 0;
   size_t decryptions = 0;

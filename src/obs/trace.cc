@@ -1,0 +1,248 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+namespace obs {
+
+std::atomic<TraceRecorder*> TraceRecorder::g_current{nullptr};
+
+namespace {
+
+// Trace attribution of the calling thread: pid set by SetThreadParty (0 =
+// unattributed), tid a small dense id assigned on first use.
+thread_local uint32_t t_pid = 0;
+std::atomic<uint32_t> g_next_tid{1};
+thread_local uint32_t t_tid = 0;
+
+uint32_t ThreadTid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : origin_(Clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  // Detach if we are still the global recorder so no site dangles into a
+  // destroyed object.
+  TraceRecorder* expected = this;
+  g_current.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+void TraceRecorder::Install() {
+  g_current.store(this, std::memory_order_release);
+}
+
+void TraceRecorder::Uninstall() {
+  g_current.store(nullptr, std::memory_order_release);
+}
+
+void TraceRecorder::SetThreadParty(uint32_t pid,
+                                   const std::string& process_name) {
+  t_pid = pid;
+  TraceRecorder* rec = Current();
+  if (rec == nullptr) return;
+  std::lock_guard<std::mutex> lock(rec->mu_);
+  rec->process_names_[pid] = process_name;
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               origin_)
+      .count();
+}
+
+void TraceRecorder::Append(Event e) {
+  e.pid = t_pid;
+  e.tid = ThreadTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::CompleteSpan(std::string name, const char* category,
+                                 int64_t ts_us, int64_t dur_us,
+                                 std::string args_json) {
+  Event e;
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us < 1 ? 1 : dur_us;  // zero-width spans vanish in viewers
+  e.id = 0;
+  e.name = std::move(name);
+  e.args_json = std::move(args_json);
+  e.category = category;
+  Append(std::move(e));
+}
+
+void TraceRecorder::FlowStart(std::string name, uint64_t id,
+                              std::string args_json) {
+  const int64_t now = NowMicros();
+  // Anchor span: flow arrows bind to enclosing slices in the viewer.
+  CompleteSpan(name, "comm", now, 1, std::move(args_json));
+  Event e;
+  e.ph = 's';
+  e.ts_us = now;
+  e.dur_us = 0;
+  e.id = id;
+  e.name = std::move(name);
+  e.category = "comm";
+  Append(std::move(e));
+}
+
+void TraceRecorder::FlowEnd(std::string name, uint64_t id,
+                            std::string args_json) {
+  const int64_t now = NowMicros();
+  CompleteSpan(name, "comm", now, 1, std::move(args_json));
+  Event e;
+  e.ph = 'f';
+  e.ts_us = now;
+  e.dur_us = 0;
+  e.id = id;
+  e.name = std::move(name);
+  e.category = "comm";
+  Append(std::move(e));
+}
+
+void TraceRecorder::CounterValue(std::string name, double value) {
+  Event e;
+  e.ph = 'C';
+  e.ts_us = NowMicros();
+  e.dur_us = 0;
+  e.id = 0;
+  e.name = std::move(name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"value\":%.6g", value);
+  e.args_json = buf;
+  e.category = "gauge";
+  Append(std::move(e));
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceRecorder::SpanView> TraceRecorder::CompleteSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanView> out;
+  for (const Event& e : events_) {
+    if (e.ph != 'X') continue;
+    out.push_back(SpanView{&e.name, e.pid, e.tid, e.ts_us, e.dur_us});
+  }
+  return out;
+}
+
+std::map<uint32_t, std::string> TraceRecorder::ProcessNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return process_names_;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[256];
+  // Process-name metadata first so viewers label the pid rows.
+  for (const auto& [pid, name] : process_names_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"tid\":0,\"ts\":0,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",\n", pid, JsonEscape(name).c_str());
+    out += buf;
+    first = false;
+  }
+  for (const Event& e : events_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                  "\"ts\":%lld,\"pid\":%u,\"tid\":%u",
+                  first ? "" : ",\n", JsonEscape(e.name).c_str(),
+                  e.category == nullptr ? "" : e.category, e.ph,
+                  static_cast<long long>(e.ts_us), e.pid, e.tid);
+    out += buf;
+    first = false;
+    if (e.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%lld",
+                    static_cast<long long>(e.dur_us));
+      out += buf;
+    }
+    if (e.ph == 's' || e.ph == 'f') {
+      std::snprintf(buf, sizeof(buf), ",\"id\":%llu",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+      if (e.ph == 'f') out += ",\"bp\":\"e\"";
+    }
+    if (!e.args_json.empty()) {
+      out += ",\"args\":{" + e.args_json + "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool TraceRecorder::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    VF2_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) VF2_LOG(Error) << "short write to " << path;
+  return ok;
+}
+
+void TraceSpan::AddArg(const char* key, int64_t value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ",";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld", key,
+                static_cast<long long>(value));
+  args_ += buf;
+}
+
+void TraceSpan::AddArg(const char* key, double value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ",";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, value);
+  args_ += buf;
+}
+
+void TraceSpan::AddArg(const char* key, const std::string& value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += "\"" + std::string(key) + "\":\"" + JsonEscape(value) + "\"";
+}
+
+ThreadPartyScope::ThreadPartyScope(uint32_t pid, const std::string& name)
+    : prev_pid_(t_pid), prev_log_tag_(GetThreadLogContext()) {
+  TraceRecorder::SetThreadParty(pid, name);
+  SetThreadLogContext(name);
+}
+
+ThreadPartyScope::~ThreadPartyScope() {
+  t_pid = prev_pid_;
+  SetThreadLogContext(prev_log_tag_);
+}
+
+}  // namespace obs
+}  // namespace vf2boost

@@ -1,0 +1,350 @@
+#include "obs/trace_check.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace vf2boost {
+namespace obs {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Recursive-descent parser for the JSON subset we emit (no \u escapes
+/// beyond pass-through, no depth limit concerns at our sizes).
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != s_.size()) return Fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr) {
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    auto match = [&](const char* kw) {
+      const size_t len = std::string(kw).size();
+      if (s_.compare(pos_, len, kw) == 0) {
+        pos_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return Fail("bad keyword");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      digits |= std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0;
+      ++pos_;
+    }
+    if (!digits) return Fail("bad number");
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return Fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return Fail("bad \\u escape");
+            pos_ += 4;  // validated presence only; we never emit these
+            *out += '?';
+            break;
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue v;
+      SkipWs();
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool RequireNumber(const JsonValue& event, const char* field,
+                   std::string* error, size_t index) {
+  const JsonValue* v = event.Get(field);
+  if (v == nullptr || !v->is_number()) {
+    *error = "event " + std::to_string(index) + " missing numeric '" +
+             field + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text, error).Parse(out);
+}
+
+bool ValidateTraceJson(const std::string& text, std::string* error,
+                       TraceSummary* summary) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  if (!root.is_object()) {
+    *error = "trace root is not an object";
+    return false;
+  }
+  const JsonValue* events = root.Get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    *error = "missing traceEvents array";
+    return false;
+  }
+  TraceSummary local;
+  // B/E nesting depth per (pid, tid); flow ids seen anywhere in the file.
+  // Flow matching is deliberately order-insensitive: the recorder appends
+  // events from many threads, so a receiver can land its 'f' in the array
+  // before the sender's 's' (both are emitted outside the channel lock).
+  // The trace format keys flows by id, not array position.
+  std::map<std::pair<double, double>, long> depth;
+  std::set<double> flow_started;
+  std::vector<double> flow_finished;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (!e.is_object()) {
+      *error = "event " + std::to_string(i) + " is not an object";
+      return false;
+    }
+    const JsonValue* ph = e.Get("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1) {
+      *error = "event " + std::to_string(i) + " missing 'ph'";
+      return false;
+    }
+    if (!RequireNumber(e, "ts", error, i) ||
+        !RequireNumber(e, "pid", error, i) ||
+        !RequireNumber(e, "tid", error, i)) {
+      return false;
+    }
+    const JsonValue* name = e.Get("name");
+    if (name == nullptr || !name->is_string()) {
+      *error = "event " + std::to_string(i) + " missing 'name'";
+      return false;
+    }
+    ++local.events;
+    const char kind = ph->string[0];
+    const auto key = std::make_pair(e.Get("pid")->number,
+                                    e.Get("tid")->number);
+    switch (kind) {
+      case 'X': {
+        const JsonValue* dur = e.Get("dur");
+        if (dur == nullptr || !dur->is_number() || dur->number < 0) {
+          *error = "complete event " + std::to_string(i) +
+                   " missing nonnegative 'dur'";
+          return false;
+        }
+        ++local.complete_spans;
+        ++local.span_counts[name->string];
+        break;
+      }
+      case 'B':
+        ++depth[key];
+        break;
+      case 'E':
+        if (--depth[key] < 0) {
+          *error = "unbalanced 'E' event at index " + std::to_string(i);
+          return false;
+        }
+        break;
+      case 's':
+      case 'f': {
+        const JsonValue* id = e.Get("id");
+        if (id == nullptr || !id->is_number()) {
+          *error = "flow event " + std::to_string(i) + " missing 'id'";
+          return false;
+        }
+        if (kind == 's') {
+          flow_started.insert(id->number);
+          ++local.flow_starts;
+        } else {
+          flow_finished.push_back(id->number);
+          ++local.flow_ends;
+        }
+        break;
+      }
+      case 'C':
+        ++local.counters;
+        break;
+      case 'M':
+        break;  // metadata
+      default:
+        *error = std::string("unknown phase '") + kind + "' at index " +
+                 std::to_string(i);
+        return false;
+    }
+  }
+  for (const auto& [key, d] : depth) {
+    if (d != 0) {
+      *error = "unbalanced B/E spans on pid " + std::to_string(key.first) +
+               " tid " + std::to_string(key.second);
+      return false;
+    }
+  }
+  // A dangling 's' is legal (the message was dropped in flight); a 'f'
+  // with no 's' anywhere means the recorder fabricated a delivery.
+  for (double id : flow_finished) {
+    if (flow_started.count(id) == 0) {
+      *error = "flow finish without start (id " + std::to_string(id) + ")";
+      return false;
+    }
+  }
+  if (summary != nullptr) *summary = std::move(local);
+  return true;
+}
+
+bool ValidateMetricsJson(const std::string& text, std::string* error,
+                         std::vector<std::string>* names) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  if (!root.is_object()) {
+    *error = "metrics root is not an object";
+    return false;
+  }
+  const JsonValue* list = root.Get("benchmarks");
+  if (list == nullptr || !list->is_array()) {
+    *error = "missing benchmarks array";
+    return false;
+  }
+  for (size_t i = 0; i < list->array.size(); ++i) {
+    const JsonValue& m = list->array[i];
+    const JsonValue* name = m.Get("name");
+    const JsonValue* value = m.Get("value");
+    const JsonValue* unit = m.Get("unit");
+    if (name == nullptr || !name->is_string() || value == nullptr ||
+        !value->is_number() || unit == nullptr || !unit->is_string()) {
+      *error = "metric " + std::to_string(i) +
+               " must have string name, numeric value, string unit";
+      return false;
+    }
+    if (names != nullptr) names->push_back(name->string);
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace vf2boost

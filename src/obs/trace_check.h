@@ -1,0 +1,61 @@
+#ifndef VF2BOOST_OBS_TRACE_CHECK_H_
+#define VF2BOOST_OBS_TRACE_CHECK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vf2boost {
+namespace obs {
+
+/// \brief Minimal JSON value tree — just enough to validate the files this
+/// subsystem emits (and keep CI free of external JSON dependencies).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  /// Object member or nullptr.
+  const JsonValue* Get(const std::string& key) const;
+};
+
+/// Parses strict JSON. Returns false and sets *error on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+/// Summary of a validated trace (for tools that want to report coverage).
+struct TraceSummary {
+  size_t events = 0;
+  size_t complete_spans = 0;
+  size_t flow_starts = 0;
+  size_t flow_ends = 0;
+  size_t counters = 0;
+  std::map<std::string, size_t> span_counts;  ///< per span name
+};
+
+/// Validates Chrome trace-event JSON as emitted by TraceRecorder:
+///  - top-level object with a `traceEvents` array,
+///  - every event has ph/ts/pid/tid (and dur for "X", id for "s"/"f"),
+///  - any "B"/"E" duration events balance per (pid, tid),
+///  - every flow finish ("f") has a matching start ("s") with the same id.
+/// Returns false and sets *error on the first violation.
+bool ValidateTraceJson(const std::string& text, std::string* error,
+                       TraceSummary* summary = nullptr);
+
+/// Validates flat metrics JSON ({"benchmarks": [{name, value, unit}...]}).
+/// On success, *names (when non-null) receives every metric name.
+bool ValidateMetricsJson(const std::string& text, std::string* error,
+                         std::vector<std::string>* names = nullptr);
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_TRACE_CHECK_H_

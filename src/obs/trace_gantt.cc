@@ -1,0 +1,96 @@
+#include "obs/trace_gantt.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace vf2boost {
+namespace obs {
+
+std::string RenderTraceGantt(const TraceRecorder& recorder, size_t width) {
+  auto spans = recorder.CompleteSpans();
+  const auto names = recorder.ProcessNames();
+  if (spans.empty() || width == 0) return "(empty trace)\n";
+
+  // Paint long spans first: RAII spans are appended at destruction, so an
+  // umbrella span (whole tree, whole run) lands AFTER the phases nested in
+  // it and would otherwise paint over them. Duration order makes the
+  // innermost phase win the pixel regardless of emission order.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceRecorder::SpanView& a,
+                      const TraceRecorder::SpanView& b) {
+                     return a.dur_us > b.dur_us;
+                   });
+
+  int64_t t0 = spans.front().ts_us;
+  int64_t t1 = 0;
+  for (const auto& s : spans) {
+    t0 = std::min(t0, s.ts_us);
+    t1 = std::max(t1, s.ts_us + s.dur_us);
+  }
+  if (t1 <= t0) return "(empty trace)\n";
+  const double makespan = static_cast<double>(t1 - t0);
+
+  // Row per (pid, tid), ordered by party then thread. Deeper/later spans
+  // overwrite earlier paint, which matches how nested phase spans read:
+  // the innermost phase wins the pixel.
+  std::map<std::pair<uint32_t, uint32_t>, std::string> rows;
+  std::map<char, std::set<std::string>> legend;
+  for (const auto& s : spans) {
+    auto [it, inserted] =
+        rows.try_emplace({s.pid, s.tid}, std::string(width, '.'));
+    std::string& row = it->second;
+    size_t begin = static_cast<size_t>(
+        static_cast<double>(s.ts_us - t0) / makespan * width);
+    size_t end = static_cast<size_t>(
+        static_cast<double>(s.ts_us + s.dur_us - t0) / makespan * width);
+    begin = std::min(begin, width - 1);
+    end = std::min(std::max(end, begin + 1), width);
+    const char phase = s.name->empty()
+                           ? '?'
+                           : static_cast<char>(std::toupper(
+                                 static_cast<unsigned char>((*s.name)[0])));
+    for (size_t i = begin; i < end; ++i) row[i] = phase;
+    legend[phase].insert(*s.name);
+  }
+
+  size_t name_width = 0;
+  auto row_label = [&](uint32_t pid, uint32_t tid) {
+    const auto it = names.find(pid);
+    const std::string party =
+        it != names.end() ? it->second : "pid" + std::to_string(pid);
+    return party + "/t" + std::to_string(tid);
+  };
+  for (const auto& [key, row] : rows) {
+    name_width = std::max(name_width, row_label(key.first, key.second).size());
+  }
+
+  std::string out;
+  for (const auto& [key, row] : rows) {
+    std::string label = row_label(key.first, key.second);
+    label.resize(name_width, ' ');
+    out += label + " |" + row + "|\n";
+  }
+  char footer[128];
+  std::snprintf(footer, sizeof(footer), "%*s  0%*s%.3fs\n",
+                static_cast<int>(name_width), "",
+                static_cast<int>(width - 1), "", makespan / 1e6);
+  out += footer;
+  out += "  (";
+  bool first = true;
+  for (const auto& [phase, span_names] : legend) {
+    for (const std::string& n : span_names) {
+      if (!first) out += " ";
+      out += std::string(1, phase) + "=" + n;
+      first = false;
+    }
+  }
+  out += ")\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace vf2boost

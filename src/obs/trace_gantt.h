@@ -1,0 +1,23 @@
+#ifndef VF2BOOST_OBS_TRACE_GANTT_H_
+#define VF2BOOST_OBS_TRACE_GANTT_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace vf2boost {
+namespace obs {
+
+/// Renders the complete spans of a REAL traced run as a text Gantt chart —
+/// the live-protocol counterpart of sim/gantt.h's simulator renderer. One
+/// row per (party, thread), spans painted with the first letter of their
+/// name, '.' for idle; a legend maps letters back to span names. Lets the
+/// Fig-4/5 overlap analysis run on actual measurements next to the
+/// simulated schedule.
+std::string RenderTraceGantt(const TraceRecorder& recorder,
+                             size_t width = 100);
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_TRACE_GANTT_H_

@@ -1,0 +1,343 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fed/fed_trainer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_check.h"
+#include "obs/trace_gantt.h"
+
+namespace vf2boost {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+using obs::TraceSpan;
+using obs::TraceSummary;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, HandlesAreStableAndTyped) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("events");
+  Gauge* g = reg.GetGauge("depth", "tasks");
+  Histogram* h = reg.GetHistogram("latency");
+  c->Add(3);
+  g->Set(7.5);
+  h->Observe(0.5);
+  // Same name returns the same object, not a fresh one.
+  EXPECT_EQ(c, reg.GetCounter("events"));
+  EXPECT_EQ(g, reg.GetGauge("depth"));
+  EXPECT_EQ(h, reg.GetHistogram("latency"));
+  EXPECT_EQ(c->value(), 3u);
+  EXPECT_DOUBLE_EQ(g->value(), 7.5);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, GaugeMaxIsHighWaterMark) {
+  Gauge g;
+  g.Max(4);
+  g.Max(2);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 4);
+  g.Max(9);
+  EXPECT_DOUBLE_EQ(g.value(), 9);
+}
+
+TEST(MetricsRegistryTest, HistogramStatsAndBuckets) {
+  Histogram h;  // 1us first bucket, x2 growth
+  h.Observe(0.5e-6);
+  h.Observe(3e-6);
+  h.Observe(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_NEAR(h.sum(), 1.0 + 3.5e-6, 1e-12);
+  EXPECT_NEAR(h.mean(), h.sum() / 3, 1e-12);
+  // 0.5us lands in bucket 0 (<= 1us); 3us in bucket 2 (<= 4us).
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_DOUBLE_EQ(h.BucketUpper(0), 1e-6);
+  EXPECT_DOUBLE_EQ(h.BucketUpper(2), 4e-6);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramMinIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+}
+
+TEST(MetricsRegistryTest, ExportsValidFlatJson) {
+  MetricsRegistry reg;
+  reg.GetCounter("enc")->Add(42);
+  reg.GetGauge("fill", "ct")->Set(17);
+  reg.GetHistogram("phase")->Observe(0.25);
+  reg.SetValue("wall_time", 1.5, "s");
+  reg.SetValue("wall_time", 2.5, "s");  // overwrite, not duplicate
+
+  std::string error;
+  std::vector<std::string> names;
+  ASSERT_TRUE(obs::ValidateMetricsJson(reg.ToJson(), &error, &names)) << error;
+  // Histogram exports 5 flat entries; the rest one each.
+  EXPECT_EQ(names.size(), 3u + 5u);
+  auto has = [&](const std::string& n) {
+    for (const auto& name : names)
+      if (name == n) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("enc"));
+  EXPECT_TRUE(has("fill"));
+  EXPECT_TRUE(has("wall_time"));
+  EXPECT_TRUE(has("phase"));  // histogram sum exports under the bare name
+  EXPECT_TRUE(has("phase/count"));
+  EXPECT_TRUE(has("phase/mean"));
+  EXPECT_TRUE(has("phase/min"));
+  EXPECT_TRUE(has("phase/max"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentHammer) {
+  // The exact access pattern the trainer uses: handles resolved up front,
+  // then hot-path atomics from many threads, plus concurrent first-use
+  // registration of fresh names. Run under TSan in CI.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  Counter* shared = reg.GetCounter("shared");
+  Gauge* high_water = reg.GetGauge("hw");
+  Histogram* lat = reg.GetHistogram("lat");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* own = reg.GetCounter("own" + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        shared->Add(1);
+        own->Add(1);
+        high_water->Max(t * kIters + i);
+        lat->Observe(1e-6 * (i + 1));
+        if (i % 512 == 0) {
+          reg.SetValue("scratch" + std::to_string(t), i, "n");
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(shared->value(), uint64_t{kThreads} * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.GetCounter("own" + std::to_string(t))->value(),
+              uint64_t{kIters});
+  }
+  EXPECT_DOUBLE_EQ(high_water->value(), (kThreads - 1) * kIters + kIters - 1);
+  EXPECT_EQ(lat->count(), uint64_t{kThreads} * kIters);
+  std::string error;
+  ASSERT_TRUE(obs::ValidateMetricsJson(reg.ToJson(), &error, nullptr))
+      << error;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TEST(TraceTest, DisabledSpansAreInert) {
+  ASSERT_EQ(TraceRecorder::Current(), nullptr);
+  TraceSpan span("phase", "nothing");
+  EXPECT_FALSE(span.active());
+  span.AddArg("k", int64_t{1});  // must not crash
+  TraceRecorder::SetThreadParty(3, "ghost");
+  VF2_TRACE_SPAN("phase", "also_nothing");
+}
+
+TEST(TraceTest, RecorderEmitsValidJson) {
+  TraceRecorder rec;
+  rec.Install();
+  {
+    obs::ThreadPartyScope party(1, "party A0");
+    {
+      TraceSpan span("phase", "build_hist");
+      span.AddArg("node", int64_t{5});
+      span.AddArg("note", std::string("quote\"me"));
+    }
+    rec.FlowStart("snd Hist", 7, "\"bytes\":128");
+    rec.FlowEnd("rcv Hist", 7, "");
+    rec.CounterValue("pool_fill", 42);
+  }
+  TraceRecorder::Uninstall();
+
+  std::string error;
+  TraceSummary summary;
+  ASSERT_TRUE(obs::ValidateTraceJson(rec.ToJson(), &error, &summary)) << error;
+  // 1 explicit span + 2 flow anchor spans; 1 s + 1 f; 1 counter sample.
+  EXPECT_EQ(summary.complete_spans, 3u);
+  EXPECT_EQ(summary.flow_starts, 1u);
+  EXPECT_EQ(summary.flow_ends, 1u);
+  EXPECT_EQ(summary.counters, 1u);
+  EXPECT_EQ(summary.span_counts["build_hist"], 1u);
+  const auto names = rec.ProcessNames();
+  ASSERT_EQ(names.count(1), 1u);
+  EXPECT_EQ(names.at(1), "party A0");
+}
+
+TEST(TraceTest, ThreadPartyScopeRestoresPreviousBinding) {
+  TraceRecorder rec;
+  rec.Install();
+  {
+    obs::ThreadPartyScope outer(2, "outer");
+    { obs::ThreadPartyScope inner(5, "inner"); }
+    TraceSpan span("phase", "after_inner");
+  }
+  TraceRecorder::Uninstall();
+  const auto spans = rec.CompleteSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].pid, 2u) << "inner scope leaked its pid";
+}
+
+TEST(TraceTest, FlowMatchingIsOrderInsensitive) {
+  // The recorder appends from many threads: the receiver's 'f' can land in
+  // the event array before the sender's 's'. The validator must match flows
+  // by id, not array order.
+  TraceRecorder rec;
+  rec.Install();
+  rec.FlowEnd("rcv Msg", 99, "");
+  rec.FlowStart("snd Msg", 99, "");
+  // A dangling start is legal too: the message was dropped in flight.
+  rec.FlowStart("snd Lost", 100, "");
+  TraceRecorder::Uninstall();
+  std::string error;
+  TraceSummary summary;
+  ASSERT_TRUE(obs::ValidateTraceJson(rec.ToJson(), &error, &summary)) << error;
+  EXPECT_EQ(summary.flow_starts, 2u);
+  EXPECT_EQ(summary.flow_ends, 1u);
+}
+
+TEST(TraceTest, ValidatorRejectsFabricatedDelivery) {
+  TraceRecorder rec;
+  rec.Install();
+  rec.FlowEnd("rcv Msg", 123, "");  // no matching start anywhere
+  TraceRecorder::Uninstall();
+  std::string error;
+  EXPECT_FALSE(obs::ValidateTraceJson(rec.ToJson(), &error, nullptr));
+  EXPECT_NE(error.find("flow finish without start"), std::string::npos)
+      << error;
+}
+
+TEST(TraceTest, ValidatorRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(obs::ValidateTraceJson("not json", &error, nullptr));
+  EXPECT_FALSE(obs::ValidateTraceJson("{}", &error, nullptr));
+  EXPECT_FALSE(obs::ValidateTraceJson(R"({"traceEvents": 3})", &error,
+                                      nullptr));
+  // Events must carry ph/ts/pid/tid/name.
+  EXPECT_FALSE(obs::ValidateTraceJson(
+      R"({"traceEvents": [{"ph": "X", "name": "x"}]})", &error, nullptr));
+  EXPECT_FALSE(obs::ValidateTraceJson(
+      R"({"traceEvents": [{"ts": 1, "pid": 0, "tid": 0, "name": "x"}]})",
+      &error, nullptr));
+  // Complete spans need a nonnegative duration.
+  EXPECT_FALSE(obs::ValidateTraceJson(
+      R"({"traceEvents": [{"ph": "X", "ts": 1, "pid": 0, "tid": 0,)"
+      R"( "name": "x", "dur": -5}]})",
+      &error, nullptr));
+  EXPECT_FALSE(obs::ValidateMetricsJson("[]", &error, nullptr));
+  EXPECT_FALSE(obs::ValidateMetricsJson("{}", &error, nullptr));
+}
+
+TEST(TraceTest, ConcurrentEmission) {
+  // Hammer one recorder from many party-bound threads; the resulting trace
+  // must still be structurally valid with every flow matched. Run under
+  // TSan in CI.
+  TraceRecorder rec;
+  rec.Install();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::ThreadPartyScope party(static_cast<uint32_t>(t),
+                                  "party " + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t id = static_cast<uint64_t>(t) * kIters + i;
+        {
+          TraceSpan span("phase", "work");
+          span.AddArg("i", int64_t{i});
+        }
+        rec.FlowStart("snd", id, "");
+        rec.FlowEnd("rcv", id, "");
+        rec.CounterValue("progress", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  TraceRecorder::Uninstall();
+
+  std::string error;
+  TraceSummary summary;
+  ASSERT_TRUE(obs::ValidateTraceJson(rec.ToJson(), &error, &summary)) << error;
+  EXPECT_EQ(summary.span_counts["work"], size_t{kThreads} * kIters);
+  EXPECT_EQ(summary.flow_starts, size_t{kThreads} * kIters);
+  EXPECT_EQ(summary.flow_ends, size_t{kThreads} * kIters);
+  EXPECT_EQ(rec.ProcessNames().size(), size_t{kThreads});
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a traced federated run
+
+TEST(TraceTest, TracedFedRunProducesBalancedTrace) {
+  SyntheticSpec sspec;
+  sspec.rows = 400;
+  sspec.cols = 12;
+  sspec.density = 0.6;
+  sspec.seed = 51;
+  Dataset all = GenerateSynthetic(sspec);
+  Rng rng(52);
+  VerticalSplitSpec spec = SplitColumnsRandomly(sspec.cols, {0.5, 0.5}, &rng);
+  auto shards = PartitionVertically(all, spec, /*label_party=*/1);
+  ASSERT_TRUE(shards.ok());
+
+  FedConfig config = FedConfig::Vf2Boost();
+  config.mock_crypto = true;
+  config.gbdt.num_trees = 2;
+  config.gbdt.num_layers = 4;
+  config.gbdt.max_bins = 8;
+  MetricsRegistry registry;
+  config.metrics = &registry;
+
+  TraceRecorder rec;
+  rec.Install();
+  auto result = FedTrainer(config).Train(*shards);
+  TraceRecorder::Uninstall();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::string error;
+  TraceSummary summary;
+  ASSERT_TRUE(obs::ValidateTraceJson(rec.ToJson(), &error, &summary)) << error;
+  // Every delivered message links send to receive.
+  EXPECT_EQ(summary.flow_starts, summary.flow_ends);
+  EXPECT_GT(summary.flow_starts, 0u);
+  // The protocol phases all show up as spans.
+  for (const char* name : {"fed_train", "tree", "encrypt", "build_hist",
+                           "decrypt", "find_split", "pack"}) {
+    EXPECT_GT(summary.span_counts[name], 0u) << "missing span " << name;
+  }
+  // The shared registry saw the same run the trace did.
+  EXPECT_EQ(registry.GetCounter("party_b/encryptions")->value(),
+            result->stats.encryptions);
+  EXPECT_EQ(registry.GetCounter("party_b/leaves")->value(),
+            result->stats.leaves);
+  // The text gantt renders a row per traced thread.
+  const std::string gantt = obs::RenderTraceGantt(rec, 60);
+  EXPECT_NE(gantt.find("party B"), std::string::npos) << gantt;
+  EXPECT_NE(gantt.find("party A0"), std::string::npos) << gantt;
+}
+
+}  // namespace
+}  // namespace vf2boost

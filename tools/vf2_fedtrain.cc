@@ -7,12 +7,16 @@
 //                --key-bits 512 --model fed_model.txt
 
 #include <cstdio>
+#include <memory>
 
 #include "data/io.h"
 #include "data/partition.h"
 #include "fed/fed_trainer.h"
 #include "gbdt/model_io.h"
 #include "metrics/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "obs/trace_gantt.h"
 #include "tools/flags.h"
 
 int main(int argc, char** argv) {
@@ -31,7 +35,10 @@ int main(int argc, char** argv) {
        {"bins", "histogram bins s (default 20)"},
        {"lr", "learning rate (default 0.1)"},
        {"workers", "intra-party workers (default 1)"},
-       {"seed", "partition/crypto seed (default 42)"}});
+       {"seed", "partition/crypto seed (default 42)"},
+       {"trace-out", "write a Chrome trace-event JSON (Perfetto-loadable)"},
+       {"metrics-out", "write the metrics registry as flat JSON"},
+       {"gantt", "print a text gantt of the traced run (needs --trace-out)"}});
   flags.Require({"data"});
 
   auto train = LoadLibsvm(flags.GetString("data"));
@@ -89,7 +96,19 @@ int main(int argc, char** argv) {
   std::printf("party B : %zu features + labels\n",
               shards->back().columns());
 
+  // Observability: the registry collects every engine's counters/timings
+  // (exported via --metrics-out); the recorder, when requested, captures the
+  // real protocol timeline (spans + message flows) for Perfetto.
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (flags.Has("trace-out") || flags.GetBool("gantt")) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->Install();
+  }
+
   auto result = FedTrainer(config).Train(shards.value());
+  if (recorder != nullptr) obs::TraceRecorder::Uninstall();
   if (!result.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
                  result.status().ToString().c_str());
@@ -106,6 +125,23 @@ int main(int argc, char** argv) {
               s.decryptions, s.hadds, s.scalings, s.packs);
   std::printf("splits A %zu / B %zu, leaves %zu, dirty %zu\n", s.splits_a,
               s.splits_b, s.leaves, s.dirty_nodes);
+
+  if (recorder != nullptr) {
+    if (flags.Has("trace-out")) {
+      const std::string path = flags.GetString("trace-out");
+      if (!recorder->WriteJson(path)) return 1;
+      std::printf("wrote %zu trace events to %s (load in ui.perfetto.dev)\n",
+                  recorder->num_events(), path.c_str());
+    }
+    if (flags.GetBool("gantt")) {
+      std::printf("%s", RenderTraceGantt(*recorder).c_str());
+    }
+  }
+  if (flags.Has("metrics-out")) {
+    const std::string path = flags.GetString("metrics-out");
+    if (!registry.WriteJson(path)) return 1;
+    std::printf("wrote %zu metrics to %s\n", registry.size(), path.c_str());
+  }
 
   auto joint = result->ToJointModel(spec);
   if (!joint.ok()) {

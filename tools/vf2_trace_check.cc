@@ -1,0 +1,126 @@
+// Validates the observability artifacts of a traced run: a Chrome
+// trace-event JSON (--trace) and/or a flat metrics JSON (--metrics).
+// Exits nonzero on the first structural violation, so CI can gate on it:
+//
+//   vf2_trace_check --trace trace.json --metrics metrics.json
+//                   --require-span encrypt,build_hist --min-events 100
+//
+// --require-span takes a comma-separated list of span names that must each
+// appear at least once (e.g. opt_split,rollback to prove the optimistic
+// pipeline actually exercised a dirty-node correction).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.h"
+#include "tools/flags.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vf2boost;
+  tools::Flags flags(
+      argc, argv,
+      {{"trace", "Chrome trace-event JSON to validate"},
+       {"metrics", "flat metrics JSON to validate"},
+       {"require-span", "comma-separated span names that must appear"},
+       {"min-events", "minimum trace event count (default 1)"},
+       {"quiet", "suppress the summary output"}});
+  if (!flags.Has("trace") && !flags.Has("metrics")) {
+    std::fprintf(stderr, "nothing to check: pass --trace and/or --metrics\n");
+    return 2;
+  }
+  const bool quiet = flags.GetBool("quiet");
+
+  if (flags.Has("trace")) {
+    const std::string path = flags.GetString("trace");
+    std::string text;
+    if (!ReadFile(path, &text)) return 1;
+    std::string error;
+    obs::TraceSummary summary;
+    if (!obs::ValidateTraceJson(text, &error, &summary)) {
+      std::fprintf(stderr, "%s: INVALID trace: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    const size_t min_events =
+        static_cast<size_t>(flags.GetInt("min-events", 1));
+    if (summary.events < min_events) {
+      std::fprintf(stderr, "%s: only %zu events, expected >= %zu\n",
+                   path.c_str(), summary.events, min_events);
+      return 1;
+    }
+    for (const std::string& name :
+         SplitCommas(flags.GetString("require-span"))) {
+      const auto it = summary.span_counts.find(name);
+      if (it == summary.span_counts.end() || it->second == 0) {
+        std::fprintf(stderr, "%s: required span \"%s\" never appears\n",
+                     path.c_str(), name.c_str());
+        return 1;
+      }
+    }
+    if (!quiet) {
+      std::printf(
+          "%s: OK — %zu events (%zu spans, %zu/%zu flow starts/ends, "
+          "%zu counter samples)\n",
+          path.c_str(), summary.events, summary.complete_spans,
+          summary.flow_starts, summary.flow_ends, summary.counters);
+      for (const auto& [name, count] : summary.span_counts) {
+        std::printf("  span %-24s x%zu\n", name.c_str(), count);
+      }
+    }
+  }
+
+  if (flags.Has("metrics")) {
+    const std::string path = flags.GetString("metrics");
+    std::string text;
+    if (!ReadFile(path, &text)) return 1;
+    std::string error;
+    std::vector<std::string> names;
+    if (!obs::ValidateMetricsJson(text, &error, &names)) {
+      std::fprintf(stderr, "%s: INVALID metrics: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (names.empty()) {
+      std::fprintf(stderr, "%s: metrics file is empty\n", path.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("%s: OK — %zu metrics\n", path.c_str(), names.size());
+    }
+  }
+  return 0;
+}
