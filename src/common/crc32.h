@@ -1,0 +1,18 @@
+#ifndef VF2BOOST_COMMON_CRC32_H_
+#define VF2BOOST_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vf2boost {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `len` bytes.
+/// Pass a previous return value as `seed` to checksum data in chunks:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)). Detects all single-bit
+/// and single-byte errors — the integrity floor the wire framing and the
+/// checkpoint files rely on.
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_COMMON_CRC32_H_

@@ -32,6 +32,8 @@ const char* CodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

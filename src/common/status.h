@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kResourceExhausted,
+  kUnavailable,
 };
 
 /// \brief Outcome of an operation: a code plus a human-readable message.
@@ -71,6 +72,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -32,12 +32,33 @@ Status NetworkConfig::Validate() const {
     return Status::InvalidArgument("network delays must be nonnegative");
   }
   if (drop_probability < 0 || drop_probability > 1 ||
-      duplicate_probability < 0 || duplicate_probability > 1) {
+      duplicate_probability < 0 || duplicate_probability > 1 ||
+      corrupt_probability < 0 || corrupt_probability > 1) {
     return Status::InvalidArgument(
         "network fault probabilities must lie in [0, 1]");
   }
   if (max_retransmits < 0) {
     return Status::InvalidArgument("max_retransmits must be >= 0");
+  }
+  if (heal_after_seconds < 0 || reconnect_backoff_base_seconds < 0 ||
+      reconnect_backoff_cap_seconds < 0) {
+    return Status::InvalidArgument(
+        "heal-after and reconnect backoff times must be nonnegative");
+  }
+  if (reconnect_max_attempts < 0) {
+    return Status::InvalidArgument("reconnect_max_attempts must be >= 0");
+  }
+  if (reconnect_max_attempts > 0) {
+    if (default_deadline_seconds <= 0) {
+      return Status::InvalidArgument(
+          "reconnect_max_attempts > 0 requires default_deadline_seconds > 0 "
+          "(a dead link is only detected through receive deadlines)");
+    }
+    if (reconnect_backoff_cap_seconds < reconnect_backoff_base_seconds) {
+      return Status::InvalidArgument(
+          "reconnect_backoff_cap_seconds must be >= "
+          "reconnect_backoff_base_seconds");
+    }
   }
   return Status::OK();
 }
@@ -47,6 +68,10 @@ struct ChannelEndpoint::Queue {
     Clock::time_point deliver;
     uint64_t seq = 0;
     Message msg;
+    /// Non-empty: the frame was damaged in flight — these are the literal
+    /// (bit-flipped) wire bytes, and delivery runs them through DecodeFrame
+    /// so the receiver sees the CRC failure instead of the message.
+    std::vector<uint8_t> damaged_frame;
   };
   std::deque<Item> items;
   Clock::time_point next_free = Clock::now();  // bandwidth serialization point
@@ -136,16 +161,27 @@ void ChannelEndpoint::Send(Message msg) {
         deliver += Seconds(cfg.retransmit_timeout_seconds);
       }
     }
+    std::vector<uint8_t> damaged;
+    if (cfg.corrupt_probability > 0 &&
+        shared_->fault_rng.NextDouble() < cfg.corrupt_probability) {
+      damaged = EncodeFrame(msg);
+      const size_t idx = static_cast<size_t>(
+          shared_->fault_rng.NextBounded(damaged.size()));
+      damaged[idx] ^=
+          static_cast<uint8_t>(1 + shared_->fault_rng.NextBounded(255));
+      out_->sent.corrupted += 1;
+    }
     const uint64_t seq = out_->next_seq++;
     flow_id = FlowId(out_->flow_dir, seq);
-    out_->items.push_back(Queue::Item{deliver, seq, msg});
+    out_->items.push_back(Queue::Item{deliver, seq, msg, damaged});
     if (cfg.duplicate_probability > 0 &&
         shared_->fault_rng.NextDouble() < cfg.duplicate_probability) {
       // Gateway redelivery: same sequence number, later arrival. The receiver
       // suppresses it, keeping delivery effectively-once.
       out_->sent.duplicates += 1;
-      out_->items.push_back(Queue::Item{
-          deliver + Seconds(cfg.retransmit_timeout_seconds), seq, msg});
+      out_->items.push_back(
+          Queue::Item{deliver + Seconds(cfg.retransmit_timeout_seconds), seq,
+                      msg, damaged});
     }
     shared_->cv.notify_all();
   }
@@ -191,6 +227,19 @@ Result<Message> ChannelEndpoint::ReceiveInternal(
         const uint64_t seq = in_->items.front().seq;
         const uint64_t flow_id = FlowId(in_->flow_dir, seq);
         in_->last_delivered_seq = seq;
+        if (!in_->items.front().damaged_frame.empty()) {
+          // Injected corruption: decode the damaged wire bytes so the CRC /
+          // header checks produce the receiver-visible error. The message is
+          // consumed (a real gateway delivered garbage), never re-queued.
+          const std::vector<uint8_t> frame =
+              std::move(in_->items.front().damaged_frame);
+          in_->items.pop_front();
+          lock.unlock();
+          Message parsed;
+          Status st = DecodeFrame(frame, &parsed);
+          if (st.ok()) return parsed;  // a flip never decodes cleanly
+          return st;
+        }
         Message msg = std::move(in_->items.front().msg);
         in_->items.pop_front();
         lock.unlock();
@@ -248,6 +297,15 @@ Status ChannelEndpoint::TryReceive(Message* out, bool* got) {
     const uint64_t seq = in_->items.front().seq;
     flow_id = FlowId(in_->flow_dir, seq);
     in_->last_delivered_seq = seq;
+    if (!in_->items.front().damaged_frame.empty()) {
+      const std::vector<uint8_t> frame =
+          std::move(in_->items.front().damaged_frame);
+      in_->items.pop_front();
+      Message parsed;
+      Status st = DecodeFrame(frame, &parsed);
+      if (st.ok()) return st;  // a flip never decodes cleanly
+      return st;
+    }
     *out = std::move(in_->items.front().msg);
     in_->items.pop_front();
     *got = true;

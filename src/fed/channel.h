@@ -50,11 +50,31 @@ struct NetworkConfig {
   /// link silently drops everything (0 = never). Models a peer data center
   /// going dark mid-protocol.
   size_t kill_after_messages = 0;
+  /// Probability that a delivered frame arrives with one byte flipped. The
+  /// CRC in the wire framing catches it and the Receive call returns
+  /// Status::Corruption instead of a mis-parsed message.
+  double corrupt_probability = 0;
   /// Seed of the per-channel fault PRNG (deterministic runs).
   uint64_t fault_seed = 0x5eedULL;
 
+  // --- recovery model (session layer; see fed/session.h) -------------------
+
+  /// Once a dead link's replacement is requested, the rendezvous only
+  /// succeeds after this many seconds — models the outage duration between
+  /// link death and the WAN healing. 0 = heals immediately.
+  double heal_after_seconds = 0;
+  /// Total re-establishment attempts a SessionChannel may spend over the
+  /// whole run (its reconnect budget). 0 disables the session layer: the
+  /// engines keep PR 1's fail-fast behaviour. Requires a nonzero receive
+  /// deadline, otherwise a dead link is never detected in the first place.
+  int reconnect_max_attempts = 0;
+  /// Exponential backoff with decorrelated jitter between reconnect
+  /// attempts: sleep_i = min(cap, uniform(base, 3 * sleep_{i-1})).
+  double reconnect_backoff_base_seconds = 0.05;
+  double reconnect_backoff_cap_seconds = 2.0;
+
   /// Rejects nonsensical knob values (probabilities outside [0, 1], negative
-  /// delays / deadlines).
+  /// delays / deadlines, a reconnect budget without a receive deadline).
   Status Validate() const;
 };
 
@@ -66,6 +86,64 @@ struct ChannelStats {
   size_t duplicates = 0;   ///< injected duplicate deliveries
   size_t dropped = 0;      ///< messages lost permanently (link dead / retries
                            ///< exhausted / sent after close)
+  size_t corrupted = 0;    ///< frames delivered with an injected bit flip
+
+  ChannelStats& operator+=(const ChannelStats& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    retransmits += o.retransmits;
+    duplicates += o.duplicates;
+    dropped += o.dropped;
+    corrupted += o.corrupted;
+    return *this;
+  }
+};
+
+/// True for failures the session layer may recover from by re-establishing
+/// the link and replaying from the last tree boundary: receive deadlines
+/// (silent link death), Unavailable (the peer tore the endpoint down to
+/// resynchronize), and Corruption (a damaged frame — the message is gone but
+/// the protocol state can be rebuilt). Everything else — ProtocolError,
+/// Aborted peer failures, crypto errors — is terminal.
+inline bool IsTransientFault(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+    case StatusCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// \brief Abstract duplex message port the engines talk through.
+///
+/// ChannelEndpoint implements it directly (fail-fast semantics, PR 1);
+/// SessionChannel (fed/session.h) implements it by wrapping a replaceable
+/// ChannelEndpoint and adds crash recovery. Engines hold MessagePort* so the
+/// same protocol code runs over either.
+class MessagePort {
+ public:
+  virtual ~MessagePort() = default;
+
+  virtual void Send(Message msg) = 0;
+  virtual Result<Message> Receive() = 0;
+  virtual Status TryReceive(Message* out, bool* got) = 0;
+  virtual void Close(Status status) = 0;
+  virtual bool closed() const = 0;
+  virtual ChannelStats sent_stats() const = 0;
+
+  /// True when this port can survive transient faults via Reestablish.
+  virtual bool resilient() const { return false; }
+
+  /// Tears down the current link and blocks until a replacement is up and
+  /// the kHello handshake has completed. `last_completed_tree` is advertised
+  /// to the peer so both sides resume from the same tree boundary; the
+  /// peer's hello is returned. Only resilient ports implement this.
+  virtual Result<HelloPayload> Reestablish(int64_t last_completed_tree) {
+    (void)last_completed_tree;
+    return Status::Unimplemented("this port cannot re-establish its link");
+  }
 };
 
 /// \brief One endpoint of a duplex, ordered message channel — the in-process
@@ -79,7 +157,7 @@ struct ChannelStats {
 /// available *and* its simulated network delivery time has passed, or until
 /// the deadline expires, or until either side calls Close. Thread-safe: one
 /// party thread per endpoint.
-class ChannelEndpoint {
+class ChannelEndpoint : public MessagePort {
  public:
   using Clock = std::chrono::steady_clock;
 
@@ -91,7 +169,7 @@ class ChannelEndpoint {
   /// Enqueues a message; returns immediately (the sender's cost is modeled
   /// by the delivery timestamp on the receiver side). Sends on a closed
   /// channel are dropped.
-  void Send(Message msg);
+  void Send(Message msg) override;
 
   /// Blocks until the next message is deliverable and returns it, subject to
   /// the config's default deadline. Error outcomes:
@@ -100,7 +178,7 @@ class ChannelEndpoint {
   ///  - Aborted("channel closed") when it was closed cleanly and every
   ///    pending message has been drained,
   ///  - DeadlineExceeded when default_deadline_seconds elapses first.
-  Result<Message> Receive();
+  Result<Message> Receive() override;
 
   /// Receive with an explicit deadline (overrides the config default).
   Result<Message> ReceiveUntil(Clock::time_point deadline);
@@ -111,20 +189,20 @@ class ChannelEndpoint {
   /// training engines themselves use blocking Receive — Party A learns of
   /// aborted optimistic work through the ordered kVerdicts/kDecisions stream
   /// (hist_epoch_ corrections), not by polling.
-  Status TryReceive(Message* out, bool* got);
+  Status TryReceive(Message* out, bool* got) override;
 
   /// Closes the whole duplex channel: wakes every blocked receiver on BOTH
   /// ends and makes subsequent Receive/TryReceive calls fail as described
   /// above. `status` records why; an engine that failed passes its error so
   /// the peer sees the root cause within one receive call. The first close
   /// wins; later calls are no-ops.
-  void Close(Status status);
+  void Close(Status status) override;
 
   /// True once either side has called Close.
-  bool closed() const;
+  bool closed() const override;
 
   /// Bytes/messages sent from this endpoint.
-  ChannelStats sent_stats() const;
+  ChannelStats sent_stats() const override;
 
  private:
   struct Shared;
@@ -139,13 +217,13 @@ class ChannelEndpoint {
   Queue* out_;
 };
 
-/// \brief RAII guard: closes an endpoint when the owning engine leaves its
+/// \brief RAII guard: closes a port when the owning engine leaves its
 /// Run() scope, propagating the engine's final status so blocked peers fail
 /// with a descriptive Aborted error instead of hanging forever.
 class ChannelCloseGuard {
  public:
   /// `who` names the owning engine in the propagated error (e.g. "party A0").
-  ChannelCloseGuard(ChannelEndpoint* endpoint, std::string who)
+  ChannelCloseGuard(MessagePort* endpoint, std::string who)
       : endpoint_(endpoint), who_(std::move(who)) {}
   ~ChannelCloseGuard() {
     if (endpoint_ == nullptr) return;
@@ -160,7 +238,7 @@ class ChannelCloseGuard {
   void SetStatus(const Status& status) { status_ = status; }
 
  private:
-  ChannelEndpoint* endpoint_;
+  MessagePort* endpoint_;
   std::string who_;
   Status status_;
 };

@@ -30,6 +30,8 @@ PartyMetrics PartyMetrics::Create(obs::MetricsRegistry* registry,
       registry->GetGauge(prefix + "/noise_pool/fill", "nonces");
   m.pool_queue_high_water =
       registry->GetGauge(prefix + "/pool_queue_high_water", "tasks");
+  m.reconnects = registry->GetCounter(prefix + "/session/reconnects");
+  m.trees_resumed = registry->GetCounter(prefix + "/session/trees_resumed");
   m.phase_encrypt = registry->GetHistogram(prefix + "/phase/encrypt");
   m.phase_build_hist = registry->GetHistogram(prefix + "/phase/build_hist");
   m.phase_pack = registry->GetHistogram(prefix + "/phase/pack");
@@ -56,6 +58,8 @@ FedStats PartyMetrics::Snapshot(bool is_b) const {
   s.noise_pool_hits = noise_pool_hits->value();
   s.noise_pool_misses = noise_pool_misses->value();
   s.noise_pool_produced = noise_pool_produced->value();
+  s.reconnects = reconnects->value();
+  s.trees_resumed = trees_resumed->value();
   PhaseTimes& pt = is_b ? s.party_b : s.party_a;
   pt.encrypt = phase_encrypt->sum();
   pt.build_hist = phase_build_hist->sum();

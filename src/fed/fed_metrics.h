@@ -40,6 +40,10 @@ struct PartyMetrics {
   /// High-water task-queue depth of the party's worker pool (registry-only;
   /// FedStats has no legacy slot for it).
   obs::Gauge* pool_queue_high_water = nullptr;
+  /// Session-layer recovery: completed link re-establishments and (Party B)
+  /// trees restored from a checkpoint instead of being retrained.
+  obs::Counter* reconnects = nullptr;
+  obs::Counter* trees_resumed = nullptr;
 
   obs::Histogram* phase_encrypt = nullptr;
   obs::Histogram* phase_build_hist = nullptr;

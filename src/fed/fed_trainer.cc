@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "fed/party_a.h"
 #include "fed/party_b.h"
+#include "fed/session.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -76,14 +77,37 @@ Result<FedTrainResult> FedTrainer::Train(
   }
 
   // One duplex channel per A party, with optional per-party network faults.
-  std::vector<std::unique_ptr<ChannelEndpoint>> a_ends, b_ends;
+  // When any channel has a reconnect budget, a session broker is stood up
+  // and every endpoint is wrapped in a SessionChannel so engines can
+  // re-establish dead links at tree boundaries.
+  std::vector<NetworkConfig> nets;
+  bool any_resilient = false;
   for (size_t p = 0; p < num_a; ++p) {
-    const NetworkConfig& net = p < config.network_per_party.size()
-                                   ? config.network_per_party[p]
-                                   : config.network;
-    auto [a, b] = ChannelEndpoint::CreatePair(net);
-    a_ends.push_back(std::move(a));
-    b_ends.push_back(std::move(b));
+    nets.push_back(p < config.network_per_party.size()
+                       ? config.network_per_party[p]
+                       : config.network);
+    if (nets.back().reconnect_max_attempts > 0) any_resilient = true;
+  }
+  std::unique_ptr<SessionBroker> broker;
+  if (any_resilient) broker = std::make_unique<SessionBroker>(nets);
+  const uint64_t fingerprint = config.Fingerprint();
+  std::vector<std::unique_ptr<MessagePort>> a_ends, b_ends;
+  for (size_t p = 0; p < num_a; ++p) {
+    auto [a, b] = ChannelEndpoint::CreatePair(nets[p]);
+    if (any_resilient) {
+      // Session ids only need to be stable across both sides of one run and
+      // distinct across channels; resumed runs re-derive the same ids.
+      const uint64_t session_id = fingerprint ^ (0x5e55ULL + p);
+      a_ends.push_back(std::make_unique<SessionChannel>(
+          broker.get(), p, /*a_side=*/true, session_id,
+          static_cast<uint32_t>(p), fingerprint, nets[p], std::move(a)));
+      b_ends.push_back(std::make_unique<SessionChannel>(
+          broker.get(), p, /*a_side=*/false, session_id,
+          static_cast<uint32_t>(num_a), fingerprint, nets[p], std::move(b)));
+    } else {
+      a_ends.push_back(std::move(a));
+      b_ends.push_back(std::move(b));
+    }
   }
 
   // Build every engine before spawning any thread: the vector must not
@@ -106,7 +130,7 @@ Result<FedTrainResult> FedTrainer::Train(
     });
   }
 
-  std::vector<ChannelEndpoint*> b_channel_ptrs;
+  std::vector<MessagePort*> b_channel_ptrs;
   for (auto& e : b_ends) b_channel_ptrs.push_back(e.get());
   PartyBEngine party_b_engine(config, party_b, std::move(b_channel_ptrs));
   Result<PartyBResult> b_result = party_b_engine.Run();
@@ -145,16 +169,29 @@ Result<FedTrainResult> FedTrainer::Train(
     out.stats.inbox_high_water =
         std::max(out.stats.inbox_high_water, a.inbox_high_water);
     out.stats.party_a += a.party_a;
+    out.stats.reconnects += a.reconnects;
     out.stats.bytes_a_to_b += a_ends[p]->sent_stats().bytes;
     out.party_a_cuts.push_back(engines[p]->cuts());
   }
-  // Per-direction channel byte gauges (after join: stats are final).
+  // Per-direction channel gauges (after join: stats are final). Sums over
+  // every link generation when the session layer replaced endpoints.
   for (size_t p = 0; p < num_a; ++p) {
     const std::string chan = "channel/a" + std::to_string(p);
-    config.metrics->GetGauge(chan + "/to_b/bytes", "bytes")
-        ->Set(static_cast<double>(a_ends[p]->sent_stats().bytes));
-    config.metrics->GetGauge(chan + "/from_b/bytes", "bytes")
-        ->Set(static_cast<double>(b_ends[p]->sent_stats().bytes));
+    auto export_direction = [&](const std::string& dir,
+                                const ChannelStats& s) {
+      auto set = [&](const char* name, const char* unit, size_t v) {
+        config.metrics->GetGauge(chan + dir + name, unit)
+            ->Set(static_cast<double>(v));
+      };
+      set("/bytes", "bytes", s.bytes);
+      set("/messages", "messages", s.messages);
+      set("/dropped", "messages", s.dropped);
+      set("/retransmits", "messages", s.retransmits);
+      set("/duplicates", "messages", s.duplicates);
+      set("/corrupted", "messages", s.corrupted);
+    };
+    export_direction("/to_b", a_ends[p]->sent_stats());
+    export_direction("/from_b", b_ends[p]->sent_stats());
   }
   return out;
 }

@@ -23,10 +23,15 @@ namespace vf2boost {
 class Inbox {
  public:
   /// `max_buffered` = 0 disables the cap.
-  explicit Inbox(ChannelEndpoint* endpoint, size_t max_buffered = 0)
-      : endpoint_(endpoint), max_buffered_(max_buffered) {}
+  explicit Inbox(MessagePort* port, size_t max_buffered = 0)
+      : endpoint_(port), max_buffered_(max_buffered) {}
 
-  ChannelEndpoint* endpoint() { return endpoint_; }
+  MessagePort* port() { return endpoint_; }
+
+  /// Discards every buffered message. Called on session re-establishment:
+  /// buffered messages belong to the dead link's generation and would
+  /// otherwise be replayed into the resynchronized protocol.
+  void Clear() { buffer_.clear(); }
 
   /// Next message of any type (buffered first). Fails when the channel is
   /// closed or the receive deadline expires (see ChannelEndpoint::Receive).
@@ -75,7 +80,7 @@ class Inbox {
     return Status::OK();
   }
 
-  ChannelEndpoint* endpoint_;
+  MessagePort* endpoint_;
   size_t max_buffered_;
   size_t high_water_ = 0;
   std::deque<Message> buffer_;

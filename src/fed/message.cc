@@ -1,5 +1,8 @@
 #include "fed/message.h"
 
+#include "common/bytes.h"
+#include "common/crc32.h"
+
 namespace vf2boost {
 
 const char* MessageTypeName(MessageType type) {
@@ -32,6 +35,8 @@ const char* MessageTypeName(MessageType type) {
       return "ServeReply";
     case MessageType::kServeDone:
       return "ServeDone";
+    case MessageType::kHello:
+      return "Hello";
     case MessageType::kLrPartial:
       return "LrPartial";
     case MessageType::kLrGradRequest:
@@ -42,6 +47,110 @@ const char* MessageTypeName(MessageType type) {
       return "LrDone";
   }
   return "Unknown";
+}
+
+
+namespace {
+
+/// True for every MessageType value the protocol defines; DecodeFrame uses
+/// this to reject frames whose type byte was corrupted into a gap value.
+bool IsKnownMessageType(uint8_t raw) {
+  return (raw >= 1 && raw <= 15) || (raw >= 20 && raw <= 23);
+}
+
+void PutU32Le(std::vector<uint8_t>* buf, uint32_t v) {
+  buf->push_back(static_cast<uint8_t>(v));
+  buf->push_back(static_cast<uint8_t>(v >> 8));
+  buf->push_back(static_cast<uint8_t>(v >> 16));
+  buf->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint32_t FrameCrc(uint8_t type, const uint8_t* payload, size_t len) {
+  const uint32_t crc_type = Crc32(&type, 1);
+  return Crc32(payload, len, crc_type);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(const Message& msg) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameOverheadBytes + msg.payload.size());
+  frame.push_back(kWireVersion);
+  frame.push_back(static_cast<uint8_t>(msg.type));
+  PutU32Le(&frame, static_cast<uint32_t>(msg.payload.size()));
+  PutU32Le(&frame,
+           FrameCrc(static_cast<uint8_t>(msg.type), msg.payload.data(),
+                    msg.payload.size()));
+  frame.insert(frame.end(), msg.payload.begin(), msg.payload.end());
+  return frame;
+}
+
+Status DecodeFrame(const std::vector<uint8_t>& frame, Message* out) {
+  if (frame.size() < kFrameOverheadBytes) {
+    return Status::Corruption("frame truncated: " +
+                              std::to_string(frame.size()) +
+                              " bytes, header needs " +
+                              std::to_string(kFrameOverheadBytes));
+  }
+  if (frame[0] != kWireVersion) {
+    return Status::Corruption("unknown wire format version " +
+                              std::to_string(frame[0]) + " (expected " +
+                              std::to_string(kWireVersion) + ")");
+  }
+  const uint8_t raw_type = frame[1];
+  if (!IsKnownMessageType(raw_type)) {
+    return Status::Corruption("unknown message type " +
+                              std::to_string(raw_type));
+  }
+  const uint32_t payload_len = GetU32Le(frame.data() + 2);
+  if (payload_len != frame.size() - kFrameOverheadBytes) {
+    return Status::Corruption(
+        "frame length mismatch: header says " + std::to_string(payload_len) +
+        " payload bytes, frame carries " +
+        std::to_string(frame.size() - kFrameOverheadBytes));
+  }
+  const uint32_t want_crc = GetU32Le(frame.data() + 6);
+  const uint32_t got_crc =
+      FrameCrc(raw_type, frame.data() + kFrameOverheadBytes, payload_len);
+  if (want_crc != got_crc) {
+    return Status::Corruption("frame CRC mismatch on " +
+                              std::string(MessageTypeName(
+                                  static_cast<MessageType>(raw_type))) +
+                              " frame (" + std::to_string(payload_len) +
+                              " payload bytes)");
+  }
+  out->type = static_cast<MessageType>(raw_type);
+  out->payload.assign(frame.begin() + kFrameOverheadBytes, frame.end());
+  return Status::OK();
+}
+
+Message EncodeHello(const HelloPayload& hello) {
+  ByteWriter w;
+  w.PutU64(hello.session_id);
+  w.PutU32(hello.party);
+  w.PutI64(hello.last_completed_tree);
+  w.PutU64(hello.config_fingerprint);
+  return Message{MessageType::kHello, w.Release()};
+}
+
+Status DecodeHello(const Message& msg, HelloPayload* out) {
+  if (msg.type != MessageType::kHello) {
+    return Status::ProtocolError(std::string("expected Hello, got ") +
+                                 MessageTypeName(msg.type));
+  }
+  ByteReader r(msg.payload);
+  VF2_RETURN_IF_ERROR(r.GetU64(&out->session_id));
+  VF2_RETURN_IF_ERROR(r.GetU32(&out->party));
+  VF2_RETURN_IF_ERROR(r.GetI64(&out->last_completed_tree));
+  VF2_RETURN_IF_ERROR(r.GetU64(&out->config_fingerprint));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in Hello payload");
+  return Status::OK();
 }
 
 }  // namespace vf2boost

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace vf2boost {
 
 /// Cross-party message kinds. The wire protocol is strictly FIFO per
@@ -25,6 +27,7 @@ enum class MessageType : uint8_t {
   kServeQuery = 12,     ///< B -> A: inference branch-direction query
   kServeReply = 13,     ///< A -> B: direction bitmap for a serve query
   kServeDone = 14,      ///< B -> A: serving session shutdown
+  kHello = 15,          ///< both ways: session re-establishment handshake
   // Vertical federated logistic regression (paper §5 Discussions).
   kLrPartial = 20,      ///< encrypted per-instance partial score terms
   kLrGradRequest = 21,  ///< encrypted masked gradient accumulations
@@ -35,14 +38,49 @@ enum class MessageType : uint8_t {
 /// Human-readable type name (logging / stats).
 const char* MessageTypeName(MessageType type);
 
-/// \brief One message: a kind plus an opaque serialized payload. The payload
-/// size is the real wire footprint the channel throttles and accounts.
+/// Wire frame layout (kFrameOverheadBytes of header ahead of the payload):
+///   [version u8][type u8][payload_len u32 LE][crc32 u32 LE][payload bytes]
+/// The CRC covers the type byte followed by the payload, so a frame whose
+/// type OR payload was corrupted in flight always fails the checksum.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameOverheadBytes = 10;
+
+/// \brief One message: a kind plus an opaque serialized payload. WireBytes
+/// (payload + frame header) is the real wire footprint the channel throttles
+/// and accounts.
 struct Message {
   MessageType type;
   std::vector<uint8_t> payload;
 
-  size_t WireBytes() const { return payload.size() + 1; }
+  size_t WireBytes() const { return payload.size() + kFrameOverheadBytes; }
 };
+
+/// Serializes `msg` into a self-describing checksummed frame.
+std::vector<uint8_t> EncodeFrame(const Message& msg);
+
+/// Parses a frame produced by EncodeFrame. Rejects truncated frames, unknown
+/// wire versions, unknown message types, length mismatches, and checksum
+/// failures with a descriptive Status::Corruption — a corrupted frame is
+/// never mis-parsed into a plausible message.
+Status DecodeFrame(const std::vector<uint8_t>& frame, Message* out);
+
+/// \brief kHello body: exchanged over a freshly re-established endpoint so
+/// both parties agree on which session this is, prove they run compatible
+/// configurations, and resynchronize at the last tree boundary both sides
+/// completed. Lives here (not protocol.h) because the session layer below
+/// the protocol needs it.
+struct HelloPayload {
+  uint64_t session_id = 0;
+  /// Sender's party index (A parties are 0..n-1, B is n).
+  uint32_t party = 0;
+  /// Index of the last tree the sender fully completed (-1 = none yet).
+  int64_t last_completed_tree = -1;
+  /// FedConfig::Fingerprint() of the sender — both sides must match.
+  uint64_t config_fingerprint = 0;
+};
+
+Message EncodeHello(const HelloPayload& hello);
+Status DecodeHello(const Message& msg, HelloPayload* out);
 
 }  // namespace vf2boost
 

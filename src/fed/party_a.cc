@@ -5,13 +5,14 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "fed/checkpoint.h"
 #include "fed/placement.h"
 #include "gbdt/loss.h"
 
 namespace vf2boost {
 
 PartyAEngine::PartyAEngine(const FedConfig& config, const Dataset& data,
-                           ChannelEndpoint* channel, uint32_t party_index)
+                           MessagePort* channel, uint32_t party_index)
     : config_(config),
       data_(data),
       inbox_(channel, config.max_inbox_buffered),
@@ -67,13 +68,13 @@ Status PartyAEngine::Run() {
   // Whatever way this engine exits — clean kTrainDone, protocol error,
   // channel failure — the close guard wakes the peer so it never deadlocks
   // waiting on a dead party.
-  ChannelCloseGuard guard(inbox_.endpoint(),
+  ChannelCloseGuard guard(inbox_.port(),
                           "party A" + std::to_string(party_index_));
   Status status = RunLoop();
   m_.inbox_high_water->Max(
       static_cast<double>(inbox_.buffered_high_water()));
   m_.bytes_sent->Set(
-      static_cast<double>(inbox_.endpoint()->sent_stats().bytes));
+      static_cast<double>(inbox_.port()->sent_stats().bytes));
   stats_ = m_.Snapshot(/*is_b=*/false);
   guard.SetStatus(status);
   return status;
@@ -81,17 +82,105 @@ Status PartyAEngine::Run() {
 
 Status PartyAEngine::RunLoop() {
   VF2_RETURN_IF_ERROR(Setup());
+  VF2_RETURN_IF_ERROR(LoadCheckpointIfResuming());
   for (;;) {
-    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
-    VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
-    wait.Stop();
-    if (msg.type == MessageType::kTrainDone) return Status::OK();
-    if (msg.type != MessageType::kGradBatch) {
-      return Status::ProtocolError(std::string("party A expected GradBatch, got ") +
-                                   MessageTypeName(msg.type));
+    bool done = false;
+    Status st = RunOnce(&done);
+    if (st.ok()) {
+      if (done) return Status::OK();
+      continue;
     }
-    VF2_RETURN_IF_ERROR(RunTree(std::move(msg)));
+    // A transient link fault with a resilient port: re-establish and retry
+    // from the tree boundary. Everything else stays fail-fast (PR 1).
+    if (!CanRecover(st)) return st;
+    VF2_RETURN_IF_ERROR(Recover(st));
   }
+}
+
+Status PartyAEngine::RunOnce(bool* done) {
+  *done = false;
+  PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+  VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
+  wait.Stop();
+  if (msg.type == MessageType::kTrainDone) {
+    *done = true;
+    return Status::OK();
+  }
+  if (msg.type != MessageType::kGradBatch) {
+    return Status::ProtocolError(
+        std::string("party A expected GradBatch, got ") +
+        MessageTypeName(msg.type));
+  }
+  VF2_RETURN_IF_ERROR(RunTree(std::move(msg)));
+  last_completed_tree_ = static_cast<int64_t>(current_tree_);
+  return MaybeWriteCheckpoint();
+}
+
+bool PartyAEngine::CanRecover(const Status& st) {
+  return inbox_.port()->resilient() && IsTransientFault(st);
+}
+
+Status PartyAEngine::Recover(const Status& cause) {
+  VF2_LOG(Warn) << "party A" << party_index_
+                << " lost its link (" << cause.ToString()
+                << "), re-establishing at tree boundary "
+                << last_completed_tree_;
+  // Partial-tree state belongs to the dead link's generation: B restarts
+  // the interrupted tree from its gradients, so everything this side built
+  // for it is rebuilt from the fresh stream.
+  inbox_.Clear();
+  g_ciphers_.clear();
+  h_ciphers_.clear();
+  node_instances_.clear();
+  hist_epoch_.clear();
+  obs::TraceSpan span("phase", "reconnect");
+  VF2_ASSIGN_OR_RETURN(HelloPayload peer,
+                       inbox_.port()->Reestablish(last_completed_tree_));
+  m_.reconnects->Add(1);
+  // B is authoritative about which tree is replayed next; A's per-tree state
+  // is derived from the incoming gradient stream, so a boundary difference
+  // (e.g. A finished a tree whose kTreeDone B never confirmed) is benign.
+  if (peer.last_completed_tree != last_completed_tree_) {
+    VF2_LOG(Info) << "party A" << party_index_ << " resyncing: peer at tree "
+                  << peer.last_completed_tree << ", local boundary "
+                  << last_completed_tree_;
+  }
+  return Status::OK();
+}
+
+Status PartyAEngine::LoadCheckpointIfResuming() {
+  if (!config_.resume || config_.checkpoint_dir.empty()) return Status::OK();
+  Result<PartyACheckpoint> loaded =
+      LoadPartyACheckpoint(config_.checkpoint_dir, party_index_);
+  if (!loaded.ok()) {
+    // No file yet = nothing was checkpointed before the crash: fresh start.
+    if (loaded.status().code() == StatusCode::kNotFound) return Status::OK();
+    return loaded.status();
+  }
+  if (loaded->config_fingerprint != config_.Fingerprint()) {
+    return Status::InvalidArgument(
+        "party A checkpoint was written by a different configuration "
+        "(fingerprint mismatch)");
+  }
+  if (loaded->cuts_hash != HashCuts(cuts_)) {
+    return Status::InvalidArgument(
+        "party A checkpoint was written against different data "
+        "(bin cuts mismatch)");
+  }
+  last_completed_tree_ = static_cast<int64_t>(loaded->completed_trees) - 1;
+  VF2_LOG(Info) << "party A" << party_index_ << " resuming after "
+                << loaded->completed_trees << " checkpointed trees";
+  return Status::OK();
+}
+
+Status PartyAEngine::MaybeWriteCheckpoint() {
+  if (config_.checkpoint_dir.empty()) return Status::OK();
+  PartyACheckpoint ckpt;
+  ckpt.config_fingerprint = config_.Fingerprint();
+  ckpt.party_index = party_index_;
+  ckpt.completed_trees = static_cast<uint32_t>(last_completed_tree_ + 1);
+  ckpt.cuts_hash = HashCuts(cuts_);
+  return SavePartyACheckpoint(ckpt, config_.checkpoint_dir);
 }
 
 Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {

@@ -26,7 +26,7 @@ class PartyAEngine {
  public:
   /// `party_index` is this party's id (0-based among A parties).
   PartyAEngine(const FedConfig& config, const Dataset& data,
-               ChannelEndpoint* channel, uint32_t party_index);
+               MessagePort* channel, uint32_t party_index);
 
   Status Run();
 
@@ -39,6 +39,16 @@ class PartyAEngine {
  private:
   Status Setup();
   Status RunLoop();
+  /// One top-level protocol step: receive kTrainDone (sets *done) or run one
+  /// tree and checkpoint the boundary.
+  Status RunOnce(bool* done);
+  /// True when `st` is a transient link fault and the port can reconnect.
+  bool CanRecover(const Status& st);
+  /// Discards partial-tree state, re-establishes the session link, and
+  /// resynchronizes at the last completed tree boundary.
+  Status Recover(const Status& cause);
+  Status LoadCheckpointIfResuming();
+  Status MaybeWriteCheckpoint();
   Status RunTree(Message first_grad_msg);
   Status ReceiveGradients(Message first, uint32_t* tree_id);
   Status BuildAndSendHist(uint32_t tree, uint32_t layer, int32_t node);
@@ -71,6 +81,9 @@ class PartyAEngine {
   std::unordered_map<int32_t, std::vector<uint32_t>> node_instances_;
   std::unordered_map<int32_t, uint32_t> hist_epoch_;
   uint32_t current_tree_ = 0;
+  /// Last tree this party fully processed (kTreeDone seen); the tree
+  /// boundary advertised in session hellos and written to checkpoints.
+  int64_t last_completed_tree_ = -1;
 
   // Live counters/timings are registry handles (see FedStats threading
   // contract in protocol.h); stats_ is derived from them after Run.

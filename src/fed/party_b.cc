@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "fed/checkpoint.h"
 #include "fed/enc_histogram.h"
 #include "fed/placement.h"
 #include "gbdt/split.h"
@@ -12,12 +13,12 @@
 namespace vf2boost {
 
 PartyBEngine::PartyBEngine(const FedConfig& config, const Dataset& data,
-                           std::vector<ChannelEndpoint*> channels)
+                           std::vector<MessagePort*> channels)
     : config_(config),
       data_(data),
       party_b_index_(static_cast<uint32_t>(channels.size())),
       rng_(config.seed) {
-  for (ChannelEndpoint* c : channels) {
+  for (MessagePort* c : channels) {
     inboxes_.emplace_back(c, config.max_inbox_buffered);
   }
   if (config_.metrics == nullptr) {
@@ -102,6 +103,13 @@ void PartyBEngine::EncryptAndSendGradients(uint32_t tree_id) {
   const size_t n = data_.rows();
   const size_t batch =
       config_.blaster ? std::max<size_t>(1, config_.blaster_batch) : n;
+  // Encryption randomness (codec exponent sampling, Paillier obfuscation) is
+  // drawn from a per-tree stream keyed on (seed, tree_id), not the engine's
+  // long-lived rng: a tree retrained after a link death, or resumed from a
+  // checkpoint, replays exactly the same stream, so the recovered model is
+  // bit-identical to a fault-free run.
+  Rng tree_rng(config_.seed ^ 0x67726164ULL ^
+               (static_cast<uint64_t>(tree_id) * 0x9E3779B97F4A7C15ULL));
   for (size_t start = 0; start < n; start += batch) {
     const size_t end = std::min(n, start + batch);
     // One span + histogram sample per batch: under blaster streaming the
@@ -122,7 +130,7 @@ void PartyBEngine::EncryptAndSendGradients(uint32_t tree_id) {
     if (pool_ != nullptr) {
       // Workers encrypt instance shards concurrently, each with its own
       // deterministic nonce stream.
-      const uint64_t batch_seed = rng_.NextU64();
+      const uint64_t batch_seed = tree_rng.NextU64();
       const size_t shards = pool_->num_threads();
       const size_t chunk = (end - start + shards - 1) / shards;
       pool_->ParallelFor(shards, [&](size_t s) {
@@ -136,8 +144,8 @@ void PartyBEngine::EncryptAndSendGradients(uint32_t tree_id) {
       });
     } else {
       for (size_t i = start; i < end; ++i) {
-        payload.g[i - start] = backend_->Encrypt(grads_[i].g, &rng_);
-        payload.h[i - start] = backend_->Encrypt(grads_[i].h, &rng_);
+        payload.g[i - start] = backend_->Encrypt(grads_[i].g, &tree_rng);
+        payload.h[i - start] = backend_->Encrypt(grads_[i].h, &tree_rng);
       }
     }
     m_.encryptions->Add(2 * (end - start));
@@ -610,9 +618,87 @@ Result<PartyBResult> PartyBEngine::Run() {
                   : Status::Aborted("party B failed: " +
                                     result.status().ToString());
   for (Inbox& inbox : inboxes_) {
-    inbox.endpoint()->Close(close_status);
+    inbox.port()->Close(close_status);
   }
   return result;
+}
+
+bool PartyBEngine::SessionsRecoverable() {
+  if (inboxes_.empty()) return false;
+  for (Inbox& inbox : inboxes_) {
+    if (!inbox.port()->resilient()) return false;
+  }
+  return true;
+}
+
+Status PartyBEngine::LoadCheckpointIfResuming(PartyBResult* result,
+                                              size_t* start_tree) {
+  *start_tree = 0;
+  if (!config_.resume || config_.checkpoint_dir.empty()) {
+    return Status::OK();
+  }
+  Result<PartyBCheckpoint> loaded =
+      LoadPartyBCheckpoint(config_.checkpoint_dir);
+  if (!loaded.ok()) {
+    if (loaded.status().code() == StatusCode::kNotFound) {
+      VF2_LOG(Info) << "no checkpoint in '" << config_.checkpoint_dir
+                    << "'; starting fresh";
+      return Status::OK();
+    }
+    return loaded.status();
+  }
+  if (loaded->config_fingerprint != config_.Fingerprint()) {
+    return Status::InvalidArgument(
+        "checkpoint was written by a run with a different model-determining "
+        "configuration (fingerprint mismatch); refusing to resume");
+  }
+  if (loaded->scores.size() != data_.rows()) {
+    return Status::InvalidArgument(
+        "checkpoint score vector covers " +
+        std::to_string(loaded->scores.size()) + " rows but the dataset has " +
+        std::to_string(data_.rows()));
+  }
+  result->model.base_score = loaded->base_score;
+  result->model.trees = std::move(loaded->trees);
+  result->log = std::move(loaded->log);
+  scores_ = std::move(loaded->scores);
+  *start_tree = loaded->completed_trees;
+  m_.trees_resumed->Add(loaded->completed_trees);
+  VF2_LOG(Info) << "resumed from checkpoint: " << loaded->completed_trees
+                << " trees restored";
+  return Status::OK();
+}
+
+Status PartyBEngine::MaybeWriteCheckpoint(const PartyBResult& result) {
+  if (config_.checkpoint_dir.empty()) return Status::OK();
+  PartyBCheckpoint ckpt;
+  ckpt.config_fingerprint = config_.Fingerprint();
+  ckpt.completed_trees = result.model.trees.size();
+  ckpt.base_score = result.model.base_score;
+  ckpt.trees = result.model.trees;
+  ckpt.scores = scores_;
+  ckpt.log = result.log;
+  return SavePartyBCheckpoint(ckpt, config_.checkpoint_dir);
+}
+
+Status PartyBEngine::ResyncSessions(int64_t last_completed) {
+  obs::TraceSpan span("phase", "reconnect");
+  hist_epoch_.clear();
+  for (Inbox& inbox : inboxes_) inbox.Clear();
+  for (Inbox& inbox : inboxes_) {
+    Result<HelloPayload> peer = inbox.port()->Reestablish(last_completed);
+    VF2_RETURN_IF_ERROR(peer.status());
+    m_.reconnects->Add(1);
+    if (peer->last_completed_tree != last_completed) {
+      // Benign: the peer crashed at a different point inside the tree. Both
+      // sides restart the in-flight tree from scratch, so only the hello
+      // exchange itself needs to agree on the boundary, which it now does.
+      VF2_LOG(Info) << "peer " << peer->party << " rejoined at tree "
+                    << peer->last_completed_tree << " (local boundary "
+                    << last_completed << ")";
+    }
+  }
+  return Status::OK();
 }
 
 Result<PartyBResult> PartyBEngine::RunInternal() {
@@ -623,11 +709,32 @@ Result<PartyBResult> PartyBEngine::RunInternal() {
   result.model.base_score = 0;
   scores_.assign(data_.rows(), result.model.base_score);
 
+  size_t start_tree = 0;
+  VF2_RETURN_IF_ERROR(LoadCheckpointIfResuming(&result, &start_tree));
+  const bool recoverable = SessionsRecoverable();
+
   Stopwatch clock;
-  for (size_t t = 0; t < config_.gbdt.num_trees; ++t) {
-    Tree tree;
-    VF2_RETURN_IF_ERROR(TrainOneTree(static_cast<uint32_t>(t), &tree));
-    result.model.trees.push_back(std::move(tree));
+  for (size_t t = start_tree; t < config_.gbdt.num_trees; ++t) {
+    // The tree boundary is the recovery consistency point: snapshot the
+    // scores so a mid-tree link death can roll back partial leaf updates
+    // before the tree is retrained from scratch.
+    std::vector<double> boundary_scores;
+    if (recoverable) boundary_scores = scores_;
+    for (;;) {
+      Tree tree;
+      Status st = TrainOneTree(static_cast<uint32_t>(t), &tree);
+      if (st.ok()) {
+        result.model.trees.push_back(std::move(tree));
+        break;
+      }
+      if (!recoverable || !IsTransientFault(st)) return st;
+      VF2_LOG(Warn) << "tree " << t
+                    << " failed on a transient fault, resyncing: "
+                    << st.ToString();
+      scores_ = boundary_scores;
+      VF2_RETURN_IF_ERROR(
+          ResyncSessions(static_cast<int64_t>(t) - 1));
+    }
 
     EvalRecord rec;
     rec.tree_index = t;
@@ -638,6 +745,7 @@ Result<PartyBResult> PartyBEngine::RunInternal() {
     }
     rec.train_loss = total / static_cast<double>(scores_.size());
     result.log.push_back(rec);
+    VF2_RETURN_IF_ERROR(MaybeWriteCheckpoint(result));
   }
   for (Inbox& inbox : inboxes_) {
     inbox.Send(Message{MessageType::kTrainDone, {}});
@@ -645,7 +753,7 @@ Result<PartyBResult> PartyBEngine::RunInternal() {
 
   size_t bytes_sent = 0;
   for (Inbox& inbox : inboxes_) {
-    bytes_sent += inbox.endpoint()->sent_stats().bytes;
+    bytes_sent += inbox.port()->sent_stats().bytes;
     m_.inbox_high_water->Max(
         static_cast<double>(inbox.buffered_high_water()));
   }

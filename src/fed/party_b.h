@@ -37,7 +37,7 @@ class PartyBEngine {
   /// One inbox per A party, in party-index order. B's own party index is
   /// channels.size() (it comes last).
   PartyBEngine(const FedConfig& config, const Dataset& data,
-               std::vector<ChannelEndpoint*> channels);
+               std::vector<MessagePort*> channels);
 
   Result<PartyBResult> Run();
 
@@ -57,6 +57,16 @@ class PartyBEngine {
 
   Status Setup();
   Result<PartyBResult> RunInternal();
+  /// True when every port can re-establish its link (session layer on).
+  bool SessionsRecoverable();
+  /// Restores model/scores/log from `checkpoint_dir` when resume is set.
+  /// Missing checkpoint = fresh start; fingerprint mismatch = hard error.
+  Status LoadCheckpointIfResuming(PartyBResult* result, size_t* start_tree);
+  /// Writes the tree-boundary checkpoint (no-op without a checkpoint_dir).
+  Status MaybeWriteCheckpoint(const PartyBResult& result);
+  /// Drops partial-tree protocol state and re-establishes every session at
+  /// the `last_completed` tree boundary.
+  Status ResyncSessions(int64_t last_completed);
   Status TrainOneTree(uint32_t tree_id, Tree* tree);
   void EncryptAndSendGradients(uint32_t tree_id);
   /// Collects the expected-epoch histogram of every node in `nodes` from

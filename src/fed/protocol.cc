@@ -1,5 +1,7 @@
 #include "fed/protocol.h"
 
+#include <cstring>
+
 #include "common/bytes.h"
 #include "fed/placement.h"
 
@@ -40,11 +42,57 @@ Status FedConfig::Validate() const {
   if (workers_per_party == 0 || workers_per_party > 256) {
     return Status::InvalidArgument("workers_per_party must be in [1, 256]");
   }
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint_dir");
+  }
   VF2_RETURN_IF_ERROR(network.Validate());
   for (const NetworkConfig& per_party : network_per_party) {
     VF2_RETURN_IF_ERROR(per_party.Validate());
   }
   return Status::OK();
+}
+
+uint64_t FedConfig::Fingerprint() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  // Every knob that changes the trained model. Network shape, worker counts
+  // and observability hooks are deliberately excluded: a resumed run may use
+  // a different machine or link without invalidating the checkpoint.
+  mix(paillier_bits);
+  mix(codec_base);
+  mix(static_cast<uint64_t>(codec_min_exponent));
+  mix(static_cast<uint64_t>(codec_num_exponents));
+  mix(mock_crypto ? 1 : 0);
+  mix(blaster ? 1 : 0);
+  mix(blaster ? blaster_batch : 0);
+  mix(reordered ? 1 : 0);
+  mix(optimistic ? 1 : 0);
+  mix(packing ? 1 : 0);
+  mix(packing ? min_pack_slots : 0);
+  mix(seed);
+  mix(gbdt.num_trees);
+  mix(gbdt.num_layers);
+  mix(gbdt.max_bins);
+  mix_double(gbdt.learning_rate);
+  mix_double(gbdt.l2_reg);
+  mix_double(gbdt.l1_reg);
+  mix_double(gbdt.min_split_gain);
+  mix_double(gbdt.min_child_weight);
+  mix_double(gbdt.row_subsample);
+  mix_double(gbdt.col_subsample);
+  mix(gbdt.early_stopping_rounds);
+  mix(gbdt.seed);
+  for (char c : gbdt.objective) mix(static_cast<uint64_t>(c));
+  return h;
 }
 
 namespace {

@@ -74,6 +74,16 @@ struct FedConfig {
   size_t max_inbox_buffered = 4096;
   uint64_t seed = 42;
 
+  /// Directory for durable tree-boundary checkpoints (see fed/checkpoint.h).
+  /// Empty = checkpointing off. Party B writes party_b.ckpt after every
+  /// completed tree; each Party A writes party_a<i>.ckpt.
+  std::string checkpoint_dir;
+  /// Resume from the checkpoints in checkpoint_dir: Party B restores the
+  /// completed ensemble, its running scores and the eval log, then training
+  /// continues at the next tree. A missing checkpoint file means a fresh
+  /// start; a fingerprint mismatch (different config or data) fails fast.
+  bool resume = false;
+
   /// External metrics registry shared by every engine of the run. When null,
   /// FedTrainer provides a per-run registry internally (and engines built
   /// directly, e.g. in tests, create their own). All protocol counters and
@@ -90,6 +100,12 @@ struct FedConfig {
   /// Rejects configurations that would fail mid-protocol: too-small keys,
   /// empty codec ranges, degenerate GBDT parameters.
   Status Validate() const;
+
+  /// FNV-1a digest of every field that determines the trained model. Stored
+  /// in checkpoints and exchanged in session hellos: a resumed run (or a
+  /// reconnected peer) with a different fingerprint would silently train a
+  /// different model, so both paths reject the mismatch up front.
+  uint64_t Fingerprint() const;
 
   /// Baseline protocol, every optimization off (the paper's VF-GBDT).
   static FedConfig VfGbdt() { return FedConfig{}; }
@@ -164,6 +180,11 @@ struct FedStats {
   uint64_t noise_pool_hits = 0;
   uint64_t noise_pool_misses = 0;
   uint64_t noise_pool_produced = 0;
+  /// Session-layer recovery: completed link re-establishments (kHello
+  /// handshakes) across all parties, and trees Party B skipped at startup
+  /// because a checkpoint already carried them.
+  size_t reconnects = 0;
+  size_t trees_resumed = 0;
   PhaseTimes party_a;
   PhaseTimes party_b;
 };

@@ -106,11 +106,11 @@ Result<SplitModel> SplitModelShards(const FedTrainResult& result) {
 }
 
 ServingPartyA::ServingPartyA(PartyModelShard shard, const Dataset& features,
-                             ChannelEndpoint* channel)
+                             MessagePort* channel)
     : shard_(std::move(shard)), features_(features), inbox_(channel) {}
 
 Status ServingPartyA::Run() {
-  ChannelCloseGuard guard(inbox_.endpoint(),
+  ChannelCloseGuard guard(inbox_.port(),
                           "serving party A" + std::to_string(shard_.party));
   Status status = RunLoop();
   guard.SetStatus(status);
@@ -152,9 +152,9 @@ Status ServingPartyA::RunLoop() {
 }
 
 ServingPartyB::ServingPartyB(GbdtModel skeleton, const Dataset& features,
-                             std::vector<ChannelEndpoint*> channels)
+                             std::vector<MessagePort*> channels)
     : skeleton_(std::move(skeleton)), features_(features) {
-  for (ChannelEndpoint* c : channels) inboxes_.emplace_back(c);
+  for (MessagePort* c : channels) inboxes_.emplace_back(c);
 }
 
 Result<std::vector<double>> ServingPartyB::Predict() {
@@ -163,7 +163,7 @@ Result<std::vector<double>> ServingPartyB::Predict() {
     // Wake every A-side responder; a failed coordinator must not leave them
     // blocked in Receive forever.
     for (Inbox& inbox : inboxes_) {
-      inbox.endpoint()->Close(Status::Aborted(
+      inbox.port()->Close(Status::Aborted(
           "serving party B failed: " + scores.status().ToString()));
     }
   }
@@ -254,7 +254,7 @@ void ServingPartyB::Shutdown() {
   for (Inbox& inbox : inboxes_) {
     inbox.Send(Message{MessageType::kServeDone, {}});
     // Clean close: the kServeDone above still drains to the responder.
-    inbox.endpoint()->Close(Status::OK());
+    inbox.port()->Close(Status::OK());
   }
 }
 

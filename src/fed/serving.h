@@ -42,7 +42,7 @@ Result<SplitModel> SplitModelShards(const FedTrainResult& result);
 class ServingPartyA {
  public:
   ServingPartyA(PartyModelShard shard, const Dataset& features,
-                ChannelEndpoint* channel);
+                MessagePort* channel);
 
   /// Serves until Party B sends kServeDone (or the channel closes / a
   /// receive deadline expires). Run on the A party's thread; closes the
@@ -63,7 +63,7 @@ class ServingPartyA {
 class ServingPartyB {
  public:
   ServingPartyB(GbdtModel skeleton, const Dataset& features,
-                std::vector<ChannelEndpoint*> channels);
+                std::vector<MessagePort*> channels);
 
   /// Raw scores for every row of the B-side feature shard (the same rows
   /// must be loaded, PSI-aligned, at every A party).

@@ -1,0 +1,234 @@
+#include "fed/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vf2boost {
+
+namespace {
+
+using Clock = ChannelEndpoint::Clock;
+
+Clock::duration Seconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+SessionBroker::SessionBroker(std::vector<NetworkConfig> configs) {
+  slots_.resize(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    slots_[i].config = std::move(configs[i]);
+  }
+}
+
+Result<std::unique_ptr<ChannelEndpoint>> SessionBroker::Reconnect(
+    size_t channel, bool a_side, Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (channel >= slots_.size()) {
+    return Status::InvalidArgument("no rendezvous slot for channel " +
+                                   std::to_string(channel));
+  }
+  Slot& s = slots_[channel];
+  bool& my_want = a_side ? s.want_a : s.want_b;
+  std::unique_ptr<ChannelEndpoint>& my_ready = a_side ? s.ready_a : s.ready_b;
+  my_want = true;
+  if (!s.heal_armed) {
+    // The outage clock starts at the first replacement request — the link
+    // comes back heal_after_seconds later no matter how often either side
+    // retries in between.
+    s.heal_armed = true;
+    s.heal_at = Clock::now() + Seconds(s.config.heal_after_seconds);
+  }
+  cv_.notify_all();
+  for (;;) {
+    // A leftover endpoint from a rendezvous the peer abandoned (it closed
+    // its half and went back to retrying) is useless — discard it.
+    if (my_ready != nullptr && my_ready->closed()) my_ready.reset();
+    if (my_ready != nullptr) {
+      my_want = false;
+      return std::move(my_ready);
+    }
+    if (shutdown_) {
+      my_want = false;
+      return shutdown_status_;
+    }
+    const auto now = Clock::now();
+    if (s.want_a && s.want_b && now >= s.heal_at) {
+      NetworkConfig healed = s.config;
+      // The drill's deterministic link death fires once; replacements stay up.
+      healed.kill_after_messages = 0;
+      auto pair = ChannelEndpoint::CreatePair(healed);
+      s.ready_a = std::move(pair.first);
+      s.ready_b = std::move(pair.second);
+      s.want_a = s.want_b = false;
+      s.heal_armed = false;
+      cv_.notify_all();
+      continue;  // pick up my half on the next iteration
+    }
+    if (now >= deadline) {
+      my_want = false;
+      return Status::DeadlineExceeded("reconnect rendezvous timed out");
+    }
+    auto wake = deadline;
+    if (s.want_a && s.want_b) wake = std::min(wake, s.heal_at);
+    cv_.wait_until(lock, wake);
+  }
+}
+
+void SessionBroker::Shutdown(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;  // first shutdown (and its reason) wins
+    shutdown_ = true;
+    shutdown_status_ =
+        status.ok() ? Status::Aborted("session broker shut down")
+                    : std::move(status);
+  }
+  cv_.notify_all();
+}
+
+SessionChannel::SessionChannel(ChannelFactory* factory, size_t channel_index,
+                               bool a_side, uint64_t session_id,
+                               uint32_t party, uint64_t config_fingerprint,
+                               const NetworkConfig& config,
+                               std::unique_ptr<ChannelEndpoint> initial)
+    : factory_(factory),
+      channel_index_(channel_index),
+      a_side_(a_side),
+      session_id_(session_id),
+      party_(party),
+      fingerprint_(config_fingerprint),
+      config_(config),
+      ep_(std::move(initial)),
+      backoff_rng_(config.fault_seed ^ (a_side ? 0xA'5e55ULL : 0xB'5e55ULL) ^
+                   (channel_index * 0x9E3779B97F4A7C15ULL)) {}
+
+void SessionChannel::Send(Message msg) {
+  if (ep_ != nullptr) ep_->Send(std::move(msg));
+}
+
+Result<Message> SessionChannel::Receive() {
+  if (ep_ == nullptr) return Status::Unavailable("session link is down");
+  return ep_->Receive();
+}
+
+Status SessionChannel::TryReceive(Message* out, bool* got) {
+  if (ep_ == nullptr) {
+    *got = false;
+    return Status::Unavailable("session link is down");
+  }
+  return ep_->TryReceive(out, got);
+}
+
+void SessionChannel::Close(Status status) {
+  if (terminally_closed_) return;
+  terminally_closed_ = true;
+  close_status_ = status;
+  if (ep_ != nullptr) ep_->Close(status);
+  if (!status.ok()) {
+    // The owning engine failed for good. Abort the peer's pending and future
+    // rendezvous so it fails with the root cause instead of burning its
+    // reconnect budget against a side that will never come back.
+    factory_->Shutdown(status);
+  }
+}
+
+bool SessionChannel::closed() const {
+  if (terminally_closed_) return true;
+  return ep_ != nullptr && ep_->closed();
+}
+
+ChannelStats SessionChannel::sent_stats() const {
+  ChannelStats total = retired_stats_;
+  if (ep_ != nullptr) total += ep_->sent_stats();
+  return total;
+}
+
+Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree) {
+  if (terminally_closed_) {
+    return Status::Aborted("session already closed: " +
+                           close_status_.ToString());
+  }
+  // Bound each rendezvous wait by the worst honest case: the peer first has
+  // to notice the outage (its receive deadline), back off, and the link has
+  // to heal. Budget exhaustion, not this deadline, is the final arbiter.
+  const double rendezvous_window =
+      config_.heal_after_seconds + config_.reconnect_backoff_cap_seconds +
+      std::max(1.0, 4 * config_.default_deadline_seconds);
+  while (attempts_used_ < config_.reconnect_max_attempts) {
+    ++attempts_used_;
+    if (ep_ != nullptr) {
+      // Retire the dead generation. Closing with Unavailable (not an engine
+      // failure) tells a still-healthy peer to fail over immediately rather
+      // than waiting out its receive deadline.
+      retired_stats_ += ep_->sent_stats();
+      ep_->Close(Status::Unavailable("session re-establishing"));
+      ep_.reset();
+    }
+    // Exponential backoff, decorrelated jitter (AWS architecture blog
+    // variant): sleep = min(cap, uniform(base, 3 * previous)).
+    const double base = config_.reconnect_backoff_base_seconds;
+    double sleep_s = base;
+    if (prev_backoff_seconds_ > 0) {
+      const double hi = std::max(base, 3 * prev_backoff_seconds_);
+      sleep_s = base + backoff_rng_.NextDouble() * (hi - base);
+    }
+    sleep_s = std::min(sleep_s, config_.reconnect_backoff_cap_seconds);
+    prev_backoff_seconds_ = sleep_s;
+    if (sleep_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+    Result<std::unique_ptr<ChannelEndpoint>> fresh = factory_->Reconnect(
+        channel_index_, a_side_, Clock::now() + Seconds(rendezvous_window));
+    if (!fresh.ok()) {
+      if (IsTransientFault(fresh.status())) continue;  // timed out; retry
+      return fresh.status();  // broker shut down: terminal
+    }
+    ep_ = std::move(fresh).value();
+    // Fresh link is up — prove to each other we are the same session with
+    // compatible configs, and agree on the tree boundary to resume from.
+    HelloPayload mine;
+    mine.session_id = session_id_;
+    mine.party = party_;
+    mine.last_completed_tree = last_completed_tree;
+    mine.config_fingerprint = fingerprint_;
+    ep_->Send(EncodeHello(mine));
+    Result<Message> reply = ep_->Receive();
+    if (!reply.ok()) {
+      if (IsTransientFault(reply.status())) continue;  // retry from the top
+      return reply.status();
+    }
+    HelloPayload peer;
+    Status st = DecodeHello(reply.value(), &peer);
+    if (!st.ok()) {
+      return Status::ProtocolError("bad hello from peer: " + st.ToString());
+    }
+    if (peer.session_id != session_id_) {
+      return Status::ProtocolError(
+          "hello session id mismatch: peer says " +
+          std::to_string(peer.session_id) + ", this session is " +
+          std::to_string(session_id_));
+    }
+    if (peer.config_fingerprint != fingerprint_) {
+      return Status::ProtocolError(
+          "peer runs an incompatible configuration (fingerprint mismatch)");
+    }
+    ++reconnects_;
+    VF2_LOG(Info) << "session " << session_id_ << " channel " << channel_index_
+                  << (a_side_ ? " (A)" : " (B)") << " re-established, peer at "
+                  << "tree " << peer.last_completed_tree << ", attempt "
+                  << attempts_used_ << "/" << config_.reconnect_max_attempts;
+    return peer;
+  }
+  return Status::Unavailable(
+      "reconnect budget exhausted (" + std::to_string(attempts_used_) + "/" +
+      std::to_string(config_.reconnect_max_attempts) + " attempts)");
+}
+
+}  // namespace vf2boost

@@ -1,0 +1,146 @@
+#ifndef VF2BOOST_FED_SESSION_H_
+#define VF2BOOST_FED_SESSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "fed/channel.h"
+
+namespace vf2boost {
+
+/// \brief Rendezvous point where both sides of a dead channel meet to get a
+/// replacement ChannelEndpoint pair — the in-process stand-in for the
+/// gateway message queues coming back up after a WAN outage.
+///
+/// One broker serves every channel of a training run; each channel has one
+/// rendezvous slot, indexed by A-party. A side that wants a fresh link calls
+/// Reconnect() and blocks until (a) the peer side also asks, and (b) the
+/// configured heal-after delay since the first request has elapsed — then a
+/// new endpoint pair is cut and each caller receives its half. Replacement
+/// links are created with link death disarmed (`kill_after_messages = 0`):
+/// a drill's deterministic outage fires once, the healed link stays up.
+/// Thread-safe; Shutdown() aborts all pending and future rendezvous, which
+/// is how a terminal engine failure stops the peer from retrying forever.
+class ChannelFactory {
+ public:
+  virtual ~ChannelFactory() = default;
+
+  /// Blocks until the replacement link for `channel` is up (peer present and
+  /// heal delay elapsed) or `deadline` passes, and returns this side's
+  /// endpoint. `a_side` says which half of the pair the caller gets.
+  virtual Result<std::unique_ptr<ChannelEndpoint>> Reconnect(
+      size_t channel, bool a_side, ChannelEndpoint::Clock::time_point deadline) = 0;
+
+  /// Aborts every pending and future Reconnect with `status`.
+  virtual void Shutdown(Status status) = 0;
+};
+
+class SessionBroker : public ChannelFactory {
+ public:
+  /// `configs[i]` is the network config replacement links of channel i are
+  /// created with (the session layer disarms kill_after_messages on them).
+  explicit SessionBroker(std::vector<NetworkConfig> configs);
+
+  Result<std::unique_ptr<ChannelEndpoint>> Reconnect(
+      size_t channel, bool a_side,
+      ChannelEndpoint::Clock::time_point deadline) override;
+
+  void Shutdown(Status status) override;
+
+ private:
+  struct Slot {
+    NetworkConfig config;
+    bool want_a = false;
+    bool want_b = false;
+    /// Earliest instant a replacement pair may be cut; armed by the first
+    /// request after a death (models the outage lasting heal_after_seconds).
+    ChannelEndpoint::Clock::time_point heal_at{};
+    bool heal_armed = false;
+    std::unique_ptr<ChannelEndpoint> ready_a;
+    std::unique_ptr<ChannelEndpoint> ready_b;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  bool shutdown_ = false;
+  Status shutdown_status_;
+};
+
+/// \brief Crash-recovering MessagePort: wraps a replaceable ChannelEndpoint
+/// and, on request, re-establishes the link through a ChannelFactory.
+///
+/// The port itself never retries I/O — Send/Receive delegate to the current
+/// endpoint and surface its errors unchanged, so the engine keeps PR 1's
+/// fail-fast visibility. What changes is what the engine can *do* about a
+/// transient error: call Reestablish(), which
+///   1. closes the current endpoint with Status::Unavailable so a healthy
+///      peer blocked on it fails over immediately instead of waiting out its
+///      deadline,
+///   2. sleeps exponential backoff with decorrelated jitter
+///      (sleep = min(cap, uniform(base, 3 * previous))), deterministic per
+///      (fault_seed, side),
+///   3. rendezvouses with the peer through the factory under a bounded
+///      per-attempt deadline,
+///   4. exchanges kHello over the fresh endpoint and cross-checks session id
+///      and config fingerprint — a mismatch is a terminal ProtocolError,
+/// under a total attempt budget of `config.reconnect_max_attempts` for the
+/// port's lifetime. Single engine thread per port, like ChannelEndpoint.
+class SessionChannel : public MessagePort {
+ public:
+  /// `initial` is the run's first-generation endpoint. `party` is the
+  /// owner's party index (A: 0..n-1, B: n) advertised in hellos.
+  SessionChannel(ChannelFactory* factory, size_t channel_index, bool a_side,
+                 uint64_t session_id, uint32_t party,
+                 uint64_t config_fingerprint, const NetworkConfig& config,
+                 std::unique_ptr<ChannelEndpoint> initial);
+
+  void Send(Message msg) override;
+  Result<Message> Receive() override;
+  Status TryReceive(Message* out, bool* got) override;
+  /// Closes the current endpoint. A non-OK close also shuts the factory
+  /// down: the owning engine failed terminally, so the peer's pending and
+  /// future rendezvous must fail fast instead of burning their budget.
+  void Close(Status status) override;
+  bool closed() const override;
+  /// Accumulated over every link generation this port has used.
+  ChannelStats sent_stats() const override;
+
+  bool resilient() const override {
+    return config_.reconnect_max_attempts > 0;
+  }
+  Result<HelloPayload> Reestablish(int64_t last_completed_tree) override;
+
+  /// Successful re-establishments (completed hello handshakes).
+  size_t reconnects() const { return reconnects_; }
+  /// Rendezvous attempts consumed out of config.reconnect_max_attempts.
+  int attempts_used() const { return attempts_used_; }
+
+ private:
+  ChannelFactory* factory_;
+  const size_t channel_index_;
+  const bool a_side_;
+  const uint64_t session_id_;
+  const uint32_t party_;
+  const uint64_t fingerprint_;
+  const NetworkConfig config_;
+
+  std::unique_ptr<ChannelEndpoint> ep_;
+  ChannelStats retired_stats_;  // sums of replaced endpoints' sent_stats
+  Rng backoff_rng_;
+  double prev_backoff_seconds_ = 0;
+  int attempts_used_ = 0;
+  size_t reconnects_ = 0;
+  bool terminally_closed_ = false;
+  Status close_status_;
+};
+
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_FED_SESSION_H_

@@ -411,7 +411,7 @@ Status LrPeer::RunBatch(const std::vector<uint32_t>& batch) {
 
 Status LrPeer::Run() {
   ChannelCloseGuard guard(
-      inbox_.endpoint(),
+      inbox_.port(),
       std::string("LR party ") + (is_label_owner_ ? "B" : "A"));
   Status status = RunLoop();
   guard.SetStatus(status);
@@ -431,7 +431,7 @@ Status LrPeer::RunLoop() {
   inbox_.Send(Message{MessageType::kLrDone, {}});
   VF2_ASSIGN_OR_RETURN(Message msg, inbox_.ReceiveType(MessageType::kLrDone));
   (void)msg;
-  stats_.bytes_a_to_b += inbox_.endpoint()->sent_stats().bytes;
+  stats_.bytes_a_to_b += inbox_.port()->sent_stats().bytes;
   return Status::OK();
 }
 

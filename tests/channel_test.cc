@@ -65,7 +65,8 @@ TEST(ChannelTest, SentStatsCountBytesAndMessages) {
   a->Send(m);
   const ChannelStats stats = a->sent_stats();
   EXPECT_EQ(stats.messages, 2u);
-  EXPECT_EQ(stats.bytes, 2 * 101u);
+  // Wire bytes = payload + framing (version, type, length, CRC).
+  EXPECT_EQ(stats.bytes, 2 * (100u + kFrameOverheadBytes));
   EXPECT_EQ(b->sent_stats().messages, 0u);
 }
 
@@ -277,6 +278,68 @@ TEST(ChannelTest, KillAfterMessagesSilencesTheLink) {
   EXPECT_EQ(a->sent_stats().dropped, 1u);
 }
 
+TEST(ChannelTest, CorruptionSurfacesAsCorruptionStatus) {
+  NetworkConfig net;
+  net.corrupt_probability = 1.0;  // every delivered frame gets a bit flip
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  a->Send(Make(MessageType::kGradBatch, 1));
+  Result<Message> r = b->Receive();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_GE(a->sent_stats().corrupted, 1u);
+}
+
+TEST(ChannelTest, CorruptFrameDoesNotBlockLaterMessages) {
+  // A damaged frame is consumed by the failing Receive; the next healthy
+  // message must still come through (the watermark advances past it).
+  NetworkConfig net;
+  net.corrupt_probability = 0.5;
+  net.fault_seed = 99;
+  auto [a, b] = ChannelEndpoint::CreatePair(net);
+  for (uint8_t i = 0; i < 20; ++i) a->Send(Make(MessageType::kGradBatch, i));
+  size_t delivered = 0, corrupted = 0;
+  for (int i = 0; i < 20; ++i) {
+    Result<Message> r = b->Receive();
+    if (r.ok()) {
+      ++delivered;
+    } else {
+      ASSERT_EQ(r.status().code(), StatusCode::kCorruption);
+      ++corrupted;
+    }
+  }
+  EXPECT_EQ(delivered + corrupted, 20u);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(corrupted, 0u);
+}
+
+TEST(ChannelTest, WireFrameRoundTrips) {
+  Message m = Make(MessageType::kNodeHistogram, 42);
+  m.payload.push_back(7);
+  const std::vector<uint8_t> frame = EncodeFrame(m);
+  EXPECT_EQ(frame.size(), m.WireBytes());
+  Message back;
+  ASSERT_TRUE(DecodeFrame(frame, &back).ok());
+  EXPECT_EQ(back.type, m.type);
+  EXPECT_EQ(back.payload, m.payload);
+}
+
+TEST(ChannelTest, WireFrameRejectsTampering) {
+  Message m = Make(MessageType::kGradBatch, 1);
+  const std::vector<uint8_t> good = EncodeFrame(m);
+  Message out;
+
+  std::vector<uint8_t> bad_version = good;
+  bad_version[0] = kWireVersion + 1;
+  EXPECT_EQ(DecodeFrame(bad_version, &out).code(), StatusCode::kCorruption);
+
+  std::vector<uint8_t> bad_crc = good;
+  bad_crc.back() ^= 0x10;  // flip payload bit -> CRC mismatch
+  EXPECT_EQ(DecodeFrame(bad_crc, &out).code(), StatusCode::kCorruption);
+
+  std::vector<uint8_t> truncated(good.begin(), good.begin() + 3);
+  EXPECT_EQ(DecodeFrame(truncated, &out).code(), StatusCode::kCorruption);
+}
+
 TEST(NetworkConfigTest, ValidateRejectsBadKnobs) {
   NetworkConfig net;
   EXPECT_TRUE(net.Validate().ok());
@@ -284,6 +347,32 @@ TEST(NetworkConfigTest, ValidateRejectsBadKnobs) {
   EXPECT_FALSE(net.Validate().ok());
   net.drop_probability = 0;
   net.default_deadline_seconds = -1;
+  EXPECT_FALSE(net.Validate().ok());
+}
+
+TEST(NetworkConfigTest, ValidateRejectsBadRecoveryKnobs) {
+  NetworkConfig net;
+  net.corrupt_probability = 1.5;
+  EXPECT_FALSE(net.Validate().ok());
+  net.corrupt_probability = 0;
+
+  net.heal_after_seconds = -0.1;
+  EXPECT_FALSE(net.Validate().ok());
+  net.heal_after_seconds = 0;
+
+  net.reconnect_max_attempts = -1;
+  EXPECT_FALSE(net.Validate().ok());
+
+  // A reconnect budget without a receive deadline can never trigger: the
+  // dead link would block forever instead of surfacing a transient fault.
+  net.reconnect_max_attempts = 3;
+  net.default_deadline_seconds = 0;
+  EXPECT_FALSE(net.Validate().ok());
+  net.default_deadline_seconds = 1.0;
+  EXPECT_TRUE(net.Validate().ok());
+
+  net.reconnect_backoff_cap_seconds =
+      net.reconnect_backoff_base_seconds / 2;  // cap below base
   EXPECT_FALSE(net.Validate().ok());
 }
 

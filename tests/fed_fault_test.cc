@@ -7,14 +7,19 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fed/checkpoint.h"
 #include "fed/fed_trainer.h"
 #include "fed/party_b.h"
+#include "gbdt/model_io.h"
 
 namespace vf2boost {
 namespace {
@@ -206,6 +211,183 @@ TEST(FedFaultTest, BadNetworkConfigRejectedUpFront) {
   config.network_per_party.resize(1);
   config.network_per_party[0].jitter_seconds = -1;
   EXPECT_FALSE(FedTrainer(config).Train(f.shards).ok());
+}
+
+// --- recovery drills --------------------------------------------------------
+
+std::vector<double> Predictions(const FedTrainResult& result,
+                                const Fixture& f) {
+  auto joint = result.ToJointModel(f.spec);
+  EXPECT_TRUE(joint.ok()) << joint.status().ToString();
+  return joint->PredictRaw(f.train.features);
+}
+
+// The strongest equivalence we can assert: the serialized joint model —
+// structure, split values, gains, and leaf weights — byte for byte.
+std::string JointModelText(const FedTrainResult& result, const Fixture& f) {
+  auto joint = result.ToJointModel(f.spec);
+  EXPECT_TRUE(joint.ok()) << joint.status().ToString();
+  return ModelToString(*joint);
+}
+
+// The tentpole drill: a link dies mid-tree, and with a reconnect budget the
+// run must heal and finish — with a model bit-identical to a fault-free run,
+// because both sides retrain the interrupted tree from the last boundary.
+TEST(FedRecoveryTest, ReconnectHealsMidTreeLinkDeath) {
+  Fixture f = MakeFixture(400, 10, {0.5, 0.5}, 73);
+  FedConfig clean = FastConfig();
+
+  FedConfig faulty = clean;
+  faulty.network.default_deadline_seconds = 0.3;
+  faulty.network.kill_after_messages = 6;  // dies inside an early tree
+  faulty.network.heal_after_seconds = 0.2;
+  faulty.network.reconnect_max_attempts = 8;
+
+  auto r_clean = FedTrainer(clean).Train(f.shards);
+  ASSERT_TRUE(r_clean.ok()) << r_clean.status().ToString();
+
+  Result<FedTrainResult> r_faulty = Status::Internal("train never ran");
+  const bool finished = RunWithWatchdog(
+      [&] { r_faulty = FedTrainer(faulty).Train(f.shards); },
+      /*timeout_seconds=*/120);
+  ASSERT_TRUE(finished) << "recovery drill hung";
+  ASSERT_TRUE(r_faulty.ok()) << r_faulty.status().ToString();
+  EXPECT_GE(r_faulty->stats.reconnects, 1u)
+      << "link death never triggered a reconnect (kill_after too high?)";
+
+  const auto p_clean = Predictions(*r_clean, f);
+  const auto p_faulty = Predictions(*r_faulty, f);
+  ASSERT_EQ(p_clean.size(), p_faulty.size());
+  for (size_t i = 0; i < p_clean.size(); ++i) {
+    ASSERT_DOUBLE_EQ(p_clean[i], p_faulty[i]) << "instance " << i;
+  }
+  // Gradient encryption draws from a per-tree rng stream, so even the tree
+  // that was interrupted and retrained serializes identically.
+  EXPECT_EQ(JointModelText(*r_clean, f), JointModelText(*r_faulty, f));
+}
+
+// Without a reconnect budget the same outage is fatal — but the checkpoint
+// survives, and a resumed run finishes with the fault-free model: the
+// restored trees are bit-identical and the remaining ones retrain from the
+// exact stored scores.
+TEST(FedRecoveryTest, CheckpointResumeMatchesFaultFree) {
+  Fixture f = MakeFixture(400, 10, {0.5, 0.5}, 75);
+  const std::string dir = ::testing::TempDir() + "vf2_resume_drill";
+  std::filesystem::remove_all(dir);  // no stale state from earlier runs
+
+  FedConfig clean = FastConfig();
+  auto r_ref = FedTrainer(clean).Train(f.shards);
+  ASSERT_TRUE(r_ref.ok()) << r_ref.status().ToString();
+
+  FedConfig crash = clean;
+  crash.checkpoint_dir = dir;
+  crash.network.default_deadline_seconds = 0.3;
+  crash.network.kill_after_messages = 12;  // die after >= 1 completed tree
+  Result<FedTrainResult> r_crash = Status::Internal("train never ran");
+  const bool crash_finished = RunWithWatchdog(
+      [&] { r_crash = FedTrainer(crash).Train(f.shards); },
+      /*timeout_seconds=*/60);
+  ASSERT_TRUE(crash_finished);
+  ASSERT_FALSE(r_crash.ok()) << "link death should be fatal without a budget";
+
+  Result<PartyBCheckpoint> ckpt = LoadPartyBCheckpoint(dir);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  ASSERT_GE(ckpt->completed_trees, 1u);
+  ASSERT_LT(ckpt->completed_trees, clean.gbdt.num_trees);
+
+  FedConfig resume = clean;
+  resume.checkpoint_dir = dir;
+  resume.resume = true;
+  auto r_resumed = FedTrainer(resume).Train(f.shards);
+  ASSERT_TRUE(r_resumed.ok()) << r_resumed.status().ToString();
+  EXPECT_GE(r_resumed->stats.trees_resumed, ckpt->completed_trees);
+  ASSERT_EQ(r_resumed->log.size(), clean.gbdt.num_trees);
+
+  const auto p_ref = Predictions(*r_ref, f);
+  const auto p_resumed = Predictions(*r_resumed, f);
+  ASSERT_EQ(p_ref.size(), p_resumed.size());
+  for (size_t i = 0; i < p_ref.size(); ++i) {
+    ASSERT_DOUBLE_EQ(p_ref[i], p_resumed[i]) << "instance " << i;
+  }
+  // Per-tree train losses match too: the resumed run walked the same path.
+  for (size_t t = 0; t < r_resumed->log.size(); ++t) {
+    EXPECT_DOUBLE_EQ(r_resumed->log[t].train_loss, r_ref->log[t].train_loss)
+        << "tree " << t;
+  }
+  EXPECT_EQ(JointModelText(*r_ref, f), JointModelText(*r_resumed, f));
+}
+
+// A resume against a config that would train a different model must be
+// refused up front, not silently produce a franken-model.
+TEST(FedRecoveryTest, ResumeRejectsIncompatibleConfig) {
+  Fixture f = MakeFixture(200, 8, {0.5, 0.5}, 77);
+  const std::string dir = ::testing::TempDir() + "vf2_resume_mismatch";
+  std::filesystem::remove_all(dir);
+
+  FedConfig first = FastConfig();
+  first.checkpoint_dir = dir;
+  ASSERT_TRUE(FedTrainer(first).Train(f.shards).ok());
+
+  FedConfig incompatible = first;
+  incompatible.resume = true;
+  incompatible.gbdt.learning_rate *= 2;  // model-determining change
+  incompatible.gbdt.num_trees += 1;      // avoid the trivial already-done case
+  auto r = FedTrainer(incompatible).Train(f.shards);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("fingerprint"), std::string::npos)
+      << r.status().ToString();
+}
+
+// Seed x flag matrix under a lossy (but in-budget) network: every protocol
+// variant must deliver the exact clean-network model. Seeds come from
+// VF2_FAULT_SEEDS (comma-separated) so CI can sweep a wider net than the
+// default quick pair.
+TEST(FedRecoveryTest, SeedFlagMatrixUnderFaults) {
+  std::vector<uint64_t> seeds;
+  if (const char* env = std::getenv("VF2_FAULT_SEEDS")) {
+    std::stringstream ss(env);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) seeds.push_back(std::stoull(tok));
+    }
+  }
+  if (seeds.empty()) seeds = {11, 23};
+
+  for (const uint64_t seed : seeds) {
+    Fixture f = MakeFixture(300, 10, {0.5, 0.5}, seed);
+    for (int mask = 0; mask < 8; ++mask) {
+      FedConfig clean = FastConfig();
+      clean.gbdt.num_trees = 2;
+      clean.seed = seed;
+      clean.blaster = (mask & 1) != 0;
+      clean.optimistic = (mask & 2) != 0;
+      clean.packing = (mask & 4) != 0;
+
+      FedConfig faulty = clean;
+      faulty.network.drop_probability = 0.15;
+      faulty.network.max_retransmits = 20;
+      faulty.network.retransmit_timeout_seconds = 0.0005;
+      faulty.network.duplicate_probability = 0.2;
+      faulty.network.jitter_seconds = 0.0005;
+      faulty.network.default_deadline_seconds = 10;
+      faulty.network.fault_seed = seed * 31 + mask;
+
+      auto r_clean = FedTrainer(clean).Train(f.shards);
+      auto r_faulty = FedTrainer(faulty).Train(f.shards);
+      ASSERT_TRUE(r_clean.ok())
+          << "seed " << seed << " mask " << mask << ": "
+          << r_clean.status().ToString();
+      ASSERT_TRUE(r_faulty.ok())
+          << "seed " << seed << " mask " << mask << ": "
+          << r_faulty.status().ToString();
+      const auto p_clean = Predictions(*r_clean, f);
+      const auto p_faulty = Predictions(*r_faulty, f);
+      for (size_t i = 0; i < p_clean.size(); ++i) {
+        ASSERT_DOUBLE_EQ(p_clean[i], p_faulty[i])
+            << "seed " << seed << " mask " << mask << " instance " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

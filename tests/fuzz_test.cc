@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/backend.h"
+#include "fed/checkpoint.h"
 #include "fed/placement.h"
 #include "fed/protocol.h"
 #include "gbdt/model_io.h"
@@ -140,6 +141,109 @@ TEST(ModelFuzzTest, MutatedModelTextNeverCrashes) {
     }
   }
   SUCCEED();
+}
+
+TEST(FrameFuzzTest, RandomFrameBytesNeverDecode) {
+  Rng rng(0x11AA);
+  Message out;
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Random bytes have a ~2^-32 chance of passing the CRC; every decode
+    // must return a clean Status either way.
+    (void)DecodeFrame(RandomBytes(&rng, 64), &out);
+  }
+  SUCCEED();
+}
+
+TEST(FrameFuzzTest, EverySingleByteFlipOfAValidFrameIsRejected) {
+  Message m;
+  m.type = MessageType::kGradBatch;
+  m.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<uint8_t> good = EncodeFrame(m);
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    for (uint8_t bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bad = good;
+      bad[pos] ^= static_cast<uint8_t>(1u << bit);
+      Message out;
+      const Status st = DecodeFrame(bad, &out);
+      EXPECT_FALSE(st.ok()) << "flip at byte " << pos << " bit " << int(bit)
+                            << " decoded";
+    }
+  }
+  // Truncations of the valid frame are also rejected.
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    Message out;
+    EXPECT_FALSE(DecodeFrame(cut, &out).ok()) << "truncation at " << len;
+  }
+}
+
+TEST(FrameFuzzTest, HostileHelloPayloadsReturnStatus) {
+  Rng rng(0x22BB);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Message msg;
+    msg.type = MessageType::kHello;
+    msg.payload = RandomBytes(&rng, 48);
+    HelloPayload out;
+    (void)DecodeHello(msg, &out);  // any Status is fine; no crash
+  }
+  // A valid hello round-trips; every truncation is rejected.
+  HelloPayload hello;
+  hello.session_id = 0xabcdef01;
+  hello.party = 2;
+  hello.last_completed_tree = 17;
+  hello.config_fingerprint = 0x1122334455667788ULL;
+  Message full = EncodeHello(hello);
+  HelloPayload back;
+  ASSERT_TRUE(DecodeHello(full, &back).ok());
+  EXPECT_EQ(back.session_id, hello.session_id);
+  EXPECT_EQ(back.last_completed_tree, hello.last_completed_tree);
+  for (size_t len = 0; len < full.payload.size(); ++len) {
+    Message cut;
+    cut.type = full.type;
+    cut.payload.assign(full.payload.begin(), full.payload.begin() + len);
+    EXPECT_FALSE(DecodeHello(cut, &back).ok()) << "truncation at " << len;
+  }
+}
+
+TEST(CheckpointFuzzTest, RandomCheckpointBytesNeverCrashOrOverallocate) {
+  Rng rng(0x33CC);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::vector<uint8_t> bytes = RandomBytes(&rng, 256);
+    PartyBCheckpoint b;
+    (void)DeserializePartyBCheckpoint(bytes, &b);
+    PartyACheckpoint a;
+    (void)DeserializePartyACheckpoint(bytes, &a);
+  }
+  SUCCEED();
+}
+
+TEST(CheckpointFuzzTest, BitFlippedCheckpointsAreRejected) {
+  PartyBCheckpoint ckpt;
+  ckpt.config_fingerprint = 42;
+  ckpt.completed_trees = 1;
+  ckpt.base_score = 0.5;
+  Tree tree;
+  tree.node(0).weight = 1.25;
+  ckpt.trees.push_back(tree);
+  ckpt.scores = {0.5, -0.25};
+  const std::vector<uint8_t> good = SerializePartyBCheckpoint(ckpt);
+  {
+    PartyBCheckpoint out;
+    ASSERT_TRUE(DeserializePartyBCheckpoint(good, &out).ok());
+  }
+  Rng rng(0x44DD);
+  size_t rejected = 0;
+  const int kTrials = 1000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<uint8_t> bad = good;
+    const size_t pos = rng.NextBounded(bad.size());
+    bad[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    PartyBCheckpoint out;
+    if (!DeserializePartyBCheckpoint(bad, &out).ok()) ++rejected;
+  }
+  // The container CRC covers the payload, so every payload flip and almost
+  // every header flip must be caught.
+  EXPECT_EQ(rejected, static_cast<size_t>(kTrials));
 }
 
 TEST(BitmapFuzzTest, HostileBitmapHeadersRejected) {

@@ -1,0 +1,189 @@
+#include "fed/session.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace vf2boost {
+namespace {
+
+using Clock = ChannelEndpoint::Clock;
+
+NetworkConfig RecoverableNet() {
+  NetworkConfig net;
+  net.default_deadline_seconds = 0.1;
+  net.reconnect_max_attempts = 8;
+  net.reconnect_backoff_base_seconds = 0.001;
+  net.reconnect_backoff_cap_seconds = 0.02;
+  return net;
+}
+
+// Builds both halves of one resilient channel over a shared broker.
+struct SessionPair {
+  explicit SessionPair(const NetworkConfig& net,
+                       uint64_t fingerprint_a = 77, uint64_t fingerprint_b = 77)
+      : broker({net}) {
+    auto [ea, eb] = ChannelEndpoint::CreatePair(net);
+    a = std::make_unique<SessionChannel>(&broker, 0, /*a_side=*/true,
+                                         /*session_id=*/1234, /*party=*/0,
+                                         fingerprint_a, net, std::move(ea));
+    b = std::make_unique<SessionChannel>(&broker, 0, /*a_side=*/false,
+                                         /*session_id=*/1234, /*party=*/1,
+                                         fingerprint_b, net, std::move(eb));
+  }
+  SessionBroker broker;
+  std::unique_ptr<SessionChannel> a;
+  std::unique_ptr<SessionChannel> b;
+};
+
+TEST(SessionBrokerTest, RendezvousHandsBothSidesAConnectedPair) {
+  SessionBroker broker({NetworkConfig{}});
+  Result<std::unique_ptr<ChannelEndpoint>> got_a = Status::Unavailable("pending");
+  std::thread peer([&] {
+    got_a = broker.Reconnect(0, /*a_side=*/true,
+                             Clock::now() + std::chrono::seconds(5));
+  });
+  Result<std::unique_ptr<ChannelEndpoint>> got_b = broker.Reconnect(
+      0, /*a_side=*/false, Clock::now() + std::chrono::seconds(5));
+  peer.join();
+  ASSERT_TRUE(got_a.ok()) << got_a.status().ToString();
+  ASSERT_TRUE(got_b.ok()) << got_b.status().ToString();
+  Message m;
+  m.type = MessageType::kTreeDone;
+  m.payload = {42};
+  (*got_a)->Send(std::move(m));
+  Result<Message> r = (*got_b)->Receive();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->payload[0], 42);
+}
+
+TEST(SessionBrokerTest, HealDelayGatesTheRendezvous) {
+  NetworkConfig net;
+  net.heal_after_seconds = 0.15;
+  SessionBroker broker({net});
+  Stopwatch clock;
+  std::thread peer([&] {
+    auto r = broker.Reconnect(0, true, Clock::now() + std::chrono::seconds(5));
+    EXPECT_TRUE(r.ok());
+  });
+  auto r = broker.Reconnect(0, false, Clock::now() + std::chrono::seconds(5));
+  peer.join();
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(clock.ElapsedSeconds(), 0.1);  // outage lasted ~heal_after
+}
+
+TEST(SessionBrokerTest, TimesOutWithoutPeer) {
+  SessionBroker broker({NetworkConfig{}});
+  auto r = broker.Reconnect(0, true,
+                            Clock::now() + std::chrono::milliseconds(50));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SessionBrokerTest, ShutdownAbortsPendingAndFutureRendezvous) {
+  SessionBroker broker({NetworkConfig{}});
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    broker.Shutdown(Status::Aborted("party B failed: injected"));
+  });
+  auto pending =
+      broker.Reconnect(0, true, Clock::now() + std::chrono::seconds(5));
+  killer.join();
+  ASSERT_FALSE(pending.ok());
+  EXPECT_EQ(pending.status().code(), StatusCode::kAborted);
+  auto later =
+      broker.Reconnect(0, false, Clock::now() + std::chrono::seconds(5));
+  ASSERT_FALSE(later.ok());
+  EXPECT_NE(later.status().message().find("injected"), std::string::npos);
+}
+
+TEST(SessionChannelTest, ReestablishReplacesLinkAndExchangesHellos) {
+  SessionPair pair(RecoverableNet());
+  Result<HelloPayload> peer_of_a = Status::Unavailable("pending");
+  std::thread side_a([&] { peer_of_a = pair.a->Reestablish(3); });
+  Result<HelloPayload> peer_of_b = pair.b->Reestablish(3);
+  side_a.join();
+  ASSERT_TRUE(peer_of_a.ok()) << peer_of_a.status().ToString();
+  ASSERT_TRUE(peer_of_b.ok()) << peer_of_b.status().ToString();
+  EXPECT_EQ(peer_of_a->party, 1u);
+  EXPECT_EQ(peer_of_b->party, 0u);
+  EXPECT_EQ(peer_of_a->last_completed_tree, 3);
+  EXPECT_EQ(pair.a->reconnects(), 1u);
+  EXPECT_EQ(pair.b->reconnects(), 1u);
+
+  // The replacement link carries traffic.
+  Message m;
+  m.type = MessageType::kGradBatch;
+  m.payload = {7};
+  pair.b->Send(std::move(m));
+  Result<Message> r = pair.a->Receive();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->payload[0], 7);
+}
+
+TEST(SessionChannelTest, StatsAccumulateAcrossGenerations) {
+  SessionPair pair(RecoverableNet());
+  Message m;
+  m.type = MessageType::kGradBatch;
+  m.payload = {1};
+  pair.a->Send(m);  // first generation traffic
+  std::thread side_a([&] { EXPECT_TRUE(pair.a->Reestablish(0).ok()); });
+  EXPECT_TRUE(pair.b->Reestablish(0).ok());
+  side_a.join();
+  pair.a->Send(m);  // second generation traffic
+  // 2 data messages + 1 hello, summed over both link generations.
+  EXPECT_EQ(pair.a->sent_stats().messages, 3u);
+}
+
+TEST(SessionChannelTest, BudgetExhaustionIsUnavailable) {
+  NetworkConfig net = RecoverableNet();
+  net.default_deadline_seconds = 0.01;
+  net.reconnect_max_attempts = 1;
+  SessionPair pair(net);
+  // No peer ever shows up: the single attempt times out at the rendezvous
+  // and the budget is spent.
+  Result<HelloPayload> r = pair.a->Reestablish(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pair.a->attempts_used(), 1);
+}
+
+TEST(SessionChannelTest, FingerprintMismatchIsTerminal) {
+  SessionPair pair(RecoverableNet(), /*fingerprint_a=*/1,
+                   /*fingerprint_b=*/2);
+  Result<HelloPayload> peer_of_a = Status::Unavailable("pending");
+  std::thread side_a([&] { peer_of_a = pair.a->Reestablish(0); });
+  Result<HelloPayload> peer_of_b = pair.b->Reestablish(0);
+  side_a.join();
+  // Both sides must reject the marriage, not retry it.
+  ASSERT_FALSE(peer_of_a.ok());
+  ASSERT_FALSE(peer_of_b.ok());
+  EXPECT_EQ(peer_of_a.status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(peer_of_b.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(SessionChannelTest, ErrorCloseShutsTheBrokerDown) {
+  SessionPair pair(RecoverableNet());
+  pair.a->Close(Status::Aborted("engine failed"));
+  // The peer's future reconnects fail fast with the root cause instead of
+  // burning the budget against a side that is gone for good.
+  Result<HelloPayload> r = pair.b->Reestablish(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+}
+
+TEST(SessionChannelTest, CleanCloseLeavesBrokerRunning) {
+  SessionPair pair(RecoverableNet());
+  pair.a->Close(Status::OK());
+  // A clean close is not a failure: other channels (here: the same slot)
+  // must still be able to rendezvous.
+  auto r = pair.broker.Reconnect(0, true,
+                                 Clock::now() + std::chrono::milliseconds(50));
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);  // not aborted
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -36,6 +36,17 @@ int main(int argc, char** argv) {
        {"lr", "learning rate (default 0.1)"},
        {"workers", "intra-party workers (default 1)"},
        {"seed", "partition/crypto seed (default 42)"},
+       {"checkpoint-dir", "write a tree-boundary checkpoint after each tree"},
+       {"resume", "resume from --checkpoint-dir instead of starting fresh"},
+       {"deadline", "per-receive deadline seconds (0 = block forever)"},
+       {"drop", "per-attempt message drop probability"},
+       {"duplicate", "message duplication probability"},
+       {"jitter", "extra uniform delivery delay bound, seconds"},
+       {"corrupt", "frame corruption (bit flip) probability"},
+       {"kill-after", "kill each link after N sends per direction (0 = off)"},
+       {"heal-after", "seconds a dead link stays down before it can heal"},
+       {"reconnect-budget", "session reconnect attempts (0 = fail fast)"},
+       {"fault-seed", "fault-injection PRNG seed (default 0x5eed)"},
        {"trace-out", "write a Chrome trace-event JSON (Perfetto-loadable)"},
        {"metrics-out", "write the metrics registry as flat JSON"},
        {"gantt", "print a text gantt of the traced run (needs --trace-out)"}});
@@ -71,6 +82,19 @@ int main(int argc, char** argv) {
   config.gbdt.num_layers = static_cast<size_t>(flags.GetInt("layers", 7));
   config.gbdt.max_bins = static_cast<size_t>(flags.GetInt("bins", 20));
   config.gbdt.learning_rate = flags.GetDouble("lr", 0.1);
+  config.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  config.resume = flags.GetBool("resume");
+  config.network.default_deadline_seconds = flags.GetDouble("deadline", 0);
+  config.network.drop_probability = flags.GetDouble("drop", 0);
+  config.network.duplicate_probability = flags.GetDouble("duplicate", 0);
+  config.network.jitter_seconds = flags.GetDouble("jitter", 0);
+  config.network.corrupt_probability = flags.GetDouble("corrupt", 0);
+  config.network.kill_after_messages =
+      static_cast<size_t>(flags.GetInt("kill-after", 0));
+  config.network.heal_after_seconds = flags.GetDouble("heal-after", 0);
+  config.network.reconnect_max_attempts = flags.GetInt("reconnect-budget", 0);
+  config.network.fault_seed =
+      static_cast<uint64_t>(flags.GetInt("fault-seed", 0x5eed));
 
   const size_t parties = static_cast<size_t>(flags.GetInt("parties", 2));
   if (parties < 2 || parties > 8) {
