@@ -32,6 +32,7 @@ PartyMetrics PartyMetrics::Create(obs::MetricsRegistry* registry,
       registry->GetGauge(prefix + "/pool_queue_high_water", "tasks");
   m.reconnects = registry->GetCounter(prefix + "/session/reconnects");
   m.trees_resumed = registry->GetCounter(prefix + "/session/trees_resumed");
+  m.features = registry->GetGauge(prefix + "/features", "features");
   m.phase_encrypt = registry->GetHistogram(prefix + "/phase/encrypt");
   m.phase_build_hist = registry->GetHistogram(prefix + "/phase/build_hist");
   m.phase_pack = registry->GetHistogram(prefix + "/phase/pack");

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/timer.h"
+#include "obs/live_status.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -44,6 +45,16 @@ struct PartyMetrics {
   /// trees restored from a checkpoint instead of being retrained.
   obs::Counter* reconnects = nullptr;
   obs::Counter* trees_resumed = nullptr;
+  /// Number of feature columns this party holds (set by the engine at
+  /// Setup). Lets a report compute the paper's D_A/(D_A+D_B) dirty-node
+  /// prediction from a metrics dump alone.
+  obs::Gauge* features = nullptr;
+
+  /// The engine's live training position (tree/layer/phase/state) for the
+  /// ops endpoints; borrowed from the owning engine, null when the engine
+  /// predates the wiring (e.g. bare PartyMetrics in tests). PhaseClock
+  /// publishes its trace_name here when set.
+  obs::LiveStatus* live = nullptr;
 
   obs::Histogram* phase_encrypt = nullptr;
   obs::Histogram* phase_build_hist = nullptr;
@@ -67,11 +78,17 @@ struct PartyMetrics {
 /// unrelated work in the same scope); the destructor stops implicitly.
 class PhaseClock {
  public:
-  PhaseClock(obs::Histogram* hist, const char* trace_name)
+  /// `live`, when given, mirrors the phase name into the engine's LiveStatus
+  /// for the duration of the clock (trace_name must be a string literal —
+  /// see obs::LiveStatus::SetPhase).
+  PhaseClock(obs::Histogram* hist, const char* trace_name,
+             obs::LiveStatus* live = nullptr)
       : hist_(hist),
         trace_name_(trace_name),
-        rec_(obs::TraceRecorder::Current()) {
+        rec_(obs::TraceRecorder::Current()),
+        live_(live) {
     if (rec_ != nullptr) start_us_ = rec_->NowMicros();
+    if (live_ != nullptr) live_->SetPhase(trace_name);
   }
   ~PhaseClock() { Stop(); }
 
@@ -86,12 +103,14 @@ class PhaseClock {
       rec_->CompleteSpan(trace_name_, "phase", start_us_,
                          rec_->NowMicros() - start_us_, "");
     }
+    if (live_ != nullptr) live_->SetPhase("");
   }
 
  private:
   obs::Histogram* hist_;
   const char* trace_name_;
   obs::TraceRecorder* rec_;
+  obs::LiveStatus* live_;
   int64_t start_us_ = 0;
   Stopwatch watch_;
   bool stopped_ = false;

@@ -8,6 +8,7 @@
 #include "fed/party_a.h"
 #include "fed/party_b.h"
 #include "fed/session.h"
+#include "obs/build_info.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -55,6 +56,7 @@ Result<FedTrainResult> FedTrainer::Train(
   obs::MetricsRegistry local_registry;
   FedConfig config = config_;
   if (config.metrics == nullptr) config.metrics = &local_registry;
+  obs::RegisterBuildInfo(config.metrics);
   if (parties.size() < 2) {
     return Status::InvalidArgument("need at least two parties");
   }

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "fed/channel.h"
 
@@ -33,6 +35,18 @@ class Inbox {
   /// otherwise be replayed into the resynchronized protocol.
   void Clear() { buffer_.clear(); }
 
+  /// Registers an out-of-band consumer: every arriving message of
+  /// `sideband_type` is handed to `handler` at ingestion instead of being
+  /// returned, buffered, or counted against the cap. Used for observability
+  /// traffic (kMetricsDelta) that must never perturb the training state
+  /// machine regardless of when it arrives. The handler runs on the
+  /// receiving engine's thread.
+  void SetSideband(MessageType sideband_type,
+                   std::function<void(Message)> handler) {
+    sideband_type_ = sideband_type;
+    sideband_ = std::move(handler);
+  }
+
   /// Next message of any type (buffered first). Fails when the channel is
   /// closed or the receive deadline expires (see ChannelEndpoint::Receive).
   Result<Message> Receive() {
@@ -41,7 +55,15 @@ class Inbox {
       buffer_.pop_front();
       return m;
     }
-    return endpoint_->Receive();
+    for (;;) {
+      Result<Message> m = endpoint_->Receive();
+      if (!m.ok()) return m;
+      if (sideband_ && m->type == sideband_type_) {
+        sideband_(std::move(m).value());
+        continue;
+      }
+      return m;
+    }
   }
 
   /// Blocks until a message of `type` arrives; other messages are buffered
@@ -57,6 +79,10 @@ class Inbox {
     for (;;) {
       Result<Message> m = endpoint_->Receive();
       if (!m.ok()) return m.status();
+      if (sideband_ && m->type == sideband_type_) {
+        sideband_(std::move(m).value());
+        continue;
+      }
       if (m->type == type) return std::move(m).value();
       VF2_RETURN_IF_ERROR(Buffer(std::move(m).value(), type));
     }
@@ -84,6 +110,8 @@ class Inbox {
   size_t max_buffered_;
   size_t high_water_ = 0;
   std::deque<Message> buffer_;
+  MessageType sideband_type_{};
+  std::function<void(Message)> sideband_;
 };
 
 }  // namespace vf2boost

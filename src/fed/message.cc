@@ -37,6 +37,8 @@ const char* MessageTypeName(MessageType type) {
       return "ServeDone";
     case MessageType::kHello:
       return "Hello";
+    case MessageType::kMetricsDelta:
+      return "MetricsDelta";
     case MessageType::kLrPartial:
       return "LrPartial";
     case MessageType::kLrGradRequest:
@@ -55,7 +57,7 @@ namespace {
 /// True for every MessageType value the protocol defines; DecodeFrame uses
 /// this to reject frames whose type byte was corrupted into a gap value.
 bool IsKnownMessageType(uint8_t raw) {
-  return (raw >= 1 && raw <= 15) || (raw >= 20 && raw <= 23);
+  return (raw >= 1 && raw <= 16) || (raw >= 20 && raw <= 23);
 }
 
 void PutU32Le(std::vector<uint8_t>* buf, uint32_t v) {

@@ -28,6 +28,11 @@ enum class MessageType : uint8_t {
   kServeReply = 13,     ///< A -> B: direction bitmap for a serve query
   kServeDone = 14,      ///< B -> A: serving session shutdown
   kHello = 15,          ///< both ways: session re-establishment handshake
+  /// A -> B: piggybacked metric snapshot for cross-party federation (sent at
+  /// tree boundaries when FedConfig::federate_metrics is on). Observability
+  /// only: ignored by the training state machine and excluded from
+  /// FedConfig::Fingerprint().
+  kMetricsDelta = 16,
   // Vertical federated logistic regression (paper §5 Discussions).
   kLrPartial = 20,      ///< encrypted per-instance partial score terms
   kLrGradRequest = 21,  ///< encrypted masked gradient accumulations

@@ -26,6 +26,7 @@ PartyAEngine::PartyAEngine(const FedConfig& config, const Dataset& data,
   }
   m_ = PartyMetrics::Create(config_.metrics,
                             "party_a" + std::to_string(party_index));
+  m_.live = &live_;
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
     pool_->SetQueueDepthGauge(m_.pool_queue_high_water);
@@ -36,8 +37,9 @@ Status PartyAEngine::Setup() {
   cuts_ = ComputeBinCuts(data_.features, config_.gbdt.max_bins);
   binned_ = BinnedMatrix::FromCsr(data_.features, cuts_);
   layout_ = FeatureLayout::FromCuts(cuts_);
+  m_.features->Set(static_cast<double>(layout_.num_features()));
 
-  PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+  PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
   VF2_ASSIGN_OR_RETURN(Message msg,
                        inbox_.ReceiveType(MessageType::kPublicKey));
   wait.Stop();
@@ -70,7 +72,11 @@ Status PartyAEngine::Run() {
   // waiting on a dead party.
   ChannelCloseGuard guard(inbox_.port(),
                           "party A" + std::to_string(party_index_));
+  StartOpsServer();
+  live_.SetState(obs::LiveStatus::State::kTraining);
   Status status = RunLoop();
+  live_.SetState(status.ok() ? obs::LiveStatus::State::kDone
+                             : obs::LiveStatus::State::kFailed);
   m_.inbox_high_water->Max(
       static_cast<double>(inbox_.buffered_high_water()));
   m_.bytes_sent->Set(
@@ -99,10 +105,13 @@ Status PartyAEngine::RunLoop() {
 
 Status PartyAEngine::RunOnce(bool* done) {
   *done = false;
-  PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+  PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
   VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
   wait.Stop();
   if (msg.type == MessageType::kTrainDone) {
+    // Final snapshot before the channel closes: B drains it after
+    // broadcasting kTrainDone, so its federated view ends exact.
+    if (config_.federate_metrics) SendMetricsDelta(/*final_frame=*/true);
     *done = true;
     return Status::OK();
   }
@@ -113,7 +122,36 @@ Status PartyAEngine::RunOnce(bool* done) {
   }
   VF2_RETURN_IF_ERROR(RunTree(std::move(msg)));
   last_completed_tree_ = static_cast<int64_t>(current_tree_);
-  return MaybeWriteCheckpoint();
+  VF2_RETURN_IF_ERROR(MaybeWriteCheckpoint());
+  if (config_.federate_metrics) SendMetricsDelta(/*final_frame=*/false);
+  return Status::OK();
+}
+
+void PartyAEngine::StartOpsServer() {
+  if (config_.ops_port <= 0) return;
+  obs::OpsServerOptions opts;
+  opts.port = config_.ops_port + 1 + static_cast<int>(party_index_);
+  opts.party_label = "A" + std::to_string(party_index_);
+  opts.metric_prefix = "party_a" + std::to_string(party_index_);
+  opts.registry = config_.metrics;
+  opts.live = &live_;
+  auto server = obs::OpsServer::Start(opts);
+  if (!server.ok()) {
+    VF2_LOG(Warn) << "party A" << party_index_ << " ops server disabled: "
+                  << server.status().ToString();
+    return;
+  }
+  ops_ = std::move(server).value();
+}
+
+void PartyAEngine::SendMetricsDelta(bool final_frame) {
+  MetricsDeltaPayload delta;
+  delta.party = party_index_;
+  delta.seq = ++metrics_seq_;
+  delta.final_frame = final_frame;
+  delta.samples = config_.metrics->Snapshot(
+      "party_a" + std::to_string(party_index_) + "/");
+  inbox_.Send(EncodeMetricsDelta(delta));
 }
 
 bool PartyAEngine::CanRecover(const Status& st) {
@@ -133,10 +171,12 @@ Status PartyAEngine::Recover(const Status& cause) {
   h_ciphers_.clear();
   node_instances_.clear();
   hist_epoch_.clear();
+  live_.SetState(obs::LiveStatus::State::kReconnecting);
   obs::TraceSpan span("phase", "reconnect");
   VF2_ASSIGN_OR_RETURN(HelloPayload peer,
                        inbox_.port()->Reestablish(last_completed_tree_));
   m_.reconnects->Add(1);
+  live_.SetState(obs::LiveStatus::State::kTraining);
   // B is authoritative about which tree is replayed next; A's per-tree state
   // is derived from the incoming gradient stream, so a boundary difference
   // (e.g. A finished a tree whose kTreeDone B never confirmed) is benign.
@@ -203,7 +243,7 @@ Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
     }
     received += batch.g.size();
     if (received >= n) break;
-    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+    PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
     VF2_ASSIGN_OR_RETURN(msg, inbox_.ReceiveType(MessageType::kGradBatch));
     wait.Stop();
   }
@@ -215,6 +255,7 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
   const auto it = node_instances_.find(node);
   VF2_CHECK(it != node_instances_.end()) << "no instances for node " << node;
 
+  live_.SetLayer(layer);
   Stopwatch timer;
   AccumulatorStats acc_stats;
   EncryptedHistogram hist;
@@ -242,7 +283,7 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
   payload.epoch = hist_epoch_[node];
 
   if (config_.packing) {
-    PhaseClock pack_clock(m_.phase_pack, "pack");
+    PhaseClock pack_clock(m_.phase_pack, "pack", m_.live);
     AccumulatorStats pack_stats;
     auto loss = MakeLoss(config_.gbdt.objective);
     VF2_RETURN_IF_ERROR(loss.status());
@@ -412,6 +453,7 @@ Status PartyAEngine::RunTree(Message first_grad_msg) {
   uint32_t tree_id = 0;
   VF2_RETURN_IF_ERROR(ReceiveGradients(std::move(first_grad_msg), &tree_id));
   current_tree_ = tree_id;
+  live_.SetTree(static_cast<int64_t>(tree_id));
 
   node_instances_.clear();
   hist_epoch_.clear();
@@ -424,7 +466,7 @@ Status PartyAEngine::RunTree(Message first_grad_msg) {
   }
 
   for (;;) {
-    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+    PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
     VF2_ASSIGN_OR_RETURN(Message msg, inbox_.Receive());
     wait.Stop();
     switch (msg.type) {

@@ -10,6 +10,8 @@
 #include "fed/fed_metrics.h"
 #include "fed/inbox.h"
 #include "fed/protocol.h"
+#include "obs/live_status.h"
+#include "obs/ops_server.h"
 
 namespace vf2boost {
 
@@ -49,6 +51,11 @@ class PartyAEngine {
   Status Recover(const Status& cause);
   Status LoadCheckpointIfResuming();
   Status MaybeWriteCheckpoint();
+  /// Starts the ops HTTP server on config.ops_port + 1 + party_index (best
+  /// effort: a bind failure is logged, never fails training).
+  void StartOpsServer();
+  /// Piggybacks this party's cumulative metric snapshot to B (kMetricsDelta).
+  void SendMetricsDelta(bool final_frame);
   Status RunTree(Message first_grad_msg);
   Status ReceiveGradients(Message first, uint32_t* tree_id);
   Status BuildAndSendHist(uint32_t tree, uint32_t layer, int32_t node);
@@ -90,6 +97,9 @@ class PartyAEngine {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
   PartyMetrics m_;
   FedStats stats_;
+  obs::LiveStatus live_;  ///< live position for the ops endpoints
+  std::unique_ptr<obs::OpsServer> ops_;
+  uint64_t metrics_seq_ = 0;  ///< kMetricsDelta sequence (engine lifetime)
 };
 
 }  // namespace vf2boost

@@ -28,6 +28,22 @@ PartyBEngine::PartyBEngine(const FedConfig& config, const Dataset& data,
     config_.metrics = owned_metrics_.get();
   }
   m_ = PartyMetrics::Create(config_.metrics, "party_b");
+  m_.live = &live_;
+  for (size_t p = 0; p < inboxes_.size(); ++p) {
+    // Metric deltas are sideband traffic: consumed at ingestion on whichever
+    // thread receives, never buffered against the inbox cap.
+    inboxes_[p].SetSideband(
+        MessageType::kMetricsDelta, [this, p](Message msg) {
+          MetricsDeltaPayload delta;
+          if (Status st = DecodeMetricsDelta(msg, &delta); !st.ok()) {
+            VF2_LOG(Warn) << "ignoring bad metrics delta from A" << p << ": "
+                          << st.ToString();
+            return;
+          }
+          remote_metrics_.Update("A" + std::to_string(p), delta.seq,
+                                 std::move(delta.samples));
+        });
+  }
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
     pool_->SetQueueDepthGauge(m_.pool_queue_high_water);
@@ -45,6 +61,7 @@ Status PartyBEngine::Setup() {
   cuts_ = ComputeBinCuts(data_.features, config_.gbdt.max_bins);
   binned_ = BinnedMatrix::FromCsr(data_.features, cuts_);
   layout_ = FeatureLayout::FromCuts(cuts_);
+  m_.features->Set(static_cast<double>(layout_.num_features()));
 
   // Key generation and handshake.
   Message key_msg{MessageType::kPublicKey, {}};
@@ -74,7 +91,7 @@ Status PartyBEngine::Setup() {
     inbox.Send(std::move(copy));
   }
   for (Inbox& inbox : inboxes_) {
-    PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+    PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
     VF2_ASSIGN_OR_RETURN(Message msg,
                          inbox.ReceiveType(MessageType::kLayout));
     wait.Stop();
@@ -164,7 +181,7 @@ Status PartyBEngine::CollectHistograms(
   for (size_t p = 0; p < inboxes_.size(); ++p) {
     auto& per_party = (*hists)[p];
     while (per_party.size() < nodes.size()) {
-      PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+      PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
       VF2_ASSIGN_OR_RETURN(
           Message msg, inboxes_[p].ReceiveType(MessageType::kNodeHistogram));
       wait.Stop();
@@ -227,6 +244,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
   if (tree_span.active()) {
     tree_span.AddArg("tree", static_cast<int64_t>(tree_id));
   }
+  live_.SetTree(static_cast<int64_t>(tree_id));
   const GbdtParams& params = config_.gbdt;
   loss_->Compute(scores_, data_.labels, &grads_);
   EncryptAndSendGradients(tree_id);
@@ -241,9 +259,10 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
 
   for (uint32_t layer = 0; layer + 1 < params.num_layers && !active.empty();
        ++layer) {
+    live_.SetLayer(static_cast<int64_t>(layer));
     // --- FindSplitB: own histograms + best own splits -----------------------
     {
-      PhaseClock clock(m_.phase_find_split, "find_split");
+      PhaseClock clock(m_.phase_find_split, "find_split", m_.live);
       for (NodeState& node : active) {
         if (!node.has_hist) {  // only the root reaches this; children are
                                // derived at split time (sibling subtraction)
@@ -360,7 +379,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
       };
       std::vector<Dirty> dirty;
       {
-        PhaseClock clock(m_.phase_find_split, "find_split");
+        PhaseClock clock(m_.phase_find_split, "find_split", m_.live);
         for (NodeState& node : active) {
           SplitCandidate best_a;
           uint32_t owner = 0;
@@ -424,7 +443,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
             rollback_span.AddArg("node", static_cast<int64_t>(d.node->id));
             rollback_span.AddArg("owner", static_cast<int64_t>(d.owner));
           }
-          PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+          PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
           VF2_ASSIGN_OR_RETURN(
               Message msg,
               inboxes_[d.owner].ReceiveType(MessageType::kPlacement));
@@ -572,7 +591,7 @@ Status PartyBEngine::TrainOneTree(uint32_t tree_id, Tree* tree) {
             EncodeDecisions(queries[p], MessageType::kSplitQueries));
       }
       for (const PendingA& pa : pending) {
-        PhaseClock wait(m_.phase_comm_wait, "comm_wait");
+        PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
         VF2_ASSIGN_OR_RETURN(
             Message msg,
             inboxes_[pa.owner].ReceiveType(MessageType::kPlacement));
@@ -609,7 +628,11 @@ Result<PartyBResult> PartyBEngine::Run() {
   // scope restores the previous binding on exit. pid = party index + 1 (B
   // comes last; pid 0 is the trainer).
   obs::ThreadPartyScope party_scope(party_b_index_ + 1, "party B");
+  StartOpsServer();
+  live_.SetState(obs::LiveStatus::State::kTraining);
   Result<PartyBResult> result = RunInternal();
+  live_.SetState(result.ok() ? obs::LiveStatus::State::kDone
+                             : obs::LiveStatus::State::kFailed);
   // Close every channel so A engines blocked on their inboxes fail with the
   // root cause instead of hanging (clean closes drain pending messages, so
   // the final kTrainDone still arrives).
@@ -683,6 +706,7 @@ Status PartyBEngine::MaybeWriteCheckpoint(const PartyBResult& result) {
 
 Status PartyBEngine::ResyncSessions(int64_t last_completed) {
   obs::TraceSpan span("phase", "reconnect");
+  live_.SetState(obs::LiveStatus::State::kReconnecting);
   hist_epoch_.clear();
   for (Inbox& inbox : inboxes_) inbox.Clear();
   for (Inbox& inbox : inboxes_) {
@@ -698,7 +722,42 @@ Status PartyBEngine::ResyncSessions(int64_t last_completed) {
                     << last_completed << ")";
     }
   }
+  live_.SetState(obs::LiveStatus::State::kTraining);
   return Status::OK();
+}
+
+void PartyBEngine::StartOpsServer() {
+  if (config_.ops_port <= 0) return;
+  obs::OpsServerOptions opts;
+  opts.port = config_.ops_port;
+  opts.party_label = "B";
+  // Empty prefix: B's endpoints expose the whole shared registry, giving a
+  // cluster view when the trainer runs in-process and the federated remote
+  // view otherwise.
+  opts.metric_prefix = "";
+  opts.registry = config_.metrics;
+  opts.remote = &remote_metrics_;
+  opts.live = &live_;
+  auto server = obs::OpsServer::Start(opts);
+  if (!server.ok()) {
+    VF2_LOG(Warn) << "party B ops server disabled: "
+                  << server.status().ToString();
+    return;
+  }
+  ops_ = std::move(server).value();
+}
+
+void PartyBEngine::DrainFederatedMetrics() {
+  for (size_t p = 0; p < inboxes_.size(); ++p) {
+    // Each A party sends its final delta right before closing cleanly; keep
+    // receiving (the sideband handler consumes deltas) until the close lands.
+    for (;;) {
+      Result<Message> msg = inboxes_[p].Receive();
+      if (!msg.ok()) break;  // clean close surfaces after queued traffic
+      VF2_LOG(Warn) << "unexpected " << MessageTypeName(msg->type)
+                    << " from A" << p << " after kTrainDone; dropping";
+    }
+  }
 }
 
 Result<PartyBResult> PartyBEngine::RunInternal() {
@@ -750,6 +809,9 @@ Result<PartyBResult> PartyBEngine::RunInternal() {
   for (Inbox& inbox : inboxes_) {
     inbox.Send(Message{MessageType::kTrainDone, {}});
   }
+  // The final per-party metric frames ride behind kTrainDone; collect them
+  // before Run() closes the ports so the ordering can't drop them.
+  if (config_.federate_metrics) DrainFederatedMetrics();
 
   size_t bytes_sent = 0;
   for (Inbox& inbox : inboxes_) {

@@ -14,6 +14,9 @@
 #include "gbdt/split.h"
 #include "gbdt/trainer.h"
 #include "gbdt/tree.h"
+#include "obs/live_status.h"
+#include "obs/ops_server.h"
+#include "obs/remote_metrics.h"
 
 namespace vf2boost {
 
@@ -41,6 +44,10 @@ class PartyBEngine {
 
   Result<PartyBResult> Run();
 
+  /// Metric snapshots federated from the A parties (kMetricsDelta frames);
+  /// empty unless config.federate_metrics was on. Valid after Run.
+  const obs::RemoteMetrics& remote_metrics() const { return remote_metrics_; }
+
  private:
   struct NodeState {
     int32_t id = 0;
@@ -67,6 +74,13 @@ class PartyBEngine {
   /// Drops partial-tree protocol state and re-establishes every session at
   /// the `last_completed` tree boundary.
   Status ResyncSessions(int64_t last_completed);
+  /// Starts the ops HTTP server on config.ops_port (best effort: a bind
+  /// failure is logged, never fails training).
+  void StartOpsServer();
+  /// Receives every A party's final kMetricsDelta frame: blocks per inbox
+  /// until the peer's clean close (clean closes drain queued traffic first,
+  /// so the final frame arrives deterministically).
+  void DrainFederatedMetrics();
   Status TrainOneTree(uint32_t tree_id, Tree* tree);
   void EncryptAndSendGradients(uint32_t tree_id);
   /// Collects the expected-epoch histogram of every node in `nodes` from
@@ -101,6 +115,9 @@ class PartyBEngine {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
   PartyMetrics m_;
   FedStats stats_;
+  obs::LiveStatus live_;             ///< live position for the ops endpoints
+  obs::RemoteMetrics remote_metrics_;  ///< A-party snapshots (federation)
+  std::unique_ptr<obs::OpsServer> ops_;
 };
 
 }  // namespace vf2boost

@@ -357,4 +357,74 @@ Status DecodeLayout(const Message& m, LayoutPayload* p) {
   return r.GetU64Vector(&p->bins_per_feature);
 }
 
+Message EncodeMetricsDelta(const MetricsDeltaPayload& p) {
+  ByteWriter w;
+  w.PutU32(p.party);
+  w.PutU64(p.seq);
+  w.PutU8(p.final_frame ? 1 : 0);
+  w.PutU64(p.samples.size());
+  for (const obs::MetricSample& s : p.samples) {
+    w.PutString(s.name);
+    w.PutU8(static_cast<uint8_t>(s.kind));
+    w.PutString(s.unit);
+    w.PutDouble(s.value);
+    w.PutU64(s.count);
+    w.PutDouble(s.sum);
+    w.PutDouble(s.min);
+    w.PutDouble(s.max);
+    w.PutDouble(s.first_upper);
+    w.PutDouble(s.growth);
+    w.PutU64Vector(s.buckets);
+  }
+  return Message{MessageType::kMetricsDelta, w.Release()};
+}
+
+Status DecodeMetricsDelta(const Message& m, MetricsDeltaPayload* p) {
+  if (m.type != MessageType::kMetricsDelta) {
+    return Status::ProtocolError(std::string("expected MetricsDelta, got ") +
+                                 MessageTypeName(m.type));
+  }
+  ByteReader r(m.payload);
+  VF2_RETURN_IF_ERROR(r.GetU32(&p->party));
+  VF2_RETURN_IF_ERROR(r.GetU64(&p->seq));
+  uint8_t final_flag = 0;
+  VF2_RETURN_IF_ERROR(r.GetU8(&final_flag));
+  p->final_frame = final_flag != 0;
+  uint64_t n = 0;
+  VF2_RETURN_IF_ERROR(r.GetU64(&n));
+  // A sample is dozens of bytes; a count the payload cannot possibly hold is
+  // corruption, not a reason to try allocating it.
+  if (n > r.remaining() / 8) {
+    return Status::Corruption("MetricsDelta sample count " +
+                              std::to_string(n) + " exceeds payload size");
+  }
+  p->samples.clear();
+  p->samples.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    obs::MetricSample s;
+    VF2_RETURN_IF_ERROR(r.GetString(&s.name));
+    uint8_t kind = 0;
+    VF2_RETURN_IF_ERROR(r.GetU8(&kind));
+    if (kind > static_cast<uint8_t>(obs::MetricSample::Kind::kValue)) {
+      return Status::Corruption("MetricsDelta sample kind " +
+                                std::to_string(kind) + " unknown");
+    }
+    s.kind = static_cast<obs::MetricSample::Kind>(kind);
+    VF2_RETURN_IF_ERROR(r.GetString(&s.unit));
+    VF2_RETURN_IF_ERROR(r.GetDouble(&s.value));
+    VF2_RETURN_IF_ERROR(r.GetU64(&s.count));
+    VF2_RETURN_IF_ERROR(r.GetDouble(&s.sum));
+    VF2_RETURN_IF_ERROR(r.GetDouble(&s.min));
+    VF2_RETURN_IF_ERROR(r.GetDouble(&s.max));
+    VF2_RETURN_IF_ERROR(r.GetDouble(&s.first_upper));
+    VF2_RETURN_IF_ERROR(r.GetDouble(&s.growth));
+    VF2_RETURN_IF_ERROR(r.GetU64Vector(&s.buckets));
+    p->samples.push_back(std::move(s));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in MetricsDelta payload");
+  }
+  return Status::OK();
+}
+
 }  // namespace vf2boost

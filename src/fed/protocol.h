@@ -12,12 +12,9 @@
 #include "fed/channel.h"
 #include "fed/message.h"
 #include "gbdt/types.h"
+#include "obs/metrics_registry.h"
 
 namespace vf2boost {
-
-namespace obs {
-class MetricsRegistry;
-}  // namespace obs
 
 /// \brief Everything that selects a protocol level and its knobs.
 ///
@@ -91,6 +88,21 @@ struct FedConfig {
   /// snapshot. Trace recording is orthogonal: install an obs::TraceRecorder
   /// globally (TraceRecorder::Install) before Train to capture spans.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Base port of the live ops HTTP servers (see obs/ops_server.h); 0 = off.
+  /// In the in-process simulation Party B binds ops_port and A party i binds
+  /// ops_port + 1 + i; a real one-process-per-party deployment gives each
+  /// party its own flag value. Observability only — excluded from
+  /// Fingerprint(), so two peers may disagree about it.
+  int ops_port = 0;
+  /// Cross-party metric federation: each A party piggybacks a kMetricsDelta
+  /// snapshot of its own registry entries over the training channel at every
+  /// tree boundary (plus one final frame at shutdown), and Party B's ops
+  /// endpoints expose the merged cluster view with per-party labels. Off by
+  /// default because the extra frames shift message counts under
+  /// fault-injection drills keyed on kill_after_messages. Observability only
+  /// — excluded from Fingerprint().
+  bool federate_metrics = false;
 
   FixedPointCodec MakeCodec() const {
     return FixedPointCodec(codec_base, codec_min_exponent,
@@ -300,6 +312,21 @@ struct LayoutPayload {
 };
 Message EncodeLayout(const LayoutPayload& p);
 Status DecodeLayout(const Message& m, LayoutPayload* p);
+
+/// \brief kMetricsDelta body: one sender's cumulative metric snapshot.
+///
+/// Values are cumulative (not per-tree increments) and `seq` increases
+/// monotonically per sender, so the frame is idempotent: replay under
+/// retransmission or reconnect cannot double-count — the receiver keeps the
+/// newest seq and drops the rest (obs::RemoteMetrics).
+struct MetricsDeltaPayload {
+  uint32_t party = 0;        ///< sender's A-party index
+  uint64_t seq = 0;          ///< per-sender frame sequence, starts at 1
+  bool final_frame = false;  ///< true on the frame sent after kTrainDone
+  std::vector<obs::MetricSample> samples;
+};
+Message EncodeMetricsDelta(const MetricsDeltaPayload& p);
+Status DecodeMetricsDelta(const Message& m, MetricsDeltaPayload* p);
 
 }  // namespace vf2boost
 

@@ -1,0 +1,57 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+#ifndef VF2_VERSION
+#define VF2_VERSION "0.0.0"
+#endif
+#ifndef VF2_GIT_SHA
+#define VF2_GIT_SHA "unknown"
+#endif
+
+namespace vf2boost {
+namespace obs {
+
+namespace {
+
+struct ProcessClock {
+  ProcessClock()
+      : start_unix(std::chrono::duration<double>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count()),
+        start_steady(std::chrono::steady_clock::now()) {}
+  const double start_unix;
+  const std::chrono::steady_clock::time_point start_steady;
+};
+
+const ProcessClock& Clock() {
+  static const ProcessClock clock;
+  return clock;
+}
+
+}  // namespace
+
+BuildInfo GetBuildInfo() { return BuildInfo{VF2_VERSION, VF2_GIT_SHA}; }
+
+double ProcessStartUnixSeconds() { return Clock().start_unix; }
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Clock().start_steady)
+      .count();
+}
+
+void RegisterBuildInfo(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const BuildInfo info = GetBuildInfo();
+  registry->SetValue("build/info", 1,
+                     std::string(info.version) + "+" + info.git_sha);
+  registry->SetValue("process/start_time_seconds", ProcessStartUnixSeconds(),
+                     "s");
+}
+
+}  // namespace obs
+}  // namespace vf2boost

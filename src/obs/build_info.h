@@ -1,0 +1,36 @@
+#ifndef VF2BOOST_OBS_BUILD_INFO_H_
+#define VF2BOOST_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace vf2boost {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Compile-time identity of this binary. The git SHA is captured at CMake
+/// configure time (it can lag HEAD until the next reconfigure); "unknown"
+/// when the source tree is not a git checkout.
+struct BuildInfo {
+  const char* version;
+  const char* git_sha;
+};
+
+BuildInfo GetBuildInfo();
+
+/// Unix timestamp (seconds) at which this process initialized, and seconds
+/// elapsed since then. Both anchored to the same static-init instant so
+/// start + uptime is consistent.
+double ProcessStartUnixSeconds();
+double ProcessUptimeSeconds();
+
+/// Registers the self-identification entries every export should carry:
+///   build/info                  value 1, unit "<version>+<git_sha>"
+///   process/start_time_seconds  unix epoch seconds
+/// Idempotent — callers at different layers (trainer, CLIs) may all call it.
+void RegisterBuildInfo(MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_BUILD_INFO_H_

@@ -109,6 +109,61 @@ size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
+std::string PartyArtifactPath(const std::string& path,
+                              const std::string& party) {
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + party;
+  }
+  return path.substr(0, dot) + "." + party + path.substr(dot);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  for (const std::string& name : order_) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const Entry& e = entries_.at(name);
+    MetricSample s;
+    s.name = name;
+    s.unit = e.unit;
+    switch (e.kind) {
+      case Kind::kCounter:
+        s.kind = MetricSample::Kind::kCounter;
+        s.unit = "count";
+        s.value = static_cast<double>(e.counter->value());
+        break;
+      case Kind::kGauge:
+        s.kind = MetricSample::Kind::kGauge;
+        s.value = e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        s.kind = MetricSample::Kind::kHistogram;
+        s.count = h.count();
+        s.sum = h.sum();
+        s.min = h.min();
+        s.max = h.max();
+        s.first_upper = h.first_upper();
+        s.growth = h.growth();
+        s.buckets.resize(Histogram::kBuckets + 1);
+        for (size_t i = 0; i <= Histogram::kBuckets; ++i) {
+          s.buckets[i] = h.BucketCount(i);
+        }
+        break;
+      }
+      case Kind::kValue:
+        s.kind = MetricSample::Kind::kValue;
+        s.value = e.value;
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 namespace {
 
 std::string Escape(const std::string& s) {
@@ -133,11 +188,12 @@ void AppendEntry(std::string* out, bool* first, const std::string& name,
 
 }  // namespace
 
-std::string MetricsRegistry::ToJson() const {
+std::string MetricsRegistry::ToJson(const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\n  \"benchmarks\": [\n";
   bool first = true;
   for (const std::string& name : order_) {
+    if (name.rfind(prefix, 0) != 0) continue;
     const Entry& e = entries_.at(name);
     switch (e.kind) {
       case Kind::kCounter:
@@ -167,13 +223,14 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
-bool MetricsRegistry::WriteJson(const std::string& path) const {
+bool MetricsRegistry::WriteJson(const std::string& path,
+                                const std::string& prefix) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     VF2_LOG(Error) << "cannot open " << path << " for writing";
     return false;
   }
-  const std::string json = ToJson();
+  const std::string json = ToJson(prefix);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   std::fclose(f);
   if (!ok) VF2_LOG(Error) << "short write to " << path;

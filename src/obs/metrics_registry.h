@@ -72,6 +72,8 @@ class Histogram {
   uint64_t BucketCount(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  double first_upper() const { return first_upper_; }
+  double growth() const { return growth_; }
 
  private:
   const double first_upper_;
@@ -82,6 +84,37 @@ class Histogram {
   std::atomic<double> max_{0};
   std::atomic<uint64_t> buckets_[kBuckets + 1] = {};  // +1 = overflow
 };
+
+/// \brief Point-in-time copy of one registry entry.
+///
+/// The wire- and exporter-facing view of a metric: plain data, no atomics,
+/// trivially serializable. Histogram samples carry the full bucket vector
+/// (kBuckets + 1 entries, last = overflow) plus the bucket-ladder parameters
+/// so a remote renderer can reconstruct the exact upper bounds.
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2, kValue = 3 };
+
+  std::string name;
+  Kind kind = Kind::kValue;
+  std::string unit;
+  double value = 0;  ///< counter / gauge / value kinds
+
+  // Histogram kind only.
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double first_upper = 0;
+  double growth = 0;
+  std::vector<uint64_t> buckets;
+};
+
+/// Inserts a party suffix before the path's extension so per-party artifact
+/// files from a multi-process run never collide in a shared directory:
+///   PartyArtifactPath("out/metrics.json", "party_b") == "out/metrics.party_b.json"
+///   PartyArtifactPath("trace", "party_a0")           == "trace.party_a0"
+std::string PartyArtifactPath(const std::string& path,
+                              const std::string& party);
 
 /// \brief Thread-safe name -> metric registry with a flat JSON exporter.
 ///
@@ -111,9 +144,18 @@ class MetricsRegistry {
   bool empty() const;
   size_t size() const;
 
-  std::string ToJson() const;
-  /// Writes ToJson() to `path`; logs and returns false on I/O failure.
-  bool WriteJson(const std::string& path) const;
+  /// Point-in-time copy of every entry whose name starts with `prefix`
+  /// ("" = all), in registration order. Values are read with the same relaxed
+  /// loads the JSON exporter uses, so a snapshot is safe concurrently with
+  /// writers — it is a consistent-enough view for observability, not a
+  /// linearizable one.
+  std::vector<MetricSample> Snapshot(const std::string& prefix = "") const;
+
+  /// Flat JSON of every entry whose name starts with `prefix` ("" = all).
+  std::string ToJson(const std::string& prefix = "") const;
+  /// Writes ToJson(prefix) to `path`; logs and returns false on I/O failure.
+  bool WriteJson(const std::string& path,
+                 const std::string& prefix = "") const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kValue };

@@ -1,0 +1,254 @@
+#include "obs/ops_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/build_info.h"
+#include "obs/live_status.h"
+#include "obs/metrics_registry.h"
+#include "obs/prom_export.h"
+#include "obs/remote_metrics.h"
+#include "obs/trace.h"
+
+namespace vf2boost {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string MakeResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendSampleLines(std::string* out, const std::vector<MetricSample>& samples) {
+  for (const MetricSample& s : samples) {
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      *out += "  " + s.name + ": count=" + std::to_string(s.count) +
+              " sum=" + FormatDouble(s.sum) + "s mean=" +
+              FormatDouble(s.count == 0 ? 0 : s.sum / static_cast<double>(s.count)) +
+              "s max=" + FormatDouble(s.max) + "s\n";
+    } else {
+      *out += "  " + s.name + ": " + FormatDouble(s.value);
+      if (!s.unit.empty() && s.unit != "value") *out += " " + s.unit;
+      *out += "\n";
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<OpsServer>> OpsServer::Start(
+    const OpsServerOptions& options) {
+  std::unique_ptr<OpsServer> server(new OpsServer(options));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("ops server socket: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("ops server bind to 127.0.0.1:" +
+                           std::to_string(options.port) + ": " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("ops server listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("ops server getsockname: " + err);
+  }
+
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->thread_ = std::thread([s = server.get()] { s->Serve(); });
+  VF2_LOG(Info) << "ops server for party " << options.party_label
+                << " listening on 127.0.0.1:" << server->port_;
+  return server;
+}
+
+OpsServer::~OpsServer() { Stop(); }
+
+void OpsServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void OpsServer::Serve() {
+  // Poll with a short timeout so Stop() is observed promptly without
+  // resorting to signals or socket shutdown races.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    std::string request;
+    char buf[1024];
+    while (request.size() < kMaxRequestBytes &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t got = ::recv(conn, buf, sizeof(buf), 0);
+      if (got <= 0) break;
+      request.append(buf, static_cast<size_t>(got));
+    }
+
+    std::string response;
+    const size_t sp1 = request.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : request.find(' ', sp1 + 1);
+    if (request.rfind("GET ", 0) != 0 || sp2 == std::string::npos) {
+      response = MakeResponse(400, "Bad Request", "text/plain",
+                              "only GET is supported\n");
+    } else {
+      std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      response = HandlePath(path);
+    }
+
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t w =
+          ::send(conn, response.data() + sent, response.size() - sent, 0);
+      if (w <= 0) break;
+      sent += static_cast<size_t>(w);
+    }
+    ::close(conn);
+  }
+}
+
+std::string OpsServer::HandlePath(const std::string& path) const {
+  const LiveStatus::State state = options_.live != nullptr
+                                      ? options_.live->state()
+                                      : LiveStatus::State::kIdle;
+
+  if (path == "/healthz") {
+    const bool healthy = state != LiveStatus::State::kFailed;
+    std::string body = std::string(healthy ? "ok" : "unhealthy") + "\n";
+    body += "party: " + options_.party_label + "\n";
+    body += "state: " + std::string(LiveStatus::StateName(state)) + "\n";
+    body += "uptime_seconds: " + FormatDouble(ProcessUptimeSeconds()) + "\n";
+    return healthy ? MakeResponse(200, "OK", "text/plain", body)
+                   : MakeResponse(503, "Service Unavailable", "text/plain",
+                                  body);
+  }
+
+  if (path == "/metrics") {
+    std::string body;
+    if (options_.registry != nullptr) {
+      body = RenderPrometheus(*options_.registry, options_.metric_prefix,
+                              options_.remote);
+    } else {
+      body = RenderPrometheusSamples({}, options_.remote);
+    }
+    return MakeResponse(200, "OK", "text/plain; version=0.0.4", body);
+  }
+
+  if (path == "/statusz") {
+    const BuildInfo info = GetBuildInfo();
+    std::string body = "vf2boost party " + options_.party_label + "\n";
+    body += "build: " + std::string(info.version) + "+" + info.git_sha + "\n";
+    body += "uptime: " + FormatDouble(ProcessUptimeSeconds()) + "s\n";
+    body += "state: " + std::string(LiveStatus::StateName(state)) + "\n";
+    if (options_.live != nullptr) {
+      body += "tree: " + std::to_string(options_.live->tree()) + "\n";
+      body += "layer: " + std::to_string(options_.live->layer()) + "\n";
+      const char* phase = options_.live->phase();
+      body += "phase: " + std::string(*phase != '\0' ? phase : "-") + "\n";
+    }
+    if (options_.registry != nullptr) {
+      body += "\nlocal metrics:\n";
+      AppendSampleLines(&body,
+                        options_.registry->Snapshot(options_.metric_prefix));
+    }
+    if (options_.remote != nullptr) {
+      for (const RemoteMetrics::PartyView& view : options_.remote->All()) {
+        body += "\nfederated from party " + view.party +
+                " (frame " + std::to_string(view.seq) + "):\n";
+        AppendSampleLines(&body, view.samples);
+      }
+    }
+    return MakeResponse(200, "OK", "text/plain", body);
+  }
+
+  if (path == "/tracez") {
+    const TraceRecorder* rec = TraceRecorder::Current();
+    if (rec == nullptr) {
+      return MakeResponse(200, "OK", "text/plain",
+                          "tracing disabled (no recorder installed)\n");
+    }
+    const auto spans = rec->RecentSpans();
+    const auto names = rec->ProcessNames();
+    std::string body = "most recent " + std::to_string(spans.size()) +
+                       " completed spans (oldest first):\n";
+    char line[192];
+    for (const TraceRecorder::RecentSpan& s : spans) {
+      const auto it = names.find(s.pid);
+      const std::string who = it != names.end()
+                                  ? it->second
+                                  : "pid" + std::to_string(s.pid);
+      std::snprintf(line, sizeof(line), "%12lld us %10lld us  %-12s %s\n",
+                    static_cast<long long>(s.ts_us),
+                    static_cast<long long>(s.dur_us), who.c_str(),
+                    s.name.c_str());
+      body += line;
+    }
+    return MakeResponse(200, "OK", "text/plain", body);
+  }
+
+  if (path == "/") {
+    return MakeResponse(200, "OK", "text/plain",
+                        "vf2boost ops server. endpoints: /healthz /metrics "
+                        "/statusz /tracez\n");
+  }
+
+  return MakeResponse(404, "Not Found", "text/plain",
+                      "404: unknown path " + path + "\n");
+}
+
+}  // namespace obs
+}  // namespace vf2boost

@@ -1,0 +1,75 @@
+#ifndef VF2BOOST_OBS_OPS_SERVER_H_
+#define VF2BOOST_OBS_OPS_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vf2boost {
+namespace obs {
+
+class LiveStatus;
+class MetricsRegistry;
+class RemoteMetrics;
+
+/// What one party's ops server exposes. All pointers are borrowed and must
+/// outlive the server; null pointers degrade the corresponding endpoint
+/// gracefully (e.g. no registry -> empty /metrics).
+struct OpsServerOptions {
+  int port = 0;  ///< 0 = pick an ephemeral port (tests); read back via port()
+  std::string party_label;    ///< "B", "A0", ... (shown on /healthz, /statusz)
+  std::string metric_prefix;  ///< registry filter, "" = everything
+  const MetricsRegistry* registry = nullptr;
+  const RemoteMetrics* remote = nullptr;  ///< merged cluster view (Party B)
+  const LiveStatus* live = nullptr;
+};
+
+/// \brief Minimal dependency-free HTTP/1.1 introspection server.
+///
+/// One acceptor thread on a loopback socket, one request per connection,
+/// `Connection: close`. Serves:
+///   /healthz  liveness + session state (503 once the engine reports failed)
+///   /metrics  Prometheus text exposition (histogram buckets included)
+///   /statusz  human-readable training progress
+///   /tracez   most recent completed spans from the installed TraceRecorder
+///
+/// Binds 127.0.0.1 only: the endpoints are unauthenticated, so exposure
+/// beyond the host is an operator decision (ssh tunnel, sidecar proxy).
+/// Serving reads only atomics and mutex-guarded snapshots — it never blocks
+/// the training path.
+class OpsServer {
+ public:
+  static Result<std::unique_ptr<OpsServer>> Start(
+      const OpsServerOptions& options);
+  ~OpsServer();
+
+  OpsServer(const OpsServer&) = delete;
+  OpsServer& operator=(const OpsServer&) = delete;
+
+  /// Bound port (resolves option port 0 to the kernel-assigned one).
+  int port() const { return port_; }
+
+  /// Stops accepting and joins the serving thread. Idempotent.
+  void Stop();
+
+ private:
+  explicit OpsServer(const OpsServerOptions& options) : options_(options) {}
+
+  void Serve();
+  std::string HandlePath(const std::string& path) const;  // full HTTP response
+
+  OpsServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_OPS_SERVER_H_

@@ -1,0 +1,184 @@
+#include "obs/prom_export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/build_info.h"
+#include "obs/remote_metrics.h"
+
+namespace vf2boost {
+namespace obs {
+
+namespace {
+
+// Entries RegisterBuildInfo() puts in the registry; re-emitted here in the
+// canonical Prometheus form (labels instead of a unit hack), so the raw
+// entries are skipped to avoid duplicate metric families.
+constexpr const char* kBuildInfoRaw = "build/info";
+constexpr const char* kStartTimeRaw = "process/start_time_seconds";
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+struct RenderedSample {
+  MetricSample sample;
+  std::string party;  // "" = no party label
+};
+
+std::string LabelSet(const std::string& party, const std::string& extra = "") {
+  if (party.empty() && extra.empty()) return "";
+  std::string out = "{";
+  if (!party.empty()) out += "party=\"" + EscapeLabel(party) + "\"";
+  if (!extra.empty()) {
+    if (!party.empty()) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+void RenderOne(std::string* out, const std::string& prom_name,
+               const char* type, const std::vector<RenderedSample>& group) {
+  *out += "# TYPE " + prom_name + " " + type + "\n";
+  for (const RenderedSample& rs : group) {
+    const MetricSample& s = rs.sample;
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      uint64_t cumulative = 0;
+      double upper = s.first_upper;
+      for (size_t i = 0; i + 1 < s.buckets.size(); ++i) {
+        cumulative += s.buckets[i];
+        std::string le = "le=\"";
+        {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.9g", upper);
+          le += buf;
+        }
+        le += "\"";
+        *out += prom_name + "_bucket" + LabelSet(rs.party, le) + " " +
+                std::to_string(cumulative) + "\n";
+        upper *= s.growth;
+      }
+      *out += prom_name + "_bucket" + LabelSet(rs.party, "le=\"+Inf\"") + " " +
+              std::to_string(s.count) + "\n";
+      *out += prom_name + "_sum" + LabelSet(rs.party) + " ";
+      AppendNumber(out, s.sum);
+      *out += "\n";
+      *out += prom_name + "_count" + LabelSet(rs.party) + " " +
+              std::to_string(s.count) + "\n";
+    } else {
+      *out += prom_name + LabelSet(rs.party) + " ";
+      AppendNumber(out, s.value);
+      *out += "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string PromMetricName(const std::string& raw, std::string* party_label) {
+  party_label->clear();
+  std::string rest = raw;
+  if (rest.rfind("party_b/", 0) == 0) {
+    *party_label = "B";
+    rest = rest.substr(8);
+  } else if (rest.rfind("party_a", 0) == 0) {
+    size_t i = 7;
+    while (i < rest.size() && std::isdigit(static_cast<unsigned char>(rest[i])))
+      ++i;
+    if (i > 7 && i < rest.size() && rest[i] == '/') {
+      *party_label = "A" + rest.substr(7, i - 7);
+      rest = rest.substr(i + 1);
+    }
+  }
+  std::string out = "vf2_";
+  for (char c : rest) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheusSamples(const std::vector<MetricSample>& local,
+                                    const RemoteMetrics* remote) {
+  // Merge local and remote snapshots by raw name (remote wins): in the
+  // in-process simulation every party shares one registry, so B's local
+  // snapshot already contains A's entries — the remote copy supersedes it
+  // rather than duplicating the family.
+  std::map<std::string, MetricSample> merged;
+  std::vector<std::string> order;
+  auto add = [&](const MetricSample& s) {
+    if (s.name == kBuildInfoRaw || s.name == kStartTimeRaw) return;
+    auto [it, inserted] = merged.insert_or_assign(s.name, s);
+    if (inserted) order.push_back(s.name);
+  };
+  for (const MetricSample& s : local) add(s);
+  if (remote != nullptr) {
+    for (const RemoteMetrics::PartyView& view : remote->All()) {
+      for (const MetricSample& s : view.samples) add(s);
+    }
+  }
+
+  // Group by Prometheus family name so each family gets one # TYPE line even
+  // when several parties contribute series to it.
+  std::map<std::string, std::vector<RenderedSample>> families;
+  std::vector<std::string> family_order;
+  for (const std::string& raw : order) {
+    RenderedSample rs;
+    rs.sample = merged.at(raw);
+    const std::string prom = PromMetricName(raw, &rs.party);
+    auto [it, inserted] = families.try_emplace(prom);
+    if (inserted) family_order.push_back(prom);
+    it->second.push_back(std::move(rs));
+  }
+
+  std::string out;
+  const BuildInfo info = GetBuildInfo();
+  out += "# TYPE vf2_build_info gauge\n";
+  out += "vf2_build_info{version=\"" + EscapeLabel(info.version) +
+         "\",git_sha=\"" + EscapeLabel(info.git_sha) + "\"} 1\n";
+  out += "# TYPE vf2_process_start_time_seconds gauge\n";
+  out += "vf2_process_start_time_seconds ";
+  AppendNumber(&out, ProcessStartUnixSeconds());
+  out += "\n# TYPE vf2_process_uptime_seconds gauge\n";
+  out += "vf2_process_uptime_seconds ";
+  AppendNumber(&out, ProcessUptimeSeconds());
+  out += "\n";
+
+  for (const std::string& prom : family_order) {
+    const std::vector<RenderedSample>& group = families.at(prom);
+    const MetricSample::Kind kind = group.front().sample.kind;
+    const char* type = kind == MetricSample::Kind::kCounter     ? "counter"
+                       : kind == MetricSample::Kind::kHistogram ? "histogram"
+                                                                : "gauge";
+    RenderOne(&out, prom, type, group);
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry,
+                             const std::string& only_prefix,
+                             const RemoteMetrics* remote) {
+  return RenderPrometheusSamples(registry.Snapshot(only_prefix), remote);
+}
+
+}  // namespace obs
+}  // namespace vf2boost

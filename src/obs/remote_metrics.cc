@@ -1,0 +1,47 @@
+#include "obs/remote_metrics.h"
+
+#include <utility>
+
+namespace vf2boost {
+namespace obs {
+
+bool RemoteMetrics::Update(const std::string& party, uint64_t seq,
+                           std::vector<MetricSample> samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PartyView& view = parties_[party];
+  if (!view.party.empty() && seq <= view.seq) return false;
+  view.party = party;
+  view.seq = seq;
+  view.samples = std::move(samples);
+  return true;
+}
+
+std::vector<std::string> RemoteMetrics::Parties() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(parties_.size());
+  for (const auto& [party, view] : parties_) out.push_back(party);
+  return out;
+}
+
+RemoteMetrics::PartyView RemoteMetrics::View(const std::string& party) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = parties_.find(party);
+  return it == parties_.end() ? PartyView{} : it->second;
+}
+
+std::vector<RemoteMetrics::PartyView> RemoteMetrics::All() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartyView> out;
+  out.reserve(parties_.size());
+  for (const auto& [party, view] : parties_) out.push_back(view);
+  return out;
+}
+
+bool RemoteMetrics::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parties_.empty();
+}
+
+}  // namespace obs
+}  // namespace vf2boost

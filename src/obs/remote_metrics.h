@@ -1,0 +1,51 @@
+#ifndef VF2BOOST_OBS_REMOTE_METRICS_H_
+#define VF2BOOST_OBS_REMOTE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace vf2boost {
+namespace obs {
+
+/// \brief Store of metric snapshots received from other parties.
+///
+/// Party B keeps one of these; each A party's kMetricsDelta frames land here
+/// keyed by a party label ("A0", "A1", ...). Frames carry cumulative values
+/// and a per-sender sequence number, so replay under retransmission or
+/// reconnect is idempotent: a frame whose seq is not newer than the stored
+/// one is dropped.
+class RemoteMetrics {
+ public:
+  struct PartyView {
+    std::string party;
+    uint64_t seq = 0;
+    std::vector<MetricSample> samples;
+  };
+
+  /// Installs `samples` as party's current snapshot iff `seq` is newer than
+  /// the stored sequence. Returns false (and drops the frame) otherwise.
+  bool Update(const std::string& party, uint64_t seq,
+              std::vector<MetricSample> samples);
+
+  std::vector<std::string> Parties() const;
+  /// Latest snapshot for one party; empty samples if unknown.
+  PartyView View(const std::string& party) const;
+  /// Every party's latest snapshot, ordered by label.
+  std::vector<PartyView> All() const;
+
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PartyView> parties_;
+};
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_REMOTE_METRICS_H_

@@ -61,6 +61,15 @@ void TraceRecorder::Append(Event e) {
   e.pid = t_pid;
   e.tid = ThreadTid();
   std::lock_guard<std::mutex> lock(mu_);
+  if (e.ph == 'X') {
+    RecentSpan span{e.name, e.pid, e.tid, e.ts_us, e.dur_us};
+    if (recent_.size() < kRecentSpanCapacity) {
+      recent_.push_back(std::move(span));
+    } else {
+      recent_[recent_next_] = std::move(span);
+      recent_next_ = (recent_next_ + 1) % kRecentSpanCapacity;
+    }
+  }
   events_.push_back(std::move(e));
 }
 
@@ -141,6 +150,18 @@ std::map<uint32_t, std::string> TraceRecorder::ProcessNames() const {
   return process_names_;
 }
 
+std::vector<TraceRecorder::RecentSpan> TraceRecorder::RecentSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RecentSpan> out;
+  out.reserve(recent_.size());
+  // Once the ring is full, recent_next_ points at the oldest entry.
+  const size_t start = recent_.size() < kRecentSpanCapacity ? 0 : recent_next_;
+  for (size_t i = 0; i < recent_.size(); ++i) {
+    out.push_back(recent_[(start + i) % recent_.size()]);
+  }
+  return out;
+}
+
 namespace {
 
 std::string JsonEscape(const std::string& s) {
@@ -154,13 +175,14 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-std::string TraceRecorder::ToJson() const {
+std::string TraceRecorder::ToJson(int pid_filter) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
   char buf[256];
   // Process-name metadata first so viewers label the pid rows.
   for (const auto& [pid, name] : process_names_) {
+    if (pid_filter >= 0 && pid != static_cast<uint32_t>(pid_filter)) continue;
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
                   "\"tid\":0,\"ts\":0,\"args\":{\"name\":\"%s\"}}",
@@ -169,6 +191,9 @@ std::string TraceRecorder::ToJson() const {
     first = false;
   }
   for (const Event& e : events_) {
+    if (pid_filter >= 0 && e.pid != static_cast<uint32_t>(pid_filter)) {
+      continue;
+    }
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
                   "\"ts\":%lld,\"pid\":%u,\"tid\":%u",
@@ -197,13 +222,13 @@ std::string TraceRecorder::ToJson() const {
   return out;
 }
 
-bool TraceRecorder::WriteJson(const std::string& path) const {
+bool TraceRecorder::WriteJson(const std::string& path, int pid_filter) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     VF2_LOG(Error) << "cannot open " << path << " for writing";
     return false;
   }
-  const std::string json = ToJson();
+  const std::string json = ToJson(pid_filter);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   std::fclose(f);
   if (!ok) VF2_LOG(Error) << "short write to " << path;

@@ -85,8 +85,23 @@ class TraceRecorder {
   std::vector<SpanView> CompleteSpans() const;
   std::map<uint32_t, std::string> ProcessNames() const;
 
-  std::string ToJson() const;
-  bool WriteJson(const std::string& path) const;
+  /// The last kRecentSpanCapacity completed spans, oldest first — a bounded
+  /// owning copy (names included) for live introspection (/tracez) while the
+  /// full event log keeps growing.
+  static constexpr size_t kRecentSpanCapacity = 256;
+  struct RecentSpan {
+    std::string name;
+    uint32_t pid;
+    uint32_t tid;
+    int64_t ts_us;
+    int64_t dur_us;
+  };
+  std::vector<RecentSpan> RecentSpans() const;
+
+  /// `pid_filter` >= 0 keeps only events attributed to that trace pid (for
+  /// per-party artifact files); -1 exports everything.
+  std::string ToJson(int pid_filter = -1) const;
+  bool WriteJson(const std::string& path, int pid_filter = -1) const;
 
  private:
   struct Event {
@@ -109,6 +124,8 @@ class TraceRecorder {
   mutable std::mutex mu_;
   std::vector<Event> events_;
   std::map<uint32_t, std::string> process_names_;
+  std::vector<RecentSpan> recent_;  ///< ring, capacity kRecentSpanCapacity
+  size_t recent_next_ = 0;          ///< ring write cursor
 };
 
 /// \brief RAII complete-span. Construction snapshots the active recorder and

@@ -11,6 +11,7 @@
 #include "data/synthetic.h"
 #include "fed/fed_trainer.h"
 #include "obs/metrics_registry.h"
+#include "obs/prom_export.h"
 #include "obs/trace_check.h"
 #include "obs/trace_gantt.h"
 
@@ -286,6 +287,124 @@ TEST(TraceTest, ConcurrentEmission) {
   EXPECT_EQ(summary.flow_starts, size_t{kThreads} * kIters);
   EXPECT_EQ(summary.flow_ends, size_t{kThreads} * kIters);
   EXPECT_EQ(rec.ProcessNames().size(), size_t{kThreads});
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots, per-party artifact paths, Prometheus export
+
+TEST(MetricsRegistryTest, SnapshotFiltersByPrefixAndCarriesBuckets) {
+  MetricsRegistry reg;
+  reg.GetCounter("party_a0/hadds")->Add(5);
+  reg.GetCounter("party_b/decryptions")->Add(2);
+  reg.GetHistogram("party_a0/phase/build_hist")->Observe(3e-6);
+
+  // Trailing-slash prefix: "party_a0/" must not match "party_a00/...".
+  reg.GetCounter("party_a00/hadds")->Add(99);
+  const auto a0 = reg.Snapshot("party_a0/");
+  ASSERT_EQ(a0.size(), 2u);
+  EXPECT_EQ(a0[0].name, "party_a0/hadds");
+  EXPECT_EQ(a0[0].kind, obs::MetricSample::Kind::kCounter);
+  EXPECT_EQ(a0[0].unit, "count");
+  EXPECT_DOUBLE_EQ(a0[0].value, 5);
+  EXPECT_EQ(a0[1].kind, obs::MetricSample::Kind::kHistogram);
+  EXPECT_EQ(a0[1].count, 1u);
+  ASSERT_EQ(a0[1].buckets.size(), Histogram::kBuckets + 1);
+  EXPECT_EQ(a0[1].buckets[2], 1u);  // 3us lands in (2us, 4us]
+
+  EXPECT_EQ(reg.Snapshot("").size(), reg.size());
+}
+
+TEST(MetricsRegistryTest, PartyArtifactPathSplicesBeforeExtension) {
+  EXPECT_EQ(obs::PartyArtifactPath("out/metrics.json", "party_b"),
+            "out/metrics.party_b.json");
+  EXPECT_EQ(obs::PartyArtifactPath("trace.json", "party_a0"),
+            "trace.party_a0.json");
+  // A dot in a directory name is not an extension.
+  EXPECT_EQ(obs::PartyArtifactPath("run.1/metrics", "party_b"),
+            "run.1/metrics.party_b");
+  EXPECT_EQ(obs::PartyArtifactPath("metrics", "party_a1"),
+            "metrics.party_a1");
+}
+
+TEST(PromExportTest, PartyPrefixesBecomeLabels) {
+  std::string label;
+  EXPECT_EQ(obs::PromMetricName("party_b/encryptions", &label),
+            "vf2_encryptions");
+  EXPECT_EQ(label, "B");
+  EXPECT_EQ(obs::PromMetricName("party_a0/phase/build_hist", &label),
+            "vf2_phase_build_hist");
+  EXPECT_EQ(label, "A0");
+  EXPECT_EQ(obs::PromMetricName("channel/a0/to_b/bytes", &label),
+            "vf2_channel_a0_to_b_bytes");
+  EXPECT_EQ(label, "");
+  // "party_a" without digits is not a party prefix.
+  EXPECT_EQ(obs::PromMetricName("party_about/x", &label),
+            "vf2_party_about_x");
+  EXPECT_EQ(label, "");
+}
+
+TEST(PromExportTest, RendersTypesBucketsAndBuildInfo) {
+  MetricsRegistry reg;
+  reg.GetCounter("party_b/decryptions")->Add(7);
+  reg.GetGauge("party_b/features", "features")->Set(4);
+  reg.GetHistogram("party_b/phase/decrypt")->Observe(0.5);
+  const std::string text = obs::RenderPrometheus(reg);
+  EXPECT_NE(text.find("vf2_build_info{version="), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE vf2_decryptions counter"), std::string::npos);
+  EXPECT_NE(text.find("vf2_decryptions{party=\"B\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vf2_phase_decrypt histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("vf2_phase_decrypt_sum{party=\"B\"} 0.5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vf2_phase_decrypt_count{party=\"B\"} 1"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Recent-span ring (/tracez source)
+
+TEST(TraceTest, RecentSpansKeepLastNOldestFirst) {
+  TraceRecorder rec;
+  const size_t cap = TraceRecorder::kRecentSpanCapacity;
+  for (size_t i = 0; i < cap + 10; ++i) {
+    rec.CompleteSpan("s" + std::to_string(i), "phase",
+                     static_cast<int64_t>(i), 1, "");
+  }
+  const auto recent = rec.RecentSpans();
+  ASSERT_EQ(recent.size(), cap);
+  EXPECT_EQ(recent.front().name, "s10");  // 10 oldest were overwritten
+  EXPECT_EQ(recent.back().name, "s" + std::to_string(cap + 9));
+}
+
+// ---------------------------------------------------------------------------
+// Gantt golden render
+
+TEST(TraceGanttTest, GoldenSingleRowRender) {
+  TraceRecorder rec;
+  rec.Install();
+  {
+    obs::ThreadPartyScope scope(2, "party B");
+    rec.CompleteSpan("encrypt", "phase", 0, 500, "");
+    rec.CompleteSpan("build_hist", "phase", 500, 400, "");
+    rec.CompleteSpan("decrypt", "phase", 900, 100, "");
+  }
+  TraceRecorder::Uninstall();
+
+  // The thread id is a process-global counter, so read it back rather than
+  // assuming an absolute value; everything else is pinned.
+  const auto spans = rec.CompleteSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  const std::string label = "party B/t" + std::to_string(spans[0].tid);
+
+  // 10 cells over a 1000us makespan: encrypt 0-499us -> cells 0-4,
+  // build_hist 500-899us -> cells 5-8, decrypt 900-999us -> cell 9.
+  const std::string expected = label + " |EEEEEBBBBD|\n" +
+                               std::string(label.size(), ' ') + "  0" +
+                               std::string(9, ' ') + "0.001s\n" +
+                               "  (B=build_hist D=decrypt E=encrypt)\n";
+  EXPECT_EQ(obs::RenderTraceGantt(rec, 10), expected);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,233 @@
+#include "obs/ops_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fed/channel.h"
+#include "fed/party_a.h"
+#include "fed/party_b.h"
+#include "obs/build_info.h"
+#include "obs/live_status.h"
+#include "obs/metrics_registry.h"
+#include "obs/prom_export.h"
+#include "obs/remote_metrics.h"
+#include "obs/trace.h"
+
+namespace vf2boost {
+namespace {
+
+using obs::LiveStatus;
+using obs::MetricsRegistry;
+using obs::OpsServer;
+using obs::OpsServerOptions;
+using obs::RemoteMetrics;
+using obs::TraceRecorder;
+
+// Minimal raw-socket HTTP client: one GET, read to connection close. The
+// server speaks `Connection: close`, so EOF delimits the response.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t w =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (w <= 0) break;
+    sent += static_cast<size_t>(w);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    response.append(buf, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(OpsServerTest, ServesAllEndpoints) {
+  MetricsRegistry registry;
+  obs::RegisterBuildInfo(&registry);
+  registry.GetCounter("party_b/decryptions")->Add(42);
+  registry.GetGauge("party_b/features", "features")->Set(6);
+  registry.GetHistogram("party_b/phase/find_split")->Observe(0.25);
+
+  LiveStatus live;
+  live.SetState(LiveStatus::State::kTraining);
+  live.SetTree(3);
+  live.SetLayer(2);
+  live.SetPhase("find_split");
+
+  RemoteMetrics remote;
+  {
+    obs::MetricSample s;
+    s.name = "party_a0/hadds";
+    s.kind = obs::MetricSample::Kind::kCounter;
+    s.unit = "count";
+    s.value = 17;
+    remote.Update("A0", /*seq=*/1, {s});
+  }
+
+  TraceRecorder recorder;
+  recorder.Install();
+  {
+    obs::ThreadPartyScope scope(1, "party B");
+    recorder.CompleteSpan("build_hist", "phase", 100, 2500, "");
+  }
+
+  OpsServerOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.party_label = "B";
+  opts.registry = &registry;
+  opts.remote = &remote;
+  opts.live = &live;
+  auto server = OpsServer::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+  ASSERT_GT(port, 0);
+
+  const std::string healthz = HttpGet(port, "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("ok\n"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("state: training"), std::string::npos) << healthz;
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("vf2_build_info{"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("vf2_process_uptime_seconds"), std::string::npos);
+  // Local party_b metric with its label...
+  EXPECT_NE(metrics.find("party=\"B\""), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("vf2_decryptions{party=\"B\"} 42"),
+            std::string::npos)
+      << metrics;
+  // ...the federated remote one...
+  EXPECT_NE(metrics.find("vf2_hadds{party=\"A0\"} 17"), std::string::npos)
+      << metrics;
+  // ...and full histogram exposition.
+  EXPECT_NE(metrics.find("le=\"+Inf\""), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("vf2_phase_find_split_count"), std::string::npos);
+
+  const std::string statusz = HttpGet(port, "/statusz");
+  EXPECT_NE(statusz.find("tree: 3"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("layer: 2"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("phase: find_split"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("federated from party A0 (frame 1):"),
+            std::string::npos)
+      << statusz;
+
+  const std::string tracez = HttpGet(port, "/tracez");
+  EXPECT_NE(tracez.find("build_hist"), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("party B"), std::string::npos) << tracez;
+
+  const std::string index = HttpGet(port, "/");
+  EXPECT_NE(index.find("/healthz /metrics /statusz /tracez"),
+            std::string::npos);
+  const std::string missing = HttpGet(port, "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+  (*server)->Stop();
+  TraceRecorder::Uninstall();
+}
+
+TEST(OpsServerTest, HealthzTurns503OnFailure) {
+  LiveStatus live;
+  live.SetState(LiveStatus::State::kFailed);
+  OpsServerOptions opts;
+  opts.port = 0;
+  opts.party_label = "A0";
+  opts.live = &live;
+  auto server = OpsServer::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const std::string healthz = HttpGet((*server)->port(), "/healthz");
+  EXPECT_NE(healthz.find("503"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("unhealthy"), std::string::npos) << healthz;
+}
+
+// Two engines wired directly over an in-process channel pair: with
+// federate_metrics on, B ends the run holding A0's final metric snapshot and
+// can render the merged per-party Prometheus view.
+TEST(OpsServerTest, MetricFederationEndToEnd) {
+  SyntheticSpec sspec;
+  sspec.rows = 400;
+  sspec.cols = 12;
+  sspec.density = 0.6;
+  sspec.seed = 91;
+  Dataset all = GenerateSynthetic(sspec);
+  Rng rng(92);
+  VerticalSplitSpec spec = SplitColumnsRandomly(sspec.cols, {0.5, 0.5}, &rng);
+  auto shards = PartitionVertically(all, spec, /*label_party=*/1);
+  ASSERT_TRUE(shards.ok());
+
+  FedConfig config = FedConfig::Vf2Boost();
+  config.mock_crypto = true;
+  config.gbdt.num_trees = 2;
+  config.gbdt.num_layers = 4;
+  config.gbdt.max_bins = 8;
+  config.federate_metrics = true;
+
+  // Separate registries model the real deployment: the parties share no
+  // process state, so anything B knows about A came over the wire.
+  MetricsRegistry reg_a, reg_b;
+  FedConfig config_a = config;
+  config_a.metrics = &reg_a;
+  FedConfig config_b = config;
+  config_b.metrics = &reg_b;
+
+  auto [a_end, b_end] = ChannelEndpoint::CreatePair();
+  PartyAEngine party_a(config_a, (*shards)[0], a_end.get(), /*party_index=*/0);
+  PartyBEngine party_b(config_b, (*shards)[1], {b_end.get()});
+
+  Status a_status = Status::OK();
+  std::thread a_thread([&] { a_status = party_a.Run(); });
+  auto b_result = party_b.Run();
+  a_thread.join();
+  ASSERT_TRUE(a_status.ok()) << a_status.ToString();
+  ASSERT_TRUE(b_result.ok()) << b_result.status().ToString();
+
+  const RemoteMetrics& remote = party_b.remote_metrics();
+  ASSERT_FALSE(remote.empty());
+  ASSERT_EQ(remote.Parties(), std::vector<std::string>{"A0"});
+
+  // The federated snapshot is A's own final view of its counters.
+  const RemoteMetrics::PartyView view = remote.View("A0");
+  EXPECT_GT(view.seq, 0u);
+  bool found_hadds = false;
+  for (const obs::MetricSample& s : view.samples) {
+    EXPECT_EQ(s.name.rfind("party_a0/", 0), 0u) << s.name;
+    if (s.name == "party_a0/hadds") {
+      found_hadds = true;
+      EXPECT_EQ(static_cast<uint64_t>(s.value),
+                reg_a.GetCounter("party_a0/hadds")->value());
+      EXPECT_GT(s.value, 0);
+    }
+  }
+  EXPECT_TRUE(found_hadds);
+
+  // B's registry never saw A's counters directly — only the remote view
+  // carries them, labeled with A's party id.
+  const std::string prom = obs::RenderPrometheus(reg_b, "", &remote);
+  EXPECT_NE(prom.find("party=\"A0\""), std::string::npos);
+  EXPECT_NE(prom.find("party=\"B\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -232,5 +232,101 @@ TEST(MessageTest, AllTypeNamesResolve) {
   }
 }
 
+TEST(MessageTest, MetricsDeltaFramesRoundTripOnTheWire) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kMetricsDelta), "MetricsDelta");
+  Message msg{MessageType::kMetricsDelta, {1, 2, 3}};
+  Message out{};
+  ASSERT_TRUE(DecodeFrame(EncodeFrame(msg), &out).ok());
+  EXPECT_EQ(out.type, MessageType::kMetricsDelta);
+  EXPECT_EQ(out.payload, msg.payload);
+  // The slot right after the dense range stays an unknown wire type.
+  Message bogus{static_cast<MessageType>(17), {}};
+  EXPECT_FALSE(DecodeFrame(EncodeFrame(bogus), &out).ok());
+}
+
+TEST_F(PayloadRoundTripTest, MetricsDelta) {
+  MetricsDeltaPayload payload;
+  payload.party = 3;
+  payload.seq = 41;
+  payload.final_frame = true;
+
+  obs::MetricSample counter;
+  counter.name = "party_a3/hadds";
+  counter.kind = obs::MetricSample::Kind::kCounter;
+  counter.unit = "count";
+  counter.value = 12345;
+  payload.samples.push_back(counter);
+
+  obs::MetricSample gauge;
+  gauge.name = "party_a3/features";
+  gauge.kind = obs::MetricSample::Kind::kGauge;
+  gauge.unit = "features";
+  gauge.value = 6.5;
+  payload.samples.push_back(gauge);
+
+  obs::MetricSample hist;
+  hist.name = "party_a3/phase/build_hist";
+  hist.kind = obs::MetricSample::Kind::kHistogram;
+  hist.unit = "s";
+  hist.count = 9;
+  hist.sum = 1.25;
+  hist.min = 0.01;
+  hist.max = 0.5;
+  hist.first_upper = 1e-6;
+  hist.growth = 2.0;
+  hist.buckets = {0, 1, 2, 3, 3};
+  payload.samples.push_back(hist);
+
+  Message msg = EncodeMetricsDelta(payload);
+  EXPECT_EQ(msg.type, MessageType::kMetricsDelta);
+
+  MetricsDeltaPayload out;
+  ASSERT_TRUE(DecodeMetricsDelta(msg, &out).ok());
+  EXPECT_EQ(out.party, 3u);
+  EXPECT_EQ(out.seq, 41u);
+  EXPECT_TRUE(out.final_frame);
+  ASSERT_EQ(out.samples.size(), 3u);
+  EXPECT_EQ(out.samples[0].name, "party_a3/hadds");
+  EXPECT_EQ(out.samples[0].kind, obs::MetricSample::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(out.samples[0].value, 12345);
+  EXPECT_EQ(out.samples[1].unit, "features");
+  EXPECT_DOUBLE_EQ(out.samples[1].value, 6.5);
+  EXPECT_EQ(out.samples[2].kind, obs::MetricSample::Kind::kHistogram);
+  EXPECT_EQ(out.samples[2].count, 9u);
+  EXPECT_DOUBLE_EQ(out.samples[2].sum, 1.25);
+  EXPECT_DOUBLE_EQ(out.samples[2].growth, 2.0);
+  EXPECT_EQ(out.samples[2].buckets, (std::vector<uint64_t>{0, 1, 2, 3, 3}));
+}
+
+TEST_F(PayloadRoundTripTest, MetricsDeltaRejectsGarbage) {
+  Message wrong{MessageType::kTreeDone, {}};
+  MetricsDeltaPayload out;
+  EXPECT_FALSE(DecodeMetricsDelta(wrong, &out).ok());
+  // Truncated payload must fail cleanly, not crash or over-allocate.
+  MetricsDeltaPayload payload;
+  payload.party = 0;
+  payload.seq = 1;
+  obs::MetricSample s;
+  s.name = "x";
+  payload.samples.push_back(s);
+  Message msg = EncodeMetricsDelta(payload);
+  msg.payload.resize(msg.payload.size() / 2);
+  EXPECT_FALSE(DecodeMetricsDelta(msg, &out).ok());
+}
+
+TEST(FedConfigTest, FingerprintIgnoresObservabilityKnobs) {
+  FedConfig base = FedConfig::Vf2Boost();
+  const uint64_t fp = base.Fingerprint();
+  FedConfig ops = base;
+  ops.ops_port = 9100;
+  ops.federate_metrics = true;
+  // Ops settings must not invalidate checkpoints: a run resumed with live
+  // endpoints enabled trains the same model.
+  EXPECT_EQ(ops.Fingerprint(), fp);
+  FedConfig other = base;
+  other.gbdt.num_trees += 1;
+  EXPECT_NE(other.Fingerprint(), fp);
+}
+
 }  // namespace
 }  // namespace vf2boost

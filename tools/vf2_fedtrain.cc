@@ -49,7 +49,11 @@ int main(int argc, char** argv) {
        {"fault-seed", "fault-injection PRNG seed (default 0x5eed)"},
        {"trace-out", "write a Chrome trace-event JSON (Perfetto-loadable)"},
        {"metrics-out", "write the metrics registry as flat JSON"},
-       {"gantt", "print a text gantt of the traced run (needs --trace-out)"}});
+       {"gantt", "print a text gantt of the traced run (needs --trace-out)"},
+       {"ops-port", "serve /healthz /metrics /statusz /tracez: B on PORT, "
+                    "A_i on PORT+1+i (127.0.0.1 only)"},
+       {"federate-metrics", "A parties piggyback metric snapshots to B at "
+                            "tree boundaries (default: on with --ops-port)"}});
   flags.Require({"data"});
 
   auto train = LoadLibsvm(flags.GetString("data"));
@@ -95,6 +99,10 @@ int main(int argc, char** argv) {
   config.network.reconnect_max_attempts = flags.GetInt("reconnect-budget", 0);
   config.network.fault_seed =
       static_cast<uint64_t>(flags.GetInt("fault-seed", 0x5eed));
+  config.ops_port = flags.GetInt("ops-port", 0);
+  config.federate_metrics =
+      flags.Has("federate-metrics") ? flags.GetBool("federate-metrics")
+                                    : config.ops_port > 0;
 
   const size_t parties = static_cast<size_t>(flags.GetInt("parties", 2));
   if (parties < 2 || parties > 8) {
@@ -126,9 +134,16 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   config.metrics = &registry;
   std::unique_ptr<obs::TraceRecorder> recorder;
-  if (flags.Has("trace-out") || flags.GetBool("gantt")) {
+  // --ops-port implies a recorder so /tracez has spans to show.
+  if (flags.Has("trace-out") || flags.GetBool("gantt") ||
+      config.ops_port > 0) {
     recorder = std::make_unique<obs::TraceRecorder>();
     recorder->Install();
+  }
+  if (config.ops_port > 0) {
+    std::printf("ops endpoints: party B http://127.0.0.1:%d/, A_i on port "
+                "%d+1+i\n",
+                config.ops_port, config.ops_port);
   }
 
   auto result = FedTrainer(config).Train(shards.value());
@@ -156,6 +171,17 @@ int main(int argc, char** argv) {
       if (!recorder->WriteJson(path)) return 1;
       std::printf("wrote %zu trace events to %s (load in ui.perfetto.dev)\n",
                   recorder->num_events(), path.c_str());
+      // Per-party views so concurrent writers never share a file: trace pid
+      // i+1 is A_i, pid `parties` is B (pid 0 is the trainer). Paths get the
+      // party id spliced in before the extension (trace.party_b.json).
+      for (size_t p = 0; p + 1 < parties; ++p) {
+        const std::string ap = obs::PartyArtifactPath(
+            path, "party_a" + std::to_string(p));
+        if (!recorder->WriteJson(ap, static_cast<int>(p) + 1)) return 1;
+      }
+      const std::string bp = obs::PartyArtifactPath(path, "party_b");
+      if (!recorder->WriteJson(bp, static_cast<int>(parties))) return 1;
+      std::printf("wrote per-party traces (*.party_*.json)\n");
     }
     if (flags.GetBool("gantt")) {
       std::printf("%s", RenderTraceGantt(*recorder).c_str());
@@ -165,6 +191,19 @@ int main(int argc, char** argv) {
     const std::string path = flags.GetString("metrics-out");
     if (!registry.WriteJson(path)) return 1;
     std::printf("wrote %zu metrics to %s\n", registry.size(), path.c_str());
+    // Same suffix scheme as traces: one filtered dump per party.
+    for (size_t p = 0; p + 1 < parties; ++p) {
+      const std::string prefix = "party_a" + std::to_string(p);
+      if (!registry.WriteJson(obs::PartyArtifactPath(path, prefix),
+                              prefix + "/")) {
+        return 1;
+      }
+    }
+    if (!registry.WriteJson(obs::PartyArtifactPath(path, "party_b"),
+                            "party_b/")) {
+      return 1;
+    }
+    std::printf("wrote per-party metrics (*.party_*.json)\n");
   }
 
   auto joint = result->ToJointModel(spec);

@@ -1,0 +1,351 @@
+// Training-run report tool: joins a metrics dump (--metrics-out) with an
+// optional trace (--trace-out) into per-party and per-tree phase-time
+// attribution, and diffs/gates two benchmark JSON files.
+//
+//   vf2_report --metrics run/metrics.json --trace run/trace.json
+//   vf2_report --baseline bench/baselines/BENCH_crypto.json \
+//              --current BENCH_crypto.json --tolerance 0.15 --check
+//
+// Attribution answers the paper's accounting questions: where does wall time
+// go per phase (encrypt/transfer/build_hist/pack/decrypt/find_split), how
+// much did optimistic-split rollbacks cost, and does the observed dirty-node
+// rate match the D_A/(D_A+D_B) prediction (§4.2).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.h"
+#include "tools/flags.h"
+
+namespace {
+
+using vf2boost::obs::JsonValue;
+using vf2boost::obs::ParseJson;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+struct Bench {
+  double value = 0;
+  std::string unit;
+};
+
+// Loads {"benchmarks": [{name, value, unit}...]} — the shape shared by the
+// metrics registry dump and the Google Benchmark-derived BENCH_*.json files
+// (those carry extra fields we ignore).
+bool LoadBench(const std::string& path, std::map<std::string, Bench>* out,
+               std::string* error) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  const JsonValue* benches = root.Get("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    *error = path + ": no top-level \"benchmarks\" array";
+    return false;
+  }
+  for (const JsonValue& b : benches->array) {
+    const JsonValue* name = b.Get("name");
+    const JsonValue* value = b.Get("value");
+    const JsonValue* unit = b.Get("unit");
+    if (name == nullptr || !name->is_string() || value == nullptr ||
+        !value->is_number()) {
+      continue;
+    }
+    Bench entry;
+    entry.value = value->number;
+    if (unit != nullptr && unit->is_string()) entry.unit = unit->string;
+    (*out)[name->string] = entry;
+  }
+  return true;
+}
+
+double Lookup(const std::map<std::string, Bench>& m, const std::string& name) {
+  const auto it = m.find(name);
+  return it == m.end() ? 0 : it->second.value;
+}
+
+const char* const kPhases[] = {"encrypt", "build_hist", "pack",
+                               "decrypt", "find_split", "comm_wait"};
+
+// ---------------------------------------------------------------------------
+// Attribution mode
+// ---------------------------------------------------------------------------
+
+int RunAttribution(const std::string& metrics_path,
+                   const std::string& trace_path) {
+  std::map<std::string, Bench> m;
+  std::string error;
+  if (!LoadBench(metrics_path, &m, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Party prefixes present in the dump, A parties first.
+  std::vector<std::string> parties;
+  for (const auto& [name, bench] : m) {
+    (void)bench;
+    const size_t slash = name.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string prefix = name.substr(0, slash);
+    if (prefix.rfind("party_", 0) != 0) continue;
+    if (std::find(parties.begin(), parties.end(), prefix) == parties.end()) {
+      parties.push_back(prefix);
+    }
+  }
+  std::sort(parties.begin(), parties.end());
+  if (parties.empty()) {
+    std::fprintf(stderr, "error: %s has no party_* metrics\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+
+  std::printf("== phase time by party (seconds) ==\n");
+  std::printf("%-10s", "party");
+  for (const char* p : kPhases) std::printf(" %10s", p);
+  std::printf(" %10s\n", "total");
+  for (const std::string& party : parties) {
+    double total = 0;
+    std::printf("%-10s", party.c_str());
+    for (const char* p : kPhases) {
+      const double v = Lookup(m, party + "/phase/" + p);
+      total += v;
+      std::printf(" %10.3f", v);
+    }
+    std::printf(" %10.3f\n", total);
+  }
+
+  // Optimistic-split accounting vs the paper's prediction: a dirty node is
+  // an optimistic split B guessed wrong, expected at rate D_A/(D_A+D_B).
+  double d_a = 0;
+  for (const std::string& party : parties) {
+    if (party != "party_b") d_a += Lookup(m, party + "/features");
+  }
+  const double d_b = Lookup(m, "party_b/features");
+  const double opt = Lookup(m, "party_b/optimistic_splits");
+  const double dirty = Lookup(m, "party_b/dirty_nodes");
+  std::printf("\n== optimistic splits ==\n");
+  std::printf("optimistic %.0f, dirty %.0f", opt, dirty);
+  if (opt > 0) std::printf(" (observed dirty rate %.3f)", dirty / opt);
+  std::printf("\n");
+  if (d_a + d_b > 0) {
+    std::printf("predicted dirty rate D_A/(D_A+D_B) = %.0f/%.0f = %.3f\n",
+                d_a, d_a + d_b, d_a / (d_a + d_b));
+  }
+
+  if (trace_path.empty()) return 0;
+
+  // Per-tree attribution: bucket every phase span into the enclosing B-side
+  // "tree" span by midpoint (phase spans never straddle tree boundaries).
+  std::string text;
+  JsonValue root;
+  if (!ReadFile(trace_path, &text) || !ParseJson(text, &root, &error)) {
+    std::fprintf(stderr, "error: cannot parse %s: %s\n", trace_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const JsonValue* events = root.Get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "error: %s has no traceEvents\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  struct Span {
+    std::string name;
+    double ts = 0, dur = 0;
+    int64_t tree_arg = -1;
+  };
+  std::vector<Span> trees;
+  std::vector<Span> spans;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Get("ph");
+    const JsonValue* name = e.Get("name");
+    const JsonValue* ts = e.Get("ts");
+    const JsonValue* dur = e.Get("dur");
+    if (ph == nullptr || !ph->is_string() || ph->string != "X" ||
+        name == nullptr || ts == nullptr || dur == nullptr) {
+      continue;
+    }
+    Span s;
+    s.name = name->string;
+    s.ts = ts->number;
+    s.dur = dur->number;
+    if (const JsonValue* args = e.Get("args"); args != nullptr) {
+      if (const JsonValue* t = args->Get("tree");
+          t != nullptr && t->is_number()) {
+        s.tree_arg = static_cast<int64_t>(t->number);
+      }
+    }
+    if (s.name == "tree") {
+      trees.push_back(s);
+    } else {
+      spans.push_back(s);
+    }
+  }
+  if (trees.empty()) {
+    std::fprintf(stderr,
+                 "warning: no \"tree\" spans in %s (per-tree table skipped)\n",
+                 trace_path.c_str());
+    return 0;
+  }
+  std::sort(trees.begin(), trees.end(),
+            [](const Span& a, const Span& b) { return a.ts < b.ts; });
+
+  // phase -> column; rollback tracked separately as protocol overhead.
+  std::vector<std::string> cols(std::begin(kPhases), std::end(kPhases));
+  cols.push_back("rollback");
+  std::map<int64_t, std::map<std::string, double>> per_tree;  // us sums
+  for (const Span& s : spans) {
+    if (std::find(cols.begin(), cols.end(), s.name) == cols.end()) continue;
+    const double mid = s.ts + s.dur / 2;
+    for (size_t i = 0; i < trees.size(); ++i) {
+      if (mid >= trees[i].ts && mid <= trees[i].ts + trees[i].dur) {
+        const int64_t id =
+            trees[i].tree_arg >= 0 ? trees[i].tree_arg
+                                   : static_cast<int64_t>(i);
+        per_tree[id][s.name] += s.dur;
+        break;
+      }
+    }
+  }
+
+  std::printf("\n== per-tree phase time (seconds, all parties) ==\n");
+  std::printf("%-6s", "tree");
+  for (const std::string& c : cols) std::printf(" %10s", c.c_str());
+  std::printf(" %10s\n", "wall");
+  double rollback_total = 0, wall_total = 0;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    const int64_t id =
+        trees[i].tree_arg >= 0 ? trees[i].tree_arg : static_cast<int64_t>(i);
+    std::printf("%-6lld", static_cast<long long>(id));
+    for (const std::string& c : cols) {
+      std::printf(" %10.3f", per_tree[id][c] / 1e6);
+    }
+    std::printf(" %10.3f\n", trees[i].dur / 1e6);
+    rollback_total += per_tree[id]["rollback"] / 1e6;
+    wall_total += trees[i].dur / 1e6;
+  }
+  if (wall_total > 0) {
+    std::printf("\nrollback overhead: %.3fs of %.3fs tree wall time (%.1f%%)\n",
+                rollback_total, wall_total, 100 * rollback_total / wall_total);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Diff / gate mode
+// ---------------------------------------------------------------------------
+
+// Gate direction by unit: throughput-like units regress when they drop,
+// time-like units regress when they grow; anything else is informational.
+bool HigherIsBetter(const std::string& unit) {
+  return unit == "ops/s" || unit == "x" || unit == "items/s";
+}
+bool LowerIsBetter(const std::string& unit) { return unit == "s"; }
+
+int RunDiff(const std::string& baseline_path, const std::string& current_path,
+            double tolerance, bool check, const std::string& units) {
+  // `units` restricts which units are gated ("" = all gateable): absolute
+  // throughput baselines only transfer between identical machines, while
+  // ratio metrics (unit "x") are hardware-independent — CI gates those.
+  auto gated = [&units](const std::string& unit) {
+    if (units.empty()) return true;
+    size_t pos = 0;
+    while (pos <= units.size()) {
+      const size_t comma = units.find(',', pos);
+      const size_t end = comma == std::string::npos ? units.size() : comma;
+      if (units.substr(pos, end - pos) == unit) return true;
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return false;
+  };
+  std::map<std::string, Bench> base, cur;
+  std::string error;
+  if (!LoadBench(baseline_path, &base, &error) ||
+      !LoadBench(current_path, &cur, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("baseline %s vs current %s (tolerance %.0f%%)\n",
+              baseline_path.c_str(), current_path.c_str(), 100 * tolerance);
+  std::printf("%-44s %12s %12s %8s  %s\n", "name", "baseline", "current",
+              "delta", "status");
+  int regressions = 0;
+  for (const auto& [name, b] : base) {
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      std::printf("%-44s %12.4g %12s %8s  MISSING\n", name.c_str(), b.value,
+                  "-", "-");
+      if (check && gated(b.unit)) ++regressions;
+      continue;
+    }
+    const double c = it->second.value;
+    const double delta = b.value == 0 ? 0 : (c - b.value) / b.value;
+    const char* status = "info";
+    if (!gated(b.unit)) {
+      status = "info";
+    } else if (HigherIsBetter(b.unit)) {
+      status = delta < -tolerance ? "REGRESSED" : "ok";
+    } else if (LowerIsBetter(b.unit)) {
+      status = delta > tolerance ? "REGRESSED" : "ok";
+    }
+    if (std::string(status) == "REGRESSED") ++regressions;
+    std::printf("%-44s %12.4g %12.4g %+7.1f%%  %s\n", name.c_str(), b.value,
+                c, 100 * delta, status);
+  }
+  for (const auto& [name, c] : cur) {
+    if (base.find(name) == base.end()) {
+      std::printf("%-44s %12s %12.4g %8s  NEW\n", name.c_str(), "-", c.value,
+                  "-");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("%d metric(s) regressed beyond %.0f%%\n", regressions,
+                100 * tolerance);
+    return check ? 1 : 0;
+  }
+  std::printf("no regressions\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vf2boost;
+  tools::Flags flags(
+      argc, argv,
+      {{"metrics", "metrics JSON from --metrics-out (attribution mode)"},
+       {"trace", "trace JSON from --trace-out (adds the per-tree table)"},
+       {"baseline", "baseline benchmark/metrics JSON (diff mode)"},
+       {"current", "current benchmark/metrics JSON (diff mode)"},
+       {"tolerance", "relative regression tolerance (default 0.15)"},
+       {"units", "comma-separated units to gate (default: all gateable)"},
+       {"check", "exit 1 when a gated metric regressed or went missing"}});
+
+  const bool diff_mode = flags.Has("baseline") || flags.Has("current");
+  if (diff_mode) {
+    flags.Require({"baseline", "current"});
+    return RunDiff(flags.GetString("baseline"), flags.GetString("current"),
+                   flags.GetDouble("tolerance", 0.15), flags.GetBool("check"),
+                   flags.GetString("units", ""));
+  }
+  flags.Require({"metrics"});
+  return RunAttribution(flags.GetString("metrics"),
+                        flags.GetString("trace", ""));
+}
