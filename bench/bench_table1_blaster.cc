@@ -6,6 +6,7 @@
 // configuration (N in {2.5M, 5M, 10M}, 25K+25K features, S = 2048, 8
 // workers, 300 Mbps) through the calibrated event simulator.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -53,6 +54,18 @@ RootRun RunRoot(const bench::BenchFixture& f, bool blaster, bool reordered) {
   return run;
 }
 
+// Median-of-3 by total wall time: single runs at these sizes jitter by a few
+// percent (thread scheduling, allocator state), which is enough to flip a
+// ~1.1x speedup ratio below 1.0 and trip the perf gate on noise alone.
+RootRun RunRootMedian(const bench::BenchFixture& f, bool blaster,
+                      bool reordered) {
+  RootRun runs[3];
+  for (RootRun& r : runs) r = RunRoot(f, blaster, reordered);
+  std::sort(std::begin(runs), std::end(runs),
+            [](const RootRun& a, const RootRun& b) { return a.total < b.total; });
+  return runs[1];
+}
+
 void RealPart(bool smoke, bench::JsonWriter* json) {
   std::printf(
       "== Table 1 (real runs, scaled: 256-bit keys, D=20+20 features) ==\n");
@@ -73,10 +86,10 @@ void RealPart(bool smoke, bench::JsonWriter* json) {
     spec.seed = 7;
     bench::BenchFixture f = bench::MakeBenchFixture(spec, {0.5, 0.5}, 11);
 
-    const RootRun base = RunRoot(f, false, false);
-    const RootRun blaster = RunRoot(f, true, false);
-    const RootRun reordered = RunRoot(f, false, true);
-    const RootRun both = RunRoot(f, true, true);
+    const RootRun base = RunRootMedian(f, false, false);
+    const RootRun blaster = RunRootMedian(f, true, false);
+    const RootRun reordered = RunRootMedian(f, false, true);
+    const RootRun both = RunRootMedian(f, true, true);
     PrintRow({std::to_string(n), Fmt("%.2fs", base.total),
               Fmt("%.2fs", base.enc), Fmt("%.2fs", base.hadd),
               Fmt("%.2fx", base.total / blaster.total),

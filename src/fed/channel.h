@@ -139,9 +139,14 @@ class MessagePort {
   /// Tears down the current link and blocks until a replacement is up and
   /// the kHello handshake has completed. `last_completed_tree` is advertised
   /// to the peer so both sides resume from the same tree boundary; the
-  /// peer's hello is returned. Only resilient ports implement this.
-  virtual Result<HelloPayload> Reestablish(int64_t last_completed_tree) {
+  /// peer's hello is returned. `needs_setup` is advertised in the hello when
+  /// the caller is a freshly launched A process that still needs the setup
+  /// phase (kPublicKey / kLayout) replayed. Only resilient ports implement
+  /// this.
+  virtual Result<HelloPayload> Reestablish(int64_t last_completed_tree,
+                                           bool needs_setup = false) {
     (void)last_completed_tree;
+    (void)needs_setup;
     return Status::Unimplemented("this port cannot re-establish its link");
   }
 };

@@ -7,44 +7,69 @@
 
 namespace vf2boost {
 
+IncrementalHistogramBuilder::IncrementalHistogramBuilder(
+    const BinnedMatrix* x, const FeatureLayout* layout,
+    const CipherBackend* backend, bool reordered)
+    : x_(x), layout_(layout) {
+  const size_t total = layout->total_bins();
+  g_acc_.resize(total);
+  h_acc_.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    if (reordered) {
+      g_acc_[i] = std::make_unique<ReorderedCipherAccumulator>(backend);
+      h_acc_[i] = std::make_unique<ReorderedCipherAccumulator>(backend);
+    } else {
+      g_acc_[i] = std::make_unique<NaiveCipherAccumulator>(backend);
+      h_acc_[i] = std::make_unique<NaiveCipherAccumulator>(backend);
+    }
+  }
+}
+
+void IncrementalHistogramBuilder::AddRow(uint32_t row,
+                                         const std::vector<Cipher>& g,
+                                         const std::vector<Cipher>& h) {
+  const auto cols = x_->RowColumns(row);
+  const auto bins = x_->RowBins(row);
+  for (size_t k = 0; k < cols.size(); ++k) {
+    const size_t flat = layout_->Flat(cols[k], bins[k]);
+    g_acc_[flat]->Add(g[row]);
+    h_acc_[flat]->Add(h[row]);
+  }
+  ++rows_added_;
+}
+
+void IncrementalHistogramBuilder::AddRange(uint32_t begin, uint32_t end,
+                                           const std::vector<Cipher>& g,
+                                           const std::vector<Cipher>& h) {
+  for (uint32_t i = begin; i < end; ++i) AddRow(i, g, h);
+}
+
+EncryptedHistogram IncrementalHistogramBuilder::Finalize(
+    AccumulatorStats* stats) {
+  const size_t total = g_acc_.size();
+  EncryptedHistogram out;
+  out.g_bins.reserve(total);
+  out.h_bins.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    out.g_bins.push_back(g_acc_[i]->Finalize());
+    out.h_bins.push_back(h_acc_[i]->Finalize());
+    if (stats != nullptr) {
+      stats->hadds += g_acc_[i]->stats().hadds + h_acc_[i]->stats().hadds;
+      stats->scalings +=
+          g_acc_[i]->stats().scalings + h_acc_[i]->stats().scalings;
+    }
+  }
+  return out;
+}
+
 EncryptedHistogram BuildEncryptedHistogram(
     const BinnedMatrix& x, const FeatureLayout& layout,
     const std::vector<uint32_t>& instances, const std::vector<Cipher>& g,
     const std::vector<Cipher>& h, const CipherBackend& backend, bool reordered,
     AccumulatorStats* stats) {
-  const size_t total = layout.total_bins();
-  std::vector<std::unique_ptr<CipherAccumulator>> g_acc(total), h_acc(total);
-  for (size_t i = 0; i < total; ++i) {
-    if (reordered) {
-      g_acc[i] = std::make_unique<ReorderedCipherAccumulator>(&backend);
-      h_acc[i] = std::make_unique<ReorderedCipherAccumulator>(&backend);
-    } else {
-      g_acc[i] = std::make_unique<NaiveCipherAccumulator>(&backend);
-      h_acc[i] = std::make_unique<NaiveCipherAccumulator>(&backend);
-    }
-  }
-  for (uint32_t i : instances) {
-    const auto cols = x.RowColumns(i);
-    const auto bins = x.RowBins(i);
-    for (size_t k = 0; k < cols.size(); ++k) {
-      const size_t flat = layout.Flat(cols[k], bins[k]);
-      g_acc[flat]->Add(g[i]);
-      h_acc[flat]->Add(h[i]);
-    }
-  }
-  EncryptedHistogram out;
-  out.g_bins.reserve(total);
-  out.h_bins.reserve(total);
-  for (size_t i = 0; i < total; ++i) {
-    out.g_bins.push_back(g_acc[i]->Finalize());
-    out.h_bins.push_back(h_acc[i]->Finalize());
-    if (stats != nullptr) {
-      stats->hadds += g_acc[i]->stats().hadds + h_acc[i]->stats().hadds;
-      stats->scalings +=
-          g_acc[i]->stats().scalings + h_acc[i]->stats().scalings;
-    }
-  }
-  return out;
+  IncrementalHistogramBuilder builder(&x, &layout, &backend, reordered);
+  for (uint32_t i : instances) builder.AddRow(i, g, h);
+  return builder.Finalize(stats);
 }
 
 EncryptedHistogram BuildEncryptedHistogramParallel(

@@ -30,6 +30,38 @@ EncryptedHistogram BuildEncryptedHistogram(
     const std::vector<Cipher>& h, const CipherBackend& backend, bool reordered,
     AccumulatorStats* stats);
 
+/// \brief Stateful histogram accumulation for blaster streaming: rows are
+/// added as their gradient ciphers arrive, so Party A overlaps root-node
+/// accumulation with Party B's encryption of later batches (the Fig. 4
+/// pipeline). Adding the same rows in the same order as
+/// BuildEncryptedHistogram and then calling Finalize yields the identical
+/// histogram and identical HAdd/scaling counts.
+class IncrementalHistogramBuilder {
+ public:
+  IncrementalHistogramBuilder(const BinnedMatrix* x,
+                              const FeatureLayout* layout,
+                              const CipherBackend* backend, bool reordered);
+
+  /// Accumulates one instance; g/h are indexed by global row id.
+  void AddRow(uint32_t row, const std::vector<Cipher>& g,
+              const std::vector<Cipher>& h);
+  /// Accumulates the contiguous row range [begin, end) — one grad batch.
+  void AddRange(uint32_t begin, uint32_t end, const std::vector<Cipher>& g,
+                const std::vector<Cipher>& h);
+
+  size_t rows_added() const { return rows_added_; }
+
+  /// Finalizes every bin accumulator. The builder is spent afterwards.
+  EncryptedHistogram Finalize(AccumulatorStats* stats);
+
+ private:
+  const BinnedMatrix* x_;
+  const FeatureLayout* layout_;
+  std::vector<std::unique_ptr<CipherAccumulator>> g_acc_;
+  std::vector<std::unique_ptr<CipherAccumulator>> h_acc_;
+  size_t rows_added_ = 0;
+};
+
 /// Worker-parallel variant (paper §3: "the local histograms built by workers
 /// are further aggregated into global ones"): instance shards build partial
 /// histograms on the pool, which are then homomorphically merged. `pool`

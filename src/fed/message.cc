@@ -111,6 +111,13 @@ Status DecodeFrame(const std::vector<uint8_t>& frame, Message* out) {
                               std::to_string(raw_type));
   }
   const uint32_t payload_len = GetU32Le(frame.data() + 2);
+  if (payload_len > kMaxFramePayloadBytes) {
+    return Status::Corruption("frame payload length " +
+                              std::to_string(payload_len) +
+                              " exceeds the " +
+                              std::to_string(kMaxFramePayloadBytes) +
+                              "-byte cap");
+  }
   if (payload_len != frame.size() - kFrameOverheadBytes) {
     return Status::Corruption(
         "frame length mismatch: header says " + std::to_string(payload_len) +
@@ -138,6 +145,7 @@ Message EncodeHello(const HelloPayload& hello) {
   w.PutU32(hello.party);
   w.PutI64(hello.last_completed_tree);
   w.PutU64(hello.config_fingerprint);
+  w.PutU8(hello.needs_setup ? 1 : 0);
   return Message{MessageType::kHello, w.Release()};
 }
 
@@ -151,6 +159,9 @@ Status DecodeHello(const Message& msg, HelloPayload* out) {
   VF2_RETURN_IF_ERROR(r.GetU32(&out->party));
   VF2_RETURN_IF_ERROR(r.GetI64(&out->last_completed_tree));
   VF2_RETURN_IF_ERROR(r.GetU64(&out->config_fingerprint));
+  uint8_t needs_setup = 0;
+  VF2_RETURN_IF_ERROR(r.GetU8(&needs_setup));
+  out->needs_setup = needs_setup != 0;
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in Hello payload");
   return Status::OK();
 }

@@ -50,6 +50,14 @@ const char* MessageTypeName(MessageType type);
 inline constexpr uint8_t kWireVersion = 1;
 inline constexpr size_t kFrameOverheadBytes = 10;
 
+/// Upper bound on a frame's payload. The header's length field is attacker-
+/// controlled until the CRC has been checked, and a socket reader sizes its
+/// payload buffer from that field — without a cap, a single corrupted or
+/// hostile header drives a multi-GB allocation before any integrity check
+/// runs. 1 GiB comfortably clears the largest real message (a full-dataset
+/// kGradBatch) while keeping a poisoned length harmless.
+inline constexpr size_t kMaxFramePayloadBytes = size_t{1} << 30;
+
 /// \brief One message: a kind plus an opaque serialized payload. WireBytes
 /// (payload + frame header) is the real wire footprint the channel throttles
 /// and accounts.
@@ -82,6 +90,10 @@ struct HelloPayload {
   int64_t last_completed_tree = -1;
   /// FedConfig::Fingerprint() of the sender — both sides must match.
   uint64_t config_fingerprint = 0;
+  /// Sender (an A party) holds no protocol state from before the link died —
+  /// it is a freshly launched process, not a survivor of a link blip — and
+  /// needs the setup phase (kPublicKey / kLayout) replayed before gradients.
+  bool needs_setup = false;
 };
 
 Message EncodeHello(const HelloPayload& hello);

@@ -131,6 +131,7 @@ void PartyAEngine::StartOpsServer() {
   if (config_.ops_port <= 0) return;
   obs::OpsServerOptions opts;
   opts.port = config_.ops_port + 1 + static_cast<int>(party_index_);
+  opts.bind_address = config_.ops_bind;
   opts.party_label = "A" + std::to_string(party_index_);
   opts.metric_prefix = "party_a" + std::to_string(party_index_);
   opts.registry = config_.metrics;
@@ -169,6 +170,7 @@ Status PartyAEngine::Recover(const Status& cause) {
   inbox_.Clear();
   g_ciphers_.clear();
   h_ciphers_.clear();
+  root_builder_.reset();
   node_instances_.clear();
   hist_epoch_.clear();
   live_.SetState(obs::LiveStatus::State::kReconnecting);
@@ -228,6 +230,20 @@ Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
   const size_t n = data_.rows();
   g_ciphers_.assign(n, Cipher{});
   h_ciphers_.assign(n, Cipher{});
+  // Blaster streaming: accumulate each batch into the root histogram as soon
+  // as it lands, so the root build overlaps B's encryption of later batches
+  // (Fig. 4) instead of serializing behind the full gradient transfer. The
+  // worker-pool build path shards instances instead, so streaming is
+  // restricted to the serial builder; rows arrive in index order, making the
+  // result identical to a post-hoc BuildEncryptedHistogram.
+  const bool stream_root = config_.blaster && pool_ == nullptr &&
+                           config_.gbdt.num_layers >= 2;
+  root_builder_.reset();
+  root_build_seconds_ = 0;
+  if (stream_root) {
+    root_builder_ = std::make_unique<IncrementalHistogramBuilder>(
+        &binned_, &layout_, backend_.get(), config_.reordered);
+  }
   size_t received = 0;
   Message msg = std::move(first);
   for (;;) {
@@ -240,6 +256,25 @@ Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
     for (size_t k = 0; k < batch.g.size(); ++k) {
       g_ciphers_[batch.start + k] = std::move(batch.g[k]);
       h_ciphers_[batch.start + k] = std::move(batch.h[k]);
+    }
+    // Streamed accumulation only grows contiguously from row 0: B sends
+    // batches in order, but a duplicated/reordered delivery falls back to the
+    // ordinary root build rather than double-counting rows.
+    if (root_builder_ != nullptr &&
+        batch.start == root_builder_->rows_added()) {
+      Stopwatch build_timer;
+      obs::TraceSpan span("phase", "build_hist");
+      if (span.active()) {
+        span.AddArg("node", static_cast<int64_t>(0));
+        span.AddArg("streamed", static_cast<int64_t>(batch.g.size()));
+      }
+      root_builder_->AddRange(
+          static_cast<uint32_t>(batch.start),
+          static_cast<uint32_t>(batch.start + batch.g.size()), g_ciphers_,
+          h_ciphers_);
+      root_build_seconds_ += build_timer.ElapsedSeconds();
+    } else {
+      root_builder_.reset();
     }
     received += batch.g.size();
     if (received >= n) break;
@@ -259,6 +294,13 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
   Stopwatch timer;
   AccumulatorStats acc_stats;
   EncryptedHistogram hist;
+  // The root histogram may already be fully accumulated from the streamed
+  // gradient batches; only trust it when it covers exactly this node's
+  // instances and the node was never rebuilt (epoch 0).
+  const bool use_streamed = node == 0 && layer == 0 &&
+                            root_builder_ != nullptr &&
+                            root_builder_->rows_added() == it->second.size() &&
+                            hist_epoch_[node] == 0;
   {
     obs::TraceSpan span("phase", "build_hist");
     if (span.active()) {
@@ -268,13 +310,23 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
       span.AddArg("epoch", static_cast<int64_t>(hist_epoch_[node]));
       span.AddArg("instances", static_cast<int64_t>(it->second.size()));
     }
-    hist = BuildEncryptedHistogramParallel(
-        binned_, layout_, it->second, g_ciphers_, h_ciphers_, *backend_,
-        config_.reordered, &acc_stats, pool_.get());
+    if (use_streamed) {
+      hist = root_builder_->Finalize(&acc_stats);
+    } else {
+      hist = BuildEncryptedHistogramParallel(
+          binned_, layout_, it->second, g_ciphers_, h_ciphers_, *backend_,
+          config_.reordered, &acc_stats, pool_.get());
+    }
   }
+  root_builder_.reset();
   m_.hadds->Add(acc_stats.hadds);
   m_.scalings->Add(acc_stats.scalings);
-  m_.phase_build_hist->Observe(timer.ElapsedSeconds());
+  // Streamed accumulation time was clocked batch-by-batch in
+  // ReceiveGradients; fold it back in so build_hist attribution stays
+  // comparable across blaster on/off.
+  m_.phase_build_hist->Observe(timer.ElapsedSeconds() +
+                               (use_streamed ? root_build_seconds_ : 0));
+  if (use_streamed) root_build_seconds_ = 0;
 
   NodeHistogramPayload payload;
   payload.tree = tree;

@@ -85,6 +85,10 @@ class PartyAEngine {
   // Per-tree state.
   std::vector<Cipher> g_ciphers_;
   std::vector<Cipher> h_ciphers_;
+  /// Root-node histogram accumulated batch-by-batch during blaster gradient
+  /// streaming (overlaps with B's encryption); consumed by the layer-0 build.
+  std::unique_ptr<IncrementalHistogramBuilder> root_builder_;
+  double root_build_seconds_ = 0;
   std::unordered_map<int32_t, std::vector<uint32_t>> node_instances_;
   std::unordered_map<int32_t, uint32_t> hist_epoch_;
   uint32_t current_tree_ = 0;

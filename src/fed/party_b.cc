@@ -86,6 +86,7 @@ Status PartyBEngine::Setup() {
     key_msg.payload = w.Release();
     backend_ = std::move(pb);
   }
+  setup_key_msg_ = key_msg;  // kept for replay to restarted A processes
   for (Inbox& inbox : inboxes_) {
     Message copy = key_msg;
     inbox.Send(std::move(copy));
@@ -118,8 +119,17 @@ GradPair PartyBEngine::SumGrads(const std::vector<uint32_t>& instances) const {
 
 void PartyBEngine::EncryptAndSendGradients(uint32_t tree_id) {
   const size_t n = data_.rows();
+  // Blaster streams fixed-size slices, but at large n a small configured
+  // batch degenerates into per-slice framing/wakeup overhead with no extra
+  // overlap, so the effective batch is floored to keep the stream at no more
+  // than kMaxBlasterBatchesPerTree slices per tree.
+  constexpr size_t kMaxBlasterBatchesPerTree = 64;
   const size_t batch =
-      config_.blaster ? std::max<size_t>(1, config_.blaster_batch) : n;
+      config_.blaster
+          ? std::max({static_cast<size_t>(1), config_.blaster_batch,
+                      (n + kMaxBlasterBatchesPerTree - 1) /
+                          kMaxBlasterBatchesPerTree})
+          : n;
   // Encryption randomness (codec exponent sampling, Paillier obfuscation) is
   // drawn from a per-tree stream keyed on (seed, tree_id), not the engine's
   // long-lived rng: a tree retrained after a link death, or resumed from a
@@ -709,7 +719,8 @@ Status PartyBEngine::ResyncSessions(int64_t last_completed) {
   live_.SetState(obs::LiveStatus::State::kReconnecting);
   hist_epoch_.clear();
   for (Inbox& inbox : inboxes_) inbox.Clear();
-  for (Inbox& inbox : inboxes_) {
+  for (size_t p = 0; p < inboxes_.size(); ++p) {
+    Inbox& inbox = inboxes_[p];
     Result<HelloPayload> peer = inbox.port()->Reestablish(last_completed);
     VF2_RETURN_IF_ERROR(peer.status());
     m_.reconnects->Add(1);
@@ -721,6 +732,26 @@ Status PartyBEngine::ResyncSessions(int64_t last_completed) {
                     << peer->last_completed_tree << " (local boundary "
                     << last_completed << ")";
     }
+    if (peer->needs_setup) {
+      // The peer is a freshly launched process, not a survivor of a link
+      // blip: replay the setup phase so it can rebuild its crypto backend,
+      // and cross-check that its recomputed layout matches the original —
+      // same data and config must yield the same bins.
+      VF2_LOG(Info) << "peer " << peer->party
+                    << " is a fresh process, replaying setup";
+      Message key_copy = setup_key_msg_;
+      inbox.Send(std::move(key_copy));
+      VF2_ASSIGN_OR_RETURN(Message msg,
+                           inbox.ReceiveType(MessageType::kLayout));
+      LayoutPayload layout;
+      VF2_RETURN_IF_ERROR(DecodeLayout(msg, &layout));
+      if (p < a_layouts_.size() &&
+          layout.bins_per_feature.size() + 1 != a_layouts_[p].offsets.size()) {
+        return Status::ProtocolError(
+            "restarted peer " + std::to_string(peer->party) +
+            " announced a different feature layout than the original run");
+      }
+    }
   }
   live_.SetState(obs::LiveStatus::State::kTraining);
   return Status::OK();
@@ -730,6 +761,7 @@ void PartyBEngine::StartOpsServer() {
   if (config_.ops_port <= 0) return;
   obs::OpsServerOptions opts;
   opts.port = config_.ops_port;
+  opts.bind_address = config_.ops_bind;
   opts.party_label = "B";
   // Empty prefix: B's endpoints expose the whole shared registry, giving a
   // cluster view when the trainer runs in-process and the federated remote

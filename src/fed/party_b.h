@@ -100,6 +100,9 @@ class PartyBEngine {
   BinnedMatrix binned_;
   FeatureLayout layout_;
   std::vector<FeatureLayout> a_layouts_;
+  /// The kPublicKey message from Setup, kept for replay: a restarted A
+  /// process (hello with needs_setup) missed the original setup phase.
+  Message setup_key_msg_;
   std::unique_ptr<CipherBackend> backend_;
   std::shared_ptr<NoisePool> noise_pool_;  // real crypto only; may be null
   std::unique_ptr<Loss> loss_;

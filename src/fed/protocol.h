@@ -95,6 +95,11 @@ struct FedConfig {
   /// party its own flag value. Observability only — excluded from
   /// Fingerprint(), so two peers may disagree about it.
   int ops_port = 0;
+  /// IPv4 address the ops servers bind ("127.0.0.1" default keeps the
+  /// unauthenticated endpoints host-local; set "0.0.0.0" for remote
+  /// scraping in multi-process deployments). Observability only — excluded
+  /// from Fingerprint().
+  std::string ops_bind = "127.0.0.1";
   /// Cross-party metric federation: each A party piggybacks a kMetricsDelta
   /// snapshot of its own registry entries over the training channel at every
   /// tree boundary (plus one final frame at shutdown), and Party B's ops

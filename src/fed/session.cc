@@ -27,7 +27,7 @@ SessionBroker::SessionBroker(std::vector<NetworkConfig> configs) {
   }
 }
 
-Result<std::unique_ptr<ChannelEndpoint>> SessionBroker::Reconnect(
+Result<std::unique_ptr<MessagePort>> SessionBroker::Reconnect(
     size_t channel, bool a_side, Clock::time_point deadline) {
   std::unique_lock<std::mutex> lock(mu_);
   if (channel >= slots_.size()) {
@@ -52,7 +52,7 @@ Result<std::unique_ptr<ChannelEndpoint>> SessionBroker::Reconnect(
     if (my_ready != nullptr && my_ready->closed()) my_ready.reset();
     if (my_ready != nullptr) {
       my_want = false;
-      return std::move(my_ready);
+      return std::unique_ptr<MessagePort>(std::move(my_ready));
     }
     if (shutdown_) {
       my_want = false;
@@ -97,7 +97,7 @@ SessionChannel::SessionChannel(ChannelFactory* factory, size_t channel_index,
                                bool a_side, uint64_t session_id,
                                uint32_t party, uint64_t config_fingerprint,
                                const NetworkConfig& config,
-                               std::unique_ptr<ChannelEndpoint> initial)
+                               std::unique_ptr<MessagePort> initial)
     : factory_(factory),
       channel_index_(channel_index),
       a_side_(a_side),
@@ -150,7 +150,8 @@ ChannelStats SessionChannel::sent_stats() const {
   return total;
 }
 
-Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree) {
+Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
+                                                 bool needs_setup) {
   if (terminally_closed_) {
     return Status::Aborted("session already closed: " +
                            close_status_.ToString());
@@ -184,7 +185,7 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree) {
     if (sleep_s > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
     }
-    Result<std::unique_ptr<ChannelEndpoint>> fresh = factory_->Reconnect(
+    Result<std::unique_ptr<MessagePort>> fresh = factory_->Reconnect(
         channel_index_, a_side_, Clock::now() + Seconds(rendezvous_window));
     if (!fresh.ok()) {
       if (IsTransientFault(fresh.status())) continue;  // timed out; retry
@@ -198,6 +199,7 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree) {
     mine.party = party_;
     mine.last_completed_tree = last_completed_tree;
     mine.config_fingerprint = fingerprint_;
+    mine.needs_setup = needs_setup;
     ep_->Send(EncodeHello(mine));
     Result<Message> reply = ep_->Receive();
     if (!reply.ok()) {

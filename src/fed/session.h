@@ -14,40 +14,47 @@
 
 namespace vf2boost {
 
-/// \brief Rendezvous point where both sides of a dead channel meet to get a
-/// replacement ChannelEndpoint pair — the in-process stand-in for the
-/// gateway message queues coming back up after a WAN outage.
-///
-/// One broker serves every channel of a training run; each channel has one
-/// rendezvous slot, indexed by A-party. A side that wants a fresh link calls
-/// Reconnect() and blocks until (a) the peer side also asks, and (b) the
-/// configured heal-after delay since the first request has elapsed — then a
-/// new endpoint pair is cut and each caller receives its half. Replacement
-/// links are created with link death disarmed (`kill_after_messages = 0`):
-/// a drill's deterministic outage fires once, the healed link stays up.
-/// Thread-safe; Shutdown() aborts all pending and future rendezvous, which
-/// is how a terminal engine failure stops the peer from retrying forever.
+/// \brief Source of replacement links for the session layer. A side that
+/// wants a fresh link calls Reconnect() and blocks until its peer is
+/// reachable again; what "reachable" means is transport-specific:
+/// SessionBroker cuts a fresh in-process ChannelEndpoint pair once both
+/// sides ask, TcpChannelFactory (fed/tcp_transport.h) accepts or redials a
+/// real TCP connection. Thread-safe; Shutdown() aborts all pending and
+/// future rendezvous, which is how a terminal engine failure stops the peer
+/// from retrying forever.
 class ChannelFactory {
  public:
   virtual ~ChannelFactory() = default;
 
   /// Blocks until the replacement link for `channel` is up (peer present and
   /// heal delay elapsed) or `deadline` passes, and returns this side's
-  /// endpoint. `a_side` says which half of the pair the caller gets.
-  virtual Result<std::unique_ptr<ChannelEndpoint>> Reconnect(
+  /// port. `a_side` says which half of the link the caller gets.
+  virtual Result<std::unique_ptr<MessagePort>> Reconnect(
       size_t channel, bool a_side, ChannelEndpoint::Clock::time_point deadline) = 0;
 
   /// Aborts every pending and future Reconnect with `status`.
   virtual void Shutdown(Status status) = 0;
 };
 
+/// \brief In-process ChannelFactory: the rendezvous point where both sides
+/// of a dead channel meet to get a replacement ChannelEndpoint pair — the
+/// in-process stand-in for the gateway message queues coming back up after a
+/// WAN outage.
+///
+/// One broker serves every channel of a training run; each channel has one
+/// rendezvous slot, indexed by A-party. Reconnect blocks until (a) the peer
+/// side also asks, and (b) the configured heal-after delay since the first
+/// request has elapsed — then a new endpoint pair is cut and each caller
+/// receives its half. Replacement links are created with link death disarmed
+/// (`kill_after_messages = 0`): a drill's deterministic outage fires once,
+/// the healed link stays up.
 class SessionBroker : public ChannelFactory {
  public:
   /// `configs[i]` is the network config replacement links of channel i are
   /// created with (the session layer disarms kill_after_messages on them).
   explicit SessionBroker(std::vector<NetworkConfig> configs);
 
-  Result<std::unique_ptr<ChannelEndpoint>> Reconnect(
+  Result<std::unique_ptr<MessagePort>> Reconnect(
       size_t channel, bool a_side,
       ChannelEndpoint::Clock::time_point deadline) override;
 
@@ -94,12 +101,14 @@ class SessionBroker : public ChannelFactory {
 /// port's lifetime. Single engine thread per port, like ChannelEndpoint.
 class SessionChannel : public MessagePort {
  public:
-  /// `initial` is the run's first-generation endpoint. `party` is the
-  /// owner's party index (A: 0..n-1, B: n) advertised in hellos.
+  /// `initial` is the run's first-generation link; it may be null (a
+  /// multi-process runner that has not dialed yet), in which case the first
+  /// Reestablish brings the link up. `party` is the owner's party index
+  /// (A: 0..n-1, B: n) advertised in hellos.
   SessionChannel(ChannelFactory* factory, size_t channel_index, bool a_side,
                  uint64_t session_id, uint32_t party,
                  uint64_t config_fingerprint, const NetworkConfig& config,
-                 std::unique_ptr<ChannelEndpoint> initial);
+                 std::unique_ptr<MessagePort> initial);
 
   void Send(Message msg) override;
   Result<Message> Receive() override;
@@ -115,7 +124,8 @@ class SessionChannel : public MessagePort {
   bool resilient() const override {
     return config_.reconnect_max_attempts > 0;
   }
-  Result<HelloPayload> Reestablish(int64_t last_completed_tree) override;
+  Result<HelloPayload> Reestablish(int64_t last_completed_tree,
+                                   bool needs_setup = false) override;
 
   /// Successful re-establishments (completed hello handshakes).
   size_t reconnects() const { return reconnects_; }
@@ -131,7 +141,7 @@ class SessionChannel : public MessagePort {
   const uint64_t fingerprint_;
   const NetworkConfig config_;
 
-  std::unique_ptr<ChannelEndpoint> ep_;
+  std::unique_ptr<MessagePort> ep_;
   ChannelStats retired_stats_;  // sums of replaced endpoints' sent_stats
   Rng backoff_rng_;
   double prev_backoff_seconds_ = 0;

@@ -73,12 +73,17 @@ Result<std::unique_ptr<OpsServer>> OpsServer::Start(
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const std::string& bind_address =
+      options.bind_address.empty() ? "127.0.0.1" : options.bind_address;
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad ops bind address: " + bind_address);
+  }
   addr.sin_port = htons(static_cast<uint16_t>(options.port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
-    return Status::IOError("ops server bind to 127.0.0.1:" +
+    return Status::IOError("ops server bind to " + bind_address + ":" +
                            std::to_string(options.port) + ": " + err);
   }
   if (::listen(fd, 16) != 0) {
@@ -97,7 +102,7 @@ Result<std::unique_ptr<OpsServer>> OpsServer::Start(
   server->port_ = ntohs(addr.sin_port);
   server->thread_ = std::thread([s = server.get()] { s->Serve(); });
   VF2_LOG(Info) << "ops server for party " << options.party_label
-                << " listening on 127.0.0.1:" << server->port_;
+                << " listening on " << bind_address << ":" << server->port_;
   return server;
 }
 

@@ -21,6 +21,10 @@ class RemoteMetrics;
 /// gracefully (e.g. no registry -> empty /metrics).
 struct OpsServerOptions {
   int port = 0;  ///< 0 = pick an ephemeral port (tests); read back via port()
+  /// IPv4 address to bind. The loopback default keeps the unauthenticated
+  /// endpoints host-local; multi-process deployments that want remote
+  /// scraping opt in explicitly (e.g. "0.0.0.0").
+  std::string bind_address = "127.0.0.1";
   std::string party_label;    ///< "B", "A0", ... (shown on /healthz, /statusz)
   std::string metric_prefix;  ///< registry filter, "" = everything
   const MetricsRegistry* registry = nullptr;
@@ -37,8 +41,9 @@ struct OpsServerOptions {
 ///   /statusz  human-readable training progress
 ///   /tracez   most recent completed spans from the installed TraceRecorder
 ///
-/// Binds 127.0.0.1 only: the endpoints are unauthenticated, so exposure
-/// beyond the host is an operator decision (ssh tunnel, sidecar proxy).
+/// Binds 127.0.0.1 unless options.bind_address says otherwise: the endpoints
+/// are unauthenticated, so exposure beyond the host is an operator decision
+/// (--ops-bind 0.0.0.0, ssh tunnel, sidecar proxy).
 /// Serving reads only atomics and mutex-guarded snapshots — it never blocks
 /// the training path.
 class OpsServer {

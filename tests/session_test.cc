@@ -41,12 +41,12 @@ struct SessionPair {
 
 TEST(SessionBrokerTest, RendezvousHandsBothSidesAConnectedPair) {
   SessionBroker broker({NetworkConfig{}});
-  Result<std::unique_ptr<ChannelEndpoint>> got_a = Status::Unavailable("pending");
+  Result<std::unique_ptr<MessagePort>> got_a = Status::Unavailable("pending");
   std::thread peer([&] {
     got_a = broker.Reconnect(0, /*a_side=*/true,
                              Clock::now() + std::chrono::seconds(5));
   });
-  Result<std::unique_ptr<ChannelEndpoint>> got_b = broker.Reconnect(
+  Result<std::unique_ptr<MessagePort>> got_b = broker.Reconnect(
       0, /*a_side=*/false, Clock::now() + std::chrono::seconds(5));
   peer.join();
   ASSERT_TRUE(got_a.ok()) << got_a.status().ToString();

@@ -1,19 +1,35 @@
 // Federated training CLI: loads a joined LIBSVM file, partitions it
-// vertically across the requested parties (in-process simulation of the
-// cross-enterprise deployment), trains with the chosen protocol level, and
-// reports quality plus protocol statistics.
+// vertically across the requested parties, and trains with the chosen
+// protocol level, reporting quality plus protocol statistics.
+//
+// Default mode simulates all parties in one process. With --listen /
+// --connect, each party runs as its own OS process and the protocol frames
+// travel over real TCP sockets; every process loads the same joined file and
+// derives the identical partition from the shared seed, so the trained model
+// is byte-identical to the in-process run:
 //
 //   vf2_fedtrain --data train.libsvm --parties 2 --protocol vf2boost
 //                --key-bits 512 --model fed_model.txt
+//   # terminal 1 (party B, labels):
+//   vf2_fedtrain --data train.libsvm --listen 7632 --model fed_model.txt
+//   # terminal 2 (party A0, features):
+//   vf2_fedtrain --data train.libsvm --connect 127.0.0.1:7632 --party a0
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "data/binning.h"
 #include "data/io.h"
 #include "data/partition.h"
 #include "fed/fed_trainer.h"
+#include "fed/party_a.h"
+#include "fed/party_b.h"
+#include "fed/session.h"
+#include "fed/tcp_transport.h"
 #include "gbdt/model_io.h"
 #include "metrics/metrics.h"
+#include "obs/build_info.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "obs/trace_gantt.h"
@@ -47,11 +63,19 @@ int main(int argc, char** argv) {
        {"heal-after", "seconds a dead link stays down before it can heal"},
        {"reconnect-budget", "session reconnect attempts (0 = fail fast)"},
        {"fault-seed", "fault-injection PRNG seed (default 0x5eed)"},
+       {"listen", "run as party B over TCP: accept A parties on this port "
+                  "(0 = ephemeral, printed)"},
+       {"connect", "run as one A party over TCP: dial party B at HOST:PORT"},
+       {"party", "which party this process is with --connect: a0, a1, ..."},
+       {"connect-timeout", "seconds to wait for the TCP peer(s) at startup "
+                           "(default 30)"},
        {"trace-out", "write a Chrome trace-event JSON (Perfetto-loadable)"},
        {"metrics-out", "write the metrics registry as flat JSON"},
        {"gantt", "print a text gantt of the traced run (needs --trace-out)"},
        {"ops-port", "serve /healthz /metrics /statusz /tracez: B on PORT, "
-                    "A_i on PORT+1+i (127.0.0.1 only)"},
+                    "A_i on PORT+1+i"},
+       {"ops-bind", "ops server bind address (default 127.0.0.1; set "
+                    "0.0.0.0 to allow remote scraping)"},
        {"federate-metrics", "A parties piggyback metric snapshots to B at "
                             "tree boundaries (default: on with --ops-port)"}});
   flags.Require({"data"});
@@ -100,6 +124,7 @@ int main(int argc, char** argv) {
   config.network.fault_seed =
       static_cast<uint64_t>(flags.GetInt("fault-seed", 0x5eed));
   config.ops_port = flags.GetInt("ops-port", 0);
+  config.ops_bind = flags.GetString("ops-bind", "127.0.0.1");
   config.federate_metrics =
       flags.Has("federate-metrics") ? flags.GetBool("federate-metrics")
                                     : config.ops_port > 0;
@@ -141,12 +166,168 @@ int main(int argc, char** argv) {
     recorder->Install();
   }
   if (config.ops_port > 0) {
-    std::printf("ops endpoints: party B http://127.0.0.1:%d/, A_i on port "
+    std::printf("ops endpoints: party B http://%s:%d/, A_i on port "
                 "%d+1+i\n",
-                config.ops_port, config.ops_port);
+                config.ops_bind.c_str(), config.ops_port, config.ops_port);
   }
 
-  auto result = FedTrainer(config).Train(shards.value());
+  // --- transport selection -------------------------------------------------
+  // --listen / --connect switch this process from the in-process simulation
+  // to one real party over TCP. Every process loads the same joined file and
+  // recomputes the identical partition above, so no feature data ever
+  // crosses the wire — only the protocol frames do.
+  const bool tcp_listen = flags.Has("listen");
+  const bool tcp_connect = flags.Has("connect");
+  if (tcp_listen && tcp_connect) {
+    std::fprintf(stderr, "--listen and --connect are mutually exclusive\n");
+    return 1;
+  }
+  const size_t num_a = parties - 1;
+  const double connect_timeout = flags.GetDouble("connect-timeout", 30.0);
+
+  // Brings one channel up. With a reconnect budget the port is a
+  // SessionChannel (crash recovery; same session-id derivation as the
+  // in-process FedTrainer so resumed processes agree); without one it is the
+  // raw TCP port, preserving PR 1's fail-fast semantics.
+  const uint64_t fingerprint = config.Fingerprint();
+  auto bring_up = [&](TcpChannelFactory* factory, size_t channel, bool a_side,
+                      uint32_t party_id, bool needs_setup)
+      -> Result<std::unique_ptr<MessagePort>> {
+    if (config.network.reconnect_max_attempts > 0) {
+      auto session = std::make_unique<SessionChannel>(
+          factory, channel, a_side, fingerprint ^ (0x5e55ULL + channel),
+          party_id, fingerprint, config.network,
+          /*initial=*/nullptr);
+      Result<HelloPayload> peer = session->Reestablish(-1, needs_setup);
+      if (!peer.ok()) return peer.status();
+      return std::unique_ptr<MessagePort>(std::move(session));
+    }
+    return factory->Reconnect(
+        channel, a_side,
+        ChannelEndpoint::Clock::now() +
+            std::chrono::duration_cast<ChannelEndpoint::Clock::duration>(
+                std::chrono::duration<double>(connect_timeout)));
+  };
+
+  Result<FedTrainResult> result = Status::Internal("not trained");
+  if (tcp_connect) {
+    // ---- one A party over TCP ---------------------------------------------
+    const std::string party_flag = flags.GetString("party", "");
+    if (party_flag.size() < 2 || party_flag[0] != 'a') {
+      std::fprintf(stderr, "--connect needs --party a0, a1, ...\n");
+      return 1;
+    }
+    const size_t a_index =
+        static_cast<size_t>(std::atoi(party_flag.c_str() + 1));
+    if (a_index >= num_a) {
+      std::fprintf(stderr, "--party %s out of range for --parties %zu\n",
+                   party_flag.c_str(), parties);
+      return 1;
+    }
+    const std::string hostport = flags.GetString("connect");
+    const size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants HOST:PORT\n");
+      return 1;
+    }
+    auto factory = TcpChannelFactory::Dial(
+        hostport.substr(0, colon), std::atoi(hostport.c_str() + colon + 1),
+        a_index, config.network, &registry);
+    if (!factory.ok()) {
+      std::fprintf(stderr, "%s\n", factory.status().ToString().c_str());
+      return 1;
+    }
+    // needs_setup is always true from a dialing process: if B is mid-run
+    // (this is a restart after a crash) it replays the setup phase; at a
+    // cold start the flag is read by B's own bring-up and ignored, because
+    // B's engine runs the setup phase anyway.
+    auto port = bring_up(factory->get(), a_index, /*a_side=*/true,
+                         static_cast<uint32_t>(a_index),
+                         /*needs_setup=*/true);
+    if (!port.ok()) {
+      std::fprintf(stderr, "connecting to party B failed: %s\n",
+                   port.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("party A%zu connected to %s\n", a_index, hostport.c_str());
+    PartyAEngine engine(config, (*shards)[a_index], port->get(),
+                        static_cast<uint32_t>(a_index));
+    Status st = engine.Run();
+    if (recorder != nullptr) obs::TraceRecorder::Uninstall();
+    if (!st.ok()) {
+      std::fprintf(stderr, "party A%zu failed: %s\n", a_index,
+                   st.ToString().c_str());
+      return 1;
+    }
+    const ChannelStats cs = (*port)->sent_stats();
+    std::printf("party A%zu done: sent %.2f MB in %zu messages\n", a_index,
+                cs.bytes / 1e6, cs.messages);
+    if (flags.Has("metrics-out")) {
+      const std::string path = flags.GetString("metrics-out");
+      if (!registry.WriteJson(path)) return 1;
+      std::printf("wrote %zu metrics to %s\n", registry.size(), path.c_str());
+    }
+    return 0;
+  } else if (tcp_listen) {
+    // ---- party B over TCP -------------------------------------------------
+    if (Status st = config.Validate(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    obs::RegisterBuildInfo(&registry);
+    auto factory = TcpChannelFactory::Listen(
+        "0.0.0.0", flags.GetInt("listen", 0), num_a, config.network,
+        &registry);
+    if (!factory.ok()) {
+      std::fprintf(stderr, "%s\n", factory.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("party B listening on port %d, waiting for %zu A part%s\n",
+                (*factory)->port(), num_a, num_a == 1 ? "y" : "ies");
+    std::fflush(stdout);
+    std::vector<std::unique_ptr<MessagePort>> ports;
+    for (size_t p = 0; p < num_a; ++p) {
+      auto port = bring_up(factory->get(), p, /*a_side=*/false,
+                           static_cast<uint32_t>(num_a),
+                           /*needs_setup=*/false);
+      if (!port.ok()) {
+        std::fprintf(stderr, "waiting for party A%zu failed: %s\n", p,
+                     port.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("party A%zu joined\n", p);
+      ports.push_back(std::move(port).value());
+    }
+    std::fflush(stdout);
+    std::vector<MessagePort*> port_ptrs;
+    for (auto& p : ports) port_ptrs.push_back(p.get());
+    PartyBEngine engine(config, shards->back(), std::move(port_ptrs));
+    Result<PartyBResult> b_result = engine.Run();
+    if (b_result.ok()) {
+      FedTrainResult fed;
+      fed.model = std::move(b_result->model);
+      fed.log = std::move(b_result->log);
+      fed.stats = b_result->stats;
+      // B's engine stats only know what B sent; the inbound volume lives in
+      // the transport's frame counters.
+      fed.stats.bytes_a_to_b =
+          registry.GetCounter("transport/tcp/bytes_read")->value();
+      // The A parties' split-candidate cuts are needed to evaluate the joint
+      // model. Binning is deterministic, and this process holds the full
+      // joined file, so B recomputes them instead of shipping them (in a
+      // real deployment they stay private and the model is served
+      // federated; see fed/serving.h).
+      for (size_t p = 0; p < num_a; ++p) {
+        fed.party_a_cuts.push_back(
+            ComputeBinCuts((*shards)[p].features, config.gbdt.max_bins));
+      }
+      result = std::move(fed);
+    } else {
+      result = b_result.status();
+    }
+  } else {
+    result = FedTrainer(config).Train(shards.value());
+  }
   if (recorder != nullptr) obs::TraceRecorder::Uninstall();
   if (!result.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
