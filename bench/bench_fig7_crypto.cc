@@ -12,10 +12,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "bench/bench_util.h"
+#include "bigint/modarith.h"
 #include "common/logging.h"
 #include "crypto/accumulator.h"
 #include "crypto/backend.h"
+#include "crypto/encoding.h"
 #include "crypto/packing.h"
 
 namespace vf2boost {
@@ -145,6 +149,112 @@ void BM_DecryptUnpacked(benchmark::State& state) {
 }
 BENCHMARK(BM_DecryptUnpacked)->Arg(256)->Arg(512)->Arg(1024);
 
+// BM_Encrypt under the forced-scalar Montgomery kernel: the baseline the
+// AVX2 column-tiled kernel is measured against (BM_Encrypt itself runs under
+// kAuto dispatch, which vectorizes the >= 2048-bit ciphertext rings).
+void BM_EncryptScalar(benchmark::State& state) {
+  Setup& s = GetSetup(state.range(0));
+  const MontKernel saved = GetMontKernel();
+  SetMontKernel(MontKernel::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.backend->Encrypt(s.rng.NextGaussian(), &s.rng));
+  }
+  SetMontKernel(saved);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncryptScalar)->Arg(256)->Arg(512)->Arg(1024);
+
+GhPackLayout GhLayoutFor(const PaillierBackend& backend, uint64_t max_count) {
+  FixedPointCodec codec(16, 8, 1);
+  auto layout = MakeGhPackLayout(codec, max_count, /*value_bound=*/1.0,
+                                 backend.plain_modulus().BitLength());
+  VF2_CHECK(layout.ok());
+  return layout.value();
+}
+
+// Decrypting one gh-packed bin recovers count, g and h in a single CRT
+// decryption — compare the items/s against BM_Decrypt (one stat per op).
+void BM_GhPackedDecrypt(benchmark::State& state) {
+  Setup& s = GetSetup(state.range(0));
+  const GhPackLayout layout = GhLayoutFor(*s.backend, 64);
+  BigInt bin;
+  for (int i = 0; i < 64; ++i) {
+    const BigInt c = s.backend->EncryptRaw(
+        EncodeGhPair(layout, s.rng.NextDouble() * 2 - 1,
+                     s.rng.NextDouble() * 0.25),
+        &s.rng);
+    bin = (i == 0) ? c : s.backend->HAddRaw(bin, c);
+  }
+  for (auto _ : state) {
+    auto slots = DecodeGhSlots(layout, s.backend->DecryptRaw(bin));
+    VF2_CHECK(slots.ok());
+    benchmark::DoNotOptimize(slots->g);
+  }
+  // Two statistics (g and h) recovered per decryption.
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_GhPackedDecrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+// The end-to-end gradient stream the tentpole targets: B encrypts 64
+// instances, the ciphertexts cross the wire (serialization as the transfer
+// proxy), A accumulates them into 8 bins, B decrypts the bins. Classic path:
+// two ciphers per instance, two accumulators and decryptions per bin.
+void BM_GradStreamUnpacked(benchmark::State& state) {
+  Setup& s = GetSetup(state.range(0));
+  constexpr int kRows = 64, kBins = 8;
+  for (auto _ : state) {
+    std::vector<BigInt> g_bins(kBins), h_bins(kBins);
+    size_t bytes = 0;
+    for (int i = 0; i < kRows; ++i) {
+      const Cipher g =
+          s.backend->EncryptAt(s.rng.NextDouble() * 2 - 1, 8, &s.rng);
+      const Cipher h = s.backend->EncryptAt(s.rng.NextDouble() * 0.25, 8,
+                                            &s.rng);
+      bytes += g.data.ToBytes().size() + h.data.ToBytes().size();
+      const int b = i % kBins;
+      g_bins[b] = (i < kBins) ? g.data : s.backend->HAddRaw(g_bins[b], g.data);
+      h_bins[b] = (i < kBins) ? h.data : s.backend->HAddRaw(h_bins[b], h.data);
+    }
+    benchmark::DoNotOptimize(bytes);
+    for (int b = 0; b < kBins; ++b) {
+      benchmark::DoNotOptimize(s.backend->DecryptRaw(g_bins[b]));
+      benchmark::DoNotOptimize(s.backend->DecryptRaw(h_bins[b]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_GradStreamUnpacked)->Arg(256)->Arg(512)->Arg(1024);
+
+// gh-packed stream: one cipher per instance, one accumulator and one
+// decryption per bin. The items/s ratio against BM_GradStreamUnpacked is the
+// tentpole's end-to-end speedup (reported as GradStreamSpeedup/<bits>).
+void BM_GradStreamGhPacked(benchmark::State& state) {
+  Setup& s = GetSetup(state.range(0));
+  constexpr int kRows = 64, kBins = 8;
+  const GhPackLayout layout = GhLayoutFor(*s.backend, kRows);
+  for (auto _ : state) {
+    std::vector<BigInt> bins(kBins);
+    size_t bytes = 0;
+    for (int i = 0; i < kRows; ++i) {
+      const BigInt c = s.backend->EncryptRaw(
+          EncodeGhPair(layout, s.rng.NextDouble() * 2 - 1,
+                       s.rng.NextDouble() * 0.25),
+          &s.rng);
+      bytes += c.ToBytes().size();
+      const int b = i % kBins;
+      bins[b] = (i < kBins) ? c : s.backend->HAddRaw(bins[b], c);
+    }
+    benchmark::DoNotOptimize(bytes);
+    for (int b = 0; b < kBins; ++b) {
+      auto slots = DecodeGhSlots(layout, s.backend->DecryptRaw(bins[b]));
+      VF2_CHECK(slots.ok());
+      benchmark::DoNotOptimize(slots->g);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_GradStreamGhPacked)->Arg(256)->Arg(512)->Arg(1024);
+
 // Console reporter that additionally records each benchmark's throughput so
 // main() can emit the JSON metrics file.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -155,20 +265,26 @@ class CapturingReporter : public benchmark::ConsoleReporter {
     for (const Run& run : reports) {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
       const auto items = run.counters.find("items_per_second");
+      double ops = 0;
       if (items != run.counters.end()) {
-        json_->Add(run.benchmark_name(), items->second.value, "ops/s");
+        ops = items->second.value;
       } else if (run.real_accumulated_time > 0 && run.iterations > 0) {
-        json_->Add(run.benchmark_name(),
-                   static_cast<double>(run.iterations) /
-                       run.real_accumulated_time,
-                   "ops/s");
+        ops = static_cast<double>(run.iterations) / run.real_accumulated_time;
+      } else {
+        continue;
       }
+      json_->Add(run.benchmark_name(), ops, "ops/s");
+      captured_[run.benchmark_name()] = ops;
     }
     ConsoleReporter::ReportRuns(reports);
   }
 
+  /// ops/s by benchmark name, for derived metrics computed after the run.
+  const std::map<std::string, double>& captured() const { return captured_; }
+
  private:
   bench::JsonWriter* json_;
+  std::map<std::string, double> captured_;
 };
 
 }  // namespace
@@ -183,6 +299,19 @@ int main(int argc, char** argv) {
   vf2boost::CapturingReporter reporter(&json);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  // Derived: the tentpole's end-to-end gradient-stream speedup per key size.
+  const auto& got = reporter.captured();
+  for (const char* bits : {"256", "512", "1024"}) {
+    const auto packed =
+        got.find(std::string("BM_GradStreamGhPacked/") + bits);
+    const auto classic =
+        got.find(std::string("BM_GradStreamUnpacked/") + bits);
+    if (packed != got.end() && classic != got.end() &&
+        classic->second > 0) {
+      json.Add(std::string("GradStreamSpeedup/") + bits,
+               packed->second / classic->second, "x");
+    }
+  }
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   return 0;
 }

@@ -12,6 +12,24 @@ namespace vf2boost {
 
 class MontgomeryContext;
 
+/// \brief Runtime-selectable Montgomery multiply kernel.
+///
+/// kAuto (the default) picks the AVX2 product-scanning kernel when the CPU
+/// supports it (cpuid, cached) and the modulus is wide enough to amortize
+/// the vector setup; otherwise the scalar CIOS kernel runs. Benches and
+/// tests force a specific kernel for A/B comparison. The selection is a
+/// pure performance choice — both kernels produce identical limbs.
+enum class MontKernel { kAuto, kScalar, kAvx2 };
+
+/// Sets the process-wide kernel selection. Safe to call between
+/// computations; not intended to race with in-flight multiplies.
+void SetMontKernel(MontKernel kernel);
+MontKernel GetMontKernel();
+
+/// True when the running CPU supports the AVX2 kernel (always false on
+/// non-x86 builds, where kAvx2 silently falls back to scalar).
+bool CpuHasAvx2();
+
 /// Canonical residue of a mod m, in [0, m). m must be positive.
 BigInt Mod(const BigInt& a, const BigInt& m);
 
@@ -77,6 +95,7 @@ class MontgomeryContext {
 
   /// Raw k-limb CIOS kernel: out = a*b*R^{-1} mod m. All pointers reference
   /// k-limb little-endian arrays; `out` may alias `a` and/or `b`.
+  /// Dispatches to the AVX2 or scalar implementation per SetMontKernel.
   void MulReduceRaw(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
 
   /// Loads a residue (must already be in [0, m)) into a zero-padded k-limb
@@ -94,6 +113,13 @@ class MontgomeryContext {
   const uint64_t* r2_raw() const { return r2_raw_.data(); }
 
  private:
+  void MulReduceRawScalar(const uint64_t* a, const uint64_t* b,
+                          uint64_t* out) const;
+  /// Radix-2^32 product-scanning kernel with lazy column accumulators;
+  /// forwards to the scalar kernel on builds without AVX2 support.
+  void MulReduceRawAvx2(const uint64_t* a, const uint64_t* b,
+                        uint64_t* out) const;
+
   BigInt m_;
   size_t k_ = 0;        // limb count of m_
   uint64_t inv64_ = 0;  // -m^{-1} mod 2^64
@@ -102,6 +128,10 @@ class MontgomeryContext {
   std::vector<uint64_t> r2_raw_;    // k-limb copy of r2_
   std::vector<uint64_t> one_raw_;   // k-limb copy of one_mont_
   std::vector<uint64_t> unit_raw_;  // k-limb literal 1 (for FromMont)
+  // m_ and -m^{-1} mod R as zero-extended 32-bit limbs, 8 zero lanes of
+  // padding on both sides (operands of the column-tiled AVX2 kernel).
+  std::vector<uint64_t> n32pad_;
+  std::vector<uint64_t> np32pad_;
 };
 
 /// \brief Precomputed fixed-base windowed exponentiation (Lim-Lee style).

@@ -1,6 +1,8 @@
 #include "crypto/encoding.h"
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "common/logging.h"
 
@@ -60,6 +62,135 @@ BigInt FixedPointCodec::ScaleFactor(int k) const {
   BigInt f(1);
   for (int i = 0; i < k; ++i) f *= BigInt(static_cast<uint64_t>(base_));
   return f;
+}
+
+// ---------------------------------------------------------------------------
+// gh slot codec
+// ---------------------------------------------------------------------------
+
+Result<GhPackLayout> MakeGhPackLayout(const FixedPointCodec& codec,
+                                      uint64_t max_count, double value_bound,
+                                      size_t plain_modulus_bits) {
+  if (max_count == 0) {
+    return Status::InvalidArgument("gh-pack: max_count must be positive");
+  }
+  if (!std::isfinite(value_bound) || value_bound <= 0) {
+    return Status::InvalidArgument(
+        "gh-pack: value bound must be positive and finite");
+  }
+  GhPackLayout layout;
+  layout.base = codec.base();
+  layout.exponent = codec.min_exponent();
+  layout.max_count = max_count;
+  layout.value_bound = value_bound;
+  const long double scale =
+      powl(static_cast<long double>(layout.base), layout.exponent);
+  const long double offset =
+      floorl(static_cast<long double>(value_bound) * scale) + 1.0L;
+  // offset must fit a u64 with room for the 2·offset per-instance bound.
+  if (offset >= 4611686018427387904.0L /* 2^62 */) {
+    return Status::InvalidArgument(
+        "gh-pack: value bound x B^e exceeds the per-slot offset range");
+  }
+  layout.offset = static_cast<uint64_t>(offset);
+  // Accumulation bound: every one of max_count rows contributes at most
+  // 2·offset per value slot; +2 guard bits on each slot.
+  const BigInt slot_max = BigInt(max_count) * BigInt(2 * layout.offset);
+  layout.slot_bits = static_cast<uint32_t>(slot_max.BitLength() + 2);
+  layout.count_bits =
+      static_cast<uint32_t>(BigInt(max_count).BitLength() + 2);
+  if (layout.total_bits() + 2 > plain_modulus_bits) {
+    return Status::InvalidArgument(
+        "gh-pack layout needs " + std::to_string(layout.total_bits()) +
+        " bits (+2 headroom) but the plaintext modulus has only " +
+        std::to_string(plain_modulus_bits) +
+        " — use a larger key or disable gh packing");
+  }
+  return layout;
+}
+
+Status ValidateGhPackLayout(const GhPackLayout& layout,
+                            size_t plain_modulus_bits) {
+  if (layout.base < 2) {
+    return Status::InvalidArgument("gh layout: base must be >= 2");
+  }
+  if (layout.max_count == 0) {
+    return Status::InvalidArgument("gh layout: max_count must be positive");
+  }
+  if (layout.offset == 0 || layout.offset >= (uint64_t{1} << 62)) {
+    return Status::InvalidArgument("gh layout: offset out of range");
+  }
+  if (!std::isfinite(layout.value_bound) || layout.value_bound <= 0) {
+    return Status::InvalidArgument("gh layout: bad value bound");
+  }
+  // An under-sized width would let accumulation overflow into the next slot;
+  // an absurd width is a hostile allocation primitive.
+  const size_t min_slot_bits =
+      (BigInt(layout.max_count) * BigInt(2 * layout.offset)).BitLength();
+  if (layout.slot_bits < min_slot_bits || layout.slot_bits > 1u << 20) {
+    return Status::InvalidArgument("gh layout: slot width inconsistent");
+  }
+  if (layout.count_bits < BigInt(layout.max_count).BitLength() ||
+      layout.count_bits > 1u << 20) {
+    return Status::InvalidArgument("gh layout: count width inconsistent");
+  }
+  if (layout.total_bits() + 2 > plain_modulus_bits) {
+    return Status::InvalidArgument(
+        "gh layout does not fit the plaintext modulus");
+  }
+  return Status::OK();
+}
+
+BigInt EncodeGhPair(const GhPackLayout& layout, double g, double h) {
+  VF2_CHECK(std::fabs(g) <= layout.value_bound &&
+            std::fabs(h) <= layout.value_bound)
+      << "gh pair (" << g << ", " << h << ") exceeds the layout bound "
+      << layout.value_bound;
+  const long double scale =
+      powl(static_cast<long double>(layout.base), layout.exponent);
+  const int64_t g_enc = llroundl(static_cast<long double>(g) * scale);
+  const int64_t h_enc = llroundl(static_cast<long double>(h) * scale);
+  const uint64_t g_slot = layout.offset + static_cast<uint64_t>(g_enc);
+  const uint64_t h_slot = layout.offset + static_cast<uint64_t>(h_enc);
+  return (BigInt(1) << (2 * static_cast<size_t>(layout.slot_bits))) +
+         (BigInt(g_slot) << layout.slot_bits) + BigInt(h_slot);
+}
+
+Result<GhSlots> DecodeGhSlots(const GhPackLayout& layout,
+                              const BigInt& plain) {
+  if (layout.slot_bits == 0 || layout.offset == 0) {
+    return Status::InvalidArgument("gh-pack layout is uninitialized");
+  }
+  if (plain.BitLength() > layout.total_bits()) {
+    return Status::Corruption("gh plaintext exceeds the layout width");
+  }
+  const size_t s = layout.slot_bits;
+  const BigInt hi = plain >> s;  // [count | g]
+  const BigInt h_slot = plain - (hi << s);
+  const BigInt count_big = hi >> s;
+  const BigInt g_slot = hi - (count_big << s);
+  if (count_big > BigInt(layout.max_count)) {
+    return Status::Corruption("gh count slot exceeds the accumulation bound");
+  }
+  GhSlots out;
+  out.count = count_big.ToU64();
+  const double scale =
+      std::pow(static_cast<double>(layout.base), layout.exponent);
+  const BigInt base = BigInt(out.count) * BigInt(layout.offset);
+  const BigInt slot_cap = BigInt(out.count) * BigInt(2 * layout.offset);
+  auto decode = [&](const BigInt& slot, double* value) -> Status {
+    if (slot > slot_cap) {
+      return Status::Corruption("gh value slot outside the offset window");
+    }
+    *value = slot >= base ? (slot - base).ToDouble() / scale
+                          : -((base - slot).ToDouble() / scale);
+    return Status::OK();
+  };
+  Status st = decode(g_slot, &out.g);
+  if (!st.ok()) return st;
+  st = decode(h_slot, &out.h);
+  if (!st.ok()) return st;
+  return out;
 }
 
 }  // namespace vf2boost

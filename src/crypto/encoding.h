@@ -1,10 +1,12 @@
 #ifndef VF2BOOST_CRYPTO_ENCODING_H_
 #define VF2BOOST_CRYPTO_ENCODING_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "bigint/bigint.h"
 #include "common/random.h"
+#include "common/result.h"
 
 namespace vf2boost {
 
@@ -59,6 +61,69 @@ class FixedPointCodec {
   int min_exponent_;
   int num_exponents_;
 };
+
+/// \brief Layout of a gh-packed plaintext: [ count | g | h ] slots, h in the
+/// low bits (SecureBoost+-style cipher-level packing).
+///
+/// Both value slots use a sign-safe offset encoding: a pair (g, h) is stored
+/// as `offset + round(v·B^e)` per slot, which is nonnegative for |v| ≤ bound,
+/// so homomorphic addition of k packed plaintexts never borrows across slot
+/// boundaries. The count slot accumulates to k, letting the decoder subtract
+/// `k · offset` without any side channel carrying per-bin counts. All slots
+/// share one fixed exponent (the codec's minimum) — a requirement of offset
+/// subtraction, and the documented trade against the randomized-exponent
+/// obfuscation of the unpacked path.
+struct GhPackLayout {
+  uint32_t base = 16;       ///< codec base B, for the decode scale B^e.
+  int32_t exponent = 0;     ///< fixed encoding exponent of both value slots.
+  uint32_t slot_bits = 0;   ///< width of each value slot.
+  uint32_t count_bits = 0;  ///< width of the count slot.
+  uint64_t offset = 0;      ///< per-instance additive offset in value slots.
+  uint64_t max_count = 0;   ///< accumulation bound the widths were sized for.
+  double value_bound = 0;   ///< |g|,|h| bound the offset was derived from.
+
+  size_t total_bits() const {
+    return static_cast<size_t>(count_bits) + 2 * slot_bits;
+  }
+};
+
+/// Sizes a gh-pack layout for accumulating up to `max_count` pairs with
+/// |g|,|h| ≤ value_bound, at the codec's minimum exponent. Guard-bit math
+/// (see DESIGN.md §5b): a node at any depth holds at most all `max_count`
+/// rows, each contributing ≤ 2·offset per value slot, so
+///   slot_bits  = bits(max_count · 2·offset) + 2 guard bits,
+///   count_bits = bits(max_count) + 2 guard bits,
+/// and the total must leave 2 bits of headroom under the plaintext modulus.
+/// Returns InvalidArgument when the layout cannot fit — the caught config
+/// error the protocol insists on instead of silent slot overflow.
+Result<GhPackLayout> MakeGhPackLayout(const FixedPointCodec& codec,
+                                      uint64_t max_count, double value_bound,
+                                      size_t plain_modulus_bits);
+
+/// Structural sanity of a (possibly wire-received) layout against the local
+/// key: positive consistent widths, offset in range, and the accumulated
+/// total fitting the plaintext modulus with headroom. MakeGhPackLayout
+/// outputs always pass; a hostile or mismatched descriptor must fail here
+/// before any cipher is accumulated under it.
+Status ValidateGhPackLayout(const GhPackLayout& layout,
+                            size_t plain_modulus_bits);
+
+/// Encodes one instance's (g, h) into a single plaintext with count slot = 1.
+/// Aborts (checked) if |g| or |h| exceeds the layout's value bound.
+BigInt EncodeGhPair(const GhPackLayout& layout, double g, double h);
+
+/// A decoded gh accumulation: how many pairs were summed and the two sums.
+struct GhSlots {
+  uint64_t count = 0;
+  double g = 0;
+  double h = 0;
+};
+
+/// Decodes an accumulated gh plaintext (a homomorphic sum of EncodeGhPair
+/// outputs). Returns Corruption when the plaintext exceeds the layout bounds
+/// (stray high bits, count above max_count, or a value slot outside the
+/// offset window) — never a silently wrong value.
+Result<GhSlots> DecodeGhSlots(const GhPackLayout& layout, const BigInt& plain);
 
 }  // namespace vf2boost
 

@@ -9,18 +9,18 @@ namespace vf2boost {
 
 IncrementalHistogramBuilder::IncrementalHistogramBuilder(
     const BinnedMatrix* x, const FeatureLayout* layout,
-    const CipherBackend* backend, bool reordered)
-    : x_(x), layout_(layout) {
+    const CipherBackend* backend, bool reordered, bool gh)
+    : x_(x), layout_(layout), gh_(gh) {
   const size_t total = layout->total_bins();
   g_acc_.resize(total);
-  h_acc_.resize(total);
+  if (!gh_) h_acc_.resize(total);
   for (size_t i = 0; i < total; ++i) {
     if (reordered) {
       g_acc_[i] = std::make_unique<ReorderedCipherAccumulator>(backend);
-      h_acc_[i] = std::make_unique<ReorderedCipherAccumulator>(backend);
+      if (!gh_) h_acc_[i] = std::make_unique<ReorderedCipherAccumulator>(backend);
     } else {
       g_acc_[i] = std::make_unique<NaiveCipherAccumulator>(backend);
-      h_acc_[i] = std::make_unique<NaiveCipherAccumulator>(backend);
+      if (!gh_) h_acc_[i] = std::make_unique<NaiveCipherAccumulator>(backend);
     }
   }
 }
@@ -44,10 +44,38 @@ void IncrementalHistogramBuilder::AddRange(uint32_t begin, uint32_t end,
   for (uint32_t i = begin; i < end; ++i) AddRow(i, g, h);
 }
 
+void IncrementalHistogramBuilder::AddRowGh(uint32_t row,
+                                           const std::vector<Cipher>& gh) {
+  VF2_CHECK(gh_) << "AddRowGh on a classic-mode builder";
+  const auto cols = x_->RowColumns(row);
+  const auto bins = x_->RowBins(row);
+  for (size_t k = 0; k < cols.size(); ++k) {
+    const size_t flat = layout_->Flat(cols[k], bins[k]);
+    g_acc_[flat]->Add(gh[row]);
+  }
+  ++rows_added_;
+}
+
+void IncrementalHistogramBuilder::AddRangeGh(uint32_t begin, uint32_t end,
+                                             const std::vector<Cipher>& gh) {
+  for (uint32_t i = begin; i < end; ++i) AddRowGh(i, gh);
+}
+
 EncryptedHistogram IncrementalHistogramBuilder::Finalize(
     AccumulatorStats* stats) {
   const size_t total = g_acc_.size();
   EncryptedHistogram out;
+  if (gh_) {
+    out.gh_bins.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+      out.gh_bins.push_back(g_acc_[i]->Finalize());
+      if (stats != nullptr) {
+        stats->hadds += g_acc_[i]->stats().hadds;
+        stats->scalings += g_acc_[i]->stats().scalings;
+      }
+    }
+    return out;
+  }
   out.g_bins.reserve(total);
   out.h_bins.reserve(total);
   for (size_t i = 0; i < total; ++i) {
@@ -108,6 +136,63 @@ EncryptedHistogram BuildEncryptedHistogramParallel(
       out.h_bins[i] =
           backend.HAdd(out.h_bins[i], partial[s].h_bins[i], &merge_scalings);
       merge_hadds += 2;
+    }
+  }
+  if (stats != nullptr) {
+    for (const AccumulatorStats& ps : partial_stats) {
+      stats->hadds += ps.hadds;
+      stats->scalings += ps.scalings;
+    }
+    stats->hadds += merge_hadds;
+    stats->scalings += merge_scalings;
+  }
+  return out;
+}
+
+EncryptedHistogram BuildEncryptedHistogramGh(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& gh,
+    const CipherBackend& backend, bool reordered, AccumulatorStats* stats) {
+  IncrementalHistogramBuilder builder(&x, &layout, &backend, reordered,
+                                      /*gh=*/true);
+  for (uint32_t i : instances) builder.AddRowGh(i, gh);
+  return builder.Finalize(stats);
+}
+
+EncryptedHistogram BuildEncryptedHistogramGhParallel(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& gh,
+    const CipherBackend& backend, bool reordered, AccumulatorStats* stats,
+    ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() < 2 || instances.size() < 64) {
+    return BuildEncryptedHistogramGh(x, layout, instances, gh, backend,
+                                     reordered, stats);
+  }
+  const size_t shards = pool->num_threads();
+  const size_t chunk = (instances.size() + shards - 1) / shards;
+  std::vector<EncryptedHistogram> partial(shards);
+  std::vector<AccumulatorStats> partial_stats(shards);
+  pool->ParallelFor(shards, [&](size_t s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(instances.size(), begin + chunk);
+    if (begin >= end) return;
+    const std::vector<uint32_t> shard(instances.begin() + begin,
+                                      instances.begin() + end);
+    partial[s] = BuildEncryptedHistogramGh(x, layout, shard, gh, backend,
+                                           reordered, &partial_stats[s]);
+  });
+
+  // Merge worker-local gh histograms; all gh ciphers share one exponent so
+  // no scalings arise.
+  EncryptedHistogram out = std::move(partial[0]);
+  size_t merge_scalings = 0;
+  size_t merge_hadds = 0;
+  for (size_t s = 1; s < shards; ++s) {
+    if (partial[s].gh_bins.empty()) continue;
+    for (size_t i = 0; i < out.gh_bins.size(); ++i) {
+      out.gh_bins[i] =
+          backend.HAdd(out.gh_bins[i], partial[s].gh_bins[i], &merge_scalings);
+      ++merge_hadds;
     }
   }
   if (stats != nullptr) {
@@ -268,6 +353,133 @@ Result<Histogram> DecryptPackedHistogram(const PackedHistogram& packed,
       hist.bin(flat).h = h - prev_h;
       prev_g = g;
       prev_h = h;
+    }
+  }
+  return hist;
+}
+
+Result<std::vector<PackedCipher>> PackGhHistogram(
+    const EncryptedHistogram& hist, const FeatureLayout& layout,
+    const GhPackLayout& gh_layout, const CipherBackend& backend,
+    AccumulatorStats* stats, size_t min_slots) {
+  if (hist.gh_bins.size() != layout.total_bins()) {
+    return Status::InvalidArgument("gh histogram size does not match layout");
+  }
+  // A slot is one whole gh plaintext; the layout's accumulation bound is
+  // already sized for a full node, so prefix sums cannot overflow a slot.
+  const size_t slot_bits = gh_layout.total_bits();
+  const size_t capacity =
+      MaxSlotsPerCipher(slot_bits, backend.plain_modulus().BitLength());
+  if (capacity < std::max<size_t>(2, min_slots)) {
+    return Status::InvalidArgument(
+        "key too small for gh packing: slot needs " +
+        std::to_string(slot_bits) + " bits, modulus has " +
+        std::to_string(backend.plain_modulus().BitLength()) + ", capacity " +
+        std::to_string(capacity) + " < " + std::to_string(min_slots));
+  }
+
+  // Per-feature prefix sums. gh slots are offset-encoded nonnegative and the
+  // count slot rides along, so no shift cipher and no scalings (one shared
+  // exponent by construction).
+  std::vector<Cipher> prefix;
+  prefix.reserve(layout.total_bins());
+  for (uint32_t f = 0; f < layout.num_features(); ++f) {
+    Cipher run;
+    for (size_t b = 0; b < layout.NumBins(f); ++b) {
+      const size_t flat = layout.Flat(f, static_cast<uint32_t>(b));
+      if (b == 0) {
+        run = hist.gh_bins[flat];
+      } else {
+        run.data = backend.HAddRaw(run.data, hist.gh_bins[flat].data);
+        if (stats != nullptr) ++stats->hadds;
+      }
+      prefix.push_back(run);
+    }
+  }
+
+  std::vector<PackedCipher> packs;
+  for (size_t begin = 0; begin < prefix.size(); begin += capacity) {
+    const size_t end = std::min(prefix.size(), begin + capacity);
+    std::vector<Cipher> group(prefix.begin() + begin, prefix.begin() + end);
+    auto packed = PackCiphers(group, slot_bits, backend);
+    VF2_RETURN_IF_ERROR(packed.status());
+    packs.push_back(std::move(packed).value());
+  }
+  return packs;
+}
+
+Result<Histogram> DecryptRawGhHistogram(const std::vector<Cipher>& gh_bins,
+                                        const FeatureLayout& layout,
+                                        const GhPackLayout& gh_layout,
+                                        const CipherBackend& backend,
+                                        size_t* decryptions, ThreadPool* pool) {
+  if (gh_bins.size() != layout.total_bins()) {
+    return Status::ProtocolError("gh histogram size does not match layout");
+  }
+  if (!backend.can_decrypt()) {
+    return Status::CryptoError("backend has no private key");
+  }
+  std::vector<BigInt> raw;
+  raw.reserve(gh_bins.size());
+  for (const Cipher& c : gh_bins) raw.push_back(c.data);
+  const std::vector<BigInt> plains = backend.DecryptRawBatch(raw, pool);
+  if (decryptions != nullptr) *decryptions += raw.size();
+
+  Histogram hist(layout.total_bins());
+  for (size_t i = 0; i < plains.size(); ++i) {
+    auto slots = DecodeGhSlots(gh_layout, plains[i]);
+    VF2_RETURN_IF_ERROR(slots.status());
+    hist.bin(i).g = slots.value().g;
+    hist.bin(i).h = slots.value().h;
+  }
+  return hist;
+}
+
+Result<Histogram> DecryptPackedGhHistogram(
+    const std::vector<PackedCipher>& gh_packs, const FeatureLayout& layout,
+    const GhPackLayout& gh_layout, const CipherBackend& backend,
+    size_t* decryptions, ThreadPool* pool) {
+  if (!backend.can_decrypt()) {
+    return Status::CryptoError("backend has no private key");
+  }
+  const size_t slot_bits = gh_layout.total_bits();
+  std::vector<BigInt> raw;
+  raw.reserve(gh_packs.size());
+  for (const PackedCipher& pc : gh_packs) {
+    if (pc.slot_bits != slot_bits) {
+      return Status::ProtocolError("gh pack slot width does not match layout");
+    }
+    raw.push_back(pc.data);
+  }
+  const std::vector<BigInt> plains = backend.DecryptRawBatch(raw, pool);
+  if (decryptions != nullptr) *decryptions += raw.size();
+
+  // Each unpacked slot is one accumulated gh prefix; decode then prefix-diff.
+  std::vector<GhSlots> prefix;
+  prefix.reserve(layout.total_bins());
+  for (size_t p = 0; p < gh_packs.size(); ++p) {
+    const std::vector<BigInt> slots =
+        UnpackPlaintext(plains[p], gh_packs[p].slot_bits,
+                        gh_packs[p].num_slots);
+    for (const BigInt& s : slots) {
+      auto decoded = DecodeGhSlots(gh_layout, s);
+      VF2_RETURN_IF_ERROR(decoded.status());
+      prefix.push_back(decoded.value());
+    }
+  }
+  if (prefix.size() < layout.total_bins()) {
+    return Status::ProtocolError("packed gh histogram too small for layout");
+  }
+
+  Histogram hist(layout.total_bins());
+  for (uint32_t f = 0; f < layout.num_features(); ++f) {
+    double prev_g = 0, prev_h = 0;
+    for (size_t b = 0; b < layout.NumBins(f); ++b) {
+      const size_t flat = layout.Flat(f, static_cast<uint32_t>(b));
+      hist.bin(flat).g = prefix[flat].g - prev_g;
+      hist.bin(flat).h = prefix[flat].h - prev_h;
+      prev_g = prefix[flat].g;
+      prev_h = prefix[flat].h;
     }
   }
   return hist;

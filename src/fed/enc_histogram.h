@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "crypto/accumulator.h"
 #include "crypto/backend.h"
+#include "crypto/encoding.h"
 #include "crypto/packing.h"
 #include "data/binning.h"
 #include "common/threadpool.h"
@@ -14,10 +15,13 @@
 namespace vf2boost {
 
 /// \brief Party A's core data structure: one gradient/hessian cipher per
-/// (feature, bin), flattened by A's FeatureLayout.
+/// (feature, bin), flattened by A's FeatureLayout. In gh-packed mode the
+/// per-bin accumulation lives in `gh_bins` (one [count|g|h] cipher per bin)
+/// and `g_bins`/`h_bins` stay empty.
 struct EncryptedHistogram {
   std::vector<Cipher> g_bins;
   std::vector<Cipher> h_bins;
+  std::vector<Cipher> gh_bins;
 };
 
 /// Builds the encrypted histogram of one tree node by scanning the node's
@@ -38,9 +42,12 @@ EncryptedHistogram BuildEncryptedHistogram(
 /// histogram and identical HAdd/scaling counts.
 class IncrementalHistogramBuilder {
  public:
+  /// `gh` switches the builder into gh-packed mode: one accumulator per bin
+  /// (fed by AddRowGh/AddRangeGh) instead of the g/h pair.
   IncrementalHistogramBuilder(const BinnedMatrix* x,
                               const FeatureLayout* layout,
-                              const CipherBackend* backend, bool reordered);
+                              const CipherBackend* backend, bool reordered,
+                              bool gh = false);
 
   /// Accumulates one instance; g/h are indexed by global row id.
   void AddRow(uint32_t row, const std::vector<Cipher>& g,
@@ -49,7 +56,13 @@ class IncrementalHistogramBuilder {
   void AddRange(uint32_t begin, uint32_t end, const std::vector<Cipher>& g,
                 const std::vector<Cipher>& h);
 
+  /// gh-mode equivalents: one [count|g|h] cipher per instance.
+  void AddRowGh(uint32_t row, const std::vector<Cipher>& gh);
+  void AddRangeGh(uint32_t begin, uint32_t end,
+                  const std::vector<Cipher>& gh);
+
   size_t rows_added() const { return rows_added_; }
+  bool gh() const { return gh_; }
 
   /// Finalizes every bin accumulator. The builder is spent afterwards.
   EncryptedHistogram Finalize(AccumulatorStats* stats);
@@ -57,8 +70,10 @@ class IncrementalHistogramBuilder {
  private:
   const BinnedMatrix* x_;
   const FeatureLayout* layout_;
-  std::vector<std::unique_ptr<CipherAccumulator>> g_acc_;
-  std::vector<std::unique_ptr<CipherAccumulator>> h_acc_;
+  bool gh_ = false;
+  std::vector<std::unique_ptr<CipherAccumulator>> g_acc_;  // gh mode: the
+                                                           // gh accumulators
+  std::vector<std::unique_ptr<CipherAccumulator>> h_acc_;  // classic only
   size_t rows_added_ = 0;
 };
 
@@ -71,6 +86,20 @@ EncryptedHistogram BuildEncryptedHistogramParallel(
     const std::vector<uint32_t>& instances, const std::vector<Cipher>& g,
     const std::vector<Cipher>& h, const CipherBackend& backend, bool reordered,
     AccumulatorStats* stats, ThreadPool* pool);
+
+/// gh-mode builds: `gh` holds one [count|g|h] cipher per instance; the
+/// result's gh_bins carries one accumulated cipher per (feature, bin) —
+/// half the HAdds of the classic build.
+EncryptedHistogram BuildEncryptedHistogramGh(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& gh,
+    const CipherBackend& backend, bool reordered, AccumulatorStats* stats);
+
+EncryptedHistogram BuildEncryptedHistogramGhParallel(
+    const BinnedMatrix& x, const FeatureLayout& layout,
+    const std::vector<uint32_t>& instances, const std::vector<Cipher>& gh,
+    const CipherBackend& backend, bool reordered, AccumulatorStats* stats,
+    ThreadPool* pool);
 
 /// Packed form of a node histogram: per-feature *prefix sums*, shifted
 /// nonnegative, packed t-per-cipher (§5.2, Fig. 9). Prefix sums are packed —
@@ -116,6 +145,34 @@ Result<Histogram> DecryptPackedHistogram(const PackedHistogram& packed,
                                          const CipherBackend& backend,
                                          size_t* decryptions,
                                          ThreadPool* pool = nullptr);
+
+/// §5.2 packing composed on top of cipher-level gh packing: per-feature
+/// *prefix sums* of the per-bin gh ciphers, then several bins per cipher at
+/// slot width gh_layout.total_bits(). gh slots are offset-encoded
+/// nonnegative and slot-additive, so — unlike PackHistogram — no shift
+/// cipher is needed. Fails with InvalidArgument when fewer than
+/// max(2, min_slots) bins of that width fit one cipher; callers fall back
+/// to the raw gh form.
+Result<std::vector<PackedCipher>> PackGhHistogram(
+    const EncryptedHistogram& hist, const FeatureLayout& layout,
+    const GhPackLayout& gh_layout, const CipherBackend& backend,
+    AccumulatorStats* stats, size_t min_slots = 2);
+
+/// B side: decrypts a raw gh histogram (one [count|g|h] cipher per bin) —
+/// half the decryptions of DecryptRawHistogram.
+Result<Histogram> DecryptRawGhHistogram(const std::vector<Cipher>& gh_bins,
+                                        const FeatureLayout& layout,
+                                        const GhPackLayout& gh_layout,
+                                        const CipherBackend& backend,
+                                        size_t* decryptions,
+                                        ThreadPool* pool = nullptr);
+
+/// B side: decrypts a §5.2-packed gh histogram (per-feature prefix sums of
+/// gh bins) and reconstructs per-bin GradPairs by prefix differencing.
+Result<Histogram> DecryptPackedGhHistogram(
+    const std::vector<PackedCipher>& gh_packs, const FeatureLayout& layout,
+    const GhPackLayout& gh_layout, const CipherBackend& backend,
+    size_t* decryptions, ThreadPool* pool = nullptr);
 
 }  // namespace vf2boost
 

@@ -33,6 +33,10 @@ PartyMetrics PartyMetrics::Create(obs::MetricsRegistry* registry,
   m.reconnects = registry->GetCounter(prefix + "/session/reconnects");
   m.trees_resumed = registry->GetCounter(prefix + "/session/trees_resumed");
   m.features = registry->GetGauge(prefix + "/features", "features");
+  m.ciphers_sent = registry->GetCounter(prefix + "/ciphers_sent");
+  m.gh_pack_ratio =
+      registry->GetGauge(prefix + "/gh_pack_ratio", "values/cipher");
+  m.trees_finished = registry->GetCounter(prefix + "/trees_finished");
   m.phase_encrypt = registry->GetHistogram(prefix + "/phase/encrypt");
   m.phase_build_hist = registry->GetHistogram(prefix + "/phase/build_hist");
   m.phase_pack = registry->GetHistogram(prefix + "/phase/pack");

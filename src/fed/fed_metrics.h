@@ -49,6 +49,17 @@ struct PartyMetrics {
   /// Setup). Lets a report compute the paper's D_A/(D_A+D_B) dirty-node
   /// prediction from a metrics dump alone.
   obs::Gauge* features = nullptr;
+  /// Ciphertexts this party put on the wire (gradient stream + histogram
+  /// responses). With gh packing one cipher carries a whole (g, h) pair, so
+  /// this diverges from `encryptions` exactly when packing pays off.
+  obs::Counter* ciphers_sent = nullptr;
+  /// Plaintext values per wire cipher over the last gradient stream
+  /// (2.0 when gh-packed, 1.0 classic) — the pack ratio a report attributes
+  /// decrypt-wall savings to.
+  obs::Gauge* gh_pack_ratio = nullptr;
+  /// Trees fully trained by this engine (B side; registry-only). Divides
+  /// `ciphers_sent` into the per-tree cipher traffic a report shows.
+  obs::Counter* trees_finished = nullptr;
 
   /// The engine's live training position (tree/layer/phase/state) for the
   /// ops endpoints; borrowed from the owning engine, null when the engine

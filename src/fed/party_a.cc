@@ -170,6 +170,7 @@ Status PartyAEngine::Recover(const Status& cause) {
   inbox_.Clear();
   g_ciphers_.clear();
   h_ciphers_.clear();
+  gh_ciphers_.clear();
   root_builder_.reset();
   node_instances_.clear();
   hist_epoch_.clear();
@@ -228,8 +229,9 @@ Status PartyAEngine::MaybeWriteCheckpoint() {
 Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
   VF2_TRACE_SPAN("phase", "recv_gradients");
   const size_t n = data_.rows();
-  g_ciphers_.assign(n, Cipher{});
-  h_ciphers_.assign(n, Cipher{});
+  g_ciphers_.clear();
+  h_ciphers_.clear();
+  gh_ciphers_.clear();
   // Blaster streaming: accumulate each batch into the root histogram as soon
   // as it lands, so the root build overlaps B's encryption of later batches
   // (Fig. 4) instead of serializing behind the full gradient transfer. The
@@ -240,43 +242,80 @@ Status PartyAEngine::ReceiveGradients(Message first, uint32_t* tree_id) {
                            config_.gbdt.num_layers >= 2;
   root_builder_.reset();
   root_build_seconds_ = 0;
-  if (stream_root) {
-    root_builder_ = std::make_unique<IncrementalHistogramBuilder>(
-        &binned_, &layout_, backend_.get(), config_.reordered);
-  }
   size_t received = 0;
+  bool first_batch = true;
   Message msg = std::move(first);
   for (;;) {
     GradBatchPayload batch;
     VF2_RETURN_IF_ERROR(DecodeGradBatch(msg, *backend_, &batch));
     *tree_id = batch.tree;
-    if (batch.start + batch.g.size() > n) {
+    if (first_batch) {
+      // The stream's first batch decides the tree's mode (gh-packed vs
+      // classic) and carries the slot layout; stores and the streamed root
+      // builder are shaped accordingly before any row lands.
+      first_batch = false;
+      gh_mode_ = batch.gh;
+      if (gh_mode_) {
+        gh_layout_ = batch.gh_layout;
+        gh_ciphers_.assign(n, Cipher{});
+      } else {
+        g_ciphers_.assign(n, Cipher{});
+        h_ciphers_.assign(n, Cipher{});
+      }
+      m_.gh_pack_ratio->Set(gh_mode_ ? 2.0 : 1.0);
+      if (stream_root) {
+        root_builder_ = std::make_unique<IncrementalHistogramBuilder>(
+            &binned_, &layout_, backend_.get(), config_.reordered, gh_mode_);
+      }
+    } else if (batch.gh != gh_mode_) {
+      return Status::ProtocolError("mixed gh/classic gradient stream");
+    } else if (gh_mode_ &&
+               (batch.gh_layout.slot_bits != gh_layout_.slot_bits ||
+                batch.gh_layout.count_bits != gh_layout_.count_bits ||
+                batch.gh_layout.offset != gh_layout_.offset ||
+                batch.gh_layout.exponent != gh_layout_.exponent)) {
+      return Status::ProtocolError("gh layout changed mid-stream");
+    }
+    const size_t count = gh_mode_ ? batch.gh_ciphers.size() : batch.g.size();
+    if (batch.start + count > n) {
       return Status::ProtocolError("grad batch out of range");
     }
-    for (size_t k = 0; k < batch.g.size(); ++k) {
-      g_ciphers_[batch.start + k] = std::move(batch.g[k]);
-      h_ciphers_[batch.start + k] = std::move(batch.h[k]);
+    if (gh_mode_) {
+      for (size_t k = 0; k < count; ++k) {
+        gh_ciphers_[batch.start + k] = std::move(batch.gh_ciphers[k]);
+      }
+    } else {
+      for (size_t k = 0; k < count; ++k) {
+        g_ciphers_[batch.start + k] = std::move(batch.g[k]);
+        h_ciphers_[batch.start + k] = std::move(batch.h[k]);
+      }
     }
     // Streamed accumulation only grows contiguously from row 0: B sends
     // batches in order, but a duplicated/reordered delivery falls back to the
     // ordinary root build rather than double-counting rows.
-    if (root_builder_ != nullptr &&
+    if (root_builder_ != nullptr && count > 0 &&
         batch.start == root_builder_->rows_added()) {
       Stopwatch build_timer;
       obs::TraceSpan span("phase", "build_hist");
       if (span.active()) {
         span.AddArg("node", static_cast<int64_t>(0));
-        span.AddArg("streamed", static_cast<int64_t>(batch.g.size()));
+        span.AddArg("streamed", static_cast<int64_t>(count));
       }
-      root_builder_->AddRange(
-          static_cast<uint32_t>(batch.start),
-          static_cast<uint32_t>(batch.start + batch.g.size()), g_ciphers_,
-          h_ciphers_);
+      if (gh_mode_) {
+        root_builder_->AddRangeGh(
+            static_cast<uint32_t>(batch.start),
+            static_cast<uint32_t>(batch.start + count), gh_ciphers_);
+      } else {
+        root_builder_->AddRange(
+            static_cast<uint32_t>(batch.start),
+            static_cast<uint32_t>(batch.start + count), g_ciphers_,
+            h_ciphers_);
+      }
       root_build_seconds_ += build_timer.ElapsedSeconds();
     } else {
       root_builder_.reset();
     }
-    received += batch.g.size();
+    received += count;
     if (received >= n) break;
     PhaseClock wait(m_.phase_comm_wait, "comm_wait", m_.live);
     VF2_ASSIGN_OR_RETURN(msg, inbox_.ReceiveType(MessageType::kGradBatch));
@@ -312,6 +351,10 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
     }
     if (use_streamed) {
       hist = root_builder_->Finalize(&acc_stats);
+    } else if (gh_mode_) {
+      hist = BuildEncryptedHistogramGhParallel(
+          binned_, layout_, it->second, gh_ciphers_, *backend_,
+          config_.reordered, &acc_stats, pool_.get());
     } else {
       hist = BuildEncryptedHistogramParallel(
           binned_, layout_, it->second, g_ciphers_, h_ciphers_, *backend_,
@@ -334,7 +377,29 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
   payload.node = node;
   payload.epoch = hist_epoch_[node];
 
-  if (config_.packing) {
+  if (gh_mode_) {
+    payload.gh = true;
+    bool packed_ok = false;
+    if (config_.packing) {
+      PhaseClock pack_clock(m_.phase_pack, "pack", m_.live);
+      AccumulatorStats pack_stats;
+      auto packed = PackGhHistogram(hist, layout_, gh_layout_, *backend_,
+                                    &pack_stats, config_.min_pack_slots);
+      if (packed.ok()) {
+        packed_ok = true;
+        payload.packed = true;
+        payload.gh_packs = std::move(packed).value();
+        m_.packs->Add(payload.gh_packs.size());
+        m_.hadds->Add(pack_stats.hadds);
+        m_.scalings->Add(pack_stats.scalings);
+      }
+    }
+    if (!packed_ok) {
+      // No packing, or key too small for the gh-wide slot: raw gh bins.
+      payload.packed = false;
+      payload.gh_bins = std::move(hist.gh_bins);
+    }
+  } else if (config_.packing) {
     PhaseClock pack_clock(m_.phase_pack, "pack", m_.live);
     AccumulatorStats pack_stats;
     auto loss = MakeLoss(config_.gbdt.objective);
@@ -361,6 +426,9 @@ Status PartyAEngine::BuildAndSendHist(uint32_t tree, uint32_t layer,
     payload.g_bins = std::move(hist.g_bins);
     payload.h_bins = std::move(hist.h_bins);
   }
+  m_.ciphers_sent->Add(payload.g_bins.size() + payload.h_bins.size() +
+                       payload.gh_bins.size() + payload.g_packs.size() +
+                       payload.h_packs.size() + payload.gh_packs.size());
   inbox_.Send(EncodeNodeHistogram(payload, *backend_));
   return Status::OK();
 }

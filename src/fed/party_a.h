@@ -85,6 +85,11 @@ class PartyAEngine {
   // Per-tree state.
   std::vector<Cipher> g_ciphers_;
   std::vector<Cipher> h_ciphers_;
+  /// gh-packed stream: one [count|g|h] cipher per instance; the mode and
+  /// layout are announced by the stream's first batch and fixed per tree.
+  std::vector<Cipher> gh_ciphers_;
+  bool gh_mode_ = false;
+  GhPackLayout gh_layout_;
   /// Root-node histogram accumulated batch-by-batch during blaster gradient
   /// streaming (overlaps with B's encryption); consumed by the layer-0 build.
   std::unique_ptr<IncrementalHistogramBuilder> root_builder_;

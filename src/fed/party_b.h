@@ -100,6 +100,9 @@ class PartyBEngine {
   BinnedMatrix binned_;
   FeatureLayout layout_;
   std::vector<FeatureLayout> a_layouts_;
+  /// Slot layout of the gh-packed gradient stream (config_.gh_pack only),
+  /// sized at Setup against the key and the loss bounds — fail-fast.
+  GhPackLayout gh_layout_;
   /// The kPublicKey message from Setup, kept for replay: a restarted A
   /// process (hello with needs_setup) missed the original setup phase.
   Message setup_key_msg_;

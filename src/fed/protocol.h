@@ -42,6 +42,17 @@ struct FedConfig {
   bool optimistic = false;
   /// §5.2 polynomial-based histogram packing.
   bool packing = false;
+  /// Cipher-level gh packing: Party B encodes each instance's (g, h) pair
+  /// into ONE plaintext ([count|g|h] slots, see crypto/encoding.h) and
+  /// encrypts once, halving the gradient-stream encryptions and transfers;
+  /// Party A accumulates one cipher per instance per bin and B decrypts one
+  /// plaintext per bin. Composes with `packing`: gh prefix sums are packed
+  /// K-per-cipher with slot width = the gh layout's total width. The layout
+  /// is sized at Setup from the row count and the loss's gradient/hessian
+  /// bounds and fails fast (InvalidArgument) when it cannot fit the key.
+  /// Trades away the randomized-exponent obfuscation of the unpacked stream
+  /// (all gh slots share the codec's minimum exponent).
+  bool gh_pack = false;
   /// Packing is skipped (raw histograms sent) when fewer than this many
   /// slots fit one cipher — packing a slot costs ~M squarings, so small keys
   /// can make it a net loss. The paper's S=2048/M=64 yields 31 slots.
@@ -126,13 +137,15 @@ struct FedConfig {
 
   /// Baseline protocol, every optimization off (the paper's VF-GBDT).
   static FedConfig VfGbdt() { return FedConfig{}; }
-  /// All four optimizations on (the paper's VF²Boost).
+  /// All four optimizations on (the paper's VF²Boost), plus cipher-level
+  /// gh packing of the gradient stream.
   static FedConfig Vf2Boost() {
     FedConfig c;
     c.blaster = true;
     c.reordered = true;
     c.optimistic = true;
     c.packing = true;
+    c.gh_pack = true;
     return c;
   }
   /// VF-MOCK: VF-GBDT flow with plaintext arithmetic.
@@ -224,6 +237,13 @@ struct GradBatchPayload {
   uint64_t start = 0;  ///< first instance index of the batch
   std::vector<Cipher> g;
   std::vector<Cipher> h;
+  /// gh-packed form: one cipher per instance carrying the [count|g|h]
+  /// plaintext of EncodeGhPair, plus the layout descriptor the receiver
+  /// needs to accumulate and pack within the sized slot bounds. When set,
+  /// `g`/`h` are empty and `gh_ciphers` holds the batch.
+  bool gh = false;
+  GhPackLayout gh_layout;
+  std::vector<Cipher> gh_ciphers;
 };
 Message EncodeGradBatch(const GradBatchPayload& p, const CipherBackend& b);
 Status DecodeGradBatch(const Message& m, const CipherBackend& b,
@@ -234,7 +254,10 @@ struct NodeHistogramPayload {
   uint32_t layer = 0;
   int32_t node = 0;
   uint32_t epoch = 0;
+  /// Wire format: (gh, packed) = (0,0) raw g/h bins, (0,1) §5.2-packed g/h
+  /// prefix sums, (1,0) raw gh bins, (1,1) §5.2-packed gh prefix sums.
   bool packed = false;
+  bool gh = false;
   // Raw form: one cipher per (feature, bin), flattened by the sender's
   // layout.
   std::vector<Cipher> g_bins;
@@ -244,6 +267,11 @@ struct NodeHistogramPayload {
   double shift_h = 0;
   std::vector<PackedCipher> g_packs;
   std::vector<PackedCipher> h_packs;
+  // gh forms: one gh cipher per bin (raw), or per-feature gh prefix sums
+  // packed K-per-cipher at slot width = the gh layout's total width. No
+  // shift ciphers: gh slots are offset-encoded nonnegative by construction.
+  std::vector<Cipher> gh_bins;
+  std::vector<PackedCipher> gh_packs;
 };
 Message EncodeNodeHistogram(const NodeHistogramPayload& p,
                             const CipherBackend& b);

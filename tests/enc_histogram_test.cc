@@ -141,6 +141,72 @@ TEST_P(EncHistogramTest, SubsetOfInstances) {
   }
 }
 
+TEST_P(EncHistogramTest, GhModeMatchesClassicAndPlaintext) {
+  // gh mode: one [count|g|h] cipher per instance, one accumulator per bin.
+  auto gh_layout = MakeGhPackLayout(codec_, data_.rows(), /*value_bound=*/1.0,
+                                    backend_->plain_modulus().BitLength());
+  ASSERT_TRUE(gh_layout.ok()) << gh_layout.status().ToString();
+
+  Rng enc_rng(60);
+  std::vector<Cipher> gh_ciphers;
+  for (const GradPair& gp : grads_) {
+    Cipher c;
+    c.exponent = gh_layout->exponent;
+    c.data = backend_->EncryptRaw(EncodeGhPair(*gh_layout, gp.g, gp.h),
+                                  &enc_rng);
+    gh_ciphers.push_back(std::move(c));
+  }
+
+  AccumulatorStats gh_stats, classic_stats;
+  EncryptedHistogram enc = BuildEncryptedHistogramGh(
+      binned_, layout_, instances_, gh_ciphers, *backend_, /*reordered=*/true,
+      &gh_stats);
+  BuildEncryptedHistogram(binned_, layout_, instances_, g_ciphers_, h_ciphers_,
+                          *backend_, true, &classic_stats);
+  // The tentpole accounting claim: half the homomorphic additions.
+  EXPECT_EQ(2 * gh_stats.hadds, classic_stats.hadds);
+
+  size_t raw_decryptions = 0;
+  auto hist = DecryptRawGhHistogram(enc.gh_bins, layout_, *gh_layout,
+                                    *backend_, &raw_decryptions);
+  ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+  EXPECT_EQ(raw_decryptions, layout_.total_bins());
+  Histogram ref = PlainReference();
+  for (size_t i = 0; i < layout_.total_bins(); ++i) {
+    EXPECT_NEAR(hist->bin(i).g, ref.bin(i).g, 1e-4) << "bin " << i;
+    EXPECT_NEAR(hist->bin(i).h, ref.bin(i).h, 1e-4) << "bin " << i;
+  }
+
+  // Parallel build must accumulate to the same decrypted histogram.
+  ThreadPool pool(3);
+  EncryptedHistogram par = BuildEncryptedHistogramGhParallel(
+      binned_, layout_, instances_, gh_ciphers, *backend_, true, nullptr,
+      &pool);
+  auto par_hist = DecryptRawGhHistogram(par.gh_bins, layout_, *gh_layout,
+                                        *backend_, nullptr);
+  ASSERT_TRUE(par_hist.ok());
+  for (size_t i = 0; i < layout_.total_bins(); ++i) {
+    EXPECT_NEAR(par_hist->bin(i).g, hist->bin(i).g, 1e-9) << "bin " << i;
+    EXPECT_NEAR(par_hist->bin(i).h, hist->bin(i).h, 1e-9) << "bin " << i;
+  }
+
+  // §5.2 composition: packed prefix sums round-trip to the same bins with
+  // fewer decryptions than the raw gh form.
+  AccumulatorStats pack_stats;
+  auto packed =
+      PackGhHistogram(enc, layout_, *gh_layout, *backend_, &pack_stats);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  size_t packed_decryptions = 0;
+  auto packed_hist = DecryptPackedGhHistogram(
+      packed.value(), layout_, *gh_layout, *backend_, &packed_decryptions);
+  ASSERT_TRUE(packed_hist.ok()) << packed_hist.status().ToString();
+  EXPECT_LT(packed_decryptions, raw_decryptions);
+  for (size_t i = 0; i < layout_.total_bins(); ++i) {
+    EXPECT_NEAR(packed_hist->bin(i).g, hist->bin(i).g, 1e-3) << "bin " << i;
+    EXPECT_NEAR(packed_hist->bin(i).h, hist->bin(i).h, 1e-3) << "bin " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(MockAndPaillier, EncHistogramTest,
                          ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {

@@ -4,6 +4,7 @@
 
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "gbdt/model_io.h"
 #include "gbdt/trainer.h"
 #include "metrics/metrics.h"
 
@@ -220,6 +221,63 @@ TEST(FedTrainerTest, FullVf2BoostStackLearns) {
   EXPECT_GT(Auc(joint->PredictRaw(f.valid.features), f.valid.labels), 0.70);
   EXPECT_GT(result->stats.packs, 0u);
   EXPECT_GT(result->stats.optimistic_splits, 0u);
+}
+
+TEST(FedTrainerTest, GhPackedModelIsByteIdenticalToUnpacked) {
+  // With a single codec exponent both streams decode bit-exactly, so the
+  // gh-packed gradient path must reproduce the unpacked model byte for byte.
+  Fixture f = MakeFixture(800, 12, 0.5, {0.5, 0.5}, 41);
+  FedConfig base = FedConfig::Vf2Boost();
+  base.mock_crypto = true;
+  base.gbdt.num_trees = 4;
+  base.gbdt.num_layers = 4;
+  base.gbdt.max_bins = 8;
+  base.codec_num_exponents = 1;
+
+  FedConfig unpacked = base;
+  unpacked.gh_pack = false;
+
+  auto r_gh = FedTrainer(base).Train(f.shards);
+  ASSERT_TRUE(r_gh.ok()) << r_gh.status().ToString();
+  auto r_classic = FedTrainer(unpacked).Train(f.shards);
+  ASSERT_TRUE(r_classic.ok()) << r_classic.status().ToString();
+
+  auto j_gh = r_gh->ToJointModel(f.spec);
+  auto j_classic = r_classic->ToJointModel(f.spec);
+  ASSERT_TRUE(j_gh.ok());
+  ASSERT_TRUE(j_classic.ok());
+  EXPECT_EQ(ModelToString(*j_gh), ModelToString(*j_classic));
+
+  // And the point of the exercise: gh packing halves the gradient-stream
+  // encryptions (plus shared per-node constants on each side).
+  EXPECT_LT(r_gh->stats.encryptions, r_classic->stats.encryptions);
+  EXPECT_LT(r_gh->stats.bytes_b_to_a, r_classic->stats.bytes_b_to_a);
+}
+
+TEST(FedTrainerTest, RealPaillierGhPackedMatchesMock) {
+  // The gh cipher path under real 256-bit Paillier: encode-once pairs,
+  // gh histograms, gh decrypt — decisions must match the mock run.
+  Fixture f = MakeFixture(200, 8, 0.6, {0.5, 0.5}, 43);
+  FedConfig config = FedConfig::Vf2Boost();
+  config.paillier_bits = 256;
+  config.gbdt.num_trees = 2;
+  config.gbdt.num_layers = 3;
+  config.gbdt.max_bins = 6;
+  config.codec_num_exponents = 1;
+  ASSERT_TRUE(config.gh_pack);
+
+  auto real = FedTrainer(config).Train(f.shards);
+  ASSERT_TRUE(real.ok()) << real.status().ToString();
+  FedConfig mock = config;
+  mock.mock_crypto = true;
+  auto mocked = FedTrainer(mock).Train(f.shards);
+  ASSERT_TRUE(mocked.ok()) << mocked.status().ToString();
+
+  auto j_real = real->ToJointModel(f.spec);
+  auto j_mock = mocked->ToJointModel(f.spec);
+  ASSERT_TRUE(j_real.ok());
+  ASSERT_TRUE(j_mock.ok());
+  EXPECT_EQ(ModelToString(*j_real), ModelToString(*j_mock));
 }
 
 TEST(FedTrainerTest, RealPaillierEndToEnd) {

@@ -314,6 +314,106 @@ TEST_F(PayloadRoundTripTest, MetricsDeltaRejectsGarbage) {
   EXPECT_FALSE(DecodeMetricsDelta(msg, &out).ok());
 }
 
+TEST_F(PayloadRoundTripTest, GradBatchGhPacked) {
+  FixedPointCodec codec(16, 8, 1);
+  auto layout = MakeGhPackLayout(codec, /*max_count=*/1000, /*value_bound=*/1.0,
+                                 backend_.plain_modulus().BitLength());
+  ASSERT_TRUE(layout.ok());
+  GradBatchPayload payload;
+  payload.tree = 3;
+  payload.start = 128;
+  payload.gh = true;
+  payload.gh_layout = layout.value();
+  for (int i = 0; i < 10; ++i) {
+    Cipher c;
+    c.exponent = layout->exponent;
+    c.data = backend_.EncryptRaw(
+        EncodeGhPair(*layout, 0.1 * i - 0.5, 0.02 * i), &rng_);
+    payload.gh_ciphers.push_back(c);
+  }
+  Message msg = EncodeGradBatch(payload, backend_);
+
+  GradBatchPayload out;
+  ASSERT_TRUE(DecodeGradBatch(msg, backend_, &out).ok());
+  EXPECT_TRUE(out.gh);
+  EXPECT_EQ(out.gh_layout.slot_bits, layout->slot_bits);
+  EXPECT_EQ(out.gh_layout.count_bits, layout->count_bits);
+  EXPECT_EQ(out.gh_layout.offset, layout->offset);
+  EXPECT_EQ(out.gh_layout.exponent, layout->exponent);
+  ASSERT_EQ(out.gh_ciphers.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out.gh_ciphers[i].data, payload.gh_ciphers[i].data);
+  }
+  // A hostile layout descriptor (slot width inconsistent with its own
+  // bounds) must be rejected at decode, before any accumulation happens.
+  GradBatchPayload evil = payload;
+  evil.gh_layout.slot_bits = 4;
+  GradBatchPayload evil_out;
+  EXPECT_FALSE(
+      DecodeGradBatch(EncodeGradBatch(evil, backend_), backend_, &evil_out)
+          .ok());
+}
+
+TEST_F(PayloadRoundTripTest, NodeHistogramGhRawAndPacked) {
+  NodeHistogramPayload raw;
+  raw.tree = 2;
+  raw.layer = 1;
+  raw.node = 5;
+  raw.epoch = 0;
+  raw.gh = true;
+  raw.packed = false;
+  for (int i = 0; i < 4; ++i) {
+    Cipher c;
+    c.exponent = 8;
+    c.data = BigInt(static_cast<uint64_t>(1000 + i));
+    raw.gh_bins.push_back(c);
+  }
+  NodeHistogramPayload raw_out;
+  ASSERT_TRUE(
+      DecodeNodeHistogram(EncodeNodeHistogram(raw, backend_), backend_,
+                          &raw_out)
+          .ok());
+  EXPECT_TRUE(raw_out.gh);
+  EXPECT_FALSE(raw_out.packed);
+  ASSERT_EQ(raw_out.gh_bins.size(), 4u);
+  EXPECT_EQ(raw_out.gh_bins[2].data, raw.gh_bins[2].data);
+  EXPECT_TRUE(raw_out.g_bins.empty());
+
+  NodeHistogramPayload packed;
+  packed.tree = 2;
+  packed.layer = 1;
+  packed.node = 5;
+  packed.epoch = 1;
+  packed.gh = true;
+  packed.packed = true;
+  PackedCipher pc;
+  pc.data = BigInt(static_cast<uint64_t>(77777));
+  pc.exponent = 8;
+  pc.slot_bits = 96;
+  pc.num_slots = 3;
+  packed.gh_packs.push_back(pc);
+  NodeHistogramPayload packed_out;
+  ASSERT_TRUE(
+      DecodeNodeHistogram(EncodeNodeHistogram(packed, backend_), backend_,
+                          &packed_out)
+          .ok());
+  EXPECT_TRUE(packed_out.gh);
+  EXPECT_TRUE(packed_out.packed);
+  ASSERT_EQ(packed_out.gh_packs.size(), 1u);
+  EXPECT_EQ(packed_out.gh_packs[0].num_slots, 3u);
+  EXPECT_EQ(packed_out.gh_packs[0].slot_bits, 96u);
+}
+
+TEST(FedConfigTest, FingerprintCoversGhPack) {
+  // gh packing fixes the encoding exponent, so a resumed run that silently
+  // flipped the knob would train a different model: the fingerprint must
+  // move with it.
+  FedConfig base = FedConfig::Vf2Boost();
+  FedConfig off = base;
+  off.gh_pack = false;
+  EXPECT_NE(base.Fingerprint(), off.Fingerprint());
+}
+
 TEST(FedConfigTest, FingerprintIgnoresObservabilityKnobs) {
   FedConfig base = FedConfig::Vf2Boost();
   const uint64_t fp = base.Fingerprint();

@@ -45,6 +45,11 @@ int main(int argc, char** argv) {
        {"parties", "total parties incl. B (default 2)"},
        {"b-fraction", "fraction of columns Party B owns (default 0.5)"},
        {"protocol", "vf2boost|vfgbdt|mock (default vf2boost)"},
+       {"no-gh-pack", "disable gh-packed gradient ciphers (vf2boost packs "
+                      "each instance's (g,h) pair into one ciphertext)"},
+       {"codec-min-exp", "lowest fixed-point exponent (default 8)"},
+       {"codec-num-exp", "size of the random exponent range E (default 4; "
+                         "1 = deterministic encoding, exact decode)"},
        {"key-bits", "Paillier modulus bits (default 512)"},
        {"trees", "number of trees (default 10)"},
        {"layers", "tree layers L (default 7)"},
@@ -102,6 +107,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown protocol %s\n", protocol.c_str());
     return 1;
   }
+  if (flags.GetBool("no-gh-pack")) config.gh_pack = false;
+  config.codec_min_exponent =
+      flags.GetInt("codec-min-exp", config.codec_min_exponent);
+  config.codec_num_exponents =
+      flags.GetInt("codec-num-exp", config.codec_num_exponents);
   config.paillier_bits = static_cast<size_t>(flags.GetInt("key-bits", 512));
   config.workers_per_party =
       static_cast<size_t>(flags.GetInt("workers", 1));

@@ -148,6 +148,20 @@ int RunAttribution(const std::string& metrics_path,
                 d_a, d_a + d_b, d_a / (d_a + d_b));
   }
 
+  // Gradient-cipher traffic: what the gh pack saved on the wire. A ratio of
+  // 2.0 means every gradient cipher carried a whole (g, h) pair.
+  std::printf("\n== cipher traffic ==\n");
+  for (const std::string& party : parties) {
+    const double ciphers = Lookup(m, party + "/ciphers_sent");
+    if (ciphers <= 0) continue;
+    const double ratio = Lookup(m, party + "/gh_pack_ratio");
+    std::printf("%-10s %10.0f ciphers sent", party.c_str(), ciphers);
+    const double trees = Lookup(m, party + "/trees_finished");
+    if (trees > 0) std::printf(" (%.0f per tree)", ciphers / trees);
+    if (ratio > 0) std::printf(", %.1f values/cipher", ratio);
+    std::printf("\n");
+  }
+
   if (trace_path.empty()) return 0;
 
   // Per-tree attribution: bucket every phase span into the enclosing B-side
