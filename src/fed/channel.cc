@@ -19,10 +19,15 @@ Clock::duration Seconds(double s) {
 
 // Process-unique id per queue direction; flow ids are (direction << 32) |
 // sequence so a send and its receive pair up across parties while staying
-// distinct from every other channel's traffic.
+// distinct from every other channel's traffic. The process trace namespace
+// is folded in above bit 40 (obs::NamespacedFlowId) so ids minted by
+// concurrently running OS processes never collide in a merged trace; the
+// direction counter stays below 2^8, comfortably inside the 40-bit window.
 std::atomic<uint64_t> g_next_flow_dir{1};
 
-uint64_t FlowId(uint64_t dir, uint64_t seq) { return (dir << 32) | seq; }
+uint64_t FlowId(uint64_t dir, uint64_t seq) {
+  return obs::NamespacedFlowId((dir << 32) | seq);
+}
 }  // namespace
 
 Status NetworkConfig::Validate() const {
@@ -189,7 +194,8 @@ void ChannelEndpoint::Send(Message msg) {
   // message from this send to the peer's matching receive. A message later
   // lost in flight leaves a dangling start, which viewers render as an
   // arrow to nowhere — exactly right.
-  if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+  if (auto* rec = obs::TraceRecorder::Current();
+      rec != nullptr && !IsClockSyncFrame(type)) {
     char args[64];
     std::snprintf(args, sizeof(args), "\"bytes\":%zu", bytes);
     rec->FlowStart(std::string("snd ") + MessageTypeName(type), flow_id,
@@ -243,7 +249,8 @@ Result<Message> ChannelEndpoint::ReceiveInternal(
         Message msg = std::move(in_->items.front().msg);
         in_->items.pop_front();
         lock.unlock();
-        if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+        if (auto* rec = obs::TraceRecorder::Current();
+            rec != nullptr && !IsClockSyncFrame(msg.type)) {
           char args[64];
           std::snprintf(args, sizeof(args), "\"bytes\":%zu", msg.WireBytes());
           rec->FlowEnd(std::string("rcv ") + MessageTypeName(msg.type),
@@ -310,7 +317,8 @@ Status ChannelEndpoint::TryReceive(Message* out, bool* got) {
     in_->items.pop_front();
     *got = true;
   }
-  if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+  if (auto* rec = obs::TraceRecorder::Current();
+      rec != nullptr && !IsClockSyncFrame(out->type)) {
     char args[64];
     std::snprintf(args, sizeof(args), "\"bytes\":%zu", out->WireBytes());
     rec->FlowEnd(std::string("rcv ") + MessageTypeName(out->type), flow_id,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/live_status.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -99,7 +100,13 @@ class PhaseClock {
         rec_(obs::TraceRecorder::Current()),
         live_(live) {
     if (rec_ != nullptr) start_us_ = rec_->NowMicros();
-    if (live_ != nullptr) live_->SetPhase(trace_name);
+    if (live_ != nullptr) {
+      live_->SetPhase(trace_name);
+      // Engine phases (live != nullptr) also land in the black box, so a
+      // post-mortem dump names the phase the party died in.
+      obs::FlightRecorder::RecordEvent(obs::FlightRecorder::Kind::kPhase, 0,
+                                       0, 0, trace_name);
+    }
   }
   ~PhaseClock() { Stop(); }
 

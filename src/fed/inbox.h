@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 
@@ -38,13 +39,13 @@ class Inbox {
   /// Registers an out-of-band consumer: every arriving message of
   /// `sideband_type` is handed to `handler` at ingestion instead of being
   /// returned, buffered, or counted against the cap. Used for observability
-  /// traffic (kMetricsDelta) that must never perturb the training state
-  /// machine regardless of when it arrives. The handler runs on the
-  /// receiving engine's thread.
+  /// traffic (kMetricsDelta, kClockPing/kClockPong) that must never perturb
+  /// the training state machine regardless of when it arrives. One handler
+  /// per type; registering again for the same type replaces it. The handler
+  /// runs on the receiving engine's thread.
   void SetSideband(MessageType sideband_type,
                    std::function<void(Message)> handler) {
-    sideband_type_ = sideband_type;
-    sideband_ = std::move(handler);
+    sidebands_[sideband_type] = std::move(handler);
   }
 
   /// Next message of any type (buffered first). Fails when the channel is
@@ -58,10 +59,7 @@ class Inbox {
     for (;;) {
       Result<Message> m = endpoint_->Receive();
       if (!m.ok()) return m;
-      if (sideband_ && m->type == sideband_type_) {
-        sideband_(std::move(m).value());
-        continue;
-      }
+      if (ConsumeSideband(&m.value())) continue;
       return m;
     }
   }
@@ -79,10 +77,7 @@ class Inbox {
     for (;;) {
       Result<Message> m = endpoint_->Receive();
       if (!m.ok()) return m.status();
-      if (sideband_ && m->type == sideband_type_) {
-        sideband_(std::move(m).value());
-        continue;
-      }
+      if (ConsumeSideband(&m.value())) continue;
       if (m->type == type) return std::move(m).value();
       VF2_RETURN_IF_ERROR(Buffer(std::move(m).value(), type));
     }
@@ -94,6 +89,14 @@ class Inbox {
   size_t buffered_high_water() const { return high_water_; }
 
  private:
+  /// True when `m` was a sideband message and has been handed off.
+  bool ConsumeSideband(Message* m) {
+    auto it = sidebands_.find(m->type);
+    if (it == sidebands_.end()) return false;
+    it->second(std::move(*m));
+    return true;
+  }
+
   Status Buffer(Message m, MessageType waiting_for) {
     if (max_buffered_ > 0 && buffer_.size() >= max_buffered_) {
       return Status::ResourceExhausted(
@@ -110,8 +113,7 @@ class Inbox {
   size_t max_buffered_;
   size_t high_water_ = 0;
   std::deque<Message> buffer_;
-  MessageType sideband_type_{};
-  std::function<void(Message)> sideband_;
+  std::map<MessageType, std::function<void(Message)>> sidebands_;
 };
 
 }  // namespace vf2boost

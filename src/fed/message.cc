@@ -39,6 +39,10 @@ const char* MessageTypeName(MessageType type) {
       return "Hello";
     case MessageType::kMetricsDelta:
       return "MetricsDelta";
+    case MessageType::kClockPing:
+      return "ClockPing";
+    case MessageType::kClockPong:
+      return "ClockPong";
     case MessageType::kLrPartial:
       return "LrPartial";
     case MessageType::kLrGradRequest:
@@ -57,7 +61,7 @@ namespace {
 /// True for every MessageType value the protocol defines; DecodeFrame uses
 /// this to reject frames whose type byte was corrupted into a gap value.
 bool IsKnownMessageType(uint8_t raw) {
-  return (raw >= 1 && raw <= 16) || (raw >= 20 && raw <= 23);
+  return (raw >= 1 && raw <= 18) || (raw >= 20 && raw <= 23);
 }
 
 void PutU32Le(std::vector<uint8_t>* buf, uint32_t v) {
@@ -73,9 +77,23 @@ uint32_t GetU32Le(const uint8_t* p) {
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
-uint32_t FrameCrc(uint8_t type, const uint8_t* payload, size_t len) {
-  const uint32_t crc_type = Crc32(&type, 1);
-  return Crc32(payload, len, crc_type);
+void PutU64Le(std::vector<uint8_t>* buf, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+uint64_t GetU64Le(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint32_t FrameCrc(uint8_t type, const uint8_t* trace_id8,
+                  const uint8_t* payload, size_t len) {
+  uint32_t crc = Crc32(&type, 1);
+  crc = Crc32(trace_id8, 8, crc);
+  return Crc32(payload, len, crc);
 }
 
 }  // namespace
@@ -86,9 +104,10 @@ std::vector<uint8_t> EncodeFrame(const Message& msg) {
   frame.push_back(kWireVersion);
   frame.push_back(static_cast<uint8_t>(msg.type));
   PutU32Le(&frame, static_cast<uint32_t>(msg.payload.size()));
+  PutU64Le(&frame, msg.trace_id);
   PutU32Le(&frame,
-           FrameCrc(static_cast<uint8_t>(msg.type), msg.payload.data(),
-                    msg.payload.size()));
+           FrameCrc(static_cast<uint8_t>(msg.type), frame.data() + 6,
+                    msg.payload.data(), msg.payload.size()));
   frame.insert(frame.end(), msg.payload.begin(), msg.payload.end());
   return frame;
 }
@@ -124,9 +143,10 @@ Status DecodeFrame(const std::vector<uint8_t>& frame, Message* out) {
         " payload bytes, frame carries " +
         std::to_string(frame.size() - kFrameOverheadBytes));
   }
-  const uint32_t want_crc = GetU32Le(frame.data() + 6);
+  const uint32_t want_crc = GetU32Le(frame.data() + 14);
   const uint32_t got_crc =
-      FrameCrc(raw_type, frame.data() + kFrameOverheadBytes, payload_len);
+      FrameCrc(raw_type, frame.data() + 6,
+               frame.data() + kFrameOverheadBytes, payload_len);
   if (want_crc != got_crc) {
     return Status::Corruption("frame CRC mismatch on " +
                               std::string(MessageTypeName(
@@ -135,6 +155,7 @@ Status DecodeFrame(const std::vector<uint8_t>& frame, Message* out) {
                               " payload bytes)");
   }
   out->type = static_cast<MessageType>(raw_type);
+  out->trace_id = GetU64Le(frame.data() + 6);
   out->payload.assign(frame.begin() + kFrameOverheadBytes, frame.end());
   return Status::OK();
 }
@@ -146,6 +167,7 @@ Message EncodeHello(const HelloPayload& hello) {
   w.PutI64(hello.last_completed_tree);
   w.PutU64(hello.config_fingerprint);
   w.PutU8(hello.needs_setup ? 1 : 0);
+  w.PutI64(hello.clock_micros);
   return Message{MessageType::kHello, w.Release()};
 }
 
@@ -162,7 +184,50 @@ Status DecodeHello(const Message& msg, HelloPayload* out) {
   uint8_t needs_setup = 0;
   VF2_RETURN_IF_ERROR(r.GetU8(&needs_setup));
   out->needs_setup = needs_setup != 0;
+  VF2_RETURN_IF_ERROR(r.GetI64(&out->clock_micros));
   if (!r.AtEnd()) return Status::Corruption("trailing bytes in Hello payload");
+  return Status::OK();
+}
+
+Message EncodeClockPing(const ClockPingPayload& ping) {
+  ByteWriter w;
+  w.PutI64(ping.t1);
+  return Message{MessageType::kClockPing, w.Release()};
+}
+
+Status DecodeClockPing(const Message& msg, ClockPingPayload* out) {
+  if (msg.type != MessageType::kClockPing) {
+    return Status::ProtocolError(std::string("expected ClockPing, got ") +
+                                 MessageTypeName(msg.type));
+  }
+  ByteReader r(msg.payload);
+  VF2_RETURN_IF_ERROR(r.GetI64(&out->t1));
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in ClockPing payload");
+  }
+  return Status::OK();
+}
+
+Message EncodeClockPong(const ClockPongPayload& pong) {
+  ByteWriter w;
+  w.PutI64(pong.t1);
+  w.PutI64(pong.t2);
+  w.PutI64(pong.t3);
+  return Message{MessageType::kClockPong, w.Release()};
+}
+
+Status DecodeClockPong(const Message& msg, ClockPongPayload* out) {
+  if (msg.type != MessageType::kClockPong) {
+    return Status::ProtocolError(std::string("expected ClockPong, got ") +
+                                 MessageTypeName(msg.type));
+  }
+  ByteReader r(msg.payload);
+  VF2_RETURN_IF_ERROR(r.GetI64(&out->t1));
+  VF2_RETURN_IF_ERROR(r.GetI64(&out->t2));
+  VF2_RETURN_IF_ERROR(r.GetI64(&out->t3));
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in ClockPong payload");
+  }
   return Status::OK();
 }
 

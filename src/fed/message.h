@@ -33,6 +33,12 @@ enum class MessageType : uint8_t {
   /// only: ignored by the training state machine and excluded from
   /// FedConfig::Fingerprint().
   kMetricsDelta = 16,
+  /// A -> B: NTP-style clock probe (t1 = sender's trace clock). Sideband
+  /// traffic like kMetricsDelta: observability only, never buffered against
+  /// the inbox cap, ignored by the training state machine.
+  kClockPing = 17,
+  /// B -> A: probe echo carrying (t1, t2=receive, t3=send) on B's clock.
+  kClockPong = 18,
   // Vertical federated logistic regression (paper §5 Discussions).
   kLrPartial = 20,      ///< encrypted per-instance partial score terms
   kLrGradRequest = 21,  ///< encrypted masked gradient accumulations
@@ -43,12 +49,24 @@ enum class MessageType : uint8_t {
 /// Human-readable type name (logging / stats).
 const char* MessageTypeName(MessageType type);
 
+/// Clock probes are fire-and-forget sideband traffic: one can legitimately
+/// still be in flight when a run shuts down, so transports skip trace flow
+/// emission for them — a dangling snd with no rcv would fail the strict
+/// flow-balance check on otherwise healthy traces.
+inline bool IsClockSyncFrame(MessageType type) {
+  return type == MessageType::kClockPing || type == MessageType::kClockPong;
+}
+
 /// Wire frame layout (kFrameOverheadBytes of header ahead of the payload):
-///   [version u8][type u8][payload_len u32 LE][crc32 u32 LE][payload bytes]
-/// The CRC covers the type byte followed by the payload, so a frame whose
-/// type OR payload was corrupted in flight always fails the checksum.
-inline constexpr uint8_t kWireVersion = 1;
-inline constexpr size_t kFrameOverheadBytes = 10;
+///   [version u8][type u8][payload_len u32 LE][trace_id u64 LE]
+///   [crc32 u32 LE][payload bytes]
+/// The CRC covers type byte, trace-id bytes, then the payload, so a frame
+/// whose type, trace context OR payload was corrupted in flight always fails
+/// the checksum. v2 added the trace-id word: a per-process monotone id that
+/// lets the send-side flow event of a frame match its receive-side event by
+/// id across merged multi-process trace files.
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr size_t kFrameOverheadBytes = 18;
 
 /// Upper bound on a frame's payload. The header's length field is attacker-
 /// controlled until the CRC has been checked, and a socket reader sizes its
@@ -64,6 +82,11 @@ inline constexpr size_t kMaxFramePayloadBytes = size_t{1} << 30;
 struct Message {
   MessageType type;
   std::vector<uint8_t> payload;
+  /// Wire-level trace context: stamped by the sending transport (0 = not
+  /// yet assigned), carried in the frame header, and used as the flow id on
+  /// both the send and receive side so merged traces draw exact arrows.
+  /// Not part of message identity or protocol semantics.
+  uint64_t trace_id = 0;
 
   size_t WireBytes() const { return payload.size() + kFrameOverheadBytes; }
 };
@@ -94,10 +117,32 @@ struct HelloPayload {
   /// it is a freshly launched process, not a survivor of a link blip — and
   /// needs the setup phase (kPublicKey / kLayout) replayed before gradients.
   bool needs_setup = false;
+  /// Sender's trace clock (TraceNowMicros) when the hello was built. Seeds
+  /// the peer's clock-offset estimate before any ping/pong round completes;
+  /// observability only, excluded from session/fingerprint validation.
+  int64_t clock_micros = 0;
 };
 
 Message EncodeHello(const HelloPayload& hello);
 Status DecodeHello(const Message& msg, HelloPayload* out);
+
+/// \brief kClockPing/kClockPong bodies: the NTP-style probe timestamps, all
+/// on the sender's respective trace clocks (microseconds). A sends t1; B
+/// echoes it with its receive (t2) and send (t3) stamps; A adds t4 on
+/// arrival and feeds the quadruple to obs::ClockSync.
+struct ClockPingPayload {
+  int64_t t1 = 0;
+};
+struct ClockPongPayload {
+  int64_t t1 = 0;
+  int64_t t2 = 0;
+  int64_t t3 = 0;
+};
+
+Message EncodeClockPing(const ClockPingPayload& ping);
+Status DecodeClockPing(const Message& msg, ClockPingPayload* out);
+Message EncodeClockPong(const ClockPongPayload& pong);
+Status DecodeClockPong(const Message& msg, ClockPongPayload* out);
 
 }  // namespace vf2boost
 

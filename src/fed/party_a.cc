@@ -8,6 +8,7 @@
 #include "fed/checkpoint.h"
 #include "fed/placement.h"
 #include "gbdt/loss.h"
+#include "obs/flight_recorder.h"
 
 namespace vf2boost {
 
@@ -27,6 +28,27 @@ PartyAEngine::PartyAEngine(const FedConfig& config, const Dataset& data,
   m_ = PartyMetrics::Create(config_.metrics,
                             "party_a" + std::to_string(party_index));
   m_.live = &live_;
+  clock_sync_ = config_.clock_sync_state;
+  if (clock_sync_ == nullptr) {
+    owned_clock_sync_ = std::make_unique<obs::ClockSync>();
+    clock_sync_ = owned_clock_sync_.get();
+  }
+  clock_sync_->BindMetrics(config_.metrics,
+                           "party_a" + std::to_string(party_index));
+  // Pong ingestion is sideband traffic like kMetricsDelta on B: consumed at
+  // whatever receive it arrives under, never buffered against the cap.
+  inbox_.SetSideband(MessageType::kClockPong, [this](Message msg) {
+    const int64_t t4 = obs::TraceNowMicros();
+    ClockPongPayload pong;
+    if (Status st = DecodeClockPong(msg, &pong); !st.ok()) {
+      VF2_LOG(Warn) << "ignoring bad clock pong: " << st.ToString();
+      return;
+    }
+    clock_sync_->AddSample(pong.t1, pong.t2, pong.t3, t4);
+    if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+      rec->SetClockSync(party_index_ + 1, clock_sync_->ToMeta());
+    }
+  });
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
     pool_->SetQueueDepthGauge(m_.pool_queue_high_water);
@@ -72,11 +94,38 @@ Status PartyAEngine::Run() {
   // waiting on a dead party.
   ChannelCloseGuard guard(inbox_.port(),
                           "party A" + std::to_string(party_index_));
+  if (config_.stall_budget_seconds > 0) {
+    obs::StallWatchdog::Options wd;
+    wd.budget_seconds = config_.stall_budget_seconds;
+    wd.live = &live_;
+    wd.registry = config_.metrics;
+    wd.metric_prefix = "party_a" + std::to_string(party_index_);
+    wd.on_stall = [this] {
+      // Records last position AND (via Record's boundary auto-persist)
+      // flushes the flight recorder to disk while the process still lives.
+      obs::FlightRecorder::RecordEvent(
+          obs::FlightRecorder::Kind::kWatchdog, 0,
+          static_cast<int64_t>(watchdog_.seconds_since_progress()),
+          live_.tree(), live_.phase());
+    };
+    watchdog_.Start(std::move(wd));
+  }
   StartOpsServer();
   live_.SetState(obs::LiveStatus::State::kTraining);
   Status status = RunLoop();
   live_.SetState(status.ok() ? obs::LiveStatus::State::kDone
                              : obs::LiveStatus::State::kFailed);
+  watchdog_.Stop();
+  if (!status.ok()) {
+    // Failure post-mortem: make sure the ring reaches disk even when no
+    // progress boundary ever persisted it.
+    if (auto* fr = obs::FlightRecorder::Current(); fr != nullptr) {
+      obs::FlightRecorder::RecordEvent(
+          obs::FlightRecorder::Kind::kStateChange, 0, live_.tree(),
+          live_.layer(), "run failed");
+      fr->Persist();
+    }
+  }
   m_.inbox_high_water->Max(
       static_cast<double>(inbox_.buffered_high_water()));
   m_.bytes_sent->Set(
@@ -89,6 +138,9 @@ Status PartyAEngine::Run() {
 Status PartyAEngine::RunLoop() {
   VF2_RETURN_IF_ERROR(Setup());
   VF2_RETURN_IF_ERROR(LoadCheckpointIfResuming());
+  // Burst of probes right after setup: the estimate is in place before the
+  // first tree's spans are recorded. Refined at every tree boundary.
+  SendClockPings(3);
   for (;;) {
     bool done = false;
     Status st = RunOnce(&done);
@@ -122,8 +174,13 @@ Status PartyAEngine::RunOnce(bool* done) {
   }
   VF2_RETURN_IF_ERROR(RunTree(std::move(msg)));
   last_completed_tree_ = static_cast<int64_t>(current_tree_);
+  obs::FlightRecorder::RecordEvent(
+      obs::FlightRecorder::Kind::kTreeBoundary,
+      static_cast<uint32_t>(party_index_), last_completed_tree_, 0,
+      "tree complete");
   VF2_RETURN_IF_ERROR(MaybeWriteCheckpoint());
   if (config_.federate_metrics) SendMetricsDelta(/*final_frame=*/false);
+  SendClockPings(1);
   return Status::OK();
 }
 
@@ -136,6 +193,7 @@ void PartyAEngine::StartOpsServer() {
   opts.metric_prefix = "party_a" + std::to_string(party_index_);
   opts.registry = config_.metrics;
   opts.live = &live_;
+  opts.watchdog = &watchdog_;
   auto server = obs::OpsServer::Start(opts);
   if (!server.ok()) {
     VF2_LOG(Warn) << "party A" << party_index_ << " ops server disabled: "
@@ -143,6 +201,15 @@ void PartyAEngine::StartOpsServer() {
     return;
   }
   ops_ = std::move(server).value();
+}
+
+void PartyAEngine::SendClockPings(int count) {
+  if (!config_.clock_sync || obs::TraceRecorder::Current() == nullptr) return;
+  for (int i = 0; i < count; ++i) {
+    ClockPingPayload ping;
+    ping.t1 = obs::TraceNowMicros();
+    inbox_.Send(EncodeClockPing(ping));
+  }
 }
 
 void PartyAEngine::SendMetricsDelta(bool final_frame) {
@@ -180,6 +247,7 @@ Status PartyAEngine::Recover(const Status& cause) {
                        inbox_.port()->Reestablish(last_completed_tree_));
   m_.reconnects->Add(1);
   live_.SetState(obs::LiveStatus::State::kTraining);
+  SendClockPings(2);  // fresh link, fresh path: re-estimate
   // B is authoritative about which tree is replayed next; A's per-tree state
   // is derived from the incoming gradient stream, so a boundary difference
   // (e.g. A finished a tree whose kTreeDone B never confirmed) is benign.

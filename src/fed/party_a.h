@@ -10,8 +10,10 @@
 #include "fed/fed_metrics.h"
 #include "fed/inbox.h"
 #include "fed/protocol.h"
+#include "obs/clock_sync.h"
 #include "obs/live_status.h"
 #include "obs/ops_server.h"
+#include "obs/watchdog.h"
 
 namespace vf2boost {
 
@@ -56,6 +58,11 @@ class PartyAEngine {
   void StartOpsServer();
   /// Piggybacks this party's cumulative metric snapshot to B (kMetricsDelta).
   void SendMetricsDelta(bool final_frame);
+  /// Fires `count` kClockPing probes at B (sideband; answered with
+  /// kClockPong, consumed by this engine's sideband handler). No-op unless
+  /// config.clock_sync is on AND a trace recorder is installed, so message
+  /// counts in untraced drills stay exact.
+  void SendClockPings(int count);
   Status RunTree(Message first_grad_msg);
   Status ReceiveGradients(Message first, uint32_t* tree_id);
   Status BuildAndSendHist(uint32_t tree, uint32_t layer, int32_t node);
@@ -109,6 +116,11 @@ class PartyAEngine {
   obs::LiveStatus live_;  ///< live position for the ops endpoints
   std::unique_ptr<obs::OpsServer> ops_;
   uint64_t metrics_seq_ = 0;  ///< kMetricsDelta sequence (engine lifetime)
+  /// Clock alignment against B (borrowed from config.clock_sync_state when a
+  /// driver shares one with the session layer, else privately owned).
+  std::unique_ptr<obs::ClockSync> owned_clock_sync_;
+  obs::ClockSync* clock_sync_ = nullptr;
+  obs::StallWatchdog watchdog_;
 };
 
 }  // namespace vf2boost

@@ -9,6 +9,8 @@
 #include "fed/enc_histogram.h"
 #include "fed/placement.h"
 #include "gbdt/split.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 namespace vf2boost {
 
@@ -43,6 +45,24 @@ PartyBEngine::PartyBEngine(const FedConfig& config, const Dataset& data,
           remote_metrics_.Update("A" + std::to_string(p), delta.seq,
                                  std::move(delta.samples));
         });
+    // Clock probes are answered at ingestion: t2 stamps arrival-at-handler,
+    // t3 the reply send. Processing delay between a frame's socket arrival
+    // and its handler inflates the measured RTT, which the A side's min-RTT
+    // filter then discards — late answers are useless, never wrong.
+    inboxes_[p].SetSideband(MessageType::kClockPing, [this, p](Message msg) {
+      const int64_t t2 = obs::TraceNowMicros();
+      ClockPingPayload ping;
+      if (Status st = DecodeClockPing(msg, &ping); !st.ok()) {
+        VF2_LOG(Warn) << "ignoring bad clock ping from A" << p << ": "
+                      << st.ToString();
+        return;
+      }
+      ClockPongPayload pong;
+      pong.t1 = ping.t1;
+      pong.t2 = t2;
+      pong.t3 = obs::TraceNowMicros();
+      inboxes_[p].Send(EncodeClockPong(pong));
+    });
   }
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
@@ -704,11 +724,41 @@ Result<PartyBResult> PartyBEngine::Run() {
   // scope restores the previous binding on exit. pid = party index + 1 (B
   // comes last; pid 0 is the trainer).
   obs::ThreadPartyScope party_scope(party_b_index_ + 1, "party B");
+  if (auto* rec = obs::TraceRecorder::Current(); rec != nullptr) {
+    // B's clock is the merge reference: its trace timestamps are never
+    // shifted, every A party's offset is expressed against it.
+    obs::TraceRecorder::ClockSyncMeta meta;
+    meta.reference = true;
+    rec->SetClockSync(party_b_index_ + 1, meta);
+  }
+  if (config_.stall_budget_seconds > 0) {
+    obs::StallWatchdog::Options wd;
+    wd.budget_seconds = config_.stall_budget_seconds;
+    wd.live = &live_;
+    wd.registry = config_.metrics;
+    wd.metric_prefix = "party_b";
+    wd.on_stall = [this] {
+      obs::FlightRecorder::RecordEvent(
+          obs::FlightRecorder::Kind::kWatchdog, 0,
+          static_cast<int64_t>(watchdog_.seconds_since_progress()),
+          live_.tree(), live_.phase());
+    };
+    watchdog_.Start(std::move(wd));
+  }
   StartOpsServer();
   live_.SetState(obs::LiveStatus::State::kTraining);
   Result<PartyBResult> result = RunInternal();
   live_.SetState(result.ok() ? obs::LiveStatus::State::kDone
                              : obs::LiveStatus::State::kFailed);
+  watchdog_.Stop();
+  if (!result.ok()) {
+    if (auto* fr = obs::FlightRecorder::Current(); fr != nullptr) {
+      obs::FlightRecorder::RecordEvent(
+          obs::FlightRecorder::Kind::kStateChange, 0, live_.tree(),
+          live_.layer(), "run failed");
+      fr->Persist();
+    }
+  }
   // Close every channel so A engines blocked on their inboxes fail with the
   // root cause instead of hanging (clean closes drain pending messages, so
   // the final kTrainDone still arrives).
@@ -836,6 +886,7 @@ void PartyBEngine::StartOpsServer() {
   opts.registry = config_.metrics;
   opts.remote = &remote_metrics_;
   opts.live = &live_;
+  opts.watchdog = &watchdog_;
   auto server = obs::OpsServer::Start(opts);
   if (!server.ok()) {
     VF2_LOG(Warn) << "party B ops server disabled: "
@@ -902,6 +953,9 @@ Result<PartyBResult> PartyBEngine::RunInternal() {
     }
     rec.train_loss = total / static_cast<double>(scores_.size());
     result.log.push_back(rec);
+    obs::FlightRecorder::RecordEvent(
+        obs::FlightRecorder::Kind::kTreeBoundary, party_b_index_,
+        static_cast<int64_t>(t), 0, "tree complete");
     VF2_RETURN_IF_ERROR(MaybeWriteCheckpoint(result));
   }
   for (Inbox& inbox : inboxes_) {

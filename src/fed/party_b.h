@@ -17,6 +17,7 @@
 #include "obs/live_status.h"
 #include "obs/ops_server.h"
 #include "obs/remote_metrics.h"
+#include "obs/watchdog.h"
 
 namespace vf2boost {
 
@@ -124,6 +125,7 @@ class PartyBEngine {
   obs::LiveStatus live_;             ///< live position for the ops endpoints
   obs::RemoteMetrics remote_metrics_;  ///< A-party snapshots (federation)
   std::unique_ptr<obs::OpsServer> ops_;
+  obs::StallWatchdog watchdog_;
 };
 
 }  // namespace vf2boost

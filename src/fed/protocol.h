@@ -16,6 +16,10 @@
 
 namespace vf2boost {
 
+namespace obs {
+class ClockSync;
+}  // namespace obs
+
 /// \brief Everything that selects a protocol level and its knobs.
 ///
 /// The four optimization flags correspond 1:1 to the paper's techniques;
@@ -119,6 +123,23 @@ struct FedConfig {
   /// fault-injection drills keyed on kill_after_messages. Observability only
   /// — excluded from Fingerprint().
   bool federate_metrics = false;
+  /// Cross-process clock alignment: A parties send kClockPing bursts over
+  /// the sideband path (answered by B with kClockPong) and the NTP-style
+  /// offset estimate is embedded in trace files and exported as gauges.
+  /// Pings only flow when a trace recorder is installed, so drills keyed on
+  /// kill_after_messages see no extra frames. Observability only — excluded
+  /// from Fingerprint().
+  bool clock_sync = true;
+  /// External clock-offset estimator for A-side engines (a multi-process
+  /// driver shares one with its SessionChannel so hello handshakes seed the
+  /// estimate). Null = the engine owns a private one. Observability only —
+  /// excluded from Fingerprint().
+  obs::ClockSync* clock_sync_state = nullptr;
+  /// Stall watchdog budget in seconds: with a LiveStatus position unchanged
+  /// for longer than this while the engine is nominally active, /healthz
+  /// flips to 503 and the flight recorder dumps. 0 = watchdog off.
+  /// Observability only — excluded from Fingerprint().
+  double stall_budget_seconds = 0;
 
   FixedPointCodec MakeCodec() const {
     return FixedPointCodec(codec_base, codec_min_exponent,

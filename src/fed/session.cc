@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 namespace vf2boost {
 
@@ -200,8 +202,11 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
     mine.last_completed_tree = last_completed_tree;
     mine.config_fingerprint = fingerprint_;
     mine.needs_setup = needs_setup;
+    const int64_t hello_sent_us = obs::TraceNowMicros();
+    mine.clock_micros = hello_sent_us;
     ep_->Send(EncodeHello(mine));
     Result<Message> reply = ep_->Receive();
+    const int64_t hello_reply_us = obs::TraceNowMicros();
     if (!reply.ok()) {
       if (IsTransientFault(reply.status())) continue;  // retry from the top
       return reply.status();
@@ -222,6 +227,18 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
           "peer runs an incompatible configuration (fingerprint mismatch)");
     }
     ++reconnects_;
+    obs::FlightRecorder::RecordEvent(obs::FlightRecorder::Kind::kReconnect,
+                                     static_cast<uint32_t>(channel_index_),
+                                     static_cast<int64_t>(attempts_used_),
+                                     peer.last_completed_tree,
+                                     a_side_ ? "hello ok (A)" : "hello ok (B)");
+    if (clock_sync_ != nullptr && peer.clock_micros != 0) {
+      // The handshake is symmetric (both Send then Receive), so the peer's
+      // stamp echoes nothing of ours — a degenerate NTP sample bounded by
+      // the whole handshake round trip. Ping/pong rounds refine it later.
+      clock_sync_->AddHelloSample(hello_sent_us, peer.clock_micros,
+                                  hello_reply_us);
+    }
     VF2_LOG(Info) << "session " << session_id_ << " channel " << channel_index_
                   << (a_side_ ? " (A)" : " (B)") << " re-established, peer at "
                   << "tree " << peer.last_completed_tree << ", attempt "

@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "fed/channel.h"
+#include "obs/clock_sync.h"
 
 namespace vf2boost {
 
@@ -127,6 +128,11 @@ class SessionChannel : public MessagePort {
   Result<HelloPayload> Reestablish(int64_t last_completed_tree,
                                    bool needs_setup = false) override;
 
+  /// Feeds every completed hello handshake into `sync` as a coarse clock
+  /// sample (see obs::ClockSync::AddHelloSample). Borrowed; must outlive
+  /// the channel. Null (default) disables.
+  void set_clock_sync(obs::ClockSync* sync) { clock_sync_ = sync; }
+
   /// Successful re-establishments (completed hello handshakes).
   size_t reconnects() const { return reconnects_; }
   /// Rendezvous attempts consumed out of config.reconnect_max_attempts.
@@ -142,6 +148,7 @@ class SessionChannel : public MessagePort {
   const NetworkConfig config_;
 
   std::unique_ptr<MessagePort> ep_;
+  obs::ClockSync* clock_sync_ = nullptr;
   ChannelStats retired_stats_;  // sums of replaced endpoints' sent_stats
   Rng backoff_rng_;
   double prev_backoff_seconds_ = 0;

@@ -16,7 +16,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace vf2boost {
 
@@ -84,6 +86,10 @@ TcpMessagePort::~TcpMessagePort() {
 }
 
 void TcpMessagePort::Send(Message msg) {
+  // Wire-level trace context: stamp before encoding so the id rides the
+  // frame header. Relays (a message received and forwarded) keep the id
+  // they arrived with.
+  if (msg.trace_id == 0) msg.trace_id = obs::NextTraceId();
   std::vector<uint8_t> frame = EncodeFrame(msg);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++sent_.messages;
@@ -119,6 +125,17 @@ void TcpMessagePort::Send(Message msg) {
   }
   if (m_.frames_written != nullptr) m_.frames_written->Add(1);
   if (m_.bytes_written != nullptr) m_.bytes_written->Add(frame.size());
+  if (auto* rec = obs::TraceRecorder::Current();
+      rec != nullptr && !IsClockSyncFrame(msg.type)) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"bytes\":%zu", frame.size());
+    rec->FlowStart(std::string("snd ") + MessageTypeName(msg.type),
+                   msg.trace_id, args);
+  }
+  obs::FlightRecorder::RecordEvent(
+      obs::FlightRecorder::Kind::kFrameSent, static_cast<uint8_t>(msg.type),
+      static_cast<int64_t>(msg.payload.size()),
+      static_cast<int64_t>(msg.trace_id), MessageTypeName(msg.type));
 }
 
 Status TcpMessagePort::FillBuffer(int timeout_ms) {
@@ -200,7 +217,10 @@ Result<Message> TcpMessagePort::Receive() {
     Message msg;
     bool got = false;
     VF2_RETURN_IF_ERROR(TakeFrame(&msg, &got));
-    if (got) return msg;
+    if (got) {
+      NoteReceived(msg);
+      return msg;
+    }
     if (closed_.load(std::memory_order_relaxed)) {
       return Status::Aborted("channel closed");
     }
@@ -223,9 +243,29 @@ Status TcpMessagePort::TryReceive(Message* out, bool* got) {
     return Status::Aborted("channel closed");
   }
   VF2_RETURN_IF_ERROR(TakeFrame(out, got));
-  if (*got) return Status::OK();
+  if (*got) {
+    NoteReceived(*out);
+    return Status::OK();
+  }
   VF2_RETURN_IF_ERROR(FillBuffer(0));
-  return TakeFrame(out, got);
+  VF2_RETURN_IF_ERROR(TakeFrame(out, got));
+  if (*got) NoteReceived(*out);
+  return Status::OK();
+}
+
+void TcpMessagePort::NoteReceived(const Message& msg) {
+  if (auto* rec = obs::TraceRecorder::Current();
+      rec != nullptr && !IsClockSyncFrame(msg.type)) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"bytes\":%zu", msg.WireBytes());
+    rec->FlowEnd(std::string("rcv ") + MessageTypeName(msg.type),
+                 msg.trace_id, args);
+  }
+  obs::FlightRecorder::RecordEvent(
+      obs::FlightRecorder::Kind::kFrameReceived,
+      static_cast<uint8_t>(msg.type),
+      static_cast<int64_t>(msg.payload.size()),
+      static_cast<int64_t>(msg.trace_id), MessageTypeName(msg.type));
 }
 
 void TcpMessagePort::Close(Status status) {

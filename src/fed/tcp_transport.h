@@ -44,10 +44,17 @@ struct TcpTransportMetrics {
 ///   - receive deadline expired           -> Status::DeadlineExceeded
 ///   - bad header / oversized len / CRC   -> Status::Corruption
 /// so SessionChannel's reconnect/backoff/kHello machinery works unchanged
-/// over a real network. The 10-byte header is validated (version, type,
+/// over a real network. The frame header is validated (version, type,
 /// payload_len <= kMaxFramePayloadBytes) before the payload buffer is
 /// allocated — a corrupted or hostile length field can never drive a huge
 /// allocation.
+///
+/// Wire-level trace context: when a trace recorder is installed, Send stamps
+/// each outbound message with a process-namespaced trace id (carried in the
+/// frame header) and emits the "snd" flow event; Receive emits the matching
+/// "rcv" flow event under the SAME id read back from the frame, so flows
+/// pair exactly across the per-process trace files vf2_trace_merge stitches.
+/// Frame sends/receives are also logged to the installed FlightRecorder.
 ///
 /// Send never blocks on protocol state (TCP backpressure aside) and never
 /// fails loudly: like ChannelEndpoint, a write to a broken connection counts
@@ -96,6 +103,8 @@ class TcpMessagePort : public MessagePort {
   /// buffered bytes do not yet form a full frame. Header validation errors
   /// are Status::Corruption.
   Status TakeFrame(Message* out, bool* got);
+  /// Trace flow event + flight-recorder entry for one received message.
+  void NoteReceived(const Message& msg);
 
   const int fd_;
   const NetworkConfig config_;

@@ -1,0 +1,132 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+
+#include "obs/trace_check.h"
+
+namespace vf2boost {
+namespace obs {
+
+bool ParseBenchJson(const std::string& text, BenchMap* out,
+                    std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  const JsonValue* benches =
+      root.is_object() ? root.Get("benchmarks") : nullptr;
+  if (benches == nullptr || !benches->is_array()) {
+    *error = "no top-level \"benchmarks\" array";
+    return false;
+  }
+  for (const JsonValue& b : benches->array) {
+    const JsonValue* name = b.Get("name");
+    const JsonValue* value = b.Get("value");
+    const JsonValue* unit = b.Get("unit");
+    if (name == nullptr || !name->is_string() || value == nullptr ||
+        !value->is_number()) {
+      continue;
+    }
+    BenchEntry entry;
+    entry.value = value->number;
+    if (unit != nullptr && unit->is_string()) entry.unit = unit->string;
+    (*out)[name->string] = entry;
+  }
+  return true;
+}
+
+bool HigherIsBetter(const std::string& unit) {
+  return unit == "ops/s" || unit == "x" || unit == "items/s";
+}
+
+bool LowerIsBetter(const std::string& unit) { return unit == "s"; }
+
+std::vector<std::string> SplitCommaList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > pos) out.push_back(csv.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+const char* BenchStatusName(BenchDiffRow::Status status) {
+  switch (status) {
+    case BenchDiffRow::Status::kOk:
+      return "ok";
+    case BenchDiffRow::Status::kInfo:
+      return "info";
+    case BenchDiffRow::Status::kRegressed:
+      return "REGRESSED";
+    case BenchDiffRow::Status::kMissing:
+      return "MISSING";
+    case BenchDiffRow::Status::kNew:
+      return "NEW";
+  }
+  return "unknown";
+}
+
+BenchDiffReport DiffBenchmarks(const BenchMap& baseline, const BenchMap& current,
+                               const BenchDiffOptions& options) {
+  const auto gated = [&options](const std::string& unit) {
+    if (options.units.empty()) return true;
+    return std::find(options.units.begin(), options.units.end(), unit) !=
+           options.units.end();
+  };
+
+  BenchDiffReport report;
+  for (const auto& [name, b] : baseline) {
+    BenchDiffRow row;
+    row.name = name;
+    row.unit = b.unit;
+    row.baseline = b.value;
+    row.has_baseline = true;
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      row.status = BenchDiffRow::Status::kMissing;
+      if (gated(b.unit)) ++report.regressions;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    row.has_current = true;
+    row.current = it->second.value;
+    row.delta =
+        b.value == 0 ? 0 : (row.current - b.value) / b.value;
+    bool regressed = false;
+    if (!gated(b.unit)) {
+      row.status = BenchDiffRow::Status::kInfo;
+    } else if (HigherIsBetter(b.unit)) {
+      // A zero baseline cannot regress further down (values are magnitudes).
+      regressed = b.value != 0 && row.delta < -options.tolerance;
+      row.status = regressed ? BenchDiffRow::Status::kRegressed
+                             : BenchDiffRow::Status::kOk;
+    } else if (LowerIsBetter(b.unit)) {
+      // Relative tolerance is meaningless off a zero baseline: any cost
+      // appearing where there was none is a regression.
+      regressed = b.value == 0 ? row.current > 0
+                               : row.delta > options.tolerance;
+      row.status = regressed ? BenchDiffRow::Status::kRegressed
+                             : BenchDiffRow::Status::kOk;
+    } else {
+      row.status = BenchDiffRow::Status::kInfo;
+    }
+    if (regressed) ++report.regressions;
+    report.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, c] : current) {
+    if (baseline.find(name) != baseline.end()) continue;
+    BenchDiffRow row;
+    row.name = name;
+    row.unit = c.unit;
+    row.current = c.value;
+    row.has_current = true;
+    row.status = BenchDiffRow::Status::kNew;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace obs
+}  // namespace vf2boost

@@ -1,0 +1,77 @@
+#ifndef VF2BOOST_OBS_BENCH_DIFF_H_
+#define VF2BOOST_OBS_BENCH_DIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vf2boost {
+namespace obs {
+
+/// One entry of a flat benchmark/metrics dump.
+struct BenchEntry {
+  double value = 0;
+  std::string unit;
+};
+
+using BenchMap = std::map<std::string, BenchEntry>;
+
+/// Parses {"benchmarks": [{name, value, unit}...]} — the shape shared by the
+/// metrics registry dump and the BENCH_*.json files (extra fields ignored;
+/// entries without a string name + numeric value are skipped).
+bool ParseBenchJson(const std::string& text, BenchMap* out,
+                    std::string* error);
+
+/// Gate direction by unit: throughput-like units regress when they drop,
+/// time-like units regress when they grow; anything else is informational.
+bool HigherIsBetter(const std::string& unit);
+bool LowerIsBetter(const std::string& unit);
+
+/// "a,b,c" -> {"a","b","c"} ("" -> {}); used for --units style flags.
+std::vector<std::string> SplitCommaList(const std::string& csv);
+
+struct BenchDiffOptions {
+  double tolerance = 0.15;  ///< relative regression tolerance
+  /// Units to gate; empty = every gateable unit. Absolute throughput
+  /// baselines only transfer between identical machines, while ratio
+  /// metrics (unit "x") are hardware-independent — CI gates those.
+  std::vector<std::string> units;
+};
+
+struct BenchDiffRow {
+  enum class Status { kOk, kInfo, kRegressed, kMissing, kNew };
+  std::string name;
+  std::string unit;
+  double baseline = 0;
+  double current = 0;
+  /// Relative change (current-baseline)/baseline; 0 when the baseline is 0
+  /// (the zero-baseline regression is carried by `status`, not the ratio).
+  double delta = 0;
+  bool has_baseline = false;
+  bool has_current = false;
+  Status status = Status::kInfo;
+};
+
+struct BenchDiffReport {
+  std::vector<BenchDiffRow> rows;  ///< baseline order, then NEW rows
+  int regressions = 0;             ///< kRegressed + gated kMissing rows
+};
+
+const char* BenchStatusName(BenchDiffRow::Status status);
+
+/// Diffs `current` against `baseline`:
+///  - a gated metric missing from current counts as a regression (a deleted
+///    benchmark must be removed from the baseline deliberately);
+///  - a metric only in current is reported as NEW, never gated;
+///  - zero-valued baselines gate by sign, not ratio: for a lower-is-better
+///    unit, 0 -> anything positive is a regression (the relative-delta rule
+///    would wave every blowup from a zero cost through);
+///  - direction is per-row by that row's unit, so mixed-unit files gate each
+///    metric the right way.
+BenchDiffReport DiffBenchmarks(const BenchMap& baseline, const BenchMap& current,
+                               const BenchDiffOptions& options);
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_BENCH_DIFF_H_

@@ -1,0 +1,97 @@
+#include "obs/clock_sync.h"
+
+namespace vf2boost {
+namespace obs {
+
+void ClockSync::AddSample(int64_t t1, int64_t t2, int64_t t3, int64_t t4) {
+  const int64_t rtt = (t4 - t1) - (t3 - t2);
+  if (rtt < 0) return;  // crossed a reconnect or a clock went backwards
+  const int64_t offset = ((t2 - t1) + (t3 - t4)) / 2;
+  // With symmetric path delay the error is zero; worst-case asymmetry (all
+  // delay on one leg) puts the true offset anywhere within rtt/2.
+  Ingest(offset, rtt, rtt / 2 + 1, /*hello=*/false);
+}
+
+void ClockSync::AddHelloSample(int64_t t1, int64_t peer_us, int64_t t4) {
+  const int64_t rtt = t4 - t1;
+  if (rtt < 0) return;
+  const int64_t offset = peer_us - (t1 + t4) / 2;
+  Ingest(offset, rtt, rtt / 2 + 1, /*hello=*/true);
+}
+
+void ClockSync::Ingest(int64_t offset, int64_t rtt, int64_t uncertainty,
+                       bool hello) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+  // Real rounds always displace a hello seed, whatever its apparent rtt:
+  // the hello "round trip" brackets a whole symmetric handshake, so its
+  // uncertainty is not comparable.
+  const bool adopt = !has_estimate_ || (estimate_from_hello_ && !hello) ||
+                     (estimate_from_hello_ == hello && rtt < min_rtt_us_);
+  if (adopt) {
+    has_estimate_ = true;
+    estimate_from_hello_ = hello;
+    offset_us_ = offset;
+    uncertainty_us_ = uncertainty;
+    min_rtt_us_ = rtt;
+  }
+  PublishLocked();
+}
+
+void ClockSync::PublishLocked() {
+  if (g_offset_ == nullptr) return;
+  g_offset_->Set(static_cast<double>(offset_us_));
+  g_uncertainty_->Set(static_cast<double>(uncertainty_us_));
+  g_rtt_->Set(static_cast<double>(min_rtt_us_));
+  g_samples_->Set(static_cast<double>(samples_));
+}
+
+bool ClockSync::has_estimate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_estimate_;
+}
+
+int64_t ClockSync::offset_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offset_us_;
+}
+
+int64_t ClockSync::uncertainty_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return uncertainty_us_;
+}
+
+int64_t ClockSync::rtt_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_rtt_us_;
+}
+
+uint32_t ClockSync::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+void ClockSync::BindMetrics(MetricsRegistry* registry,
+                            const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  g_offset_ = registry->GetGauge(prefix + "/clock_sync/offset_us", "us");
+  g_uncertainty_ =
+      registry->GetGauge(prefix + "/clock_sync/uncertainty_us", "us");
+  g_rtt_ = registry->GetGauge(prefix + "/clock_sync/rtt_us", "us");
+  g_samples_ = registry->GetGauge(prefix + "/clock_sync/samples", "");
+  PublishLocked();
+}
+
+TraceRecorder::ClockSyncMeta ClockSync::ToMeta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceRecorder::ClockSyncMeta meta;
+  meta.offset_us = offset_us_;
+  meta.uncertainty_us = uncertainty_us_;
+  meta.rtt_us = min_rtt_us_;
+  meta.samples = samples_;
+  meta.reference = false;
+  return meta;
+}
+
+}  // namespace obs
+}  // namespace vf2boost

@@ -1,0 +1,80 @@
+#ifndef VF2BOOST_OBS_CLOCK_SYNC_H_
+#define VF2BOOST_OBS_CLOCK_SYNC_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace vf2boost {
+namespace obs {
+
+/// \brief NTP-style offset estimator between this process's trace clock and
+/// a peer's.
+///
+/// Each ping/pong round yields the classic quadruple (t1, t2, t3, t4): t1/t4
+/// on the local clock, t2/t3 on the peer's. Offset and round-trip follow the
+/// textbook formulas
+///   offset = ((t2 - t1) + (t3 - t4)) / 2,   rtt = (t4 - t1) - (t3 - t2)
+/// and the estimate kept is the one from the minimum-RTT sample seen — path
+/// delay asymmetry bounds the error by rtt/2, so the tightest round wins.
+/// The hello handshake contributes a degenerate sample (peer's clock reading
+/// with no echo of the local stamps), which seeds a coarse estimate before
+/// any real round completes.
+///
+/// Offsets are "add to LOCAL trace timestamps to land on the PEER's
+/// timeline" — the merge tool treats the peer (party B) as the reference.
+///
+/// Thread-safe; estimate reads and sample ingestion can race freely.
+class ClockSync {
+ public:
+  /// Full ping/pong round. Ignores samples with negative rtt (clock went
+  /// backwards / crossed a reconnect) and keeps the min-RTT estimate.
+  void AddSample(int64_t t1, int64_t t2, int64_t t3, int64_t t4);
+
+  /// Degenerate hello-handshake sample: the peer's clock reading arrived
+  /// between our send (t1) and receive (t4) but echoes neither, so the best
+  /// guess is peer_us against the midpoint, with the full half-round-trip
+  /// as uncertainty. Only used until a real round lands (real samples always
+  /// win the min-RTT comparison because hello "rtt" is inflated by the whole
+  /// symmetric handshake).
+  void AddHelloSample(int64_t t1, int64_t peer_us, int64_t t4);
+
+  bool has_estimate() const;
+  int64_t offset_us() const;
+  int64_t uncertainty_us() const;
+  int64_t rtt_us() const;
+  uint32_t samples() const;
+
+  /// Creates `<prefix>/clock_sync/{offset_us,uncertainty_us,rtt_us,samples}`
+  /// gauges and keeps them updated from every subsequent sample.
+  void BindMetrics(MetricsRegistry* registry, const std::string& prefix);
+
+  /// The estimate as trace-file metadata (reference=false: this side's
+  /// timestamps need shifting onto the peer's timeline).
+  TraceRecorder::ClockSyncMeta ToMeta() const;
+
+ private:
+  void Ingest(int64_t offset, int64_t rtt, int64_t uncertainty, bool hello);
+  void PublishLocked();
+
+  mutable std::mutex mu_;
+  bool has_estimate_ = false;
+  bool estimate_from_hello_ = false;
+  int64_t offset_us_ = 0;
+  int64_t uncertainty_us_ = 0;
+  int64_t min_rtt_us_ = 0;
+  uint32_t samples_ = 0;
+
+  Gauge* g_offset_ = nullptr;
+  Gauge* g_uncertainty_ = nullptr;
+  Gauge* g_rtt_ = nullptr;
+  Gauge* g_samples_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_CLOCK_SYNC_H_

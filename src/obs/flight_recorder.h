@@ -1,0 +1,121 @@
+#ifndef VF2BOOST_OBS_FLIGHT_RECORDER_H_
+#define VF2BOOST_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vf2boost {
+namespace obs {
+
+/// \brief Bounded lock-free ring of recent structured events — the black box
+/// a crashed or wedged party leaves behind.
+///
+/// Writers (transport threads, engines, the watchdog) claim a slot with one
+/// fetch_add and fill it without locks; readers tolerate torn entries via a
+/// per-slot sequence stamp (odd = being written, skip). The ring holds the
+/// last kCapacity events only: enough to reconstruct "what was the party
+/// doing when it died" without unbounded memory.
+///
+/// Dumps happen on failure paths, SIGTERM, and watchdog trips. SIGKILL
+/// cannot be caught, so engines also persist at coarse progress boundaries
+/// (tree done, reconnect) when a persist path is set — the on-disk dump is
+/// then at most one tree stale after a hard kill.
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 1024;  // power of two
+  static constexpr size_t kDetailBytes = 40;
+
+  enum class Kind : uint8_t {
+    kFrameSent = 1,
+    kFrameReceived = 2,
+    kPhase = 3,
+    kTreeBoundary = 4,
+    kReconnect = 5,
+    kStateChange = 6,
+    kWatchdog = 7,
+    kNote = 8,
+  };
+  static const char* KindName(Kind kind);
+
+  FlightRecorder();
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Process-global instance, mirroring TraceRecorder's install protocol.
+  /// Record sites load it with one relaxed atomic; nullptr = disabled.
+  void Install();
+  static void Uninstall();
+  static FlightRecorder* Current() {
+    return g_current.load(std::memory_order_acquire);
+  }
+
+  /// Appends one event. `code` is kind-specific (frame events: the raw
+  /// MessageType byte), `a`/`b` likewise (frame events: payload bytes /
+  /// trace id; tree boundaries: tree index). `detail` is truncated to
+  /// kDetailBytes-1. Safe from any thread, also with no recorder installed
+  /// via the static RecordEvent below.
+  void Record(Kind kind, uint32_t code, int64_t a, int64_t b,
+              const char* detail);
+
+  /// Record on the installed instance, if any (the call sites' one-liner).
+  static void RecordEvent(Kind kind, uint32_t code, int64_t a, int64_t b,
+                          const char* detail);
+
+  /// Arms automatic persistence: Record() rewrites `path` after coarse
+  /// progress events (kTreeBoundary, kReconnect, kWatchdog) so a SIGKILLed
+  /// process still leaves a recent dump behind.
+  void SetPersistPath(const std::string& path);
+  const std::string& persist_path() const { return persist_path_; }
+
+  struct Entry {
+    int64_t ts_us = 0;   ///< TraceNowMicros at record time
+    uint32_t pid = 0;    ///< trace pid of the recording thread
+    Kind kind = Kind::kNote;
+    uint32_t code = 0;
+    int64_t a = 0;
+    int64_t b = 0;
+    char detail[kDetailBytes] = {};
+  };
+
+  /// Consistent copy of the ring, oldest first, torn slots skipped.
+  std::vector<Entry> Snapshot() const;
+
+  /// `{"flightRecorder":{...}}` with the ring plus last-phase / last-frame
+  /// convenience fields (what the acceptance drill greps for).
+  std::string ToJson() const;
+
+  /// Writes ToJson to `path`; false on I/O failure.
+  bool Dump(const std::string& path) const;
+  /// Dump(persist_path()); no-op without a path.
+  void Persist() const;
+
+  /// Async-signal-safe dump to the persist path: open/write/close and
+  /// integer formatting only, no allocation, no locks. For the SIGTERM
+  /// handler; the file has the same shape as Dump's.
+  void SignalDump() const;
+
+  size_t events_recorded() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  ///< odd while being written
+    Entry entry;
+  };
+
+  static std::atomic<FlightRecorder*> g_current;
+
+  Slot ring_[kCapacity];
+  std::atomic<uint64_t> cursor_{0};
+  std::string persist_path_;
+};
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_FLIGHT_RECORDER_H_

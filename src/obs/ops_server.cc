@@ -17,6 +17,7 @@
 #include "obs/prom_export.h"
 #include "obs/remote_metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace vf2boost {
 namespace obs {
@@ -54,6 +55,45 @@ void AppendSampleLines(std::string* out, const std::vector<MetricSample>& sample
       if (!s.unit.empty() && s.unit != "value") *out += " " + s.unit;
       *out += "\n";
     }
+  }
+}
+
+/// The "wire:" /statusz section: traffic-shape counters (cipher volume,
+/// gh-pack amortization, TCP byte/frame/reconnect counts) plus the
+/// negotiated clock offset, pulled from the same registry snapshot as the
+/// full metric listing so the numbers are mutually consistent.
+void AppendWireSection(std::string* out,
+                       const std::vector<MetricSample>& samples) {
+  std::string lines;
+  double offset_us = 0, uncertainty_us = 0, rtt_us = 0, clock_samples = 0;
+  bool have_clock = false;
+  for (const MetricSample& s : samples) {
+    if (s.kind == MetricSample::Kind::kHistogram) continue;
+    if (s.name.find("/clock_sync/") != std::string::npos) {
+      have_clock = true;
+      if (s.name.find("offset_us") != std::string::npos) offset_us = s.value;
+      if (s.name.find("uncertainty_us") != std::string::npos) {
+        uncertainty_us = s.value;
+      }
+      if (s.name.find("rtt_us") != std::string::npos) rtt_us = s.value;
+      if (s.name.find("samples") != std::string::npos) clock_samples = s.value;
+      continue;
+    }
+    const bool wire = s.name.find("ciphers_sent") != std::string::npos ||
+                      s.name.find("gh_pack_ratio") != std::string::npos ||
+                      s.name.find("transport/tcp/") != std::string::npos;
+    if (!wire) continue;
+    lines += "  " + s.name + ": " + FormatDouble(s.value);
+    if (!s.unit.empty() && s.unit != "value") lines += " " + s.unit;
+    lines += "\n";
+  }
+  if (lines.empty() && !have_clock) return;
+  *out += "\nwire:\n";
+  *out += lines;
+  if (have_clock) {
+    *out += "  clock_offset: " + FormatDouble(offset_us) + " us (+/- " +
+            FormatDouble(uncertainty_us) + " us, rtt " + FormatDouble(rtt_us) +
+            " us, " + FormatDouble(clock_samples) + " samples)\n";
   }
 }
 
@@ -172,8 +212,20 @@ std::string OpsServer::HandlePath(const std::string& path) const {
                                       : LiveStatus::State::kIdle;
 
   if (path == "/healthz") {
-    const bool healthy = state != LiveStatus::State::kFailed;
-    std::string body = std::string(healthy ? "ok" : "unhealthy") + "\n";
+    const bool stalled =
+        options_.watchdog != nullptr && options_.watchdog->stalled();
+    const bool healthy = state != LiveStatus::State::kFailed && !stalled;
+    std::string body;
+    if (healthy) {
+      body = "ok\n";
+    } else if (stalled) {
+      body = "degraded: no training progress for " +
+             FormatDouble(options_.watchdog->seconds_since_progress()) +
+             "s (budget " + FormatDouble(options_.watchdog->budget_seconds()) +
+             "s), last phase " + options_.watchdog->stalled_phase() + "\n";
+    } else {
+      body = "unhealthy\n";
+    }
     body += "party: " + options_.party_label + "\n";
     body += "state: " + std::string(LiveStatus::StateName(state)) + "\n";
     body += "uptime_seconds: " + FormatDouble(ProcessUptimeSeconds()) + "\n";
@@ -206,9 +258,11 @@ std::string OpsServer::HandlePath(const std::string& path) const {
       body += "phase: " + std::string(*phase != '\0' ? phase : "-") + "\n";
     }
     if (options_.registry != nullptr) {
+      const std::vector<MetricSample> samples =
+          options_.registry->Snapshot(options_.metric_prefix);
+      AppendWireSection(&body, samples);
       body += "\nlocal metrics:\n";
-      AppendSampleLines(&body,
-                        options_.registry->Snapshot(options_.metric_prefix));
+      AppendSampleLines(&body, samples);
     }
     if (options_.remote != nullptr) {
       for (const RemoteMetrics::PartyView& view : options_.remote->All()) {

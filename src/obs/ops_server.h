@@ -15,6 +15,7 @@ namespace obs {
 class LiveStatus;
 class MetricsRegistry;
 class RemoteMetrics;
+class StallWatchdog;
 
 /// What one party's ops server exposes. All pointers are borrowed and must
 /// outlive the server; null pointers degrade the corresponding endpoint
@@ -30,6 +31,11 @@ struct OpsServerOptions {
   const MetricsRegistry* registry = nullptr;
   const RemoteMetrics* remote = nullptr;  ///< merged cluster view (Party B)
   const LiveStatus* live = nullptr;
+  /// When set, /healthz degrades to 503 while the watchdog reports a stall
+  /// (peer wedged past the budget) even though the engine state is still
+  /// kTraining — load balancers and drills see the hang before it becomes
+  /// a hard failure.
+  const StallWatchdog* watchdog = nullptr;
 };
 
 /// \brief Minimal dependency-free HTTP/1.1 introspection server.

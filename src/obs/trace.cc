@@ -22,7 +22,43 @@ uint32_t ThreadTid() {
   return t_tid;
 }
 
+std::atomic<uint32_t> g_trace_namespace{0};
+std::atomic<uint64_t> g_next_trace_seq{1};
+
 }  // namespace
+
+uint32_t CurrentTraceThreadPid() { return t_pid; }
+
+void SetProcessTraceNamespace(uint32_t ns) {
+  g_trace_namespace.store(ns, std::memory_order_relaxed);
+}
+
+uint32_t ProcessTraceNamespace() {
+  return g_trace_namespace.load(std::memory_order_relaxed);
+}
+
+uint64_t NamespacedFlowId(uint64_t local) {
+  // Namespace at bits 40..47: high enough that per-process sequences never
+  // reach it, low enough that the composed id stays under 2^48 and survives
+  // the double-precision parse in trace_check exactly.
+  return (static_cast<uint64_t>(ProcessTraceNamespace()) << 40) | local;
+}
+
+uint64_t NextTraceId() {
+  return NamespacedFlowId(
+      g_next_trace_seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+int64_t TraceNowMicros() {
+  if (TraceRecorder* rec = TraceRecorder::Current(); rec != nullptr) {
+    return rec->NowMicros();
+  }
+  static const TraceRecorder::Clock::time_point epoch =
+      TraceRecorder::Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             TraceRecorder::Clock::now() - epoch)
+      .count();
+}
 
 TraceRecorder::TraceRecorder() : origin_(Clock::now()) {}
 
@@ -49,6 +85,17 @@ void TraceRecorder::SetThreadParty(uint32_t pid,
   if (rec == nullptr) return;
   std::lock_guard<std::mutex> lock(rec->mu_);
   rec->process_names_[pid] = process_name;
+}
+
+void TraceRecorder::SetClockSync(uint32_t pid, const ClockSyncMeta& meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_sync_[pid] = meta;
+}
+
+std::map<uint32_t, TraceRecorder::ClockSyncMeta>
+TraceRecorder::ClockSyncEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_sync_;
 }
 
 int64_t TraceRecorder::NowMicros() const {
@@ -218,7 +265,26 @@ std::string TraceRecorder::ToJson(int pid_filter) const {
     }
     out += "}";
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  // Clock-alignment metadata: vf2_trace_merge reads this to shift the file
+  // onto the reference party's timeline. Not part of the trace-event spec;
+  // viewers ignore unknown top-level keys.
+  bool first_cs = true;
+  for (const auto& [pid, cs] : clock_sync_) {
+    if (pid_filter >= 0 && pid != static_cast<uint32_t>(pid_filter)) continue;
+    out += first_cs ? ",\"clockSync\":[" : ",";
+    first_cs = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"pid\":%u,\"offset_us\":%lld,\"uncertainty_us\":%lld,"
+                  "\"rtt_us\":%lld,\"samples\":%u,\"reference\":%s}",
+                  pid, static_cast<long long>(cs.offset_us),
+                  static_cast<long long>(cs.uncertainty_us),
+                  static_cast<long long>(cs.rtt_us), cs.samples,
+                  cs.reference ? "true" : "false");
+    out += buf;
+  }
+  if (!first_cs) out += "]";
+  out += "}\n";
   return out;
 }
 

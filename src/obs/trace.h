@@ -56,6 +56,21 @@ class TraceRecorder {
   /// with no recorder installed.
   static void SetThreadParty(uint32_t pid, const std::string& process_name);
 
+  /// Clock-alignment metadata for one trace process, embedded into the
+  /// exported JSON (top-level "clockSync" array) so vf2_trace_merge can
+  /// shift this file's timestamps onto the reference party's timeline.
+  /// `reference` marks the party whose clock the offsets are relative to
+  /// (its own offset is 0 by definition).
+  struct ClockSyncMeta {
+    int64_t offset_us = 0;       ///< add to local ts to land on reference time
+    int64_t uncertainty_us = 0;  ///< bound on |true offset - offset_us|
+    int64_t rtt_us = 0;          ///< min round-trip of the samples used
+    uint32_t samples = 0;
+    bool reference = false;
+  };
+  void SetClockSync(uint32_t pid, const ClockSyncMeta& meta);
+  std::map<uint32_t, ClockSyncMeta> ClockSyncEntries() const;
+
   /// Microseconds since this recorder was created (all parties share the
   /// process clock, so cross-party spans and flows line up).
   int64_t NowMicros() const;
@@ -124,9 +139,38 @@ class TraceRecorder {
   mutable std::mutex mu_;
   std::vector<Event> events_;
   std::map<uint32_t, std::string> process_names_;
+  std::map<uint32_t, ClockSyncMeta> clock_sync_;
   std::vector<RecentSpan> recent_;  ///< ring, capacity kRecentSpanCapacity
   size_t recent_next_ = 0;          ///< ring write cursor
 };
+
+/// Trace pid of the calling thread (what SetThreadParty last bound; 0 =
+/// unattributed). Lets transports stamp flight-recorder entries with the
+/// same party attribution the trace events carry.
+uint32_t CurrentTraceThreadPid();
+
+/// Process-wide namespace folded into every wire trace id / flow id so ids
+/// minted by different OS processes never collide when their trace files are
+/// merged. Multi-process drivers set this to a distinct small value per
+/// process (e.g. the party's trace pid) before bringing up transports;
+/// single-process runs keep the default 0.
+void SetProcessTraceNamespace(uint32_t ns);
+uint32_t ProcessTraceNamespace();
+
+/// Next wire trace id: a process-global monotone sequence folded with the
+/// process namespace. The namespace occupies bits 40..47 so ids survive a
+/// round-trip through JSON double parsing (53-bit mantissa) intact.
+uint64_t NextTraceId();
+
+/// Folds the process namespace into a locally-unique flow id (same bit
+/// layout as NextTraceId; `local` must stay below 2^40).
+uint64_t NamespacedFlowId(uint64_t local);
+
+/// Microseconds on the tracing timebase: the installed recorder's NowMicros
+/// when one exists, else a process-static steady epoch. Clock-sync frames
+/// use this so offsets measured during the handshake apply directly to
+/// trace timestamps.
+int64_t TraceNowMicros();
 
 /// \brief RAII complete-span. Construction snapshots the active recorder and
 /// the start time; destruction emits the span. All methods are no-ops when

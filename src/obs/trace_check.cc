@@ -317,6 +317,89 @@ bool ValidateTraceJson(const std::string& text, std::string* error,
   return true;
 }
 
+bool AuditTraceFlows(const std::string& text, int64_t slack_us,
+                     const std::vector<std::string>& require_matched_names,
+                     std::string* error, FlowAudit* audit) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  const JsonValue* events =
+      root.is_object() ? root.Get("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array()) {
+    *error = "missing traceEvents array";
+    return false;
+  }
+
+  // Flow ids are namespaced doubles < 2^48, exactly representable; the
+  // timestamps are microseconds (already offset-corrected by the merge).
+  struct FlowSide {
+    bool present = false;
+    double ts = 0;
+    std::string name;
+  };
+  std::map<double, std::pair<FlowSide, FlowSide>> flows;  // id -> (s, f)
+  for (const JsonValue& e : events->array) {
+    if (!e.is_object()) continue;
+    const JsonValue* ph = e.Get("ph");
+    if (ph == nullptr || !ph->is_string() ||
+        (ph->string != "s" && ph->string != "f")) {
+      continue;
+    }
+    const JsonValue* id = e.Get("id");
+    const JsonValue* ts = e.Get("ts");
+    const JsonValue* name = e.Get("name");
+    if (id == nullptr || !id->is_number() || ts == nullptr ||
+        !ts->is_number()) {
+      *error = "flow event missing numeric id/ts";
+      return false;
+    }
+    FlowSide& side = ph->string == "s" ? flows[id->number].first
+                                       : flows[id->number].second;
+    side.present = true;
+    side.ts = ts->number;
+    if (name != nullptr && name->is_string()) side.name = name->string;
+  }
+
+  FlowAudit local;
+  std::string first_error;
+  auto note = [&](const std::string& msg) {
+    if (first_error.empty()) first_error = msg;
+  };
+  for (const auto& [id, pair] : flows) {
+    const FlowSide& s = pair.first;
+    const FlowSide& f = pair.second;
+    if (s.present && f.present) {
+      ++local.matched;
+      if (f.ts + static_cast<double>(slack_us) < s.ts) {
+        ++local.causality_violations;
+        note("flow id " + std::to_string(id) + " (" + s.name +
+             ") received " + std::to_string(s.ts - f.ts) +
+             " us before it was sent (slack " + std::to_string(slack_us) +
+             " us): clock offsets are wrong or the merge skipped a file");
+      }
+      continue;
+    }
+    const FlowSide& present = s.present ? s : f;
+    if (s.present) {
+      ++local.unmatched_starts;
+    } else {
+      ++local.unmatched_ends;
+    }
+    for (const std::string& required : require_matched_names) {
+      if (present.name.find(required) != std::string::npos) {
+        note(std::string("unmatched flow ") + (s.present ? "start" : "end") +
+             " for required message '" + required + "': " + present.name +
+             " (id " + std::to_string(id) + ") has no peer event");
+      }
+    }
+  }
+  if (audit != nullptr) *audit = local;
+  if (!first_error.empty()) {
+    *error = first_error;
+    return false;
+  }
+  return true;
+}
+
 bool ValidateMetricsJson(const std::string& text, std::string* error,
                          std::vector<std::string>* names) {
   JsonValue root;

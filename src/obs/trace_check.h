@@ -55,6 +55,31 @@ bool ValidateTraceJson(const std::string& text, std::string* error,
 bool ValidateMetricsJson(const std::string& text, std::string* error,
                          std::vector<std::string>* names = nullptr);
 
+/// Cross-process flow accounting from AuditTraceFlows.
+struct FlowAudit {
+  size_t matched = 0;            ///< flows with both an 's' and an 'f'
+  size_t unmatched_starts = 0;   ///< 's' with no 'f' (message never landed)
+  size_t unmatched_ends = 0;     ///< 'f' with no 's' (fabricated delivery)
+  size_t causality_violations = 0;  ///< receive before send beyond slack
+};
+
+/// Strict flow audit for a MERGED multi-process trace: every wire frame's
+/// send ('s') and receive ('f') must pair by trace id, and after clock-offset
+/// correction no receive may precede its send by more than `slack_us`
+/// (the residual clock-alignment uncertainty the caller tolerates).
+///
+/// `require_matched_names`: substrings (e.g. "GradBatch") that must not
+/// appear in the name of any UNMATCHED flow event — a dangling
+/// "snd kGradBatch" means a training-path message was lost between traces.
+/// Unmatched flows with other names (clock probes cut off at shutdown, the
+/// final kTrainDone racing process exit) are tallied but tolerated.
+///
+/// Returns false and sets *error on the first violation; *audit (when
+/// non-null) is filled either way.
+bool AuditTraceFlows(const std::string& text, int64_t slack_us,
+                     const std::vector<std::string>& require_matched_names,
+                     std::string* error, FlowAudit* audit = nullptr);
+
 }  // namespace obs
 }  // namespace vf2boost
 

@@ -1,0 +1,99 @@
+#include "obs/watchdog.h"
+
+#include "common/logging.h"
+
+namespace vf2boost {
+namespace obs {
+
+void StallWatchdog::Start(Options options) {
+  if (thread_.joinable() || options.live == nullptr) return;
+  options_ = std::move(options);
+  if (options_.registry != nullptr) {
+    g_seconds_ = options_.registry->GetGauge(
+        options_.metric_prefix + "/watchdog/seconds_since_progress", "s");
+    c_stalls_ = options_.registry->GetCounter(options_.metric_prefix +
+                                              "/watchdog/stalls");
+  }
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Watch(); });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StallWatchdog::Watch() {
+  using Clock = std::chrono::steady_clock;
+  const LiveStatus& live = *options_.live;
+  auto last_progress = Clock::now();
+  // Whether this thread has already declared the current stall episode. The
+  // stalled_ atomic mirrors it for readers, but is published only *after*
+  // the episode bookkeeping (phase, counter, on_stall) so an observer that
+  // sees stalled() == true also sees the callback's side effects.
+  bool episode = false;
+  // Position sampled last tick; any component changing counts as progress.
+  LiveStatus::State prev_state = live.state();
+  int64_t prev_tree = live.tree();
+  int64_t prev_layer = live.layer();
+  const char* prev_phase = live.phase();
+  const auto poll = std::chrono::duration<double>(
+      options_.poll_interval_seconds > 0 ? options_.poll_interval_seconds
+                                         : 0.25);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, poll, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    const LiveStatus::State state = live.state();
+    const int64_t tree = live.tree();
+    const int64_t layer = live.layer();
+    const char* phase = live.phase();
+    const bool moved = state != prev_state || tree != prev_tree ||
+                       layer != prev_layer || phase != prev_phase;
+    prev_state = state;
+    prev_tree = tree;
+    prev_layer = layer;
+    prev_phase = phase;
+    const bool active = state == LiveStatus::State::kTraining ||
+                        state == LiveStatus::State::kReconnecting;
+    const auto now = Clock::now();
+    if (moved || !active) {
+      last_progress = now;
+      if (episode) {
+        episode = false;
+        stalled_.store(false, std::memory_order_release);
+        VF2_LOG(Info) << "watchdog: progress resumed";
+      }
+      seconds_since_progress_.store(0, std::memory_order_relaxed);
+      if (g_seconds_ != nullptr) g_seconds_->Set(0);
+      continue;
+    }
+    const double idle =
+        std::chrono::duration<double>(now - last_progress).count();
+    seconds_since_progress_.store(idle, std::memory_order_relaxed);
+    if (g_seconds_ != nullptr) g_seconds_->Set(idle);
+    if (idle > options_.budget_seconds && !episode) {
+      episode = true;
+      stalled_phase_.store(phase, std::memory_order_relaxed);
+      if (c_stalls_ != nullptr) c_stalls_->Add();
+      VF2_LOG(Warn) << "watchdog: no progress for " << idle
+                    << "s (budget " << options_.budget_seconds
+                    << "s), state=" << LiveStatus::StateName(state)
+                    << " tree=" << tree << " layer=" << layer << " phase=\""
+                    << (phase == nullptr ? "" : phase) << "\"";
+      if (options_.on_stall) {
+        lock.unlock();
+        options_.on_stall();
+        lock.lock();
+      }
+      stalled_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace vf2boost

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -10,10 +13,14 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fed/fed_trainer.h"
+#include "obs/clock_sync.h"
+#include "obs/flight_recorder.h"
+#include "obs/live_status.h"
 #include "obs/metrics_registry.h"
 #include "obs/prom_export.h"
 #include "obs/trace_check.h"
 #include "obs/trace_gantt.h"
+#include "obs/watchdog.h"
 
 namespace vf2boost {
 namespace {
@@ -456,6 +463,277 @@ TEST(TraceTest, TracedFedRunProducesBalancedTrace) {
   const std::string gantt = obs::RenderTraceGantt(rec, 60);
   EXPECT_NE(gantt.find("party B"), std::string::npos) << gantt;
   EXPECT_NE(gantt.find("party A0"), std::string::npos) << gantt;
+}
+
+// ---------------------------------------------------------------------------
+// ClockSync
+
+TEST(ClockSyncTest, NtpFormulasAndMinRttFiltering) {
+  obs::ClockSync sync;
+  EXPECT_FALSE(sync.has_estimate());
+
+  // Peer clock runs ~4950us ahead; symmetric 100us round trip.
+  sync.AddSample(/*t1=*/1000, /*t2=*/6000, /*t3=*/6100, /*t4=*/1200);
+  EXPECT_TRUE(sync.has_estimate());
+  EXPECT_EQ(sync.offset_us(), 4950);
+  EXPECT_EQ(sync.rtt_us(), 100);
+  EXPECT_EQ(sync.uncertainty_us(), 51);  // rtt/2 + 1
+  EXPECT_EQ(sync.samples(), 1u);
+
+  // A slower round (rtt 200) with a different apparent offset must NOT
+  // displace the tighter estimate.
+  sync.AddSample(2000, 9000, 9400, 2600);
+  EXPECT_EQ(sync.offset_us(), 4950);
+  EXPECT_EQ(sync.rtt_us(), 100);
+  EXPECT_EQ(sync.samples(), 2u);
+
+  // Negative rtt (t3-t2 exceeds t4-t1: clocks crossed a reconnect) is
+  // rejected outright.
+  sync.AddSample(0, 0, 1000, 500);
+  EXPECT_EQ(sync.samples(), 2u);
+}
+
+TEST(ClockSyncTest, HelloSeedIsDisplacedByAnyRealRound) {
+  obs::ClockSync sync;
+  // Hello: peer stamp 51100 observed between local 1000 and 1200 — coarse
+  // offset 50000 with the half-round-trip as uncertainty.
+  sync.AddHelloSample(/*t1=*/1000, /*peer_us=*/51100, /*t4=*/1200);
+  EXPECT_TRUE(sync.has_estimate());
+  EXPECT_EQ(sync.offset_us(), 50000);
+  EXPECT_EQ(sync.uncertainty_us(), 101);
+
+  // A real ping round displaces the hello seed even with a WORSE rtt (450
+  // vs the hello's 200): a real echo beats a degenerate one-way reading.
+  sync.AddSample(2000, 52400, 52450, 2500);
+  EXPECT_EQ(sync.offset_us(), 50175);
+  EXPECT_EQ(sync.rtt_us(), 450);
+}
+
+TEST(ClockSyncTest, BindMetricsExportsGauges) {
+  MetricsRegistry reg;
+  obs::ClockSync sync;
+  sync.BindMetrics(&reg, "party_a0");
+  sync.AddSample(1000, 6000, 6100, 1200);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("party_a0/clock_sync/offset_us")->value(),
+                   4950);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("party_a0/clock_sync/rtt_us")->value(), 100);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("party_a0/clock_sync/samples")->value(), 1);
+
+  const TraceRecorder::ClockSyncMeta meta = sync.ToMeta();
+  EXPECT_EQ(meta.offset_us, 4950);
+  EXPECT_FALSE(meta.reference);
+}
+
+TEST(TraceTest, ClockSyncMetadataRoundTripsThroughJson) {
+  TraceRecorder rec;
+  rec.Install();
+  TraceRecorder::ClockSyncMeta meta;
+  meta.offset_us = -1234;
+  meta.uncertainty_us = 57;
+  meta.rtt_us = 112;
+  meta.samples = 9;
+  rec.SetClockSync(/*pid=*/1, meta);
+  TraceRecorder::ClockSyncMeta ref;
+  ref.reference = true;
+  rec.SetClockSync(/*pid=*/2, ref);
+  TraceRecorder::Uninstall();
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(rec.ToJson(), &root, &error)) << error;
+  const obs::JsonValue* cs = root.Get("clockSync");
+  ASSERT_NE(cs, nullptr);
+  ASSERT_TRUE(cs->is_array());
+  ASSERT_EQ(cs->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(cs->array[0].Get("pid")->number, 1);
+  EXPECT_DOUBLE_EQ(cs->array[0].Get("offset_us")->number, -1234);
+  EXPECT_DOUBLE_EQ(cs->array[0].Get("uncertainty_us")->number, 57);
+  EXPECT_FALSE(cs->array[0].Get("reference")->boolean);
+  EXPECT_TRUE(cs->array[1].Get("reference")->boolean);
+
+  // The per-party filter keeps only that pid's clock entry.
+  obs::JsonValue filtered;
+  ASSERT_TRUE(obs::ParseJson(rec.ToJson(/*pid_filter=*/2), &filtered, &error))
+      << error;
+  ASSERT_EQ(filtered.Get("clockSync")->array.size(), 1u);
+  EXPECT_TRUE(filtered.Get("clockSync")->array[0].Get("reference")->boolean);
+}
+
+TEST(TraceTest, ProcessNamespaceKeepsFlowIdsDisjointAndExact) {
+  obs::SetProcessTraceNamespace(3);
+  const uint64_t a = obs::NextTraceId();
+  const uint64_t b = obs::NextTraceId();
+  EXPECT_EQ(a >> 40, 3u);
+  EXPECT_EQ(b >> 40, 3u);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(obs::NamespacedFlowId(5), (uint64_t{3} << 40) | 5);
+  // Ids stay below 2^48: bit-exact as the doubles trace JSON stores.
+  EXPECT_LT(b, uint64_t{1} << 48);
+  EXPECT_EQ(static_cast<uint64_t>(static_cast<double>(b)), b);
+  obs::SetProcessTraceNamespace(0);
+  EXPECT_EQ(obs::NamespacedFlowId(7), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// AuditTraceFlows
+
+namespace {
+std::string FlowTrace(const std::string& events) {
+  return R"({"traceEvents":[)" + events + "]}";
+}
+std::string FlowEvent(const char* ph, double id, double ts,
+                      const std::string& name) {
+  return std::string("{\"ph\":\"") + ph + "\",\"id\":" + std::to_string(id) +
+         ",\"ts\":" + std::to_string(ts) +
+         ",\"pid\":0,\"tid\":0,\"name\":\"" + name + "\"}";
+}
+}  // namespace
+
+TEST(FlowAuditTest, MatchedFlowsWithSaneTimesPass) {
+  const std::string trace = FlowTrace(
+      FlowEvent("s", 1, 100, "snd GradBatch") + "," +
+      FlowEvent("f", 1, 250, "rcv GradBatch"));
+  std::string error;
+  obs::FlowAudit audit;
+  EXPECT_TRUE(obs::AuditTraceFlows(trace, 0, {"GradBatch"}, &error, &audit))
+      << error;
+  EXPECT_EQ(audit.matched, 1u);
+  EXPECT_EQ(audit.causality_violations, 0u);
+}
+
+TEST(FlowAuditTest, ReceiveBeforeSendBeyondSlackFails) {
+  const std::string trace = FlowTrace(
+      FlowEvent("s", 1, 1000, "snd GradBatch") + "," +
+      FlowEvent("f", 1, 400, "rcv GradBatch"));
+  std::string error;
+  obs::FlowAudit audit;
+  EXPECT_FALSE(obs::AuditTraceFlows(trace, 500, {}, &error, &audit));
+  EXPECT_EQ(audit.causality_violations, 1u);
+  EXPECT_NE(error.find("before it was sent"), std::string::npos) << error;
+  // A slack >= the 600us skew tolerates the same trace.
+  EXPECT_TRUE(obs::AuditTraceFlows(trace, 600, {}, &error, &audit)) << error;
+}
+
+TEST(FlowAuditTest, UnmatchedRequiredMessageFails) {
+  const std::string trace = FlowTrace(
+      FlowEvent("s", 1, 100, "snd NodeHistogram") + "," +
+      FlowEvent("s", 2, 120, "snd ClockPing"));
+  std::string error;
+  obs::FlowAudit audit;
+  // ClockPing is not required: its dangling start is tolerated...
+  EXPECT_TRUE(obs::AuditTraceFlows(trace, 0, {"GradBatch"}, &error, &audit))
+      << error;
+  EXPECT_EQ(audit.unmatched_starts, 2u);
+  // ...but a dangling required message is a lost training frame.
+  EXPECT_FALSE(
+      obs::AuditTraceFlows(trace, 0, {"NodeHistogram"}, &error, &audit));
+  EXPECT_NE(error.find("NodeHistogram"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+
+TEST(FlightRecorderTest, RecordsAndDumpsWithLastPhaseAndFrame) {
+  obs::FlightRecorder fr;
+  fr.Install();
+  obs::FlightRecorder::RecordEvent(obs::FlightRecorder::Kind::kPhase, 0, 2, 1,
+                                   "encrypt");
+  obs::FlightRecorder::RecordEvent(obs::FlightRecorder::Kind::kFrameSent, 3,
+                                   4096, 77, "GradBatch");
+  obs::FlightRecorder::Uninstall();
+
+  const auto entries = fr.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].kind, obs::FlightRecorder::Kind::kPhase);
+  EXPECT_STREQ(entries[1].detail, "GradBatch");
+  EXPECT_EQ(entries[1].b, 77);
+
+  const std::string json = fr.ToJson();
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(json, &root, &error)) << error << "\n" << json;
+  const obs::JsonValue* box = root.Get("flightRecorder");
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(box->Get("last_phase")->string, "encrypt");
+  EXPECT_EQ(box->Get("last_frame")->string, "GradBatch");
+  EXPECT_DOUBLE_EQ(box->Get("events_recorded")->number, 2);
+  ASSERT_EQ(box->Get("events")->array.size(), 2u);
+  EXPECT_EQ(box->Get("events")->array[1].Get("kind")->string, "frame_sent");
+
+  const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+  ASSERT_TRUE(fr.Dump(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  obs::JsonValue reparsed;
+  ASSERT_TRUE(obs::ParseJson(ss.str(), &reparsed, &error)) << error;
+}
+
+TEST(FlightRecorderTest, RingKeepsOnlyTheLastCapacityEvents) {
+  obs::FlightRecorder fr;
+  const size_t total = obs::FlightRecorder::kCapacity + 50;
+  for (size_t i = 0; i < total; ++i) {
+    fr.Record(obs::FlightRecorder::Kind::kNote, static_cast<uint32_t>(i), 0,
+              0, "n");
+  }
+  const auto entries = fr.Snapshot();
+  ASSERT_EQ(entries.size(), obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(entries.front().code, 50u);  // oldest surviving
+  EXPECT_EQ(entries.back().code, total - 1);
+  EXPECT_EQ(fr.events_recorded(), total);
+}
+
+// ---------------------------------------------------------------------------
+// StallWatchdog
+
+TEST(WatchdogTest, DeclaresStallThenRecoversOnProgress) {
+  obs::LiveStatus live;
+  live.SetState(obs::LiveStatus::State::kTraining);
+  live.SetPhase("comm_wait");
+  MetricsRegistry reg;
+  std::atomic<int> stall_callbacks{0};
+
+  obs::StallWatchdog wd;
+  obs::StallWatchdog::Options options;
+  options.budget_seconds = 0.05;
+  options.poll_interval_seconds = 0.01;
+  options.live = &live;
+  options.registry = &reg;
+  options.metric_prefix = "party_a0";
+  options.on_stall = [&] { ++stall_callbacks; };
+  wd.Start(std::move(options));
+
+  const auto wait_for = [&](bool want_stalled) {
+    for (int i = 0; i < 500 && wd.stalled() != want_stalled; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return wd.stalled() == want_stalled;
+  };
+  ASSERT_TRUE(wait_for(true)) << "watchdog never tripped";
+  EXPECT_EQ(stall_callbacks.load(), 1);
+  EXPECT_STREQ(wd.stalled_phase(), "comm_wait");
+  EXPECT_GE(reg.GetCounter("party_a0/watchdog/stalls")->value(), 1u);
+
+  live.SetTree(1);  // progress ends the episode
+  ASSERT_TRUE(wait_for(false)) << "watchdog never recovered";
+  EXPECT_EQ(stall_callbacks.load(), 1) << "on_stall must fire once/episode";
+  wd.Stop();
+}
+
+TEST(WatchdogTest, IdleAndDoneStatesNeverStall) {
+  obs::LiveStatus live;  // kIdle
+  obs::StallWatchdog wd;
+  obs::StallWatchdog::Options options;
+  options.budget_seconds = 0.02;
+  options.poll_interval_seconds = 0.005;
+  options.live = &live;
+  wd.Start(std::move(options));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(wd.stalled());
+  live.SetState(obs::LiveStatus::State::kDone);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(wd.stalled());
+  wd.Stop();
 }
 
 }  // namespace

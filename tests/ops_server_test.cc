@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -21,6 +22,7 @@
 #include "obs/prom_export.h"
 #include "obs/remote_metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace vf2boost {
 namespace {
@@ -146,6 +148,84 @@ TEST(OpsServerTest, ServesAllEndpoints) {
 
   (*server)->Stop();
   TraceRecorder::Uninstall();
+}
+
+TEST(OpsServerTest, StatuszHasWireSectionWithClockOffset) {
+  MetricsRegistry registry;
+  registry.GetCounter("party_a0/ciphers_sent")->Add(800);
+  registry.GetGauge("party_a0/gh_pack_ratio", "x")->Set(2.0);
+  registry.GetCounter("transport/tcp/bytes_written")->Add(123456);
+  registry.GetGauge("party_a0/clock_sync/offset_us", "us")->Set(-250);
+  registry.GetGauge("party_a0/clock_sync/uncertainty_us", "us")->Set(40);
+  registry.GetGauge("party_a0/clock_sync/rtt_us", "us")->Set(78);
+  registry.GetGauge("party_a0/clock_sync/samples", "count")->Set(12);
+  LiveStatus live;
+  live.SetState(LiveStatus::State::kTraining);
+
+  OpsServerOptions opts;
+  opts.port = 0;
+  opts.party_label = "A0";
+  opts.registry = &registry;
+  opts.live = &live;
+  auto server = OpsServer::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const std::string statusz = HttpGet((*server)->port(), "/statusz");
+  EXPECT_NE(statusz.find("wire:"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("party_a0/ciphers_sent: 800"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("party_a0/gh_pack_ratio: 2"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("transport/tcp/bytes_written: 123456"),
+            std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("clock_offset: -250 us (+/- 40 us, rtt 78 us, "
+                         "12 samples)"),
+            std::string::npos)
+      << statusz;
+}
+
+TEST(OpsServerTest, WatchdogStallDegradesHealthzUntilProgress) {
+  LiveStatus live;
+  live.SetState(LiveStatus::State::kTraining);
+  live.SetPhase("comm_wait");
+
+  obs::StallWatchdog watchdog;
+  obs::StallWatchdog::Options wd;
+  wd.budget_seconds = 0.05;
+  wd.poll_interval_seconds = 0.01;
+  wd.live = &live;
+  watchdog.Start(std::move(wd));
+
+  OpsServerOptions opts;
+  opts.port = 0;
+  opts.party_label = "B";
+  opts.live = &live;
+  opts.watchdog = &watchdog;
+  auto server = OpsServer::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+
+  const auto wait_for = [&](bool want_stalled) {
+    for (int i = 0; i < 500 && watchdog.stalled() != want_stalled; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return watchdog.stalled() == want_stalled;
+  };
+  ASSERT_TRUE(wait_for(true)) << "watchdog never tripped";
+  const std::string stalled = HttpGet(port, "/healthz");
+  EXPECT_NE(stalled.find("503"), std::string::npos) << stalled;
+  EXPECT_NE(stalled.find("degraded: no training progress"),
+            std::string::npos)
+      << stalled;
+  EXPECT_NE(stalled.find("last phase comm_wait"), std::string::npos)
+      << stalled;
+
+  live.SetTree(1);  // progress ends the stall episode
+  ASSERT_TRUE(wait_for(false)) << "watchdog never recovered";
+  const std::string healthy = HttpGet(port, "/healthz");
+  EXPECT_NE(healthy.find("200 OK"), std::string::npos) << healthy;
+  watchdog.Stop();
 }
 
 TEST(OpsServerTest, HealthzTurns503OnFailure) {

@@ -240,7 +240,7 @@ TEST(MessageTest, MetricsDeltaFramesRoundTripOnTheWire) {
   EXPECT_EQ(out.type, MessageType::kMetricsDelta);
   EXPECT_EQ(out.payload, msg.payload);
   // The slot right after the dense range stays an unknown wire type.
-  Message bogus{static_cast<MessageType>(17), {}};
+  Message bogus{static_cast<MessageType>(19), {}};
   EXPECT_FALSE(DecodeFrame(EncodeFrame(bogus), &out).ok());
 }
 

@@ -1,0 +1,148 @@
+#include "obs/bench_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vf2boost {
+namespace {
+
+using obs::BenchDiffOptions;
+using obs::BenchDiffReport;
+using obs::BenchDiffRow;
+using obs::BenchMap;
+
+BenchMap Make(std::initializer_list<std::pair<std::string, obs::BenchEntry>>
+                  entries) {
+  BenchMap m;
+  for (const auto& [name, e] : entries) m[name] = e;
+  return m;
+}
+
+const BenchDiffRow* Find(const BenchDiffReport& report,
+                         const std::string& name) {
+  for (const BenchDiffRow& row : report.rows) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+TEST(BenchDiffTest, ParsesBenchmarksAndSkipsMalformedEntries) {
+  BenchMap m;
+  std::string error;
+  ASSERT_TRUE(obs::ParseBenchJson(
+      R"({"benchmarks":[
+            {"name":"encrypt","value":1.5,"unit":"s"},
+            {"name":"broken"},
+            {"value":3},
+            {"name":"speedup","value":2.0,"unit":"x","extra":true}]})",
+      &m, &error))
+      << error;
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.at("encrypt").value, 1.5);
+  EXPECT_EQ(m.at("speedup").unit, "x");
+
+  EXPECT_FALSE(obs::ParseBenchJson("[]", &m, &error));
+  EXPECT_FALSE(obs::ParseBenchJson("{}", &m, &error));
+  EXPECT_FALSE(obs::ParseBenchJson("not json", &m, &error));
+}
+
+TEST(BenchDiffTest, MissingInCurrentIsAGatedRegression) {
+  const BenchMap base = Make({{"encrypt", {1.0, "s"}}, {"note", {7, "count"}}});
+  const BenchMap cur = Make({});
+  const BenchDiffReport report =
+      obs::DiffBenchmarks(base, cur, BenchDiffOptions{});
+  // The time metric's disappearance gates; the informational unit doesn't.
+  EXPECT_EQ(report.regressions, 2);  // no units filter: both gated
+  BenchDiffOptions only_s;
+  only_s.units = {"s"};
+  EXPECT_EQ(obs::DiffBenchmarks(base, cur, only_s).regressions, 1);
+  const BenchDiffRow* row = Find(report, "encrypt");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->status, BenchDiffRow::Status::kMissing);
+  EXPECT_FALSE(row->has_current);
+}
+
+TEST(BenchDiffTest, NewInCurrentIsNeverGated) {
+  const BenchDiffReport report = obs::DiffBenchmarks(
+      Make({}), Make({{"fresh", {3.0, "s"}}}), BenchDiffOptions{});
+  EXPECT_EQ(report.regressions, 0);
+  const BenchDiffRow* row = Find(report, "fresh");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->status, BenchDiffRow::Status::kNew);
+  EXPECT_FALSE(row->has_baseline);
+}
+
+TEST(BenchDiffTest, ZeroBaselineGatesBySignForLowerIsBetter) {
+  // 0s -> 0.5s: the relative-delta rule would call this "ok" (delta 0);
+  // the sign rule correctly flags a cost appearing from nothing.
+  const BenchDiffReport regressed = obs::DiffBenchmarks(
+      Make({{"rollback_s", {0.0, "s"}}}), Make({{"rollback_s", {0.5, "s"}}}),
+      BenchDiffOptions{});
+  EXPECT_EQ(regressed.regressions, 1);
+  EXPECT_EQ(Find(regressed, "rollback_s")->status,
+            BenchDiffRow::Status::kRegressed);
+
+  // 0s -> 0s stays ok.
+  const BenchDiffReport still_zero = obs::DiffBenchmarks(
+      Make({{"rollback_s", {0.0, "s"}}}), Make({{"rollback_s", {0.0, "s"}}}),
+      BenchDiffOptions{});
+  EXPECT_EQ(still_zero.regressions, 0);
+
+  // A zero higher-is-better baseline cannot regress further down.
+  const BenchDiffReport throughput = obs::DiffBenchmarks(
+      Make({{"rate", {0.0, "ops/s"}}}), Make({{"rate", {0.0, "ops/s"}}}),
+      BenchDiffOptions{});
+  EXPECT_EQ(throughput.regressions, 0);
+}
+
+TEST(BenchDiffTest, MixedUnitsGateEachRowInItsOwnDirection) {
+  const BenchMap base = Make({{"speedup", {2.0, "x"}},
+                              {"encrypt", {1.0, "s"}},
+                              {"rows", {100, "count"}}});
+  // speedup fell 50% (regression), encrypt fell 50% (improvement for
+  // seconds), rows doubled (informational unit: never gated).
+  const BenchMap cur = Make({{"speedup", {1.0, "x"}},
+                             {"encrypt", {0.5, "s"}},
+                             {"rows", {200, "count"}}});
+  BenchDiffOptions options;
+  options.tolerance = 0.15;
+  const BenchDiffReport report = obs::DiffBenchmarks(base, cur, options);
+  EXPECT_EQ(report.regressions, 1);
+  EXPECT_EQ(Find(report, "speedup")->status, BenchDiffRow::Status::kRegressed);
+  EXPECT_EQ(Find(report, "encrypt")->status, BenchDiffRow::Status::kOk);
+  EXPECT_EQ(Find(report, "rows")->status, BenchDiffRow::Status::kInfo);
+
+  // Restricting the gate to "x" silences every other unit.
+  options.units = {"x"};
+  const BenchDiffReport gated = obs::DiffBenchmarks(
+      base, Make({{"speedup", {1.0, "x"}}, {"encrypt", {9.0, "s"}}}),
+      options);
+  EXPECT_EQ(gated.regressions, 1);
+  EXPECT_EQ(Find(gated, "encrypt")->status, BenchDiffRow::Status::kInfo);
+}
+
+TEST(BenchDiffTest, ToleranceIsARelativeBand) {
+  BenchDiffOptions options;
+  options.tolerance = 0.15;
+  // +14% on a time metric: inside the band.
+  EXPECT_EQ(obs::DiffBenchmarks(Make({{"t", {1.0, "s"}}}),
+                                Make({{"t", {1.14, "s"}}}), options)
+                .regressions,
+            0);
+  // +16%: outside.
+  EXPECT_EQ(obs::DiffBenchmarks(Make({{"t", {1.0, "s"}}}),
+                                Make({{"t", {1.16, "s"}}}), options)
+                .regressions,
+            1);
+}
+
+TEST(BenchDiffTest, SplitCommaList) {
+  EXPECT_TRUE(obs::SplitCommaList("").empty());
+  EXPECT_EQ(obs::SplitCommaList("x"), std::vector<std::string>{"x"});
+  EXPECT_EQ(obs::SplitCommaList("x,s,"),
+            (std::vector<std::string>{"x", "s"}));
+}
+
+}  // namespace
+}  // namespace vf2boost

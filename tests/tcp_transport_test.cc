@@ -23,6 +23,8 @@
 #include "fed/party_b.h"
 #include "gbdt/model_io.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
 
 namespace vf2boost {
 namespace {
@@ -136,12 +138,14 @@ TEST(TcpMessagePortTest, OversizedLengthHeaderIsRejectedBeforeAllocation) {
   net.default_deadline_seconds = 2;
   TcpMessagePort b(fb, net);
   // A valid-looking header whose length field claims more than the cap. The
-  // reader must fail with Corruption from the 10 header bytes alone — it
+  // reader must fail with Corruption from the header bytes alone — it
   // never has (or allocates) the claimed payload.
-  const uint8_t header[10] = {kWireVersion,
-                              static_cast<uint8_t>(MessageType::kGradBatch),
-                              0xFF, 0xFF, 0xFF, 0xFF,  // payload_len = 2^32-1
-                              0,    0,    0,    0};
+  const uint8_t header[kFrameOverheadBytes] = {
+      kWireVersion,
+      static_cast<uint8_t>(MessageType::kGradBatch),
+      0xFF, 0xFF, 0xFF, 0xFF,       // payload_len = 2^32-1
+      0,    0,    0,    0, 0, 0, 0, 0,  // trace id
+      0,    0,    0,    0};             // crc
   ASSERT_EQ(::send(fa, header, sizeof(header), 0),
             static_cast<ssize_t>(sizeof(header)));
   Result<Message> r = b.Receive();
@@ -150,12 +154,49 @@ TEST(TcpMessagePortTest, OversizedLengthHeaderIsRejectedBeforeAllocation) {
   ::close(fa);
 }
 
+TEST(TcpMessagePortTest, TraceIdsRideTheWireAndEmitMatchedFlows) {
+  obs::SetProcessTraceNamespace(4);
+  obs::TraceRecorder rec;
+  rec.Install();
+  {
+    auto [fa, fb] = SocketPair();
+    NetworkConfig net;
+    net.default_deadline_seconds = 5;
+    TcpMessagePort a(fa, net), b(fb, net);
+    a.Send(Msg(MessageType::kGradBatch, {1, 2, 3}));
+    a.Send(Msg(MessageType::kNodeHistogram, {4}));
+    Result<Message> first = b.Receive();
+    Result<Message> second = b.Receive();
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    // Sender-stamped ids: nonzero, namespaced, distinct, delivered intact.
+    EXPECT_NE(first->trace_id, 0u);
+    EXPECT_EQ(first->trace_id >> 40, 4u);
+    EXPECT_NE(first->trace_id, second->trace_id);
+  }
+  obs::TraceRecorder::Uninstall();
+  obs::SetProcessTraceNamespace(0);
+
+  // Both sockets live in this process, so every snd has its rcv and the
+  // flow pairing must audit clean with zero slack.
+  std::string error;
+  obs::FlowAudit audit;
+  ASSERT_TRUE(obs::AuditTraceFlows(rec.ToJson(), /*slack_us=*/0,
+                                   {"GradBatch", "NodeHistogram"}, &error,
+                                   &audit))
+      << error;
+  EXPECT_EQ(audit.matched, 2u);
+  EXPECT_EQ(audit.unmatched_starts, 0u);
+  EXPECT_EQ(audit.unmatched_ends, 0u);
+}
+
 TEST(TcpMessagePortTest, GarbageVersionByteIsCorruption) {
   auto [fa, fb] = SocketPair();
   NetworkConfig net;
   net.default_deadline_seconds = 2;
   TcpMessagePort b(fb, net);
-  const uint8_t junk[10] = {0x77, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+  const uint8_t junk[kFrameOverheadBytes] = {0x77, 1, 0, 0, 0, 0, 0, 0, 0,
+                                             0,    0, 0, 0, 0, 0, 0, 0, 0};
   ASSERT_EQ(::send(fa, junk, sizeof(junk), 0),
             static_cast<ssize_t>(sizeof(junk)));
   Result<Message> r = b.Receive();

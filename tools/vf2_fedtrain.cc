@@ -15,6 +15,7 @@
 //   # terminal 2 (party A0, features):
 //   vf2_fedtrain --data train.libsvm --connect 127.0.0.1:7632 --party a0
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -30,10 +31,26 @@
 #include "gbdt/model_io.h"
 #include "metrics/metrics.h"
 #include "obs/build_info.h"
+#include "obs/clock_sync.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "obs/trace_gantt.h"
 #include "tools/flags.h"
+
+namespace {
+
+// SIGTERM post-mortem: flush the flight-recorder ring with async-signal-safe
+// calls only, then let the default disposition terminate the process.
+extern "C" void OnTerminate(int sig) {
+  if (auto* fr = vf2boost::obs::FlightRecorder::Current(); fr != nullptr) {
+    fr->SignalDump();
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vf2boost;
@@ -82,7 +99,13 @@ int main(int argc, char** argv) {
        {"ops-bind", "ops server bind address (default 127.0.0.1; set "
                     "0.0.0.0 to allow remote scraping)"},
        {"federate-metrics", "A parties piggyback metric snapshots to B at "
-                            "tree boundaries (default: on with --ops-port)"}});
+                            "tree boundaries (default: on with --ops-port)"},
+       {"stall-budget", "seconds without training progress before the "
+                        "watchdog flips /healthz to 503 (0 = off)"},
+       {"flight-out", "flight-recorder dump path: written on failure, "
+                      "SIGTERM, watchdog trip, and progress boundaries"},
+       {"no-clock-sync", "disable kClockPing offset probes (traced TCP runs "
+                         "negotiate clock offsets by default)"}});
   flags.Require({"data"});
 
   auto train = LoadLibsvm(flags.GetString("data"));
@@ -138,6 +161,8 @@ int main(int argc, char** argv) {
   config.federate_metrics =
       flags.Has("federate-metrics") ? flags.GetBool("federate-metrics")
                                     : config.ops_port > 0;
+  config.stall_budget_seconds = flags.GetDouble("stall-budget", 0);
+  if (flags.GetBool("no-clock-sync")) config.clock_sync = false;
 
   const size_t parties = static_cast<size_t>(flags.GetInt("parties", 2));
   if (parties < 2 || parties > 8) {
@@ -180,6 +205,20 @@ int main(int argc, char** argv) {
                 "%d+1+i\n",
                 config.ops_bind.c_str(), config.ops_port, config.ops_port);
   }
+  // Flight recorder: black-box ring dumped on failure paths, SIGTERM, the
+  // watchdog, and coarse progress boundaries (SIGKILL insurance).
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (flags.Has("flight-out")) {
+    flight = std::make_unique<obs::FlightRecorder>();
+    flight->Install();
+    flight->SetPersistPath(flags.GetString("flight-out"));
+    std::signal(SIGTERM, OnTerminate);
+    // Write an initial dump immediately: even a SIGKILL that lands before
+    // the first tree boundary then leaves a parseable black box behind.
+    flight->Record(obs::FlightRecorder::Kind::kStateChange, 0, 0, 0,
+                   "flight recorder armed");
+    flight->Persist();
+  }
 
   // --- transport selection -------------------------------------------------
   // --listen / --connect switch this process from the in-process simulation
@@ -201,13 +240,15 @@ int main(int argc, char** argv) {
   // raw TCP port, preserving PR 1's fail-fast semantics.
   const uint64_t fingerprint = config.Fingerprint();
   auto bring_up = [&](TcpChannelFactory* factory, size_t channel, bool a_side,
-                      uint32_t party_id, bool needs_setup)
+                      uint32_t party_id, bool needs_setup,
+                      obs::ClockSync* clock_sync)
       -> Result<std::unique_ptr<MessagePort>> {
     if (config.network.reconnect_max_attempts > 0) {
       auto session = std::make_unique<SessionChannel>(
           factory, channel, a_side, fingerprint ^ (0x5e55ULL + channel),
           party_id, fingerprint, config.network,
           /*initial=*/nullptr);
+      session->set_clock_sync(clock_sync);
       Result<HelloPayload> peer = session->Reestablish(-1, needs_setup);
       if (!peer.ok()) return peer.status();
       return std::unique_ptr<MessagePort>(std::move(session));
@@ -240,6 +281,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--connect wants HOST:PORT\n");
       return 1;
     }
+    // Distinct per-process flow-id namespace (matches the trace pid
+    // convention: A_i is pid i+1), set before any frame gets a trace id so
+    // the per-party traces stitch without collisions at merge time.
+    obs::SetProcessTraceNamespace(static_cast<uint32_t>(a_index) + 1);
+    // The session hello and the engine's kClockPing probes feed one shared
+    // estimator, so the trace metadata always carries the best offset.
+    auto clock_sync = std::make_unique<obs::ClockSync>();
+    config.clock_sync_state = clock_sync.get();
     auto factory = TcpChannelFactory::Dial(
         hostport.substr(0, colon), std::atoi(hostport.c_str() + colon + 1),
         a_index, config.network, &registry);
@@ -253,7 +302,7 @@ int main(int argc, char** argv) {
     // B's engine runs the setup phase anyway.
     auto port = bring_up(factory->get(), a_index, /*a_side=*/true,
                          static_cast<uint32_t>(a_index),
-                         /*needs_setup=*/true);
+                         /*needs_setup=*/true, clock_sync.get());
     if (!port.ok()) {
       std::fprintf(stderr, "connecting to party B failed: %s\n",
                    port.status().ToString().c_str());
@@ -272,6 +321,13 @@ int main(int argc, char** argv) {
     const ChannelStats cs = (*port)->sent_stats();
     std::printf("party A%zu done: sent %.2f MB in %zu messages\n", a_index,
                 cs.bytes / 1e6, cs.messages);
+    if (recorder != nullptr && flags.Has("trace-out")) {
+      const std::string path = flags.GetString("trace-out");
+      if (!recorder->WriteJson(path)) return 1;
+      std::printf("wrote %zu trace events to %s (merge with "
+                  "vf2_trace_merge)\n",
+                  recorder->num_events(), path.c_str());
+    }
     if (flags.Has("metrics-out")) {
       const std::string path = flags.GetString("metrics-out");
       if (!registry.WriteJson(path)) return 1;
@@ -285,6 +341,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     obs::RegisterBuildInfo(&registry);
+    // B is the reference clock and the last trace pid (see the pid map in
+    // the --trace-out writer below).
+    obs::SetProcessTraceNamespace(static_cast<uint32_t>(parties));
     auto factory = TcpChannelFactory::Listen(
         "0.0.0.0", flags.GetInt("listen", 0), num_a, config.network,
         &registry);
@@ -299,7 +358,7 @@ int main(int argc, char** argv) {
     for (size_t p = 0; p < num_a; ++p) {
       auto port = bring_up(factory->get(), p, /*a_side=*/false,
                            static_cast<uint32_t>(num_a),
-                           /*needs_setup=*/false);
+                           /*needs_setup=*/false, /*clock_sync=*/nullptr);
       if (!port.ok()) {
         std::fprintf(stderr, "waiting for party A%zu failed: %s\n", p,
                      port.status().ToString().c_str());
@@ -365,14 +424,18 @@ int main(int argc, char** argv) {
       // Per-party views so concurrent writers never share a file: trace pid
       // i+1 is A_i, pid `parties` is B (pid 0 is the trainer). Paths get the
       // party id spliced in before the extension (trace.party_b.json).
-      for (size_t p = 0; p + 1 < parties; ++p) {
-        const std::string ap = obs::PartyArtifactPath(
-            path, "party_a" + std::to_string(p));
-        if (!recorder->WriteJson(ap, static_cast<int>(p) + 1)) return 1;
+      // Skipped over TCP: each process already IS one party's view, and its
+      // main trace file merges via vf2_trace_merge.
+      if (!tcp_listen) {
+        for (size_t p = 0; p + 1 < parties; ++p) {
+          const std::string ap = obs::PartyArtifactPath(
+              path, "party_a" + std::to_string(p));
+          if (!recorder->WriteJson(ap, static_cast<int>(p) + 1)) return 1;
+        }
+        const std::string bp = obs::PartyArtifactPath(path, "party_b");
+        if (!recorder->WriteJson(bp, static_cast<int>(parties))) return 1;
+        std::printf("wrote per-party traces (*.party_*.json)\n");
       }
-      const std::string bp = obs::PartyArtifactPath(path, "party_b");
-      if (!recorder->WriteJson(bp, static_cast<int>(parties))) return 1;
-      std::printf("wrote per-party traces (*.party_*.json)\n");
     }
     if (flags.GetBool("gantt")) {
       std::printf("%s", RenderTraceGantt(*recorder).c_str());
@@ -382,19 +445,22 @@ int main(int argc, char** argv) {
     const std::string path = flags.GetString("metrics-out");
     if (!registry.WriteJson(path)) return 1;
     std::printf("wrote %zu metrics to %s\n", registry.size(), path.c_str());
-    // Same suffix scheme as traces: one filtered dump per party.
-    for (size_t p = 0; p + 1 < parties; ++p) {
-      const std::string prefix = "party_a" + std::to_string(p);
-      if (!registry.WriteJson(obs::PartyArtifactPath(path, prefix),
-                              prefix + "/")) {
+    // Same suffix scheme as traces: one filtered dump per party (in-process
+    // runs only; a TCP process holds just its own party's counters).
+    if (!tcp_listen) {
+      for (size_t p = 0; p + 1 < parties; ++p) {
+        const std::string prefix = "party_a" + std::to_string(p);
+        if (!registry.WriteJson(obs::PartyArtifactPath(path, prefix),
+                                prefix + "/")) {
+          return 1;
+        }
+      }
+      if (!registry.WriteJson(obs::PartyArtifactPath(path, "party_b"),
+                              "party_b/")) {
         return 1;
       }
+      std::printf("wrote per-party metrics (*.party_*.json)\n");
     }
-    if (!registry.WriteJson(obs::PartyArtifactPath(path, "party_b"),
-                            "party_b/")) {
-      return 1;
-    }
-    std::printf("wrote per-party metrics (*.party_*.json)\n");
   }
 
   auto joint = result->ToJointModel(spec);

@@ -20,11 +20,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_diff.h"
 #include "obs/trace_check.h"
 #include "tools/flags.h"
 
 namespace {
 
+using vf2boost::obs::BenchDiffOptions;
+using vf2boost::obs::BenchDiffReport;
+using vf2boost::obs::BenchDiffRow;
+using vf2boost::obs::BenchMap;
 using vf2boost::obs::JsonValue;
 using vf2boost::obs::ParseJson;
 
@@ -37,45 +42,20 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-struct Bench {
-  double value = 0;
-  std::string unit;
-};
-
-// Loads {"benchmarks": [{name, value, unit}...]} — the shape shared by the
-// metrics registry dump and the Google Benchmark-derived BENCH_*.json files
-// (those carry extra fields we ignore).
-bool LoadBench(const std::string& path, std::map<std::string, Bench>* out,
-               std::string* error) {
+bool LoadBench(const std::string& path, BenchMap* out, std::string* error) {
   std::string text;
   if (!ReadFile(path, &text)) {
     *error = "cannot read " + path;
     return false;
   }
-  JsonValue root;
-  if (!ParseJson(text, &root, error)) return false;
-  const JsonValue* benches = root.Get("benchmarks");
-  if (benches == nullptr || !benches->is_array()) {
-    *error = path + ": no top-level \"benchmarks\" array";
+  if (!vf2boost::obs::ParseBenchJson(text, out, error)) {
+    *error = path + ": " + *error;
     return false;
-  }
-  for (const JsonValue& b : benches->array) {
-    const JsonValue* name = b.Get("name");
-    const JsonValue* value = b.Get("value");
-    const JsonValue* unit = b.Get("unit");
-    if (name == nullptr || !name->is_string() || value == nullptr ||
-        !value->is_number()) {
-      continue;
-    }
-    Bench entry;
-    entry.value = value->number;
-    if (unit != nullptr && unit->is_string()) entry.unit = unit->string;
-    (*out)[name->string] = entry;
   }
   return true;
 }
 
-double Lookup(const std::map<std::string, Bench>& m, const std::string& name) {
+double Lookup(const BenchMap& m, const std::string& name) {
   const auto it = m.find(name);
   return it == m.end() ? 0 : it->second.value;
 }
@@ -89,7 +69,7 @@ const char* const kPhases[] = {"encrypt", "build_hist", "pack",
 
 int RunAttribution(const std::string& metrics_path,
                    const std::string& trace_path) {
-  std::map<std::string, Bench> m;
+  BenchMap m;
   std::string error;
   if (!LoadBench(metrics_path, &m, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -265,72 +245,39 @@ int RunAttribution(const std::string& metrics_path,
 // Diff / gate mode
 // ---------------------------------------------------------------------------
 
-// Gate direction by unit: throughput-like units regress when they drop,
-// time-like units regress when they grow; anything else is informational.
-bool HigherIsBetter(const std::string& unit) {
-  return unit == "ops/s" || unit == "x" || unit == "items/s";
-}
-bool LowerIsBetter(const std::string& unit) { return unit == "s"; }
-
 int RunDiff(const std::string& baseline_path, const std::string& current_path,
             double tolerance, bool check, const std::string& units) {
-  // `units` restricts which units are gated ("" = all gateable): absolute
-  // throughput baselines only transfer between identical machines, while
-  // ratio metrics (unit "x") are hardware-independent — CI gates those.
-  auto gated = [&units](const std::string& unit) {
-    if (units.empty()) return true;
-    size_t pos = 0;
-    while (pos <= units.size()) {
-      const size_t comma = units.find(',', pos);
-      const size_t end = comma == std::string::npos ? units.size() : comma;
-      if (units.substr(pos, end - pos) == unit) return true;
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-    return false;
-  };
-  std::map<std::string, Bench> base, cur;
+  BenchMap base, cur;
   std::string error;
   if (!LoadBench(baseline_path, &base, &error) ||
       !LoadBench(current_path, &cur, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
+  BenchDiffOptions options;
+  options.tolerance = tolerance;
+  options.units = vf2boost::obs::SplitCommaList(units);
+  const BenchDiffReport report = vf2boost::obs::DiffBenchmarks(base, cur,
+                                                               options);
   std::printf("baseline %s vs current %s (tolerance %.0f%%)\n",
               baseline_path.c_str(), current_path.c_str(), 100 * tolerance);
   std::printf("%-44s %12s %12s %8s  %s\n", "name", "baseline", "current",
               "delta", "status");
-  int regressions = 0;
-  for (const auto& [name, b] : base) {
-    const auto it = cur.find(name);
-    if (it == cur.end()) {
-      std::printf("%-44s %12.4g %12s %8s  MISSING\n", name.c_str(), b.value,
-                  "-", "-");
-      if (check && gated(b.unit)) ++regressions;
-      continue;
-    }
-    const double c = it->second.value;
-    const double delta = b.value == 0 ? 0 : (c - b.value) / b.value;
-    const char* status = "info";
-    if (!gated(b.unit)) {
-      status = "info";
-    } else if (HigherIsBetter(b.unit)) {
-      status = delta < -tolerance ? "REGRESSED" : "ok";
-    } else if (LowerIsBetter(b.unit)) {
-      status = delta > tolerance ? "REGRESSED" : "ok";
-    }
-    if (std::string(status) == "REGRESSED") ++regressions;
-    std::printf("%-44s %12.4g %12.4g %+7.1f%%  %s\n", name.c_str(), b.value,
-                c, 100 * delta, status);
-  }
-  for (const auto& [name, c] : cur) {
-    if (base.find(name) == base.end()) {
-      std::printf("%-44s %12s %12.4g %8s  NEW\n", name.c_str(), "-", c.value,
-                  "-");
+  for (const BenchDiffRow& row : report.rows) {
+    const char* status = vf2boost::obs::BenchStatusName(row.status);
+    if (!row.has_current) {
+      std::printf("%-44s %12.4g %12s %8s  %s\n", row.name.c_str(),
+                  row.baseline, "-", "-", status);
+    } else if (!row.has_baseline) {
+      std::printf("%-44s %12s %12.4g %8s  %s\n", row.name.c_str(), "-",
+                  row.current, "-", status);
+    } else {
+      std::printf("%-44s %12.4g %12.4g %+7.1f%%  %s\n", row.name.c_str(),
+                  row.baseline, row.current, 100 * row.delta, status);
     }
   }
-  if (regressions > 0) {
-    std::printf("%d metric(s) regressed beyond %.0f%%\n", regressions,
+  if (report.regressions > 0) {
+    std::printf("%d metric(s) regressed beyond %.0f%%\n", report.regressions,
                 100 * tolerance);
     return check ? 1 : 0;
   }

@@ -57,6 +57,14 @@ int main(int argc, char** argv) {
        {"metrics", "flat metrics JSON to validate"},
        {"require-span", "comma-separated span names that must appear"},
        {"min-events", "minimum trace event count (default 1)"},
+       {"flow-audit", "strict cross-process flow pairing on the trace"},
+       {"causal-slack-us",
+        "flow-audit: receive may precede send by this much beyond the "
+        "negotiated clock uncertainty (default 0)"},
+       {"require-matched-flows",
+        "flow-audit: message-name substrings whose flows must all pair"},
+       {"max-clock-uncertainty-us",
+        "fail when any clockSync entry's uncertainty exceeds this"},
        {"quiet", "suppress the summary output"}});
   if (!flags.Has("trace") && !flags.Has("metrics")) {
     std::fprintf(stderr, "nothing to check: pass --trace and/or --metrics\n");
@@ -89,6 +97,109 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: required span \"%s\" never appears\n",
                      path.c_str(), name.c_str());
         return 1;
+      }
+    }
+    if (flags.GetBool("flow-audit")) {
+      obs::FlowAudit audit;
+      // The causal bound a merged trace can actually honor is the NTP
+      // uncertainty of the negotiated offsets: a receive may legitimately
+      // appear up to u_sender + u_receiver early. Allow the sum of the two
+      // largest negotiated uncertainties (a pairwise upper bound) on top of
+      // the explicit flag; --max-clock-uncertainty-us caps how loose this
+      // can get.
+      int64_t slack = flags.GetInt("causal-slack-us", 0);
+      {
+        obs::JsonValue root;
+        std::string parse_error;
+        double u1 = 0, u2 = 0;  // two largest uncertainties
+        if (obs::ParseJson(text, &root, &parse_error) && root.is_object()) {
+          if (const obs::JsonValue* cs = root.Get("clockSync");
+              cs != nullptr && cs->is_array()) {
+            for (const obs::JsonValue& e : cs->array) {
+              const obs::JsonValue* samples = e.Get("samples");
+              const obs::JsonValue* unc = e.Get("uncertainty_us");
+              if (samples == nullptr || !samples->is_number() ||
+                  samples->number <= 0 || unc == nullptr ||
+                  !unc->is_number()) {
+                continue;
+              }
+              if (unc->number > u1) {
+                u2 = u1;
+                u1 = unc->number;
+              } else if (unc->number > u2) {
+                u2 = unc->number;
+              }
+            }
+          }
+        }
+        slack += static_cast<int64_t>(u1 + u2);
+      }
+      if (!obs::AuditTraceFlows(
+              text, slack,
+              SplitCommas(flags.GetString("require-matched-flows")), &error,
+              &audit)) {
+        std::fprintf(stderr,
+                     "%s: flow audit FAILED: %s\n"
+                     "  (matched %zu, unmatched starts %zu, unmatched ends "
+                     "%zu, causality violations %zu)\n",
+                     path.c_str(), error.c_str(), audit.matched,
+                     audit.unmatched_starts, audit.unmatched_ends,
+                     audit.causality_violations);
+        return 1;
+      }
+      if (!quiet) {
+        std::printf(
+            "%s: flow audit OK — %zu matched, %zu/%zu unmatched "
+            "starts/ends tolerated, slack %lld us\n",
+            path.c_str(), audit.matched, audit.unmatched_starts,
+            audit.unmatched_ends, static_cast<long long>(slack));
+      }
+    }
+    if (flags.Has("max-clock-uncertainty-us")) {
+      const double max_unc = flags.GetDouble("max-clock-uncertainty-us", 0);
+      obs::JsonValue root;
+      if (!obs::ParseJson(text, &root, &error)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+        return 1;
+      }
+      const obs::JsonValue* cs =
+          root.is_object() ? root.Get("clockSync") : nullptr;
+      if (cs == nullptr || !cs->is_array() || cs->array.empty()) {
+        std::fprintf(stderr, "%s: no clockSync metadata to gate on\n",
+                     path.c_str());
+        return 1;
+      }
+      size_t negotiated = 0;
+      for (const obs::JsonValue& e : cs->array) {
+        const obs::JsonValue* ref = e.Get("reference");
+        if (ref != nullptr && ref->boolean) continue;  // reference pins 0
+        const obs::JsonValue* samples = e.Get("samples");
+        if (samples == nullptr || !samples->is_number() ||
+            samples->number <= 0) {
+          continue;  // never negotiated (e.g. clock sync off)
+        }
+        ++negotiated;
+        const obs::JsonValue* unc = e.Get("uncertainty_us");
+        const double u =
+            unc != nullptr && unc->is_number() ? unc->number : 1e18;
+        if (u > max_unc) {
+          std::fprintf(stderr,
+                       "%s: clock-offset uncertainty %.0f us exceeds the "
+                       "%.0f us budget\n",
+                       path.c_str(), u, max_unc);
+          return 1;
+        }
+      }
+      if (negotiated == 0) {
+        std::fprintf(stderr,
+                     "%s: clockSync has no negotiated (samples > 0) entry\n",
+                     path.c_str());
+        return 1;
+      }
+      if (!quiet) {
+        std::printf("%s: clock uncertainty OK (%zu negotiated offset(s) "
+                    "within %.0f us)\n",
+                    path.c_str(), negotiated, max_unc);
       }
     }
     if (!quiet) {
