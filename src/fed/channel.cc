@@ -65,6 +65,45 @@ Status NetworkConfig::Validate() const {
           "reconnect_backoff_base_seconds");
     }
   }
+  if (heartbeat_interval_seconds < 0 || liveness_budget_seconds < 0) {
+    return Status::InvalidArgument(
+        "heartbeat interval and liveness budget must be nonnegative");
+  }
+  if (liveness_budget_seconds > 0) {
+    if (heartbeat_interval_seconds <= 0) {
+      return Status::InvalidArgument(
+          "liveness_budget_seconds > 0 requires heartbeat_interval_seconds > "
+          "0 (without heartbeats a legitimately quiet peer trips the budget)");
+    }
+    if (default_deadline_seconds <= 0) {
+      return Status::InvalidArgument(
+          "liveness_budget_seconds > 0 requires default_deadline_seconds > 0 "
+          "(inbound silence is only measured at receive-deadline expiry)");
+    }
+    if (liveness_budget_seconds <= heartbeat_interval_seconds) {
+      return Status::InvalidArgument(
+          "liveness_budget_seconds must exceed heartbeat_interval_seconds "
+          "(one delayed beacon must not read as peer death)");
+    }
+  }
+  return Status::OK();
+}
+
+Status NetworkConfig::ValidateForTcpTransport() const {
+  VF2_RETURN_IF_ERROR(Validate());
+  auto reject = [](const char* knob) {
+    return Status::InvalidArgument(
+        std::string(knob) +
+        " is a simulated-gateway fault knob the TCP transport silently "
+        "ignores; inject this fault on real sockets with the vf2_chaosd "
+        "proxy instead");
+  };
+  if (drop_probability > 0) return reject("drop_probability");
+  if (duplicate_probability > 0) return reject("duplicate_probability");
+  if (corrupt_probability > 0) return reject("corrupt_probability");
+  if (jitter_seconds > 0) return reject("jitter_seconds");
+  if (latency_seconds > 0) return reject("latency_seconds");
+  if (bandwidth_bytes_per_sec > 0) return reject("bandwidth_bytes_per_sec");
   return Status::OK();
 }
 
@@ -195,7 +234,7 @@ void ChannelEndpoint::Send(Message msg) {
   // lost in flight leaves a dangling start, which viewers render as an
   // arrow to nowhere — exactly right.
   if (auto* rec = obs::TraceRecorder::Current();
-      rec != nullptr && !IsClockSyncFrame(type)) {
+      rec != nullptr && !IsClockSyncFrame(type) && !IsHeartbeatFrame(type)) {
     char args[64];
     std::snprintf(args, sizeof(args), "\"bytes\":%zu", bytes);
     rec->FlowStart(std::string("snd ") + MessageTypeName(type), flow_id,
@@ -250,7 +289,8 @@ Result<Message> ChannelEndpoint::ReceiveInternal(
         in_->items.pop_front();
         lock.unlock();
         if (auto* rec = obs::TraceRecorder::Current();
-            rec != nullptr && !IsClockSyncFrame(msg.type)) {
+            rec != nullptr && !IsClockSyncFrame(msg.type) &&
+            !IsHeartbeatFrame(msg.type)) {
           char args[64];
           std::snprintf(args, sizeof(args), "\"bytes\":%zu", msg.WireBytes());
           rec->FlowEnd(std::string("rcv ") + MessageTypeName(msg.type),
@@ -318,7 +358,8 @@ Status ChannelEndpoint::TryReceive(Message* out, bool* got) {
     *got = true;
   }
   if (auto* rec = obs::TraceRecorder::Current();
-      rec != nullptr && !IsClockSyncFrame(out->type)) {
+      rec != nullptr && !IsClockSyncFrame(out->type) &&
+      !IsHeartbeatFrame(out->type)) {
     char args[64];
     std::snprintf(args, sizeof(args), "\"bytes\":%zu", out->WireBytes());
     rec->FlowEnd(std::string("rcv ") + MessageTypeName(out->type), flow_id,

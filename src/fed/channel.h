@@ -73,9 +73,34 @@ struct NetworkConfig {
   double reconnect_backoff_base_seconds = 0.05;
   double reconnect_backoff_cap_seconds = 2.0;
 
+  // --- liveness model (session layer; see fed/session.h) --------------------
+
+  /// Period of the session layer's kHeartbeat sideband beacons. 0 = no
+  /// heartbeats. Heartbeats let a quiet-but-healthy protocol phase (e.g. B
+  /// encrypting a large gradient batch) be told apart from a half-open or
+  /// SIGSTOP'd peer without waiting for the watchdog.
+  double heartbeat_interval_seconds = 0;
+  /// Maximum tolerated inbound silence before the session layer declares the
+  /// peer dead (Unavailable -> reconnect machinery). 0 = disabled; > 0
+  /// requires heartbeats to be on (otherwise a legitimately quiet peer trips
+  /// it) and should comfortably exceed the heartbeat interval.
+  double liveness_budget_seconds = 0;
+
   /// Rejects nonsensical knob values (probabilities outside [0, 1], negative
-  /// delays / deadlines, a reconnect budget without a receive deadline).
+  /// delays / deadlines, a reconnect budget without a receive deadline, a
+  /// liveness budget without heartbeats).
   Status Validate() const;
+
+  /// Additional validation for real TCP transports. The simulated-gateway
+  /// fault knobs (drop/duplicate/corrupt probabilities, latency, jitter,
+  /// bandwidth shaping) are implemented by ChannelEndpoint only — a TCP
+  /// MessagePort silently ignores them, which would make a chaos drill lie
+  /// about the faults it claims to inject. This rejects any such knob so the
+  /// caller is pointed at vf2_chaosd, the wire-level fault proxy that
+  /// injects the same faults on real sockets. kill_after_messages stays
+  /// allowed (the TCP transport honors it), as do the deadline/reconnect/
+  /// heartbeat knobs (session layer, transport-agnostic).
+  Status ValidateForTcpTransport() const;
 };
 
 /// Traffic counters for one direction.

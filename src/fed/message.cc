@@ -43,6 +43,8 @@ const char* MessageTypeName(MessageType type) {
       return "ClockPing";
     case MessageType::kClockPong:
       return "ClockPong";
+    case MessageType::kHeartbeat:
+      return "Heartbeat";
     case MessageType::kLrPartial:
       return "LrPartial";
     case MessageType::kLrGradRequest:
@@ -61,7 +63,7 @@ namespace {
 /// True for every MessageType value the protocol defines; DecodeFrame uses
 /// this to reject frames whose type byte was corrupted into a gap value.
 bool IsKnownMessageType(uint8_t raw) {
-  return (raw >= 1 && raw <= 18) || (raw >= 20 && raw <= 23);
+  return raw >= 1 && raw <= 23;
 }
 
 void PutU32Le(std::vector<uint8_t>* buf, uint32_t v) {

@@ -39,6 +39,13 @@ enum class MessageType : uint8_t {
   kClockPing = 17,
   /// B -> A: probe echo carrying (t1, t2=receive, t3=send) on B's clock.
   kClockPong = 18,
+  /// Both ways: session-layer liveness beacon (empty payload). Sent
+  /// periodically by SessionChannel when heartbeats are enabled and consumed
+  /// below the engines' inboxes, so a half-open or SIGSTOP'd peer is
+  /// detected within the liveness budget even when the protocol itself is
+  /// quiet. Observability/liveness only: never buffered, never part of the
+  /// training state machine, excluded from FedConfig::Fingerprint().
+  kHeartbeat = 19,
   // Vertical federated logistic regression (paper §5 Discussions).
   kLrPartial = 20,      ///< encrypted per-instance partial score terms
   kLrGradRequest = 21,  ///< encrypted masked gradient accumulations
@@ -55,6 +62,14 @@ const char* MessageTypeName(MessageType type);
 /// flow-balance check on otherwise healthy traces.
 inline bool IsClockSyncFrame(MessageType type) {
   return type == MessageType::kClockPing || type == MessageType::kClockPong;
+}
+
+/// Heartbeats are fire-and-forget like the clock probes — one is routinely
+/// in flight when a link dies or a run shuts down — so transports skip trace
+/// flow emission and flight-ring frame events for them: a periodic beacon
+/// would both unbalance the strict flow audit and flood the bounded ring.
+inline bool IsHeartbeatFrame(MessageType type) {
+  return type == MessageType::kHeartbeat;
 }
 
 /// Wire frame layout (kFrameOverheadBytes of header ahead of the payload):

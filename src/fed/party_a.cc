@@ -83,6 +83,35 @@ Status PartyAEngine::Setup() {
   return Status::OK();
 }
 
+Status PartyAEngine::ReplaySetup(const Message& msg) {
+  // A fresh B process regenerates its keypair deterministically from
+  // config.seed, so the replayed key matches the one this engine already
+  // holds — but rebuild the backend from the wire bytes anyway: it is the
+  // authoritative copy, and a mismatched relaunch (different seed or config)
+  // must fail loudly at the next decode rather than silently diverge.
+  if (config_.mock_crypto) {
+    backend_ = std::make_unique<MockBackend>(config_.MakeCodec());
+  } else {
+    ByteReader r(msg.payload);
+    auto pub = PaillierPublicKey::Deserialize(&r);
+    VF2_RETURN_IF_ERROR(pub.status());
+    backend_ = std::make_unique<PaillierBackend>(std::move(pub).value(),
+                                                 config_.MakeCodec());
+  }
+  LayoutPayload layout_msg;
+  for (uint32_t f = 0; f < layout_.num_features(); ++f) {
+    layout_msg.bins_per_feature.push_back(layout_.NumBins(f));
+  }
+  inbox_.Send(EncodeLayout(layout_msg));
+  VF2_LOG(Info) << "party A" << party_index_
+                << " setup replayed for relaunched party B (boundary "
+                << last_completed_tree_ << ")";
+  obs::FlightRecorder::RecordEvent(
+      obs::FlightRecorder::Kind::kNote, static_cast<uint32_t>(party_index_),
+      last_completed_tree_, 0, "setup replayed for restarted B");
+  return Status::OK();
+}
+
 Status PartyAEngine::Run() {
   // Trace/log attribution for this engine's thread: pid = party index + 1
   // (pid 0 is the trainer), "[party A<p>]" log prefix. Restored on exit (A
@@ -166,6 +195,12 @@ Status PartyAEngine::RunOnce(bool* done) {
     if (config_.federate_metrics) SendMetricsDelta(/*final_frame=*/true);
     *done = true;
     return Status::OK();
+  }
+  if (msg.type == MessageType::kPublicKey) {
+    // B died and was relaunched: its fresh process reran the setup phase and
+    // this is the replayed key (B restart kills the link, so our Recover()
+    // already re-established the session before this frame could arrive).
+    return ReplaySetup(msg);
   }
   if (msg.type != MessageType::kGradBatch) {
     return Status::ProtocolError(

@@ -42,6 +42,10 @@ class PartyAEngine {
 
  private:
   Status Setup();
+  /// Handles a mid-run kPublicKey: a relaunched Party B rerunning its setup
+  /// phase. Rebuilds the cipher backend from the replayed key and re-sends
+  /// this party's (unchanged) feature layout so B's setup receive completes.
+  Status ReplaySetup(const Message& msg);
   Status RunLoop();
   /// One top-level protocol step: receive kTrainDone (sets *done) or run one
   /// tree and checkpoint the boundary.

@@ -20,6 +20,12 @@ Clock::duration Seconds(double s) {
       std::chrono::duration<double>(s));
 }
 
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 SessionBroker::SessionBroker(std::vector<NetworkConfig> configs) {
@@ -109,30 +115,159 @@ SessionChannel::SessionChannel(ChannelFactory* factory, size_t channel_index,
       config_(config),
       ep_(std::move(initial)),
       backoff_rng_(config.fault_seed ^ (a_side ? 0xA'5e55ULL : 0xB'5e55ULL) ^
-                   (channel_index * 0x9E3779B97F4A7C15ULL)) {}
+                   (channel_index * 0x9E3779B97F4A7C15ULL)) {
+  link_ready_.store(ep_ != nullptr, std::memory_order_release);
+  last_inbound_us_.store(SteadyMicros(), std::memory_order_relaxed);
+  if (config_.heartbeat_interval_seconds > 0) {
+    heartbeat_thread_ = std::thread(&SessionChannel::HeartbeatLoop, this);
+  }
+}
+
+SessionChannel::~SessionChannel() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+std::shared_ptr<MessagePort> SessionChannel::SnapshotEp() const {
+  std::lock_guard<std::mutex> lock(ep_mu_);
+  return ep_;
+}
+
+void SessionChannel::TouchInbound() {
+  last_inbound_us_.store(SteadyMicros(), std::memory_order_relaxed);
+}
+
+double SessionChannel::SecondsSinceInbound() const {
+  const int64_t last = last_inbound_us_.load(std::memory_order_relaxed);
+  return static_cast<double>(SteadyMicros() - last) * 1e-6;
+}
+
+void SessionChannel::HeartbeatLoop() {
+  const auto period =
+      std::chrono::duration<double>(config_.heartbeat_interval_seconds);
+  std::unique_lock<std::mutex> lock(hb_mu_);
+  for (;;) {
+    if (hb_cv_.wait_for(lock, period, [this] { return hb_stop_; })) return;
+    // Beacons flow only on a ready link: link_ready_ is false between link
+    // retirement and a completed hello handshake, so a heartbeat can never
+    // jump ahead of a hello on a fresh (FIFO) link, and a terminally closed
+    // channel goes quiet.
+    if (terminally_closed_.load(std::memory_order_acquire)) continue;
+    if (!link_ready_.load(std::memory_order_acquire)) continue;
+    lock.unlock();
+    if (std::shared_ptr<MessagePort> ep = SnapshotEp(); ep != nullptr) {
+      ep->Send(Message{MessageType::kHeartbeat, {}});
+      hb_sent_local_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* c = hb_sent_counter_.load(std::memory_order_relaxed)) {
+        c->Add();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void SessionChannel::BindMetrics(obs::MetricsRegistry* registry) {
+  hb_sent_counter_.store(registry->GetCounter("session/heartbeats_sent"),
+                         std::memory_order_relaxed);
+  hb_received_counter_.store(
+      registry->GetCounter("session/heartbeats_received"),
+      std::memory_order_relaxed);
+  liveness_trips_counter_.store(
+      registry->GetCounter("session/liveness_trips"),
+      std::memory_order_relaxed);
+}
 
 void SessionChannel::Send(Message msg) {
-  if (ep_ != nullptr) ep_->Send(std::move(msg));
+  if (std::shared_ptr<MessagePort> ep = SnapshotEp(); ep != nullptr) {
+    ep->Send(std::move(msg));
+  }
 }
 
 Result<Message> SessionChannel::Receive() {
-  if (ep_ == nullptr) return Status::Unavailable("session link is down");
-  return ep_->Receive();
+  const double budget = config_.liveness_budget_seconds;
+  for (;;) {
+    std::shared_ptr<MessagePort> ep = SnapshotEp();
+    if (ep == nullptr) return Status::Unavailable("session link is down");
+    Result<Message> r = ep->Receive();
+    if (r.ok()) {
+      TouchInbound();
+      if (IsHeartbeatFrame(r.value().type)) {
+        // Consumed below the engine's inbox regardless of the local config:
+        // a peer with heartbeats on while ours are off must not leak beacons
+        // into the protocol stream.
+        hb_received_local_.fetch_add(1, std::memory_order_relaxed);
+        if (auto* c = hb_received_counter_.load(std::memory_order_relaxed)) {
+          c->Add();
+        }
+        continue;
+      }
+      return r;
+    }
+    if (budget > 0 &&
+        r.status().code() == StatusCode::kDeadlineExceeded) {
+      // With a liveness budget, per-call deadline expiries stop being the
+      // dead-link signal: inbound silence is. A quiet-but-alive peer keeps
+      // refreshing last_inbound_ through its beacons; only true silence
+      // beyond the budget surfaces — as Unavailable, which the engines'
+      // IsTransientFault -> Reestablish machinery recovers from.
+      const double silence = SecondsSinceInbound();
+      if (silence <= budget) continue;
+      liveness_trips_local_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* c = liveness_trips_counter_.load(std::memory_order_relaxed)) {
+        c->Add();
+      }
+      obs::FlightRecorder::RecordEvent(
+          obs::FlightRecorder::Kind::kLiveness,
+          static_cast<uint32_t>(channel_index_),
+          static_cast<int64_t>(silence * 1e3),
+          static_cast<int64_t>(budget * 1e3),
+          a_side_ ? "liveness trip (A)" : "liveness trip (B)");
+      VF2_LOG(Warn) << "session " << session_id_ << " channel "
+                    << channel_index_ << (a_side_ ? " (A)" : " (B)")
+                    << " peer liveness budget exhausted: " << silence
+                    << "s of inbound silence > " << budget << "s budget";
+      return Status::Unavailable("peer liveness budget exhausted (" +
+                                 std::to_string(silence) +
+                                 "s of inbound silence, budget " +
+                                 std::to_string(budget) + "s)");
+    }
+    return r.status();
+  }
 }
 
 Status SessionChannel::TryReceive(Message* out, bool* got) {
-  if (ep_ == nullptr) {
-    *got = false;
-    return Status::Unavailable("session link is down");
+  for (;;) {
+    std::shared_ptr<MessagePort> ep = SnapshotEp();
+    if (ep == nullptr) {
+      *got = false;
+      return Status::Unavailable("session link is down");
+    }
+    Status st = ep->TryReceive(out, got);
+    if (st.ok() && *got) {
+      TouchInbound();
+      if (IsHeartbeatFrame(out->type)) {
+        hb_received_local_.fetch_add(1, std::memory_order_relaxed);
+        if (auto* c = hb_received_counter_.load(std::memory_order_relaxed)) {
+          c->Add();
+        }
+        continue;  // beacon consumed; poll again for a real message
+      }
+    }
+    return st;
   }
-  return ep_->TryReceive(out, got);
 }
 
 void SessionChannel::Close(Status status) {
-  if (terminally_closed_) return;
-  terminally_closed_ = true;
+  if (terminally_closed_.exchange(true, std::memory_order_acq_rel)) return;
   close_status_ = status;
-  if (ep_ != nullptr) ep_->Close(status);
+  link_ready_.store(false, std::memory_order_release);
+  if (std::shared_ptr<MessagePort> ep = SnapshotEp(); ep != nullptr) {
+    ep->Close(status);
+  }
   if (!status.ok()) {
     // The owning engine failed for good. Abort the peer's pending and future
     // rendezvous so it fails with the root cause instead of burning its
@@ -142,19 +277,22 @@ void SessionChannel::Close(Status status) {
 }
 
 bool SessionChannel::closed() const {
-  if (terminally_closed_) return true;
-  return ep_ != nullptr && ep_->closed();
+  if (terminally_closed_.load(std::memory_order_acquire)) return true;
+  std::shared_ptr<MessagePort> ep = SnapshotEp();
+  return ep != nullptr && ep->closed();
 }
 
 ChannelStats SessionChannel::sent_stats() const {
   ChannelStats total = retired_stats_;
-  if (ep_ != nullptr) total += ep_->sent_stats();
+  if (std::shared_ptr<MessagePort> ep = SnapshotEp(); ep != nullptr) {
+    total += ep->sent_stats();
+  }
   return total;
 }
 
 Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
                                                  bool needs_setup) {
-  if (terminally_closed_) {
+  if (terminally_closed_.load(std::memory_order_acquire)) {
     return Status::Aborted("session already closed: " +
                            close_status_.ToString());
   }
@@ -166,13 +304,22 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
       std::max(1.0, 4 * config_.default_deadline_seconds);
   while (attempts_used_ < config_.reconnect_max_attempts) {
     ++attempts_used_;
-    if (ep_ != nullptr) {
+    // Quiesce the beacon thread for this generation swap: no heartbeat may
+    // flow between link retirement and the next completed hello.
+    link_ready_.store(false, std::memory_order_release);
+    std::shared_ptr<MessagePort> old;
+    {
+      std::lock_guard<std::mutex> lock(ep_mu_);
+      old = std::move(ep_);
+      ep_.reset();
+    }
+    if (old != nullptr) {
       // Retire the dead generation. Closing with Unavailable (not an engine
       // failure) tells a still-healthy peer to fail over immediately rather
       // than waiting out its receive deadline.
-      retired_stats_ += ep_->sent_stats();
-      ep_->Close(Status::Unavailable("session re-establishing"));
-      ep_.reset();
+      retired_stats_ += old->sent_stats();
+      old->Close(Status::Unavailable("session re-establishing"));
+      old.reset();
     }
     // Exponential backoff, decorrelated jitter (AWS architecture blog
     // variant): sleep = min(cap, uniform(base, 3 * previous)).
@@ -193,7 +340,13 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
       if (IsTransientFault(fresh.status())) continue;  // timed out; retry
       return fresh.status();  // broker shut down: terminal
     }
-    ep_ = std::move(fresh).value();
+    std::shared_ptr<MessagePort> link = std::move(fresh).value();
+    {
+      // Published (so Close can reach it) but not yet "ready": the beacon
+      // thread stays quiet until the hello handshake below completes.
+      std::lock_guard<std::mutex> lock(ep_mu_);
+      ep_ = link;
+    }
     // Fresh link is up — prove to each other we are the same session with
     // compatible configs, and agree on the tree boundary to resume from.
     HelloPayload mine;
@@ -204,8 +357,8 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
     mine.needs_setup = needs_setup;
     const int64_t hello_sent_us = obs::TraceNowMicros();
     mine.clock_micros = hello_sent_us;
-    ep_->Send(EncodeHello(mine));
-    Result<Message> reply = ep_->Receive();
+    link->Send(EncodeHello(mine));
+    Result<Message> reply = link->Receive();
     const int64_t hello_reply_us = obs::TraceNowMicros();
     if (!reply.ok()) {
       if (IsTransientFault(reply.status())) continue;  // retry from the top
@@ -227,6 +380,8 @@ Result<HelloPayload> SessionChannel::Reestablish(int64_t last_completed_tree,
           "peer runs an incompatible configuration (fingerprint mismatch)");
     }
     ++reconnects_;
+    TouchInbound();  // the peer's hello is inbound traffic: liveness restarts
+    link_ready_.store(true, std::memory_order_release);
     obs::FlightRecorder::RecordEvent(obs::FlightRecorder::Kind::kReconnect,
                                      static_cast<uint32_t>(channel_index_),
                                      static_cast<int64_t>(attempts_used_),

@@ -1,17 +1,20 @@
 #ifndef VF2BOOST_FED_SESSION_H_
 #define VF2BOOST_FED_SESSION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
 #include "fed/channel.h"
 #include "obs/clock_sync.h"
+#include "obs/metrics_registry.h"
 
 namespace vf2boost {
 
@@ -99,7 +102,22 @@ class SessionBroker : public ChannelFactory {
 ///   4. exchanges kHello over the fresh endpoint and cross-checks session id
 ///      and config fingerprint — a mismatch is a terminal ProtocolError,
 /// under a total attempt budget of `config.reconnect_max_attempts` for the
-/// port's lifetime. Single engine thread per port, like ChannelEndpoint.
+/// port's lifetime. One engine thread drives Send/Receive/Reestablish, like
+/// ChannelEndpoint; when `config.heartbeat_interval_seconds > 0` the channel
+/// additionally runs a background beacon thread (see below), so the current
+/// endpoint is held behind a small mutex.
+///
+/// Heartbeat liveness (tentpole of the chaos-hardening PR): with heartbeats
+/// on, a beacon thread sends an empty kHeartbeat every interval while the
+/// link is up; inbound heartbeats are consumed below the engine's inbox and
+/// merely refresh a last-inbound-traffic stamp. With
+/// `liveness_budget_seconds > 0`, Receive converts per-call deadline expiries
+/// into continued waiting while inbound silence is within the budget — and
+/// into Status::Unavailable ("peer liveness budget exhausted") once it is
+/// not. The engines' existing IsTransientFault -> Reestablish machinery then
+/// recovers. Net effect: a half-open or SIGSTOP'd peer is detected by the
+/// session layer within the budget, while a healthy-but-quiet peer (minutes
+/// of Paillier crunching) keeps the link alive through its beacons.
 class SessionChannel : public MessagePort {
  public:
   /// `initial` is the run's first-generation link; it may be null (a
@@ -110,6 +128,7 @@ class SessionChannel : public MessagePort {
                  uint64_t session_id, uint32_t party,
                  uint64_t config_fingerprint, const NetworkConfig& config,
                  std::unique_ptr<MessagePort> initial);
+  ~SessionChannel() override;
 
   void Send(Message msg) override;
   Result<Message> Receive() override;
@@ -138,7 +157,39 @@ class SessionChannel : public MessagePort {
   /// Rendezvous attempts consumed out of config.reconnect_max_attempts.
   int attempts_used() const { return attempts_used_; }
 
+  /// Registers the channel's liveness counters ("session/heartbeats_sent",
+  /// "session/heartbeats_received", "session/liveness_trips") in `registry`
+  /// (borrowed; must outlive the channel). Multiple channels bound to the
+  /// same registry share the counters — GetCounter dedups by name — so the
+  /// exported numbers are per-process totals, matching the transport/tcp/*
+  /// convention.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Heartbeat beacons this channel sent / inbound beacons it consumed /
+  /// times the liveness budget tripped. Mirrors of the bound counters that
+  /// work without a registry (unit tests).
+  uint64_t heartbeats_sent() const {
+    return hb_sent_local_.load(std::memory_order_relaxed);
+  }
+  uint64_t heartbeats_received() const {
+    return hb_received_local_.load(std::memory_order_relaxed);
+  }
+  uint64_t liveness_trips() const {
+    return liveness_trips_local_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Current-endpoint snapshot; safe against the beacon thread and against
+  /// Reestablish swapping generations.
+  std::shared_ptr<MessagePort> SnapshotEp() const;
+  /// Stamps "inbound traffic seen now" for the liveness clock.
+  void TouchInbound();
+  /// Seconds since the last inbound traffic (any frame, beacons included).
+  double SecondsSinceInbound() const;
+  /// Body of the beacon thread: every heartbeat interval, send one empty
+  /// kHeartbeat on the current endpoint while the link is up.
+  void HeartbeatLoop();
+
   ChannelFactory* factory_;
   const size_t channel_index_;
   const bool a_side_;
@@ -147,14 +198,36 @@ class SessionChannel : public MessagePort {
   const uint64_t fingerprint_;
   const NetworkConfig config_;
 
-  std::unique_ptr<MessagePort> ep_;
+  /// Guarded by ep_mu_; shared_ptr so the beacon thread can Send on a
+  /// snapshot while Reestablish retires the generation.
+  mutable std::mutex ep_mu_;
+  std::shared_ptr<MessagePort> ep_;
+  /// True while the current link generation is usable (false between link
+  /// retirement and a completed hello) — the beacon thread only sends on a
+  /// ready link so a heartbeat can never race ahead of a handshake hello.
+  std::atomic<bool> link_ready_{false};
+  /// Steady-clock stamp (microseconds) of the last inbound frame.
+  std::atomic<int64_t> last_inbound_us_{0};
+
+  std::thread heartbeat_thread_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;
+
+  std::atomic<obs::Counter*> hb_sent_counter_{nullptr};
+  std::atomic<obs::Counter*> hb_received_counter_{nullptr};
+  std::atomic<obs::Counter*> liveness_trips_counter_{nullptr};
+  std::atomic<uint64_t> hb_sent_local_{0};
+  std::atomic<uint64_t> hb_received_local_{0};
+  std::atomic<uint64_t> liveness_trips_local_{0};
+
   obs::ClockSync* clock_sync_ = nullptr;
   ChannelStats retired_stats_;  // sums of replaced endpoints' sent_stats
   Rng backoff_rng_;
   double prev_backoff_seconds_ = 0;
   int attempts_used_ = 0;
   size_t reconnects_ = 0;
-  bool terminally_closed_ = false;
+  std::atomic<bool> terminally_closed_{false};
   Status close_status_;
 };
 

@@ -67,6 +67,7 @@ TcpTransportMetrics TcpTransportMetrics::Create(obs::MetricsRegistry* registry) 
   m.bytes_written = registry->GetCounter("transport/tcp/bytes_written");
   m.bytes_read = registry->GetCounter("transport/tcp/bytes_read");
   m.short_reads = registry->GetCounter("transport/tcp/short_reads");
+  m.short_writes = registry->GetCounter("transport/tcp/short_writes");
   return m;
 }
 
@@ -113,6 +114,12 @@ void TcpMessagePort::Send(Message msg) {
                              MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
+      // The kernel took only part of the frame (full socket buffer — a
+      // throttled or congested link); the loop finishes it. Constantly
+      // nonzero under the vf2_chaosd bandwidth scenarios.
+      if (off < frame.size() && m_.short_writes != nullptr) {
+        m_.short_writes->Add(1);
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -126,16 +133,19 @@ void TcpMessagePort::Send(Message msg) {
   if (m_.frames_written != nullptr) m_.frames_written->Add(1);
   if (m_.bytes_written != nullptr) m_.bytes_written->Add(frame.size());
   if (auto* rec = obs::TraceRecorder::Current();
-      rec != nullptr && !IsClockSyncFrame(msg.type)) {
+      rec != nullptr && !IsClockSyncFrame(msg.type) &&
+      !IsHeartbeatFrame(msg.type)) {
     char args[64];
     std::snprintf(args, sizeof(args), "\"bytes\":%zu", frame.size());
     rec->FlowStart(std::string("snd ") + MessageTypeName(msg.type),
                    msg.trace_id, args);
   }
-  obs::FlightRecorder::RecordEvent(
-      obs::FlightRecorder::Kind::kFrameSent, static_cast<uint8_t>(msg.type),
-      static_cast<int64_t>(msg.payload.size()),
-      static_cast<int64_t>(msg.trace_id), MessageTypeName(msg.type));
+  if (!IsHeartbeatFrame(msg.type)) {
+    obs::FlightRecorder::RecordEvent(
+        obs::FlightRecorder::Kind::kFrameSent, static_cast<uint8_t>(msg.type),
+        static_cast<int64_t>(msg.payload.size()),
+        static_cast<int64_t>(msg.trace_id), MessageTypeName(msg.type));
+  }
 }
 
 Status TcpMessagePort::FillBuffer(int timeout_ms) {
@@ -254,6 +264,7 @@ Status TcpMessagePort::TryReceive(Message* out, bool* got) {
 }
 
 void TcpMessagePort::NoteReceived(const Message& msg) {
+  if (IsHeartbeatFrame(msg.type)) return;  // beacons stay out of trace + ring
   if (auto* rec = obs::TraceRecorder::Current();
       rec != nullptr && !IsClockSyncFrame(msg.type)) {
     char args[64];

@@ -31,6 +31,8 @@ struct TcpTransportMetrics {
   obs::Counter* bytes_written = nullptr;  ///< frame bytes handed to the kernel
   obs::Counter* bytes_read = nullptr;     ///< frame bytes taken off the socket
   obs::Counter* short_reads = nullptr;    ///< reads that returned a partial frame
+  obs::Counter* short_writes = nullptr;   ///< send() calls that took only part
+                                          ///< of a frame (looped until whole)
 
   static TcpTransportMetrics Create(obs::MetricsRegistry* registry);
 };

@@ -32,6 +32,8 @@ const char* FlightRecorder::KindName(Kind kind) {
       return "watchdog";
     case Kind::kNote:
       return "note";
+    case Kind::kLiveness:
+      return "liveness";
   }
   return "unknown";
 }
@@ -77,7 +79,7 @@ void FlightRecorder::Record(Kind kind, uint32_t code, int64_t a, int64_t b,
   // SIGKILL then costs at most the events since the last boundary.
   if (!persist_path_.empty() &&
       (kind == Kind::kTreeBoundary || kind == Kind::kReconnect ||
-       kind == Kind::kWatchdog)) {
+       kind == Kind::kWatchdog || kind == Kind::kLiveness)) {
     Persist();
   }
 }

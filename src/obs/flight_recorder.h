@@ -36,6 +36,10 @@ class FlightRecorder {
     kStateChange = 6,
     kWatchdog = 7,
     kNote = 8,
+    /// Session-layer liveness budget tripped: the peer sent nothing (not
+    /// even heartbeats) for longer than the budget. `code` = channel index,
+    /// `a` = observed silence (milliseconds), `b` = budget (milliseconds).
+    kLiveness = 9,
   };
   static const char* KindName(Kind kind);
 

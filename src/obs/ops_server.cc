@@ -81,7 +81,8 @@ void AppendWireSection(std::string* out,
     }
     const bool wire = s.name.find("ciphers_sent") != std::string::npos ||
                       s.name.find("gh_pack_ratio") != std::string::npos ||
-                      s.name.find("transport/tcp/") != std::string::npos;
+                      s.name.find("transport/tcp/") != std::string::npos ||
+                      s.name.find("session/") != std::string::npos;
     if (!wire) continue;
     lines += "  " + s.name + ": " + FormatDouble(s.value);
     if (!s.unit.empty() && s.unit != "value") lines += " " + s.unit;

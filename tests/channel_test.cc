@@ -376,6 +376,73 @@ TEST(NetworkConfigTest, ValidateRejectsBadRecoveryKnobs) {
   EXPECT_FALSE(net.Validate().ok());
 }
 
+TEST(NetworkConfigTest, ValidateRejectsIncoherentLivenessKnobs) {
+  NetworkConfig net;
+  net.heartbeat_interval_seconds = -1;
+  EXPECT_FALSE(net.Validate().ok());
+  net.heartbeat_interval_seconds = 0;
+  net.liveness_budget_seconds = -1;
+  EXPECT_FALSE(net.Validate().ok());
+
+  // A liveness budget needs beacons to measure against...
+  net.liveness_budget_seconds = 1.0;
+  net.heartbeat_interval_seconds = 0;
+  EXPECT_FALSE(net.Validate().ok());
+  // ...a receive deadline to sample the silence at...
+  net.heartbeat_interval_seconds = 0.2;
+  net.default_deadline_seconds = 0;
+  EXPECT_FALSE(net.Validate().ok());
+  // ...and must exceed the beacon period, or one delayed beacon reads as
+  // peer death.
+  net.default_deadline_seconds = 0.1;
+  net.liveness_budget_seconds = 0.2;
+  EXPECT_FALSE(net.Validate().ok());
+  net.liveness_budget_seconds = 1.0;
+  EXPECT_TRUE(net.Validate().ok());
+}
+
+TEST(NetworkConfigTest, TcpTransportValidationRejectsSimOnlyFaultKnobs) {
+  NetworkConfig net;
+  EXPECT_TRUE(net.ValidateForTcpTransport().ok());
+
+  // Deterministic link death plus the recovery and liveness knobs are
+  // transport-agnostic: all stay allowed over TCP.
+  net.kill_after_messages = 10;
+  net.default_deadline_seconds = 1;
+  net.reconnect_max_attempts = 3;
+  net.heartbeat_interval_seconds = 0.1;
+  net.liveness_budget_seconds = 0.5;
+  EXPECT_TRUE(net.ValidateForTcpTransport().ok());
+
+  // The simulated gateway's probabilistic/shaping knobs are silently dead on
+  // real sockets; the TCP path must reject them and point at vf2_chaosd.
+  const auto expect_rejected = [](NetworkConfig bad) {
+    Status st = bad.ValidateForTcpTransport();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find("vf2_chaosd"), std::string::npos);
+    EXPECT_TRUE(bad.Validate().ok());  // ...though the sim accepts them
+  };
+  NetworkConfig bad;
+  bad.drop_probability = 0.1;
+  expect_rejected(bad);
+  bad = NetworkConfig{};
+  bad.duplicate_probability = 0.1;
+  expect_rejected(bad);
+  bad = NetworkConfig{};
+  bad.corrupt_probability = 0.1;
+  expect_rejected(bad);
+  bad = NetworkConfig{};
+  bad.jitter_seconds = 0.1;
+  expect_rejected(bad);
+  bad = NetworkConfig{};
+  bad.latency_seconds = 0.1;
+  expect_rejected(bad);
+  bad = NetworkConfig{};
+  bad.bandwidth_bytes_per_sec = 1024;
+  expect_rejected(bad);
+}
+
 // --- inbox ------------------------------------------------------------------
 
 TEST(InboxTest, ReceiveTypeBuffersOthers) {

@@ -239,8 +239,12 @@ TEST(MessageTest, MetricsDeltaFramesRoundTripOnTheWire) {
   ASSERT_TRUE(DecodeFrame(EncodeFrame(msg), &out).ok());
   EXPECT_EQ(out.type, MessageType::kMetricsDelta);
   EXPECT_EQ(out.payload, msg.payload);
-  // The slot right after the dense range stays an unknown wire type.
-  Message bogus{static_cast<MessageType>(19), {}};
+  // Heartbeats (19) filled the last gap; the first slot past the dense
+  // range stays an unknown wire type.
+  Message beat{MessageType::kHeartbeat, {}};
+  ASSERT_TRUE(DecodeFrame(EncodeFrame(beat), &out).ok());
+  EXPECT_EQ(out.type, MessageType::kHeartbeat);
+  Message bogus{static_cast<MessageType>(24), {}};
   EXPECT_FALSE(DecodeFrame(EncodeFrame(bogus), &out).ok());
 }
 

@@ -175,6 +175,122 @@ TEST(SessionChannelTest, ErrorCloseShutsTheBrokerDown) {
   EXPECT_EQ(r.status().code(), StatusCode::kAborted);
 }
 
+// --- heartbeat / liveness ---------------------------------------------------
+
+TEST(SessionHeartbeatTest, BeaconsFlowAndNeverSurfaceFromReceive) {
+  // Asymmetric on purpose: only A beacons, B has no heartbeat config at all.
+  // B must still consume them silently — liveness is a per-side choice.
+  NetworkConfig a_net = RecoverableNet();
+  a_net.heartbeat_interval_seconds = 0.02;
+  NetworkConfig b_net = RecoverableNet();
+  SessionBroker broker({a_net});
+  auto [ea, eb] = ChannelEndpoint::CreatePair(a_net);
+  SessionChannel a(&broker, 0, /*a_side=*/true, /*session_id=*/1, /*party=*/0,
+                   /*fingerprint=*/7, a_net, std::move(ea));
+  SessionChannel b(&broker, 0, /*a_side=*/false, /*session_id=*/1,
+                   /*party=*/1, /*fingerprint=*/7, b_net, std::move(eb));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Message m;
+  m.type = MessageType::kGradBatch;
+  m.payload = {7};
+  a.Send(std::move(m));
+  // The beacons queued ahead of the data frame are swallowed, not surfaced.
+  Result<Message> r = b.Receive();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->type, MessageType::kGradBatch);
+  EXPECT_GE(a.heartbeats_sent(), 1u);
+  EXPECT_GE(b.heartbeats_received(), 1u);
+}
+
+TEST(SessionHeartbeatTest, TryReceiveDrainsBeaconsWithoutSurfacingThem) {
+  NetworkConfig net = RecoverableNet();
+  net.heartbeat_interval_seconds = 0.02;
+  SessionPair pair(net);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Message out;
+  bool got = true;
+  ASSERT_TRUE(pair.b->TryReceive(&out, &got).ok());
+  EXPECT_FALSE(got);  // nothing but beacons arrived
+  EXPECT_GE(pair.b->heartbeats_received(), 1u);
+}
+
+TEST(SessionHeartbeatTest, LivenessBudgetTripsOnSilentPeerAndLinkHeals) {
+  // A beacons and enforces a budget; B is mute (no heartbeat config). From
+  // A's perspective the peer is alive-but-silent — exactly what a SIGSTOP'd
+  // process or a partitioned link looks like: the connection stays open, so
+  // only the liveness budget can flag it.
+  NetworkConfig a_net = RecoverableNet();
+  a_net.default_deadline_seconds = 0.05;
+  a_net.heartbeat_interval_seconds = 0.02;
+  a_net.liveness_budget_seconds = 0.2;
+  NetworkConfig b_net = RecoverableNet();
+  SessionBroker broker({a_net});
+  auto [ea, eb] = ChannelEndpoint::CreatePair(a_net);
+  SessionChannel a(&broker, 0, /*a_side=*/true, /*session_id=*/1, /*party=*/0,
+                   /*fingerprint=*/7, a_net, std::move(ea));
+  SessionChannel b(&broker, 0, /*a_side=*/false, /*session_id=*/1,
+                   /*party=*/1, /*fingerprint=*/7, b_net, std::move(eb));
+
+  Stopwatch timer;
+  Result<Message> r = a.Receive();
+  ASSERT_FALSE(r.ok());
+  // The trip rides the existing recovery path: a transient Unavailable the
+  // engines answer with Recover(), not a new failure mode.
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsTransientFault(r.status()));
+  EXPECT_NE(r.status().message().find("liveness"), std::string::npos);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.2);
+  EXPECT_EQ(a.liveness_trips(), 1u);
+
+  // And the standard reconnect machinery heals the session afterwards.
+  Result<HelloPayload> from_b = Status::Unavailable("pending");
+  std::thread side_b([&] { from_b = b.Reestablish(0); });
+  Result<HelloPayload> from_a = a.Reestablish(0);
+  side_b.join();
+  ASSERT_TRUE(from_a.ok()) << from_a.status().ToString();
+  ASSERT_TRUE(from_b.ok()) << from_b.status().ToString();
+  Message m;
+  m.type = MessageType::kGradBatch;
+  m.payload = {9};
+  b.Send(std::move(m));
+  Result<Message> healed = a.Receive();
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(healed->payload[0], 9);
+}
+
+TEST(SessionHeartbeatTest, TrafficKeepsTheBudgetFromTripping) {
+  // Real inbound frames reset the silence clock just like beacons do: a link
+  // carrying data never trips, even when the peer sends no heartbeats.
+  NetworkConfig a_net = RecoverableNet();
+  a_net.default_deadline_seconds = 0.05;
+  a_net.heartbeat_interval_seconds = 0.05;
+  a_net.liveness_budget_seconds = 0.3;
+  NetworkConfig b_net = RecoverableNet();
+  SessionBroker broker({a_net});
+  auto [ea, eb] = ChannelEndpoint::CreatePair(a_net);
+  SessionChannel a(&broker, 0, /*a_side=*/true, /*session_id=*/1, /*party=*/0,
+                   /*fingerprint=*/7, a_net, std::move(ea));
+  SessionChannel b(&broker, 0, /*a_side=*/false, /*session_id=*/1,
+                   /*party=*/1, /*fingerprint=*/7, b_net, std::move(eb));
+  std::thread feeder([&] {
+    for (int i = 0; i < 5; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      Message m;
+      m.type = MessageType::kGradBatch;
+      m.payload = {static_cast<uint8_t>(i)};
+      b.Send(std::move(m));
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    Result<Message> r = a.Receive();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->payload[0], static_cast<uint8_t>(i));
+  }
+  feeder.join();
+  EXPECT_EQ(a.liveness_trips(), 0u);
+}
+
 TEST(SessionChannelTest, CleanCloseLeavesBrokerRunning) {
   SessionPair pair(RecoverableNet());
   pair.a->Close(Status::OK());

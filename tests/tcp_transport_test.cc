@@ -6,11 +6,15 @@
 #include "fed/tcp_transport.h"
 
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -263,6 +267,65 @@ TEST(TcpMessagePortTest, LocalCloseWakesBlockedReceiveAsAborted) {
         ::close(fa);
       },
       20.0));
+}
+
+TEST(TcpMessagePortTest, ShortWritesAreCountedAndTheFrameStaysIntact) {
+  ASSERT_TRUE(RunWithWatchdog(
+      [] {
+        // A no-op handler installed WITHOUT SA_RESTART: a signal delivered
+        // while send() is blocked on a full socket buffer makes it return
+        // the partial byte count, which is exactly the short write the send
+        // loop must finish and count.
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = [](int) {};
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0;
+        struct sigaction old_sa;
+        ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+        auto [fa, fb] = SocketPair();
+        int sndbuf = 4096;  // tiny buffer: a large frame cannot fit at once
+        ASSERT_EQ(::setsockopt(fa, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                               sizeof(sndbuf)),
+                  0);
+        obs::MetricsRegistry registry;
+        const TcpTransportMetrics metrics =
+            TcpTransportMetrics::Create(&registry);
+        NetworkConfig net;
+        net.default_deadline_seconds = 30;
+        TcpMessagePort a(fa, net, metrics), b(fb, net, metrics);
+
+        std::vector<uint8_t> big(4 * 1024 * 1024);
+        for (size_t i = 0; i < big.size(); ++i) {
+          big[i] = static_cast<uint8_t>(i * 13);
+        }
+        std::atomic<bool> sending{true};
+        std::thread sender([&] {
+          a.Send(Msg(MessageType::kNodeHistogram, big));
+          sending.store(false);
+        });
+        // Let the sender wedge against the full buffer, then pepper it with
+        // signals while the reader is still idle — the first interrupted
+        // send() has already moved partial bytes and must count.
+        std::thread signaler([&, handle = sender.native_handle()] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          while (sending.load()) {
+            pthread_kill(handle, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+        Result<Message> r = b.Receive();
+        sender.join();
+        signaler.join();
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(r->payload, big);  // interrupted writes never tore a frame
+        EXPECT_GE(registry.GetCounter("transport/tcp/short_writes")->value(),
+                  1u);
+        ASSERT_EQ(sigaction(SIGUSR1, &old_sa, nullptr), 0);
+      },
+      60.0));
 }
 
 TEST(TcpChannelFactoryTest, PreambleRoutesOutOfOrderJoiners) {

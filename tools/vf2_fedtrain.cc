@@ -85,6 +85,11 @@ int main(int argc, char** argv) {
        {"heal-after", "seconds a dead link stays down before it can heal"},
        {"reconnect-budget", "session reconnect attempts (0 = fail fast)"},
        {"fault-seed", "fault-injection PRNG seed (default 0x5eed)"},
+       {"heartbeat-interval", "session kHeartbeat beacon period, seconds "
+                              "(0 = no heartbeats)"},
+       {"liveness-budget", "max inbound silence before the session declares "
+                           "the peer dead and reconnects (0 = off; needs "
+                           "--heartbeat-interval and --deadline)"},
        {"listen", "run as party B over TCP: accept A parties on this port "
                   "(0 = ephemeral, printed)"},
        {"connect", "run as one A party over TCP: dial party B at HOST:PORT"},
@@ -156,6 +161,10 @@ int main(int argc, char** argv) {
   config.network.reconnect_max_attempts = flags.GetInt("reconnect-budget", 0);
   config.network.fault_seed =
       static_cast<uint64_t>(flags.GetInt("fault-seed", 0x5eed));
+  config.network.heartbeat_interval_seconds =
+      flags.GetDouble("heartbeat-interval", 0);
+  config.network.liveness_budget_seconds =
+      flags.GetDouble("liveness-budget", 0);
   config.ops_port = flags.GetInt("ops-port", 0);
   config.ops_bind = flags.GetString("ops-bind", "127.0.0.1");
   config.federate_metrics =
@@ -213,6 +222,9 @@ int main(int argc, char** argv) {
     flight->Install();
     flight->SetPersistPath(flags.GetString("flight-out"));
     std::signal(SIGTERM, OnTerminate);
+    // Ctrl-C on an interactive chaos drill should leave the same black box a
+    // SIGTERM does.
+    std::signal(SIGINT, OnTerminate);
     // Write an initial dump immediately: even a SIGKILL that lands before
     // the first tree boundary then leaves a parseable black box behind.
     flight->Record(obs::FlightRecorder::Kind::kStateChange, 0, 0, 0,
@@ -249,6 +261,7 @@ int main(int argc, char** argv) {
           party_id, fingerprint, config.network,
           /*initial=*/nullptr);
       session->set_clock_sync(clock_sync);
+      session->BindMetrics(&registry);
       Result<HelloPayload> peer = session->Reestablish(-1, needs_setup);
       if (!peer.ok()) return peer.status();
       return std::unique_ptr<MessagePort>(std::move(session));
@@ -279,6 +292,16 @@ int main(int argc, char** argv) {
     const size_t colon = hostport.rfind(':');
     if (colon == std::string::npos) {
       std::fprintf(stderr, "--connect wants HOST:PORT\n");
+      return 1;
+    }
+    if (Status st = config.Validate(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    // Sim-only fault knobs are silently dead on real sockets; fail loudly
+    // and point at vf2_chaosd instead.
+    if (Status st = config.network.ValidateForTcpTransport(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
     // Distinct per-process flow-id namespace (matches the trace pid
@@ -337,6 +360,10 @@ int main(int argc, char** argv) {
   } else if (tcp_listen) {
     // ---- party B over TCP -------------------------------------------------
     if (Status st = config.Validate(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (Status st = config.network.ValidateForTcpTransport(); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
