@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/metrics_registry.h"
+#include "obs/phase_tag.h"
+#include "obs/profiler.h"
 
 namespace vf2boost {
 
@@ -35,11 +37,27 @@ void ThreadPool::SetQueueDepthGauge(obs::Gauge* gauge) {
   queue_depth_gauge_.store(gauge, std::memory_order_release);
 }
 
+void ThreadPool::SetBusyWorkersGauge(obs::Gauge* gauge) {
+  busy_workers_gauge_.store(gauge, std::memory_order_release);
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  // Propagate the submitter's profiler phase tag: CPU burned by a worker on
+  // this task is attributed to the party/phase/tree that requested it, not
+  // to an anonymous pool thread. PhaseTag is a trivially-copyable POD, so
+  // this is a small by-value capture.
+  const obs::PhaseTag tag = obs::CurrentPhaseTag();
+  std::function<void()> wrapped = [t = std::move(task), tag] {
+    obs::PhaseTag* mine = obs::MutablePhaseTag();
+    const obs::PhaseTag saved = *mine;
+    *mine = tag;
+    t();
+    *mine = saved;
+  };
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(wrapped));
     ++in_flight_;
     depth = queue_.size();
   }
@@ -94,6 +112,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::WorkerLoop() {
   g_worker_pool = this;
+  // Visible to a running (or future) sampling profiler; auto-unregisters
+  // at thread exit. No-op cost when no profiler ever starts.
+  obs::ProfilerRegisterCurrentThread();
   for (;;) {
     std::function<void()> task;
     {
@@ -106,7 +127,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const size_t busy = busy_workers_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* gauge = busy_workers_gauge_.load(std::memory_order_acquire)) {
+      gauge->Set(static_cast<double>(busy + 1));
+    }
     task();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (auto* gauge = busy_workers_gauge_.load(std::memory_order_acquire)) {
+      gauge->Set(static_cast<double>(
+          busy_workers_.load(std::memory_order_relaxed)));
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -45,6 +45,17 @@ class ThreadPool {
   /// beyond the atomic itself.
   void SetQueueDepthGauge(obs::Gauge* gauge);
 
+  /// Publishes the number of workers currently executing a task to `gauge`
+  /// (Gauge::Set with the instantaneous count on every transition). Together
+  /// with queue depth this distinguishes "saturated" (busy == size, queue
+  /// deep) from "idle" (both zero). Same wiring rules as the queue gauge.
+  void SetBusyWorkersGauge(obs::Gauge* gauge);
+
+  /// Workers executing a task right now (approximate under concurrency).
+  size_t busy_workers() const {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Work is split into contiguous ranges, one per worker. Completion is
   /// tracked per call, so concurrent ParallelFor invocations on the same
@@ -64,6 +75,8 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool shutdown_ = false;
   std::atomic<obs::Gauge*> queue_depth_gauge_{nullptr};
+  std::atomic<obs::Gauge*> busy_workers_gauge_{nullptr};
+  std::atomic<size_t> busy_workers_{0};
 };
 
 }  // namespace vf2boost

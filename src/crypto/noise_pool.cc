@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/phase_tag.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace vf2boost {
@@ -14,8 +16,18 @@ NoisePool::NoisePool(PaillierPublicKey pub, size_t capacity, size_t workers,
       low_water_(capacity_ / 2),
       seed_(seed) {
   workers_.reserve(workers);
+  // Producer CPU shows up in profiles as its own phase, attributed to the
+  // party that owns the pool (inherited from the constructing thread).
+  const obs::PhaseTag creator = obs::CurrentPhaseTag();
   for (size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, i] { ProducerLoop(i); });
+    workers_.emplace_back([this, i, creator] {
+      obs::ProfilerRegisterCurrentThread();
+      obs::PhaseTag* tag = obs::MutablePhaseTag();
+      *tag = creator;
+      tag->phase = "noise_precompute";
+      tag->tree = -1;
+      ProducerLoop(i);
+    });
   }
 }
 

@@ -30,6 +30,9 @@ PartyMetrics PartyMetrics::Create(obs::MetricsRegistry* registry,
       registry->GetGauge(prefix + "/noise_pool/fill", "nonces");
   m.pool_queue_high_water =
       registry->GetGauge(prefix + "/pool_queue_high_water", "tasks");
+  m.pool_busy_workers =
+      registry->GetGauge(prefix + "/pool/busy_workers", "workers");
+  m.pool_size = registry->GetGauge(prefix + "/pool/size", "workers");
   m.reconnects = registry->GetCounter(prefix + "/session/reconnects");
   m.trees_resumed = registry->GetCounter(prefix + "/session/trees_resumed");
   m.features = registry->GetGauge(prefix + "/features", "features");

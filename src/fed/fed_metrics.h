@@ -7,6 +7,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/live_status.h"
 #include "obs/metrics_registry.h"
+#include "obs/phase_tag.h"
 #include "obs/trace.h"
 
 namespace vf2boost {
@@ -42,6 +43,11 @@ struct PartyMetrics {
   /// High-water task-queue depth of the party's worker pool (registry-only;
   /// FedStats has no legacy slot for it).
   obs::Gauge* pool_queue_high_water = nullptr;
+  /// Instantaneous busy-worker count and configured pool size (registry-
+  /// only). busy/size is the utilization /statusz shows; queue depth alone
+  /// cannot distinguish "saturated" from "idle".
+  obs::Gauge* pool_busy_workers = nullptr;
+  obs::Gauge* pool_size = nullptr;
   /// Session-layer recovery: completed link re-establishments and (Party B)
   /// trees restored from a checkpoint instead of being retrained.
   obs::Counter* reconnects = nullptr;
@@ -100,6 +106,14 @@ class PhaseClock {
         rec_(obs::TraceRecorder::Current()),
         live_(live) {
     if (rec_ != nullptr) start_us_ = rec_->NowMicros();
+    // Tag this thread for the sampling profiler (obs/profiler.h): SIGPROF
+    // samples taken inside the phase carry its name. Plain TLS stores —
+    // paid whether or not a profiler runs, like the LiveStatus mirror.
+    obs::PhaseTag* tag = obs::MutablePhaseTag();
+    prev_phase_ = tag->phase;
+    prev_tree_ = tag->tree;
+    tag->phase = trace_name;
+    if (live_ != nullptr) tag->tree = static_cast<int32_t>(live_->tree());
     if (live_ != nullptr) {
       live_->SetPhase(trace_name);
       // Engine phases (live != nullptr) also land in the black box, so a
@@ -122,6 +136,9 @@ class PhaseClock {
                          rec_->NowMicros() - start_us_, "");
     }
     if (live_ != nullptr) live_->SetPhase("");
+    obs::PhaseTag* tag = obs::MutablePhaseTag();
+    tag->phase = prev_phase_;
+    tag->tree = prev_tree_;
   }
 
  private:
@@ -132,6 +149,8 @@ class PhaseClock {
   int64_t start_us_ = 0;
   Stopwatch watch_;
   bool stopped_ = false;
+  const char* prev_phase_ = nullptr;
+  int32_t prev_tree_ = -1;
 };
 
 }  // namespace vf2boost

@@ -52,6 +52,8 @@ PartyAEngine::PartyAEngine(const FedConfig& config, const Dataset& data,
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
     pool_->SetQueueDepthGauge(m_.pool_queue_high_water);
+    pool_->SetBusyWorkersGauge(m_.pool_busy_workers);
+    m_.pool_size->Set(static_cast<double>(pool_->num_threads()));
   }
 }
 
@@ -123,7 +125,9 @@ Status PartyAEngine::Run() {
   // waiting on a dead party.
   ChannelCloseGuard guard(inbox_.port(),
                           "party A" + std::to_string(party_index_));
-  if (config_.stall_budget_seconds > 0) {
+  {
+    // Always on: stall detector when the budget is positive, resource
+    // accountant (party_a<i>/os/* gauges) either way.
     obs::StallWatchdog::Options wd;
     wd.budget_seconds = config_.stall_budget_seconds;
     wd.live = &live_;

@@ -67,6 +67,8 @@ PartyBEngine::PartyBEngine(const FedConfig& config, const Dataset& data,
   if (config_.workers_per_party > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.workers_per_party);
     pool_->SetQueueDepthGauge(m_.pool_queue_high_water);
+    pool_->SetBusyWorkersGauge(m_.pool_busy_workers);
+    m_.pool_size->Set(static_cast<double>(pool_->num_threads()));
   }
 }
 
@@ -731,7 +733,10 @@ Result<PartyBResult> PartyBEngine::Run() {
     meta.reference = true;
     rec->SetClockSync(party_b_index_ + 1, meta);
   }
-  if (config_.stall_budget_seconds > 0) {
+  {
+    // Always on: with a positive stall budget this is the stall detector
+    // from PR 8; with budget <= 0 it still runs as the resource accountant
+    // feeding the party_b/os/* gauges.
     obs::StallWatchdog::Options wd;
     wd.budget_seconds = config_.stall_budget_seconds;
     wd.live = &live_;

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -14,6 +15,7 @@
 #include "obs/build_info.h"
 #include "obs/live_status.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/prom_export.h"
 #include "obs/remote_metrics.h"
 #include "obs/trace.h"
@@ -96,6 +98,36 @@ void AppendWireSection(std::string* out,
             FormatDouble(uncertainty_us) + " us, rtt " + FormatDouble(rtt_us) +
             " us, " + FormatDouble(clock_samples) + " samples)\n";
   }
+}
+
+/// The "worker pool:" /statusz section: busy vs size per party prefix, so
+/// an operator can tell a saturated pool (busy == size, deep queue) from an
+/// idle one at a glance. Gauges come from ThreadPool::SetBusyWorkersGauge.
+void AppendPoolSection(std::string* out,
+                       const std::vector<MetricSample>& samples) {
+  std::map<std::string, std::pair<double, double>> pools;  // prefix -> busy,sz
+  for (const MetricSample& s : samples) {
+    if (s.kind == MetricSample::Kind::kHistogram) continue;
+    size_t mark = s.name.find("/pool/busy_workers");
+    if (mark != std::string::npos) pools[s.name.substr(0, mark)].first = s.value;
+    mark = s.name.find("/pool/size");
+    if (mark != std::string::npos) {
+      pools[s.name.substr(0, mark)].second = s.value;
+    }
+  }
+  std::string lines;
+  for (const auto& [prefix, busy_size] : pools) {
+    const auto [busy, size] = busy_size;
+    if (size <= 0) continue;  // engine runs without a worker pool
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "  %s: %.0f/%.0f workers busy (%.0f%% utilization)\n",
+                  prefix.c_str(), busy, size, 100.0 * busy / size);
+    lines += line;
+  }
+  if (lines.empty()) return;
+  *out += "\nworker pool:\n";
+  *out += lines;
 }
 
 }  // namespace
@@ -191,9 +223,13 @@ void OpsServer::Serve() {
                               "only GET is supported\n");
     } else {
       std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
-      const size_t query = path.find('?');
-      if (query != std::string::npos) path.resize(query);
-      response = HandlePath(path);
+      std::string query;
+      const size_t qpos = path.find('?');
+      if (qpos != std::string::npos) {
+        query = path.substr(qpos + 1);
+        path.resize(qpos);
+      }
+      response = HandlePath(path, query);
     }
 
     size_t sent = 0;
@@ -207,7 +243,8 @@ void OpsServer::Serve() {
   }
 }
 
-std::string OpsServer::HandlePath(const std::string& path) const {
+std::string OpsServer::HandlePath(const std::string& path,
+                                  const std::string& query) const {
   const LiveStatus::State state = options_.live != nullptr
                                       ? options_.live->state()
                                       : LiveStatus::State::kIdle;
@@ -261,6 +298,7 @@ std::string OpsServer::HandlePath(const std::string& path) const {
     if (options_.registry != nullptr) {
       const std::vector<MetricSample> samples =
           options_.registry->Snapshot(options_.metric_prefix);
+      AppendPoolSection(&body, samples);
       AppendWireSection(&body, samples);
       body += "\nlocal metrics:\n";
       AppendSampleLines(&body, samples);
@@ -273,6 +311,28 @@ std::string OpsServer::HandlePath(const std::string& path) const {
       }
     }
     return MakeResponse(200, "OK", "text/plain", body);
+  }
+
+  if (path == "/pprof/profile") {
+    // ?seconds=N (default 2). Collection blocks this connection — the
+    // accept loop is single-threaded by design, so a profile window also
+    // delays other scrapes; keep windows short.
+    double seconds = 2.0;
+    const size_t key = query.find("seconds=");
+    if (key != std::string::npos) {
+      seconds = std::atof(query.c_str() + key + std::strlen("seconds="));
+    }
+    std::string error;
+    const std::string folded = CollectFoldedProfile(seconds, 99, &error);
+    if (folded.empty()) {
+      return MakeResponse(400, "Bad Request", "text/plain",
+                          "profile collection failed: " + error + "\n");
+    }
+    return MakeResponse(200, "OK", "text/plain", folded);
+  }
+
+  if (path == "/pprof/heap") {
+    return MakeResponse(200, "OK", "text/plain", RenderHeapProfile());
   }
 
   if (path == "/tracez") {
@@ -303,7 +363,8 @@ std::string OpsServer::HandlePath(const std::string& path) const {
   if (path == "/") {
     return MakeResponse(200, "OK", "text/plain",
                         "vf2boost ops server. endpoints: /healthz /metrics "
-                        "/statusz /tracez\n");
+                        "/statusz /tracez /pprof/profile?seconds=N "
+                        "/pprof/heap\n");
   }
 
   return MakeResponse(404, "Not Found", "text/plain",

@@ -44,8 +44,12 @@ struct OpsServerOptions {
 /// `Connection: close`. Serves:
 ///   /healthz  liveness + session state (503 once the engine reports failed)
 ///   /metrics  Prometheus text exposition (histogram buckets included)
-///   /statusz  human-readable training progress
+///   /statusz  human-readable training progress (incl. pool utilization)
 ///   /tracez   most recent completed spans from the installed TraceRecorder
+///   /pprof/profile?seconds=N  folded-stack CPU profile over an N-second
+///             window (delta of a running profiler, else a temporary one);
+///             blocks this server's single serving thread for the window
+///   /pprof/heap  point-in-time RSS/allocator summary
 ///
 /// Binds 127.0.0.1 unless options.bind_address says otherwise: the endpoints
 /// are unauthenticated, so exposure beyond the host is an operator decision
@@ -71,7 +75,9 @@ class OpsServer {
   explicit OpsServer(const OpsServerOptions& options) : options_(options) {}
 
   void Serve();
-  std::string HandlePath(const std::string& path) const;  // full HTTP response
+  /// Full HTTP response for `path` (+ raw query string, no leading '?').
+  std::string HandlePath(const std::string& path,
+                         const std::string& query) const;
 
   OpsServerOptions options_;
   int listen_fd_ = -1;

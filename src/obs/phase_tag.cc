@@ -1,0 +1,52 @@
+#include "obs/phase_tag.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace vf2boost {
+namespace obs {
+
+namespace {
+// Constant-initialized POD: first access from any context (including a
+// signal handler on an already-registered thread) touches fully-formed
+// storage. ProfilerRegisterCurrentThread additionally touches it from
+// normal code before any timer is armed, forcing TLS block allocation on
+// platforms with lazy dynamic TLS.
+thread_local PhaseTag t_phase_tag{{0}, nullptr, -1};
+}  // namespace
+
+PhaseTag* MutablePhaseTag() { return &t_phase_tag; }
+
+PhaseTag CurrentPhaseTag() { return t_phase_tag; }
+
+void SetThreadPartyTag(const char* party_name) {
+  PhaseTag* tag = &t_phase_tag;
+  if (party_name == nullptr) {
+    tag->party[0] = '\0';
+    return;
+  }
+  size_t out = 0;
+  for (const char* p = party_name; *p != '\0' && out + 1 < sizeof(tag->party);
+       ++p) {
+    unsigned char c = static_cast<unsigned char>(*p);
+    tag->party[out++] = (c == ' ') ? '_' : static_cast<char>(std::tolower(c));
+  }
+  tag->party[out] = '\0';
+}
+
+ScopedPhaseTag::ScopedPhaseTag(const char* phase, int32_t tree) {
+  PhaseTag* tag = &t_phase_tag;
+  prev_phase_ = tag->phase;
+  prev_tree_ = tag->tree;
+  tag->phase = phase;
+  if (tree >= 0) tag->tree = tree;
+}
+
+ScopedPhaseTag::~ScopedPhaseTag() {
+  PhaseTag* tag = &t_phase_tag;
+  tag->phase = prev_phase_;
+  tag->tree = prev_tree_;
+}
+
+}  // namespace obs
+}  // namespace vf2boost

@@ -1,0 +1,62 @@
+#ifndef VF2BOOST_OBS_PHASE_TAG_H_
+#define VF2BOOST_OBS_PHASE_TAG_H_
+
+#include <cstdint>
+
+namespace vf2boost {
+namespace obs {
+
+/// \brief Async-signal-readable thread-local tag naming what the calling
+/// thread is doing right now: which party it works for, which protocol
+/// phase it is inside, and which tree.
+///
+/// The sampling profiler (obs/profiler.h) reads this from the SIGPROF
+/// handler running ON the tagged thread, so the layout is deliberately a
+/// trivially-copyable POD with no pointers to heap memory: `party` is an
+/// inline char buffer and `phase` must be a string literal (or otherwise
+/// immortal storage) so the handler can copy the pointer without touching
+/// the allocator. The thread-local itself is constant-initialized (no
+/// dynamic TLS construction on first access from a signal handler).
+struct PhaseTag {
+  /// Normalized party name ("party_b", "party_a0", ...); empty = unknown.
+  char party[24];
+  /// Phase name; MUST be a string literal. nullptr = unknown.
+  const char* phase;
+  /// Tree index the phase belongs to; -1 = unknown.
+  int32_t tree;
+};
+
+/// Pointer to the calling thread's tag; always valid, zero-initialized.
+PhaseTag* MutablePhaseTag();
+
+/// Copy of the calling thread's tag (normal-code convenience; the signal
+/// handler reads the thread-local directly).
+PhaseTag CurrentPhaseTag();
+
+/// Sets the party component of the calling thread's tag, normalizing the
+/// human-readable engine names used by ThreadPartyScope: "party B" ->
+/// "party_b", "party A0" -> "party_a0"; general strings are lowercased with
+/// spaces mapped to '_'. Pass "" (or nullptr) to clear. Returns nothing a
+/// caller needs; safe with the profiler both on and off.
+void SetThreadPartyTag(const char* party_name);
+
+/// RAII phase push for the calling thread: sets `phase` (a string literal)
+/// and `tree`, restoring the previous pair on destruction, so nested phases
+/// (e.g. a comm_wait inside a build span) unwind correctly.
+class ScopedPhaseTag {
+ public:
+  explicit ScopedPhaseTag(const char* phase, int32_t tree = -1);
+  ~ScopedPhaseTag();
+
+  ScopedPhaseTag(const ScopedPhaseTag&) = delete;
+  ScopedPhaseTag& operator=(const ScopedPhaseTag&) = delete;
+
+ private:
+  const char* prev_phase_;
+  int32_t prev_tree_;
+};
+
+}  // namespace obs
+}  // namespace vf2boost
+
+#endif  // VF2BOOST_OBS_PHASE_TAG_H_

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <utility>
 
@@ -41,6 +42,7 @@ void AppendNumber(std::string* out, double v) {
 struct RenderedSample {
   MetricSample sample;
   std::string party;  // "" = no party label
+  std::string extra;  // preformatted extra labels, e.g. mode="user"
 };
 
 std::string LabelSet(const std::string& party, const std::string& extra = "") {
@@ -60,6 +62,11 @@ void RenderOne(std::string* out, const std::string& prom_name,
   *out += "# TYPE " + prom_name + " " + type + "\n";
   for (const RenderedSample& rs : group) {
     const MetricSample& s = rs.sample;
+    auto with_extra = [&rs](const std::string& more) {
+      if (rs.extra.empty()) return more;
+      if (more.empty()) return rs.extra;
+      return rs.extra + "," + more;
+    };
     if (s.kind == MetricSample::Kind::kHistogram) {
       uint64_t cumulative = 0;
       double upper = s.first_upper;
@@ -72,19 +79,20 @@ void RenderOne(std::string* out, const std::string& prom_name,
           le += buf;
         }
         le += "\"";
-        *out += prom_name + "_bucket" + LabelSet(rs.party, le) + " " +
-                std::to_string(cumulative) + "\n";
+        *out += prom_name + "_bucket" + LabelSet(rs.party, with_extra(le)) +
+                " " + std::to_string(cumulative) + "\n";
         upper *= s.growth;
       }
-      *out += prom_name + "_bucket" + LabelSet(rs.party, "le=\"+Inf\"") + " " +
+      *out += prom_name + "_bucket" +
+              LabelSet(rs.party, with_extra("le=\"+Inf\"")) + " " +
               std::to_string(s.count) + "\n";
-      *out += prom_name + "_sum" + LabelSet(rs.party) + " ";
+      *out += prom_name + "_sum" + LabelSet(rs.party, with_extra("")) + " ";
       AppendNumber(out, s.sum);
       *out += "\n";
-      *out += prom_name + "_count" + LabelSet(rs.party) + " " +
+      *out += prom_name + "_count" + LabelSet(rs.party, with_extra("")) + " " +
               std::to_string(s.count) + "\n";
     } else {
-      *out += prom_name + LabelSet(rs.party) + " ";
+      *out += prom_name + LabelSet(rs.party, with_extra("")) + " ";
       AppendNumber(out, s.value);
       *out += "\n";
     }
@@ -144,7 +152,19 @@ std::string RenderPrometheusSamples(const std::vector<MetricSample>& local,
   for (const std::string& raw : order) {
     RenderedSample rs;
     rs.sample = merged.at(raw);
-    const std::string prom = PromMetricName(raw, &rs.party);
+    std::string prom = PromMetricName(raw, &rs.party);
+    // The watchdog's user/sys CPU gauges are one Prometheus family with a
+    // mode label, not two: vf2_os_cpu_seconds{mode="user"|"sys"}.
+    for (const char* mode : {"user", "sys"}) {
+      const std::string suffix = std::string("os_cpu_seconds_") + mode;
+      if (prom.size() > suffix.size() &&
+          prom.compare(prom.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        prom.resize(prom.size() - std::strlen(mode) - 1);
+        rs.extra = std::string("mode=\"") + mode + "\"";
+        break;
+      }
+    }
     auto [it, inserted] = families.try_emplace(prom);
     if (inserted) family_order.push_back(prom);
     it->second.push_back(std::move(rs));

@@ -1,8 +1,10 @@
 #include "obs/trace.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace vf2boost {
 namespace obs {
@@ -328,11 +330,19 @@ ThreadPartyScope::ThreadPartyScope(uint32_t pid, const std::string& name)
     : prev_pid_(t_pid), prev_log_tag_(GetThreadLogContext()) {
   TraceRecorder::SetThreadParty(pid, name);
   SetThreadLogContext(name);
+  // Profiler attribution: samples taken on this thread carry the party
+  // name ("party B" -> "party_b"), and the thread becomes sampleable.
+  std::memcpy(prev_party_tag_, MutablePhaseTag()->party,
+              sizeof(prev_party_tag_));
+  SetThreadPartyTag(name.c_str());
+  ProfilerRegisterCurrentThread();
 }
 
 ThreadPartyScope::~ThreadPartyScope() {
   t_pid = prev_pid_;
   SetThreadLogContext(prev_log_tag_);
+  std::memcpy(MutablePhaseTag()->party, prev_party_tag_,
+              sizeof(prev_party_tag_));
 }
 
 }  // namespace obs

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/phase_tag.h"
 
 namespace vf2boost {
 namespace obs {
@@ -180,12 +183,26 @@ class TraceSpan {
   TraceSpan(const char* category, const char* name)
       : rec_(TraceRecorder::Current()), category_(category), name_(name) {
     if (rec_ != nullptr) start_us_ = rec_->NowMicros();
+    // "phase"-category spans double as profiler phase tags (obs/phase_tag.h)
+    // so SIGPROF samples inside the span carry its name — even with no
+    // recorder installed (profiling without tracing). `name` is a string
+    // literal per the macro contract, so the tag can hold the pointer.
+    if (category != nullptr && std::strcmp(category, "phase") == 0) {
+      PhaseTag* tag = MutablePhaseTag();
+      prev_phase_ = tag->phase;
+      tag->phase = name;
+      tagged_ = true;
+    }
   }
   ~TraceSpan() { End(); }
 
   /// Emits the span now instead of at scope exit — for phases that end
   /// mid-scope. Idempotent; later AddArg calls become no-ops.
   void End() {
+    if (tagged_) {
+      MutablePhaseTag()->phase = prev_phase_;
+      tagged_ = false;
+    }
     if (rec_ != nullptr) {
       rec_->CompleteSpan(name_, category_, start_us_,
                          rec_->NowMicros() - start_us_, std::move(args_));
@@ -210,6 +227,8 @@ class TraceSpan {
   const char* name_;
   int64_t start_us_ = 0;
   std::string args_;
+  const char* prev_phase_ = nullptr;
+  bool tagged_ = false;
 };
 
 /// \brief RAII party binding for the calling thread: sets BOTH the trace
@@ -229,6 +248,7 @@ class ThreadPartyScope {
  private:
   uint32_t prev_pid_;
   std::string prev_log_tag_;
+  char prev_party_tag_[24];
 };
 
 #define VF2_TRACE_CONCAT_INNER(a, b) a##b

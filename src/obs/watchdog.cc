@@ -1,6 +1,7 @@
 #include "obs/watchdog.h"
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace vf2boost {
 namespace obs {
@@ -13,6 +14,12 @@ void StallWatchdog::Start(Options options) {
         options_.metric_prefix + "/watchdog/seconds_since_progress", "s");
     c_stalls_ = options_.registry->GetCounter(options_.metric_prefix +
                                               "/watchdog/stalls");
+    const std::string os = options_.metric_prefix + "/os/";
+    g_rss_ = options_.registry->GetGauge(os + "rss_bytes", "B");
+    g_peak_rss_ = options_.registry->GetGauge(os + "peak_rss_bytes", "B");
+    g_cpu_user_ = options_.registry->GetGauge(os + "cpu_seconds/user", "s");
+    g_cpu_sys_ = options_.registry->GetGauge(os + "cpu_seconds/sys", "s");
+    g_heap_ = options_.registry->GetGauge(os + "heap_allocated_bytes", "B");
   }
   stop_requested_ = false;
   thread_ = std::thread([this] { Watch(); });
@@ -48,6 +55,16 @@ void StallWatchdog::Watch() {
   while (!stop_requested_) {
     cv_.wait_for(lock, poll, [this] { return stop_requested_; });
     if (stop_requested_) break;
+    if (g_rss_ != nullptr) {
+      // Resource accountant: one /proc + getrusage sample per tick keeps
+      // memory/CPU trending on /metrics even when the profiler is off.
+      const ResourceUsage u = SampleResourceUsage();
+      g_rss_->Set(static_cast<double>(u.rss_bytes));
+      g_peak_rss_->Set(static_cast<double>(u.peak_rss_bytes));
+      g_cpu_user_->Set(u.cpu_user_seconds);
+      g_cpu_sys_->Set(u.cpu_sys_seconds);
+      g_heap_->Set(static_cast<double>(u.heap_allocated_bytes));
+    }
     const LiveStatus::State state = live.state();
     const int64_t tree = live.tree();
     const int64_t layer = live.layer();
@@ -76,7 +93,8 @@ void StallWatchdog::Watch() {
         std::chrono::duration<double>(now - last_progress).count();
     seconds_since_progress_.store(idle, std::memory_order_relaxed);
     if (g_seconds_ != nullptr) g_seconds_->Set(idle);
-    if (idle > options_.budget_seconds && !episode) {
+    if (options_.budget_seconds > 0 && idle > options_.budget_seconds &&
+        !episode) {
       episode = true;
       stalled_phase_.store(phase, std::memory_order_relaxed);
       if (c_stalls_ != nullptr) c_stalls_->Add();

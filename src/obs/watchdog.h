@@ -33,11 +33,18 @@ class StallWatchdog {
  public:
   struct Options {
     /// Seconds without a position change before a stall is declared.
+    /// <= 0 disables stall detection — the watchdog then runs purely as a
+    /// resource accountant (see the os/* gauges below).
     double budget_seconds = 60;
     /// Engine position to watch (required; must outlive the watchdog).
     const LiveStatus* live = nullptr;
     /// When set, `<metric_prefix>/watchdog/seconds_since_progress` (gauge)
-    /// and `<metric_prefix>/watchdog/stalls` (counter) are exported.
+    /// and `<metric_prefix>/watchdog/stalls` (counter) are exported, plus
+    /// process-level resource gauges sampled every poll tick:
+    /// `<metric_prefix>/os/rss_bytes`, `.../os/peak_rss_bytes`,
+    /// `.../os/cpu_seconds/user`, `.../os/cpu_seconds/sys` and
+    /// `.../os/heap_allocated_bytes` — memory/CPU trending on /metrics for
+    /// every run, profiler or not.
     MetricsRegistry* registry = nullptr;
     std::string metric_prefix;
     /// Fired from the watchdog thread on the sample that first declares a
@@ -81,6 +88,11 @@ class StallWatchdog {
   std::atomic<const char*> stalled_phase_{""};
   Gauge* g_seconds_ = nullptr;
   Counter* c_stalls_ = nullptr;
+  Gauge* g_rss_ = nullptr;
+  Gauge* g_peak_rss_ = nullptr;
+  Gauge* g_cpu_user_ = nullptr;
+  Gauge* g_cpu_sys_ = nullptr;
+  Gauge* g_heap_ = nullptr;
 };
 
 }  // namespace obs

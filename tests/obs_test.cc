@@ -369,6 +369,29 @@ TEST(PromExportTest, RendersTypesBucketsAndBuildInfo) {
             std::string::npos);
 }
 
+TEST(PromExportTest, OsGaugesCollapseCpuModesIntoOneFamily) {
+  MetricsRegistry reg;
+  reg.GetGauge("party_b/os/rss_bytes", "B")->Set(1048576);
+  reg.GetGauge("party_b/os/cpu_seconds/user", "s")->Set(2.5);
+  reg.GetGauge("party_b/os/cpu_seconds/sys", "s")->Set(0.5);
+  const std::string text = obs::RenderPrometheus(reg);
+  EXPECT_NE(text.find("vf2_os_rss_bytes{party=\"B\"} 1048576"),
+            std::string::npos)
+      << text;
+  // user and sys become series of ONE family with a mode label — a single
+  // # TYPE line, no vf2_os_cpu_seconds_user family.
+  EXPECT_NE(text.find("# TYPE vf2_os_cpu_seconds gauge"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("# TYPE vf2_os_cpu_seconds_user"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vf2_os_cpu_seconds{party=\"B\",mode=\"user\"} 2.5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vf2_os_cpu_seconds{party=\"B\",mode=\"sys\"} 0.5"),
+            std::string::npos)
+      << text;
+}
+
 // ---------------------------------------------------------------------------
 // Recent-span ring (/tracez source)
 

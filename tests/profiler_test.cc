@@ -1,0 +1,361 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "common/timer.h"
+#include "obs/phase_tag.h"
+
+namespace vf2boost {
+namespace {
+
+using obs::FoldedProfileInfo;
+using obs::ParseFoldedProfile;
+using obs::PhaseTag;
+using obs::Profiler;
+using obs::ProfilerOptions;
+using obs::ResourceUsage;
+using obs::ScopedPhaseTag;
+
+// Burns CPU on the calling thread for ~`seconds` of wall time. The inner
+// hash keeps the optimizer honest; time-based so the tests behave the same
+// under TSan's ~10x dilation.
+std::atomic<uint64_t> g_sink{0};  // atomic: BurnCpu runs on many threads
+void BurnCpu(double seconds) {
+  Stopwatch clock;
+  uint64_t h = 1469598103934665603ull;
+  while (clock.ElapsedSeconds() < seconds) {
+    for (int i = 0; i < 100000; ++i) {
+      h ^= static_cast<uint64_t>(i);
+      h *= 1099511628211ull;
+    }
+  }
+  g_sink.store(h, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseTag
+
+TEST(PhaseTagTest, PartyNormalizationAndClear) {
+  obs::SetThreadPartyTag("party B");
+  EXPECT_STREQ(obs::MutablePhaseTag()->party, "party_b");
+  obs::SetThreadPartyTag("party A10");
+  EXPECT_STREQ(obs::MutablePhaseTag()->party, "party_a10");
+  obs::SetThreadPartyTag("");
+  EXPECT_STREQ(obs::MutablePhaseTag()->party, "");
+}
+
+TEST(PhaseTagTest, ScopedPhaseNestsAndRestores) {
+  PhaseTag* tag = obs::MutablePhaseTag();
+  EXPECT_EQ(tag->phase, nullptr);
+  {
+    ScopedPhaseTag outer("encrypt", 3);
+    EXPECT_STREQ(tag->phase, "encrypt");
+    EXPECT_EQ(tag->tree, 3);
+    {
+      ScopedPhaseTag inner("comm_wait", 3);
+      EXPECT_STREQ(tag->phase, "comm_wait");
+    }
+    EXPECT_STREQ(tag->phase, "encrypt");
+    EXPECT_EQ(tag->tree, 3);
+  }
+  EXPECT_EQ(tag->phase, nullptr);
+  EXPECT_EQ(tag->tree, -1);
+}
+
+TEST(PhaseTagTest, ThreadPoolSubmitPropagatesTag) {
+  ThreadPool pool(2);
+  obs::SetThreadPartyTag("party_b");
+  std::atomic<bool> saw_tag{false};
+  {
+    ScopedPhaseTag phase("build_hist", 7);
+    pool.Submit([&saw_tag] {
+      const PhaseTag tag = obs::CurrentPhaseTag();
+      saw_tag = std::string(tag.party) == "party_b" && tag.phase != nullptr &&
+                std::string(tag.phase) == "build_hist" && tag.tree == 7;
+    });
+    pool.Wait();
+  }
+  EXPECT_TRUE(saw_tag.load());
+  obs::SetThreadPartyTag("");
+}
+
+// ---------------------------------------------------------------------------
+// Folded grammar
+
+TEST(FoldedParseTest, AcceptsHeadersAndCountsPhases) {
+  const std::string text =
+      "# vf2boost folded cpu profile\n"
+      "# hz 99\n"
+      "# samples 30\n"
+      "party_b;encrypt;main;Encrypt 20\n"
+      "party_b;unknown;main 4\n"
+      "unknown;unknown;start_thread 6\n";
+  FoldedProfileInfo info;
+  std::string error;
+  ASSERT_TRUE(ParseFoldedProfile(text, &info, &error)) << error;
+  EXPECT_EQ(info.total_samples, 30u);
+  EXPECT_EQ(info.phase_tagged, 20u);
+  EXPECT_EQ(info.lines, 3u);
+  EXPECT_EQ(info.hz, 99);
+  EXPECT_EQ(info.samples_by_phase.at("party_b/encrypt"), 20u);
+  EXPECT_EQ(info.samples_by_phase.at("party_b/unknown"), 4u);
+}
+
+TEST(FoldedParseTest, RejectsMalformedLines) {
+  FoldedProfileInfo info;
+  std::string error;
+  // Single component (no phase).
+  EXPECT_FALSE(ParseFoldedProfile("main 5\n", &info, &error));
+  // Missing count.
+  EXPECT_FALSE(ParseFoldedProfile("party_b;encrypt;main\n", &info, &error));
+  // Non-numeric count.
+  EXPECT_FALSE(ParseFoldedProfile("party_b;encrypt;main x\n", &info, &error));
+  // Zero count.
+  EXPECT_FALSE(ParseFoldedProfile("party_b;encrypt;main 0\n", &info, &error));
+  // Empty component.
+  EXPECT_FALSE(ParseFoldedProfile("party_b;;main 5\n", &info, &error));
+  // Space inside the stack.
+  EXPECT_FALSE(
+      ParseFoldedProfile("party_b;encrypt;do thing 5\n", &info, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Live profiler
+
+TEST(ProfilerTest, AttributesSamplesToPhases) {
+  obs::ProfilerRegisterCurrentThread();
+  obs::SetThreadPartyTag("party_b");
+  ProfilerOptions opts;
+  opts.hz = 199;  // dense sampling keeps this test short
+  Profiler profiler(opts);
+  ASSERT_TRUE(profiler.Start());
+  {
+    ScopedPhaseTag phase("encrypt", 0);
+    BurnCpu(0.4);
+  }
+  {
+    ScopedPhaseTag phase("build_hist", 0);
+    BurnCpu(0.2);
+  }
+  profiler.Stop();
+  obs::SetThreadPartyTag("");
+
+  const std::string folded = profiler.FoldedText();
+  FoldedProfileInfo info;
+  std::string error;
+  ASSERT_TRUE(ParseFoldedProfile(folded, &info, &error))
+      << error << "\n" << folded;
+  ASSERT_GT(info.total_samples, 10u) << folded;
+  // The burn loops run entirely under a phase tag, so attribution must be
+  // (near-)total; the >=90% acceptance bar from the run-level smoke is easy.
+  EXPECT_GE(static_cast<double>(info.phase_tagged),
+            0.9 * static_cast<double>(info.total_samples))
+      << folded;
+  uint64_t encrypt = 0, build = 0;
+  for (const auto& [key, n] : info.samples_by_phase) {
+    if (key == "party_b/encrypt") encrypt = n;
+    if (key == "party_b/build_hist") build = n;
+  }
+  EXPECT_GT(encrypt, 0u) << folded;
+  EXPECT_GT(build, 0u) << folded;
+  // 2:1 CPU split should be roughly preserved (loose: scheduler noise).
+  EXPECT_GT(encrypt, build) << folded;
+
+  const Profiler::Impl* unused = nullptr;  // Impl is a public name
+  (void)unused;
+}
+
+TEST(ProfilerTest, FoldedTextIsDeterministicAndFilterable) {
+  obs::ProfilerRegisterCurrentThread();
+  obs::SetThreadPartyTag("party_a0");
+  ProfilerOptions opts;
+  opts.hz = 199;
+  Profiler profiler(opts);
+  ASSERT_TRUE(profiler.Start());
+  {
+    ScopedPhaseTag phase("find_split", 1);
+    BurnCpu(0.3);
+  }
+  profiler.Stop();
+  obs::SetThreadPartyTag("");
+
+  // Same counts -> byte-identical text (sorted, stable headers).
+  EXPECT_EQ(profiler.FoldedText(), profiler.FoldedText());
+
+  // The party filter keeps only matching stacks and stamps a header.
+  const std::string filtered = profiler.FoldedText("party_a0");
+  EXPECT_NE(filtered.find("# party party_a0"), std::string::npos);
+  std::istringstream in(filtered);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("party_a0;", 0), 0u) << line;
+  }
+  EXPECT_TRUE(profiler.FoldedText("party_nope").find("party_nope;") ==
+              std::string::npos);
+}
+
+TEST(ProfilerTest, SecondProfilerCannotStartWhileActive) {
+  Profiler a;
+  Profiler b;
+  ASSERT_TRUE(a.Start());
+  EXPECT_EQ(Profiler::Active(), &a);
+  EXPECT_FALSE(b.Start());
+  a.Stop();
+  a.Stop();  // idempotent
+  EXPECT_EQ(Profiler::Active(), nullptr);
+  // After the first stops, the second can run.
+  EXPECT_TRUE(b.Start());
+  b.Stop();
+}
+
+TEST(ProfilerTest, StartStopRacesAgainstWorkingThreadsAreSafe) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([&stop] {
+      obs::ProfilerRegisterCurrentThread();
+      obs::SetThreadPartyTag("party_b");
+      ScopedPhaseTag phase("pack", 0);
+      while (!stop.load(std::memory_order_relaxed)) BurnCpu(0.01);
+    });
+  }
+  // Rapid enable/disable cycles while samples are being taken: exercises
+  // timer arm/disarm against live SIGPROF delivery and ring traffic.
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    ProfilerOptions opts;
+    opts.hz = 250;
+    Profiler profiler(opts);
+    ASSERT_TRUE(profiler.Start());
+    BurnCpu(0.02);
+    profiler.Stop();
+  }
+  stop = true;
+  for (std::thread& t : workers) t.join();
+}
+
+TEST(ProfilerTest, WriteFoldedRoundTripsThroughParse) {
+  obs::ProfilerRegisterCurrentThread();
+  obs::SetThreadPartyTag("party_b");
+  Profiler profiler;
+  ASSERT_TRUE(profiler.Start());
+  {
+    ScopedPhaseTag phase("decrypt", 2);
+    BurnCpu(0.25);
+  }
+  profiler.Stop();
+  obs::SetThreadPartyTag("");
+
+  const std::string path =
+      testing::TempDir() + "/profiler_test_roundtrip.folded";
+  ASSERT_TRUE(profiler.WriteFolded(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  FoldedProfileInfo info;
+  std::string error;
+  ASSERT_TRUE(ParseFoldedProfile(ss.str(), &info, &error)) << error;
+  EXPECT_GT(info.total_samples, 0u);
+  EXPECT_EQ(info.hz, 99);
+  std::remove(path.c_str());
+}
+
+TEST(ProfilerTest, CountsBaseDeltaSubtracts) {
+  obs::ProfilerRegisterCurrentThread();
+  obs::SetThreadPartyTag("party_b");
+  ProfilerOptions opts;
+  opts.hz = 199;
+  Profiler profiler(opts);
+  ASSERT_TRUE(profiler.Start());
+  {
+    ScopedPhaseTag phase("encrypt", 0);
+    BurnCpu(0.2);
+  }
+  const std::map<std::string, uint64_t> base = profiler.Counts();
+  {
+    ScopedPhaseTag phase("find_split", 0);
+    BurnCpu(0.2);
+  }
+  profiler.Stop();
+  obs::SetThreadPartyTag("");
+
+  FoldedProfileInfo delta_info, full_info;
+  std::string error;
+  ASSERT_TRUE(
+      ParseFoldedProfile(profiler.FoldedText("", &base), &delta_info, &error))
+      << error;
+  ASSERT_TRUE(ParseFoldedProfile(profiler.FoldedText(), &full_info, &error))
+      << error;
+  EXPECT_LT(delta_info.total_samples, full_info.total_samples);
+  // The delta window was (almost) entirely find_split.
+  uint64_t delta_encrypt = 0;
+  for (const auto& [key, n] : delta_info.samples_by_phase) {
+    if (key == "party_b/encrypt") delta_encrypt = n;
+  }
+  uint64_t full_encrypt = 0;
+  for (const auto& [key, n] : full_info.samples_by_phase) {
+    if (key == "party_b/encrypt") full_encrypt = n;
+  }
+  EXPECT_LE(delta_encrypt, full_encrypt);
+  EXPECT_TRUE(delta_info.samples_by_phase.count("party_b/find_split") > 0);
+}
+
+TEST(ProfilerTest, CollectFoldedProfileRunsTemporaryProfiler) {
+  obs::ProfilerRegisterCurrentThread();
+  obs::SetThreadPartyTag("party_b");
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    obs::ProfilerRegisterCurrentThread();
+    obs::SetThreadPartyTag("party_b");
+    ScopedPhaseTag phase("build_hist", 0);
+    while (!stop.load(std::memory_order_relaxed)) BurnCpu(0.01);
+  });
+  std::string error;
+  const std::string folded = obs::CollectFoldedProfile(0.3, 199, &error);
+  stop = true;
+  burner.join();
+  obs::SetThreadPartyTag("");
+  ASSERT_FALSE(folded.empty()) << error;
+  FoldedProfileInfo info;
+  ASSERT_TRUE(ParseFoldedProfile(folded, &info, &error)) << error;
+  EXPECT_GT(info.total_samples, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Resource accounting
+
+TEST(ResourceUsageTest, SanityAndMonotonicity) {
+  const ResourceUsage u = obs::SampleResourceUsage();
+  EXPECT_GT(u.rss_bytes, 0u);
+  EXPECT_GE(u.peak_rss_bytes, u.rss_bytes);
+  EXPECT_GE(u.cpu_user_seconds, 0.0);
+  EXPECT_GE(u.cpu_sys_seconds, 0.0);
+
+  BurnCpu(0.15);
+  const ResourceUsage v = obs::SampleResourceUsage();
+  EXPECT_GT(v.cpu_user_seconds, u.cpu_user_seconds);
+  EXPECT_GE(v.peak_rss_bytes, u.peak_rss_bytes);
+}
+
+TEST(ResourceUsageTest, HeapProfileRendersAllFields) {
+  const std::string text = obs::RenderHeapProfile();
+  EXPECT_NE(text.find("# vf2boost heap profile"), std::string::npos);
+  EXPECT_NE(text.find("rss_bytes "), std::string::npos);
+  EXPECT_NE(text.find("peak_rss_bytes "), std::string::npos);
+  EXPECT_NE(text.find("heap_allocated_bytes "), std::string::npos);
+  EXPECT_NE(text.find("cpu_user_seconds "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vf2boost

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+
 namespace vf2boost {
 namespace {
 
@@ -97,6 +99,43 @@ TEST(ThreadPoolTest, SubmitAndWaitDrainEverything) {
   for (int i = 0; i < 100; ++i) pool.Submit([&] { ++count; });
   pool.Wait();
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, BusyWorkersGaugeTracksExecutionAndDrainsToZero) {
+  obs::MetricsRegistry reg;
+  obs::Gauge* gauge = reg.GetGauge("party_b/pool/busy_workers", "workers");
+  ThreadPool pool(2);
+  pool.SetBusyWorkersGauge(gauge);
+  EXPECT_EQ(pool.busy_workers(), 0u);
+
+  // Hold both workers inside tasks and observe the count from outside.
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  bool release = false;
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      ++started;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return started == 2; }));
+  }
+  EXPECT_EQ(pool.busy_workers(), 2u);
+  EXPECT_EQ(gauge->value(), 2.0);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(pool.busy_workers(), 0u);
+  EXPECT_EQ(gauge->value(), 0.0);
 }
 
 }  // namespace

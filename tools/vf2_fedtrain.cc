@@ -34,6 +34,7 @@
 #include "obs/clock_sync.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "obs/trace_gantt.h"
 #include "tools/flags.h"
@@ -109,6 +110,10 @@ int main(int argc, char** argv) {
                         "watchdog flips /healthz to 503 (0 = off)"},
        {"flight-out", "flight-recorder dump path: written on failure, "
                       "SIGTERM, watchdog trip, and progress boundaries"},
+       {"profile-out", "write a folded-stack CPU profile of the training "
+                       "run (flamegraph.pl/speedscope-compatible; per-party "
+                       "files get the party spliced into the name)"},
+       {"profile-hz", "profiler sampling frequency per thread (default 99)"},
        {"no-clock-sync", "disable kClockPing offset probes (traced TCP runs "
                          "negotiate clock offsets by default)"}});
   flags.Require({"data"});
@@ -214,13 +219,26 @@ int main(int argc, char** argv) {
                 "%d+1+i\n",
                 config.ops_bind.c_str(), config.ops_port, config.ops_port);
   }
+  // A TCP process owns exactly one party; its artifacts (flight dump,
+  // profile) get the party spliced into the filename so two parties sharing
+  // an output dir never clobber each other.
+  std::string party_file_tag;
+  if (flags.Has("listen")) {
+    party_file_tag = "party_b";
+  } else if (flags.Has("connect")) {
+    const std::string pf = flags.GetString("party", "");
+    if (!pf.empty()) party_file_tag = "party_" + pf;
+  }
   // Flight recorder: black-box ring dumped on failure paths, SIGTERM, the
   // watchdog, and coarse progress boundaries (SIGKILL insurance).
   std::unique_ptr<obs::FlightRecorder> flight;
   if (flags.Has("flight-out")) {
     flight = std::make_unique<obs::FlightRecorder>();
     flight->Install();
-    flight->SetPersistPath(flags.GetString("flight-out"));
+    const std::string fpath = flags.GetString("flight-out");
+    flight->SetPersistPath(party_file_tag.empty()
+                               ? fpath
+                               : obs::PartyArtifactPath(fpath, party_file_tag));
     std::signal(SIGTERM, OnTerminate);
     // Ctrl-C on an interactive chaos drill should leave the same black box a
     // SIGTERM does.
@@ -231,6 +249,60 @@ int main(int argc, char** argv) {
                    "flight recorder armed");
     flight->Persist();
   }
+  // Sampling CPU profiler: armed here (after data loading, before any
+  // engine starts) so samples cover exactly the training run. Engines tag
+  // their threads with party/phase as they work; the folded output keys
+  // samples by party;phase;stack.
+  std::unique_ptr<obs::Profiler> profiler;
+  if (flags.Has("profile-out")) {
+    obs::ProfilerOptions popts;
+    popts.hz = flags.GetInt("profile-hz", 99);
+    profiler = std::make_unique<obs::Profiler>(popts);
+    if (!profiler->Start()) {
+      std::fprintf(stderr, "profiler failed to start (already running?)\n");
+      profiler.reset();
+    }
+  }
+  // Stops the profiler and writes the folded artifact(s). `party` non-empty
+  // = a TCP process owning exactly one party: its file gets the party
+  // spliced into the name (obs::PartyArtifactPath) so two processes sharing
+  // an output dir never clobber each other. In-process runs write the full
+  // profile plus one filtered file per party, same scheme as traces.
+  auto write_profile = [&](const std::string& party,
+                           size_t num_a_parties) -> bool {
+    if (profiler == nullptr) return true;
+    profiler->Stop();
+    const obs::ProfilerStats pstats = profiler->stats();
+    const std::string path = flags.GetString("profile-out");
+    if (!party.empty()) {
+      const std::string pp = obs::PartyArtifactPath(path, party);
+      if (!profiler->WriteFolded(pp)) return false;
+      std::printf("wrote folded cpu profile (%llu samples, %llu dropped) "
+                  "to %s\n",
+                  static_cast<unsigned long long>(pstats.samples),
+                  static_cast<unsigned long long>(pstats.dropped),
+                  pp.c_str());
+      return true;
+    }
+    if (!profiler->WriteFolded(path)) return false;
+    for (size_t p = 0; p < num_a_parties; ++p) {
+      const std::string prefix = "party_a" + std::to_string(p);
+      if (!profiler->WriteFolded(obs::PartyArtifactPath(path, prefix),
+                                 prefix)) {
+        return false;
+      }
+    }
+    if (!profiler->WriteFolded(obs::PartyArtifactPath(path, "party_b"),
+                               "party_b")) {
+      return false;
+    }
+    std::printf("wrote folded cpu profile (%llu samples, %llu dropped) to "
+                "%s (+ per-party *.party_*)\n",
+                static_cast<unsigned long long>(pstats.samples),
+                static_cast<unsigned long long>(pstats.dropped),
+                path.c_str());
+    return true;
+  };
 
   // --- transport selection -------------------------------------------------
   // --listen / --connect switch this process from the in-process simulation
@@ -336,6 +408,7 @@ int main(int argc, char** argv) {
                         static_cast<uint32_t>(a_index));
     Status st = engine.Run();
     if (recorder != nullptr) obs::TraceRecorder::Uninstall();
+    if (!write_profile("party_a" + std::to_string(a_index), num_a)) return 1;
     if (!st.ok()) {
       std::fprintf(stderr, "party A%zu failed: %s\n", a_index,
                    st.ToString().c_str());
@@ -425,6 +498,9 @@ int main(int argc, char** argv) {
     result = FedTrainer(config).Train(shards.value());
   }
   if (recorder != nullptr) obs::TraceRecorder::Uninstall();
+  // Written before the failure check so a failed run still leaves its
+  // profile behind — that is exactly when CPU attribution matters.
+  if (!write_profile(tcp_listen ? "party_b" : "", num_a)) return 1;
   if (!result.ok()) {
     std::fprintf(stderr, "training failed: %s\n",
                  result.status().ToString().c_str());

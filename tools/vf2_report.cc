@@ -2,7 +2,8 @@
 // optional trace (--trace-out) into per-party and per-tree phase-time
 // attribution, and diffs/gates two benchmark JSON files.
 //
-//   vf2_report --metrics run/metrics.json --trace run/trace.json
+//   vf2_report --metrics run/metrics.json --trace run/trace.json \
+//              --profile run/profile.folded
 //   vf2_report --baseline bench/baselines/BENCH_crypto.json \
 //              --current BENCH_crypto.json --tolerance 0.15 --check
 //
@@ -14,6 +15,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "obs/bench_diff.h"
+#include "obs/profiler.h"
 #include "obs/trace_check.h"
 #include "tools/flags.h"
 
@@ -64,11 +67,102 @@ const char* const kPhases[] = {"encrypt", "build_hist", "pack",
                                "decrypt", "find_split", "comm_wait"};
 
 // ---------------------------------------------------------------------------
+// CPU attribution (folded profile joined against phase wall time)
+// ---------------------------------------------------------------------------
+
+// Joins a folded-stack CPU profile (--profile-out) against the phase wall
+// times in the metrics dump: per party/phase self CPU, the cpu/wall ratio,
+// and a note when they diverge — cpu << wall is blocking (lock contention,
+// a slow peer) inside the span; cpu >> wall means pool workers burned CPU
+// for the phase in parallel.
+int AppendCpuAttribution(const BenchMap& m, const std::string& profile_path) {
+  std::string text, error;
+  if (!ReadFile(profile_path, &text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", profile_path.c_str());
+    return 1;
+  }
+  vf2boost::obs::FoldedProfileInfo info;
+  if (!vf2boost::obs::ParseFoldedProfile(text, &info, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", profile_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const int hz = info.hz > 0 ? info.hz : 99;
+  std::printf("\n== cpu attribution (sampling profiler, %d Hz, %llu "
+              "samples) ==\n",
+              hz, static_cast<unsigned long long>(info.total_samples));
+  if (info.total_samples == 0) {
+    std::printf("(no samples — run too short or profiler disabled)\n");
+    return 0;
+  }
+  std::printf("%-10s %-16s %10s %10s %9s  %s\n", "party", "phase", "cpu_s",
+              "wall_s", "cpu/wall", "note");
+  for (const auto& [key, samples] : info.samples_by_phase) {
+    const size_t slash = key.find('/');
+    const std::string party = key.substr(0, slash);
+    const std::string phase = key.substr(slash + 1);
+    const double cpu = static_cast<double>(samples) / hz;
+    const double wall = Lookup(m, party + "/phase/" + phase);
+    std::printf("%-10s %-16s %10.3f", party.c_str(), phase.c_str(), cpu);
+    if (wall > 0) {
+      const double ratio = cpu / wall;
+      const char* note = "";
+      if (ratio < 0.5) {
+        note = "cpu << wall: blocked inside the span (contention/peer)";
+      } else if (ratio > 1.5) {
+        note = "cpu >> wall: pool workers ran this phase in parallel";
+      }
+      std::printf(" %10.3f %9.2f  %s\n", wall, ratio, note);
+    } else {
+      std::printf(" %10s %9s  %s\n", "-", "-",
+                  phase == "unknown" ? "untagged samples" : "");
+    }
+  }
+  const double tagged_pct =
+      100.0 * static_cast<double>(info.phase_tagged) /
+      static_cast<double>(info.total_samples);
+  std::printf("phase-tagged samples: %llu/%llu (%.1f%%)\n",
+              static_cast<unsigned long long>(info.phase_tagged),
+              static_cast<unsigned long long>(info.total_samples),
+              tagged_pct);
+
+  // Hottest leaf functions across the profile (self CPU).
+  std::map<std::string, uint64_t> leaves;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const uint64_t count = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    const std::string stack = line.substr(0, space);
+    const size_t semi = stack.rfind(';');
+    leaves[semi == std::string::npos ? stack : stack.substr(semi + 1)] +=
+        count;
+  }
+  std::vector<std::pair<std::string, uint64_t>> hot(leaves.begin(),
+                                                    leaves.end());
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  std::printf("\nhottest functions (self cpu):\n");
+  for (size_t i = 0; i < hot.size() && i < 8; ++i) {
+    std::printf("  %6.1f%%  %8.3fs  %s\n",
+                100.0 * static_cast<double>(hot[i].second) /
+                    static_cast<double>(info.total_samples),
+                static_cast<double>(hot[i].second) / hz,
+                hot[i].first.c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Attribution mode
 // ---------------------------------------------------------------------------
 
 int RunAttribution(const std::string& metrics_path,
-                   const std::string& trace_path) {
+                   const std::string& trace_path,
+                   const std::string& profile_path) {
   BenchMap m;
   std::string error;
   if (!LoadBench(metrics_path, &m, &error)) {
@@ -140,6 +234,11 @@ int RunAttribution(const std::string& metrics_path,
     if (trees > 0) std::printf(" (%.0f per tree)", ciphers / trees);
     if (ratio > 0) std::printf(", %.1f values/cipher", ratio);
     std::printf("\n");
+  }
+
+  if (!profile_path.empty()) {
+    const int rc = AppendCpuAttribution(m, profile_path);
+    if (rc != 0) return rc;
   }
 
   if (trace_path.empty()) return 0;
@@ -293,6 +392,9 @@ int main(int argc, char** argv) {
       argc, argv,
       {{"metrics", "metrics JSON from --metrics-out (attribution mode)"},
        {"trace", "trace JSON from --trace-out (adds the per-tree table)"},
+       {"profile",
+        "folded CPU profile from --profile-out (adds the cpu attribution "
+        "section)"},
        {"baseline", "baseline benchmark/metrics JSON (diff mode)"},
        {"current", "current benchmark/metrics JSON (diff mode)"},
        {"tolerance", "relative regression tolerance (default 0.15)"},
@@ -308,5 +410,6 @@ int main(int argc, char** argv) {
   }
   flags.Require({"metrics"});
   return RunAttribution(flags.GetString("metrics"),
-                        flags.GetString("trace", ""));
+                        flags.GetString("trace", ""),
+                        flags.GetString("profile", ""));
 }

@@ -1,9 +1,11 @@
 // Validates the observability artifacts of a traced run: a Chrome
-// trace-event JSON (--trace) and/or a flat metrics JSON (--metrics).
-// Exits nonzero on the first structural violation, so CI can gate on it:
+// trace-event JSON (--trace), a flat metrics JSON (--metrics), and/or a
+// folded CPU profile from --profile-out (--profile). Exits nonzero on the
+// first structural violation, so CI can gate on it:
 //
 //   vf2_trace_check --trace trace.json --metrics metrics.json
 //                   --require-span encrypt,build_hist --min-events 100
+//   vf2_trace_check --profile profile.folded --min-phase-fraction 0.9
 //
 // --require-span takes a comma-separated list of span names that must each
 // appear at least once (e.g. opt_split,rollback to prove the optimistic
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "obs/trace_check.h"
 #include "tools/flags.h"
 
@@ -65,9 +68,16 @@ int main(int argc, char** argv) {
         "flow-audit: message-name substrings whose flows must all pair"},
        {"max-clock-uncertainty-us",
         "fail when any clockSync entry's uncertainty exceeds this"},
+       {"profile", "folded CPU profile (--profile-out) to validate"},
+       {"min-phase-fraction",
+        "profile: minimum fraction of samples with a known phase tag "
+        "(default 0)"},
+       {"min-samples", "profile: minimum total sample count (default 1)"},
        {"quiet", "suppress the summary output"}});
-  if (!flags.Has("trace") && !flags.Has("metrics")) {
-    std::fprintf(stderr, "nothing to check: pass --trace and/or --metrics\n");
+  if (!flags.Has("trace") && !flags.Has("metrics") && !flags.Has("profile")) {
+    std::fprintf(stderr,
+                 "nothing to check: pass --trace, --metrics and/or "
+                 "--profile\n");
     return 2;
   }
   const bool quiet = flags.GetBool("quiet");
@@ -231,6 +241,58 @@ int main(int argc, char** argv) {
     }
     if (!quiet) {
       std::printf("%s: OK — %zu metrics\n", path.c_str(), names.size());
+    }
+  }
+
+  if (flags.Has("profile")) {
+    const std::string path = flags.GetString("profile");
+    std::string text;
+    if (!ReadFile(path, &text)) return 1;
+    std::string error;
+    obs::FoldedProfileInfo info;
+    if (!obs::ParseFoldedProfile(text, &info, &error)) {
+      std::fprintf(stderr, "%s: INVALID profile: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    const uint64_t min_samples =
+        static_cast<uint64_t>(flags.GetInt("min-samples", 1));
+    if (info.total_samples < min_samples) {
+      std::fprintf(stderr, "%s: only %llu samples, expected >= %llu\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(info.total_samples),
+                   static_cast<unsigned long long>(min_samples));
+      return 1;
+    }
+    const double fraction =
+        info.total_samples == 0
+            ? 0.0
+            : static_cast<double>(info.phase_tagged) /
+                  static_cast<double>(info.total_samples);
+    const double min_fraction = flags.GetDouble("min-phase-fraction", 0);
+    if (fraction < min_fraction) {
+      std::fprintf(stderr,
+                   "%s: only %.1f%% of samples carry a known phase tag, "
+                   "expected >= %.1f%%\n",
+                   path.c_str(), 100 * fraction, 100 * min_fraction);
+      return 1;
+    }
+    if (!quiet) {
+      char hz_note[32];
+      if (info.hz > 0) {
+        std::snprintf(hz_note, sizeof(hz_note), ", %d Hz", info.hz);
+      } else {
+        std::snprintf(hz_note, sizeof(hz_note), ", no hz header");
+      }
+      std::printf(
+          "%s: OK — %llu samples on %llu stacks (%.1f%% phase-tagged%s)\n",
+          path.c_str(), static_cast<unsigned long long>(info.total_samples),
+          static_cast<unsigned long long>(info.lines), 100 * fraction,
+          hz_note);
+      for (const auto& [key, count] : info.samples_by_phase) {
+        std::printf("  phase %-32s x%llu\n", key.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
     }
   }
   return 0;
